@@ -1,0 +1,111 @@
+// Ablation — how much do the design choices matter?
+//
+// DESIGN.md calls out three load-bearing choices; this bench isolates each
+// on workload A (4 KByte pages, 128 KByte buffer):
+//   1. Index quality: R*-insertion (paper) vs Guttman quadratic/linear
+//      splits vs STR bulk loading, all joined with SJ4.
+//   2. Pinning: SJ3 vs SJ4 across buffer sizes (I/O only).
+//   3. Schedule CPU price: SJ4 (free sweep order) vs SJ5 (z-order sort).
+
+#include "bench/bench_common.h"
+
+namespace rsj {
+namespace bench {
+namespace {
+
+TreePair BuildWithPolicy(const Dataset& r, const Dataset& s,
+                         SplitPolicy policy, bool reinsert) {
+  TreePair pair;
+  pair.file_r = std::make_unique<PagedFile>(kPageSize4K);
+  pair.file_s = std::make_unique<PagedFile>(kPageSize4K);
+  RTreeOptions options;
+  options.page_size = kPageSize4K;
+  options.split_policy = policy;
+  options.forced_reinsert = reinsert;
+  pair.r = std::make_unique<RTree>(
+      BuildRTree(pair.file_r.get(), r.Mbrs(), options));
+  pair.s = std::make_unique<RTree>(
+      BuildRTree(pair.file_s.get(), s.Mbrs(), options));
+  return pair;
+}
+
+TreePair BuildStr(const Dataset& r, const Dataset& s) {
+  TreePair pair;
+  pair.file_r = std::make_unique<PagedFile>(kPageSize4K);
+  pair.file_s = std::make_unique<PagedFile>(kPageSize4K);
+  RTreeOptions options;
+  options.page_size = kPageSize4K;
+  auto load = [&options](PagedFile* file, const Dataset& d) {
+    auto tree = std::make_unique<RTree>(file, options);
+    std::vector<Entry> entries;
+    const auto mbrs = d.Mbrs();
+    for (uint32_t i = 0; i < mbrs.size(); ++i) {
+      entries.push_back(Entry{mbrs[i], i});
+    }
+    tree->BulkLoadStr(entries, /*fill_fraction=*/1.0);
+    return tree;
+  };
+  pair.r = load(pair.file_r.get(), r);
+  pair.s = load(pair.file_s.get(), s);
+  return pair;
+}
+
+void Report(const char* label, const TreePair& pair) {
+  const CostModel model;
+  const Statistics st = RunJoin(pair, JoinAlgorithm::kSJ4, 128 * 1024);
+  const size_t pages = pair.r->ComputeStats().TotalPages() +
+                       pair.s->ComputeStats().TotalPages();
+  PrintRow(label,
+           {Num(pages), Num(st.disk_reads), Num(st.TotalComparisons()),
+            Dbl(model.TotalSeconds(st, kPageSize4K), 1)});
+}
+
+int Main(int argc, char** argv) {
+  const double scale = ParseScale(argc, argv);
+  PrintBanner("Ablation: substrate quality, pinning, schedule cost",
+              "design choices called out in DESIGN.md", scale);
+  const Workload w = MakeWorkload(TestCase::kA, scale);
+
+  std::printf("\n-- 1. index construction (SJ4, 4 KByte pages, 128 KByte "
+              "buffer) --\n");
+  PrintRow("index", {"pages", "disk reads", "comparisons", "est. time"});
+  Report("R*-tree (paper)",
+         BuildWithPolicy(w.r, w.s, SplitPolicy::kRStar, true));
+  Report("R* w/o reinsertion",
+         BuildWithPolicy(w.r, w.s, SplitPolicy::kRStar, false));
+  Report("Guttman quadratic",
+         BuildWithPolicy(w.r, w.s, SplitPolicy::kQuadratic, false));
+  Report("Guttman linear",
+         BuildWithPolicy(w.r, w.s, SplitPolicy::kLinear, false));
+  Report("STR bulk loaded", BuildStr(w.r, w.s));
+
+  std::printf("\n-- 2. pinning (disk reads, 4 KByte pages) --\n");
+  const TreePair pair = BuildTreePair(w.r, w.s, kPageSize4K);
+  PrintRow("buffer", {"SJ3", "SJ4", "saved"});
+  for (const uint64_t buffer : kBufferSizes) {
+    const uint64_t sj3 = RunJoin(pair, JoinAlgorithm::kSJ3, buffer).disk_reads;
+    const uint64_t sj4 = RunJoin(pair, JoinAlgorithm::kSJ4, buffer).disk_reads;
+    char label[32];
+    std::snprintf(label, sizeof(label), "%llu KByte",
+                  static_cast<unsigned long long>(buffer / 1024));
+    PrintRow(label, {Num(sj3), Num(sj4),
+                     Dbl(100.0 * (1.0 - static_cast<double>(sj4) / sj3), 1)});
+  }
+
+  std::printf("\n-- 3. schedule cost (4 KByte pages, 32 KByte buffer) --\n");
+  PrintRow("algorithm",
+           {"disk reads", "sched cmps", "total cmps"});
+  for (const JoinAlgorithm alg : {JoinAlgorithm::kSJ4, JoinAlgorithm::kSJ5}) {
+    const Statistics st = RunJoin(pair, alg, 32 * 1024);
+    PrintRow(JoinAlgorithmName(alg),
+             {Num(st.disk_reads), Num(st.schedule_comparisons.count()),
+              Num(st.TotalComparisons())});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsj
+
+int main(int argc, char** argv) { return rsj::bench::Main(argc, argv); }

@@ -1,0 +1,105 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace rsj {
+namespace bench {
+
+double ParseScale(int argc, char** argv) {
+  double scale = 1.0;
+  if (const char* env = std::getenv("RSJ_BENCH_SCALE")) {
+    scale = std::atof(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      scale = std::atof(argv[i] + 8);
+    }
+  }
+  if (scale <= 0.0 || scale > 1.0) scale = 1.0;
+  return scale;
+}
+
+TreePair BuildTreePair(const Dataset& r, const Dataset& s,
+                       uint32_t page_size) {
+  TreePair pair;
+  pair.file_r = std::make_unique<PagedFile>(page_size);
+  pair.file_s = std::make_unique<PagedFile>(page_size);
+  RTreeOptions options;
+  options.page_size = page_size;
+  std::thread r_builder([&]() {
+    pair.r = std::make_unique<RTree>(
+        BuildRTree(pair.file_r.get(), r.Mbrs(), options));
+  });
+  pair.s = std::make_unique<RTree>(
+      BuildRTree(pair.file_s.get(), s.Mbrs(), options));
+  r_builder.join();
+  return pair;
+}
+
+std::vector<TreePair> BuildAllPageSizes(const Dataset& r, const Dataset& s,
+                                        const std::vector<uint32_t>& sizes) {
+  std::vector<TreePair> pairs(sizes.size());
+  std::vector<std::thread> workers;
+  workers.reserve(sizes.size());
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    workers.emplace_back([&, i]() {
+      pairs[i] = BuildTreePair(r, s, sizes[i]);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  return pairs;
+}
+
+Statistics RunJoin(const TreePair& pair, JoinAlgorithm algorithm,
+                   uint64_t buffer_bytes, HeightPolicy policy) {
+  JoinOptions options;
+  options.algorithm = algorithm;
+  options.buffer_bytes = buffer_bytes;
+  options.height_policy = policy;
+  return RunSpatialJoin(*pair.r, *pair.s, options).stats;
+}
+
+std::string Num(uint64_t value) {
+  char digits[32];
+  std::snprintf(digits, sizeof(digits), "%llu",
+                static_cast<unsigned long long>(value));
+  std::string with_sep;
+  const size_t len = std::strlen(digits);
+  for (size_t i = 0; i < len; ++i) {
+    if (i > 0 && (len - i) % 3 == 0) with_sep.push_back(',');
+    with_sep.push_back(digits[i]);
+  }
+  return with_sep;
+}
+
+std::string Dbl(double value, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return std::string(buf);
+}
+
+void PrintBanner(const char* experiment, const char* paper_ref,
+                 double scale) {
+  std::printf("=================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("reproduces: %s  (Brinkhoff/Kriegel/Seeger, SIGMOD '93)\n",
+              paper_ref);
+  std::printf("workload scale: %.3f%s\n", scale,
+              scale == 1.0 ? " (paper cardinalities)" : "");
+  std::printf("=================================================================\n");
+}
+
+void PrintRow(const std::string& label, const std::vector<std::string>& cells,
+              int label_width, int cell_width) {
+  std::printf("%-*s", label_width, label.c_str());
+  for (const std::string& cell : cells) {
+    std::printf("%*s", cell_width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace rsj

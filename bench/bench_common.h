@@ -1,0 +1,69 @@
+// Shared infrastructure for the table/figure reproduction benchmarks:
+// scale handling, parallel tree construction, and table formatting.
+//
+// Every bench binary accepts `--scale=<f>` (or env RSJ_BENCH_SCALE) to run
+// the paper's workloads at reduced cardinality for quick smoke runs; the
+// default is full scale (1.0), matching the paper's 131k/129k/599k relations.
+
+#ifndef RSJ_BENCH_BENCH_COMMON_H_
+#define RSJ_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rsj.h"
+
+namespace rsj {
+namespace bench {
+
+// The paper's experiment grid.
+inline constexpr uint32_t kPageSizes[] = {kPageSize1K, kPageSize2K,
+                                          kPageSize4K, kPageSize8K};
+inline constexpr uint64_t kBufferSizes[] = {0, 8 * 1024, 32 * 1024,
+                                            128 * 1024, 512 * 1024};
+
+// Parses --scale=<f> from argv or RSJ_BENCH_SCALE from the environment.
+double ParseScale(int argc, char** argv);
+
+// An indexed relation pair (R, S) over one page size.
+struct TreePair {
+  std::unique_ptr<PagedFile> file_r;
+  std::unique_ptr<PagedFile> file_s;
+  std::unique_ptr<RTree> r;
+  std::unique_ptr<RTree> s;
+};
+
+// Builds both trees, in parallel, by insertion (the paper's construction).
+TreePair BuildTreePair(const Dataset& r, const Dataset& s,
+                       uint32_t page_size);
+
+// Builds the (R, S) pair for every requested page size, all in parallel.
+std::vector<TreePair> BuildAllPageSizes(const Dataset& r, const Dataset& s,
+                                        const std::vector<uint32_t>& sizes);
+
+// Runs a configured join on a tree pair and returns the statistics.
+Statistics RunJoin(const TreePair& pair, JoinAlgorithm algorithm,
+                   uint64_t buffer_bytes,
+                   HeightPolicy policy = HeightPolicy::kBatchedSubtree);
+
+// --- formatting helpers ---
+
+// 12-char right-aligned integer with thousands separators.
+std::string Num(uint64_t value);
+
+// Fixed two-decimal number.
+std::string Dbl(double value, int precision = 2);
+
+// Prints the bench banner: experiment name, scale, seed provenance.
+void PrintBanner(const char* experiment, const char* paper_ref, double scale);
+
+// Prints one table row: a label followed by cells.
+void PrintRow(const std::string& label, const std::vector<std::string>& cells,
+              int label_width = 22, int cell_width = 12);
+
+}  // namespace bench
+}  // namespace rsj
+
+#endif  // RSJ_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,61 @@
+// Figure 2 — Estimation of the execution time of SpatialJoin1.
+//
+// Applies the paper's cost model (15 ms positioning, 5 ms/KByte transfer,
+// 3.9 µs per comparison) to the measured SJ1 counters: total estimated time
+// per page size and buffer size (upper diagram), and the CPU/I-O split per
+// page size (lower diagram, buffer = 0 as in the paper's trend discussion).
+
+#include "bench/bench_common.h"
+
+namespace rsj {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const double scale = ParseScale(argc, argv);
+  PrintBanner("Figure 2: estimated execution time of SpatialJoin1",
+              "Figure 2, Section 4.1", scale);
+  const Workload w = MakeWorkload(TestCase::kA, scale);
+  const std::vector<uint32_t> sizes(std::begin(kPageSizes),
+                                    std::end(kPageSizes));
+  const std::vector<TreePair> pairs = BuildAllPageSizes(w.r, w.s, sizes);
+  const CostModel model;
+
+  std::printf("\n-- upper diagram: total time (seconds) --\n");
+  PrintRow("buffer \\ page",
+           {"1 KByte", "2 KByte", "4 KByte", "8 KByte"});
+  for (const uint64_t buffer : kBufferSizes) {
+    std::vector<std::string> cells;
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      const Statistics st = RunJoin(pairs[p], JoinAlgorithm::kSJ1, buffer);
+      cells.push_back(Dbl(model.TotalSeconds(st, sizes[p]), 1));
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%llu KByte",
+                  static_cast<unsigned long long>(buffer / 1024));
+    PrintRow(label, cells);
+  }
+
+  std::printf(
+      "\n-- lower diagram: I/O-time vs CPU-time (seconds, buffer = 0) --\n");
+  PrintRow("page size", {"I/O-time", "CPU-time", "total", "bound"});
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const Statistics st = RunJoin(pairs[p], JoinAlgorithm::kSJ1, 0);
+    const double io = model.IoSeconds(st.disk_reads, sizes[p]);
+    const double cpu = model.CpuSeconds(st.TotalComparisons());
+    char label[32];
+    std::snprintf(label, sizeof(label), "%u KByte", sizes[p] / 1024);
+    PrintRow(label, {Dbl(io, 1), Dbl(cpu, 1), Dbl(io + cpu, 1),
+                     io > cpu ? "I/O" : "CPU"});
+  }
+  std::printf(
+      "\nPaper's shape: best total time at 1-2 KByte pages; I/O-bound only\n"
+      "at 1 KByte, increasingly CPU-bound at larger pages.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsj
+
+int main(int argc, char** argv) { return rsj::bench::Main(argc, argv); }

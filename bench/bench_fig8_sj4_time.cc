@@ -1,0 +1,64 @@
+// Figure 8 — Total join time and CPU/I-O ratio of SpatialJoin4.
+//
+// The paper's cost model applied to the measured SJ4 counters on workload
+// A: total estimated seconds per page size and buffer size (upper diagram)
+// and the I/O vs CPU split per page size (lower diagram). Contrary to SJ1,
+// SJ4 achieves its best time at the largest page size and is I/O-bound
+// except for very large pages.
+
+#include "bench/bench_common.h"
+
+namespace rsj {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const double scale = ParseScale(argc, argv);
+  PrintBanner("Figure 8: total join time and CPU/I-O ratio of SJ4",
+              "Figure 8, Section 5", scale);
+  const Workload w = MakeWorkload(TestCase::kA, scale);
+  const std::vector<uint32_t> sizes(std::begin(kPageSizes),
+                                    std::end(kPageSizes));
+  const std::vector<TreePair> pairs = BuildAllPageSizes(w.r, w.s, sizes);
+  const CostModel model;
+
+  std::printf("\n-- upper diagram: total time (seconds) --\n");
+  PrintRow("buffer \\ page",
+           {"1 KByte", "2 KByte", "4 KByte", "8 KByte"});
+  for (const uint64_t buffer : kBufferSizes) {
+    std::vector<std::string> cells;
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      const Statistics st = RunJoin(pairs[p], JoinAlgorithm::kSJ4, buffer);
+      cells.push_back(Dbl(model.TotalSeconds(st, sizes[p]), 1));
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%llu KByte",
+                  static_cast<unsigned long long>(buffer / 1024));
+    PrintRow(label, cells);
+  }
+
+  std::printf(
+      "\n-- lower diagram: I/O vs CPU time (seconds, buffer = 128 KByte) "
+      "--\n");
+  PrintRow("page size", {"I/O-time", "CPU-time", "total", "bound"});
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const Statistics st =
+        RunJoin(pairs[p], JoinAlgorithm::kSJ4, 128 * 1024);
+    const double io = model.IoSeconds(st.disk_reads, sizes[p]);
+    const double cpu = model.CpuSeconds(st.TotalComparisons());
+    char label[32];
+    std::snprintf(label, sizeof(label), "%u KByte", sizes[p] / 1024);
+    PrintRow(label, {Dbl(io, 1), Dbl(cpu, 1), Dbl(io + cpu, 1),
+                     io > cpu ? "I/O" : "CPU"});
+  }
+  std::printf(
+      "\nPaper's shape: best total time at 8 KByte pages (16 KByte\n"
+      "extrapolated even better); I/O-bound except at large pages.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsj
+
+int main(int argc, char** argv) { return rsj::bench::Main(argc, argv); }

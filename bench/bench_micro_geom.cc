@@ -1,0 +1,121 @@
+// Micro-benchmarks (google-benchmark) for the geometry kernel and the
+// node-level join primitives: intersection predicates, plane sweep vs
+// nested loops at node-typical sizes, z-value computation, and node
+// (de)serialization.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/rng.h"
+#include "geom/plane_sweep.h"
+#include "geom/zorder.h"
+#include "rtree/node.h"
+
+namespace rsj {
+namespace {
+
+std::vector<Rect> MakeRects(size_t n, double extent, uint64_t seed = 7) {
+  Rng rng(seed);
+  std::vector<Rect> rects;
+  rects.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.Uniform(0.0, 1.0 - extent);
+    const double y = rng.Uniform(0.0, 1.0 - extent);
+    rects.push_back(Rect{static_cast<Coord>(x), static_cast<Coord>(y),
+                         static_cast<Coord>(x + rng.Uniform(0, extent)),
+                         static_cast<Coord>(y + rng.Uniform(0, extent))});
+  }
+  return rects;
+}
+
+std::vector<IndexedRect> Indexed(const std::vector<Rect>& rects) {
+  std::vector<IndexedRect> out(rects.size());
+  for (uint32_t i = 0; i < rects.size(); ++i) out[i] = {rects[i], i};
+  return out;
+}
+
+void BM_IntersectsCounted(benchmark::State& state) {
+  const auto rects = MakeRects(1024, 0.05);
+  ComparisonCounter counter;
+  size_t i = 0;
+  for (auto _ : state) {
+    const bool hit = rects[i % 1024].IntersectsCounted(
+        rects[(i * 31 + 7) % 1024], &counter);
+    benchmark::DoNotOptimize(hit);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IntersectsCounted);
+
+void BM_NestedLoopNodeJoin(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto r = MakeRects(n, 0.1, 1);
+  const auto s = MakeRects(n, 0.1, 2);
+  for (auto _ : state) {
+    uint64_t hits = 0;
+    for (const Rect& a : r) {
+      for (const Rect& b : s) hits += a.Intersects(b);
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_NestedLoopNodeJoin)->Arg(51)->Arg(102)->Arg(204)->Arg(409);
+
+void BM_PlaneSweepNodeJoin(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  auto r = Indexed(MakeRects(n, 0.1, 1));
+  auto s = Indexed(MakeRects(n, 0.1, 2));
+  SortByLowerX(&r);
+  SortByLowerX(&s);
+  ComparisonCounter counter;
+  for (auto _ : state) {
+    uint64_t hits = 0;
+    SortedIntersectionTest(std::span<const IndexedRect>(r),
+                           std::span<const IndexedRect>(s), &counter,
+                           [&hits](uint32_t, uint32_t) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PlaneSweepNodeJoin)->Arg(51)->Arg(102)->Arg(204)->Arg(409);
+
+void BM_ZValue(benchmark::State& state) {
+  const Rect universe{0, 0, 1, 1};
+  Rng rng(3);
+  std::vector<Point> points(4096);
+  for (Point& p : points) {
+    p = Point{static_cast<Coord>(rng.Uniform(0, 1)),
+              static_cast<Coord>(rng.Uniform(0, 1))};
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ZValue(points[i++ % 4096], universe));
+  }
+}
+BENCHMARK(BM_ZValue);
+
+void BM_NodeLoadStore(benchmark::State& state) {
+  const auto page_size = static_cast<uint32_t>(state.range(0));
+  PagedFile file(page_size);
+  const PageId id = file.Allocate();
+  Node node;
+  node.level = 0;
+  const auto rects = MakeRects(NodeCapacity(page_size), 0.01);
+  for (uint32_t i = 0; i < rects.size(); ++i) {
+    node.entries.push_back(Entry{rects[i], i});
+  }
+  node.Store(&file, id);
+  for (auto _ : state) {
+    Node loaded = Node::Load(file, id);
+    benchmark::DoNotOptimize(loaded.entries.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          page_size);
+}
+BENCHMARK(BM_NodeLoadStore)->Arg(1024)->Arg(2048)->Arg(4096)->Arg(8192);
+
+}  // namespace
+}  // namespace rsj
+
+BENCHMARK_MAIN();

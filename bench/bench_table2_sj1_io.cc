@@ -1,0 +1,86 @@
+// Table 2 — Number of disk accesses and comparisons of SpatialJoin1.
+//
+// SJ1 over workload A for page sizes 1/2/4/8 KByte and LRU buffers of
+// 0/8/32/128/512 KByte; plus the comparison count (buffer-independent) and
+// the optimal access count |R|+|S|.
+
+#include "bench/bench_common.h"
+
+namespace rsj {
+namespace bench {
+namespace {
+
+// Table 2 of the paper: disk accesses [buffer][page size], then optimum
+// and comparisons rows.
+constexpr uint64_t kPaperAccesses[5][4] = {
+    {24727, 12479, 5720, 2837},
+    {20318, 12010, 5720, 2837},
+    {13803, 9589, 5454, 2822},
+    {11359, 6299, 4474, 2676},
+    {10372, 4964, 2768, 2181},
+};
+constexpr uint64_t kPaperOptimum[4] = {8442, 4197, 2091, 1042};
+constexpr uint64_t kPaperComparisons[4] = {33566961, 65807555, 118864748,
+                                           242728164};
+
+int Main(int argc, char** argv) {
+  const double scale = ParseScale(argc, argv);
+  PrintBanner("Table 2: disk accesses and comparisons of SpatialJoin1",
+              "Table 2, Section 4.1", scale);
+  const Workload w = MakeWorkload(TestCase::kA, scale);
+  const std::vector<uint32_t> sizes(std::begin(kPageSizes),
+                                    std::end(kPageSizes));
+  const std::vector<TreePair> pairs = BuildAllPageSizes(w.r, w.s, sizes);
+
+  PrintRow("buffer \\ page",
+           {"1 KByte", "2 KByte", "4 KByte", "8 KByte"});
+  for (size_t b = 0; b < std::size(kBufferSizes); ++b) {
+    std::vector<std::string> cells;
+    for (const TreePair& pair : pairs) {
+      cells.push_back(
+          Num(RunJoin(pair, JoinAlgorithm::kSJ1, kBufferSizes[b]).disk_reads));
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%llu KByte",
+                  static_cast<unsigned long long>(kBufferSizes[b] / 1024));
+    PrintRow(label, cells);
+    if (scale == 1.0) {
+      std::vector<std::string> paper;
+      for (int p = 0; p < 4; ++p) paper.push_back(Num(kPaperAccesses[b][p]));
+      PrintRow("          (paper)", paper);
+    }
+  }
+
+  // Optimum: every page of both trees read exactly once.
+  std::vector<std::string> optimum;
+  for (const TreePair& pair : pairs) {
+    optimum.push_back(Num(pair.r->ComputeStats().TotalPages() +
+                          pair.s->ComputeStats().TotalPages()));
+  }
+  PrintRow("opt. buffer size", optimum);
+  if (scale == 1.0) {
+    PrintRow("          (paper)",
+             {Num(kPaperOptimum[0]), Num(kPaperOptimum[1]),
+              Num(kPaperOptimum[2]), Num(kPaperOptimum[3])});
+  }
+
+  // Comparisons (independent of the buffer size).
+  std::vector<std::string> comparisons;
+  for (const TreePair& pair : pairs) {
+    comparisons.push_back(
+        Num(RunJoin(pair, JoinAlgorithm::kSJ1, 0).TotalComparisons()));
+  }
+  PrintRow("# comparisons", comparisons);
+  if (scale == 1.0) {
+    PrintRow("          (paper)",
+             {Num(kPaperComparisons[0]), Num(kPaperComparisons[1]),
+              Num(kPaperComparisons[2]), Num(kPaperComparisons[3])});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsj
+
+int main(int argc, char** argv) { return rsj::bench::Main(argc, argv); }

@@ -1,0 +1,57 @@
+// Table 3 — Comparisons with/without restricting the search space.
+//
+// SJ1 vs SJ2 comparison counts per page size on workload A, plus the
+// performance gain factor (the paper reports 4.6x .. 8.9x, growing with
+// the page size).
+
+#include "bench/bench_common.h"
+
+namespace rsj {
+namespace bench {
+namespace {
+
+constexpr uint64_t kPaperSJ1[4] = {33566961, 65807555, 118864748, 242728164};
+constexpr uint64_t kPaperSJ2[4] = {7316389, 10347688, 15796183, 27219893};
+
+int Main(int argc, char** argv) {
+  const double scale = ParseScale(argc, argv);
+  PrintBanner("Table 3: comparisons with/without search space restriction",
+              "Table 3, Section 4.2", scale);
+  const Workload w = MakeWorkload(TestCase::kA, scale);
+  const std::vector<uint32_t> sizes(std::begin(kPageSizes),
+                                    std::end(kPageSizes));
+  const std::vector<TreePair> pairs = BuildAllPageSizes(w.r, w.s, sizes);
+
+  std::vector<std::string> sj1_cells;
+  std::vector<std::string> sj2_cells;
+  std::vector<std::string> gain_cells;
+  for (const TreePair& pair : pairs) {
+    const uint64_t sj1 =
+        RunJoin(pair, JoinAlgorithm::kSJ1, 0).TotalComparisons();
+    const uint64_t sj2 =
+        RunJoin(pair, JoinAlgorithm::kSJ2, 0).TotalComparisons();
+    sj1_cells.push_back(Num(sj1));
+    sj2_cells.push_back(Num(sj2));
+    gain_cells.push_back(
+        Dbl(static_cast<double>(sj1) / static_cast<double>(sj2)));
+  }
+  PrintRow("", {"1 KByte", "2 KByte", "4 KByte", "8 KByte"});
+  PrintRow("SpatialJoin1", sj1_cells);
+  PrintRow("SpatialJoin2", sj2_cells);
+  PrintRow("performance gain", gain_cells);
+  if (scale == 1.0) {
+    std::printf("\n-- paper --\n");
+    PrintRow("SpatialJoin1", {Num(kPaperSJ1[0]), Num(kPaperSJ1[1]),
+                              Num(kPaperSJ1[2]), Num(kPaperSJ1[3])});
+    PrintRow("SpatialJoin2", {Num(kPaperSJ2[0]), Num(kPaperSJ2[1]),
+                              Num(kPaperSJ2[2]), Num(kPaperSJ2[3])});
+    PrintRow("performance gain", {"4.59", "6.36", "7.52", "8.92"});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsj
+
+int main(int argc, char** argv) { return rsj::bench::Main(argc, argv); }

@@ -1,0 +1,97 @@
+// Table 4 — Comparisons of spatial joins with/without sorting.
+//
+// Version (I): sorted nodes + plane sweep, no search-space restriction.
+// Version (II): restriction + sorting + sweep (the CPU side of SJ3).
+// For both versions the table separates the comparisons of the join proper
+// (assuming nodes arrive sorted, i.e. each page sorted exactly once) from
+// the comparisons spent sorting, reports the ratios to SJ1/SJ2, and the
+// repeat-factor: how often a page can be re-sorted before the sorted join
+// loses to the unsorted SJ2.
+
+#include "bench/bench_common.h"
+
+namespace rsj {
+namespace bench {
+namespace {
+
+// A buffer large enough that every page is read (and therefore sorted)
+// exactly once — the paper's "entries are sorted as desired" assumption.
+constexpr uint64_t kInfiniteBuffer = 1ull << 30;
+
+int Main(int argc, char** argv) {
+  const double scale = ParseScale(argc, argv);
+  PrintBanner("Table 4: comparisons of spatial joins with/without sorting",
+              "Table 4, Section 4.2", scale);
+  const Workload w = MakeWorkload(TestCase::kA, scale);
+  const std::vector<uint32_t> sizes(std::begin(kPageSizes),
+                                    std::end(kPageSizes));
+  const std::vector<TreePair> pairs = BuildAllPageSizes(w.r, w.s, sizes);
+
+  std::vector<uint64_t> sj1(pairs.size());
+  std::vector<uint64_t> sj2(pairs.size());
+  std::vector<uint64_t> v1_join(pairs.size()), v1_sort(pairs.size());
+  std::vector<uint64_t> v2_join(pairs.size()), v2_sort(pairs.size());
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    sj1[p] = RunJoin(pairs[p], JoinAlgorithm::kSJ1, 0).TotalComparisons();
+    sj2[p] = RunJoin(pairs[p], JoinAlgorithm::kSJ2, 0).TotalComparisons();
+    const Statistics v1 = RunJoin(pairs[p], JoinAlgorithm::kSweepUnrestricted,
+                                  kInfiniteBuffer);
+    v1_join[p] = v1.join_comparisons.count();
+    v1_sort[p] = v1.sort_comparisons.count();
+    const Statistics v2 =
+        RunJoin(pairs[p], JoinAlgorithm::kSJ3, kInfiniteBuffer);
+    v2_join[p] = v2.join_comparisons.count();
+    v2_sort[p] = v2.sort_comparisons.count();
+  }
+
+  auto cells = [&](const std::vector<uint64_t>& values) {
+    std::vector<std::string> out;
+    for (const uint64_t v : values) out.push_back(Num(v));
+    return out;
+  };
+  auto ratio_cells = [&](const std::vector<uint64_t>& num,
+                         const std::vector<uint64_t>& den) {
+    std::vector<std::string> out;
+    for (size_t i = 0; i < num.size(); ++i) {
+      out.push_back(Dbl(static_cast<double>(num[i]) / den[i]));
+    }
+    return out;
+  };
+
+  PrintRow("", {"1 KByte", "2 KByte", "4 KByte", "8 KByte"});
+  std::printf("-- version (I): sorting, no search space restriction --\n");
+  PrintRow("join", cells(v1_join));
+  PrintRow("sorting", cells(v1_sort));
+  PrintRow("join-ratio to SJ1", ratio_cells(sj1, v1_join));
+  std::printf("-- version (II): sorting + restricting the search space --\n");
+  PrintRow("join", cells(v2_join));
+  PrintRow("sorting", cells(v2_sort));
+  PrintRow("join-ratio to SJ1", ratio_cells(sj1, v2_join));
+  PrintRow("join-ratio to SJ2", ratio_cells(sj2, v2_join));
+  // Repeat-factor: (cmp(SJ2) - cmp(join II)) / cmp(sort all pages once).
+  std::vector<std::string> repeat;
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    repeat.push_back(Dbl(static_cast<double>(sj2[p] - v2_join[p]) /
+                         static_cast<double>(v2_sort[p])));
+  }
+  PrintRow("repeat-factor to SJ2", repeat);
+
+  if (scale == 1.0) {
+    std::printf("\n-- paper --\n");
+    PrintRow("(I) join", {"4,906,048", "6,079,544", "7,202,892", "9,651,854"});
+    PrintRow("(I) ratio to SJ1", {"6.84", "10.82", "16.50", "25.15"});
+    PrintRow("(II) join",
+             {"5,124,435", "5,521,254", "5,769,313", "6,662,370"});
+    PrintRow("(II) sorting", {"768,551", "880,171", "993,419", "1,120,404"});
+    PrintRow("(II) ratio to SJ1", {"6.55", "11.92", "20.60", "36.43"});
+    PrintRow("(II) ratio to SJ2", {"1.43", "1.87", "2.74", "4.09"});
+    PrintRow("repeat-factor", {"2.85", "5.48", "10.09", "18.35"});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsj
+
+int main(int argc, char** argv) { return rsj::bench::Main(argc, argv); }

@@ -1,0 +1,53 @@
+// Table 5 — Number of disk accesses of algorithms SJ3, SJ4 and SJ5.
+//
+// Read-schedule comparison at 4 KByte pages on workload A: local plane-
+// sweep order (SJ3), plane-sweep order with pinning (SJ4), local z-order
+// with pinning (SJ5), across the LRU buffer sizes.
+
+#include "bench/bench_common.h"
+
+namespace rsj {
+namespace bench {
+namespace {
+
+constexpr uint64_t kPaper[5][3] = {
+    {6085, 5384, 5290}, {6062, 5366, 5248}, {4678, 4246, 4178},
+    {3117, 3008, 2947}, {2399, 2373, 2392},
+};
+
+int Main(int argc, char** argv) {
+  const double scale = ParseScale(argc, argv);
+  PrintBanner("Table 5: disk accesses of SJ3, SJ4 and SJ5 (4 KByte pages)",
+              "Table 5, Section 4.3", scale);
+  const Workload w = MakeWorkload(TestCase::kA, scale);
+  const TreePair pair = BuildTreePair(w.r, w.s, kPageSize4K);
+
+  PrintRow("buffer size", {"SJ3", "SJ4", "SJ5"});
+  for (size_t b = 0; b < std::size(kBufferSizes); ++b) {
+    const uint64_t buffer = kBufferSizes[b];
+    std::vector<std::string> cells{
+        Num(RunJoin(pair, JoinAlgorithm::kSJ3, buffer).disk_reads),
+        Num(RunJoin(pair, JoinAlgorithm::kSJ4, buffer).disk_reads),
+        Num(RunJoin(pair, JoinAlgorithm::kSJ5, buffer).disk_reads)};
+    char label[32];
+    std::snprintf(label, sizeof(label), "%llu KByte",
+                  static_cast<unsigned long long>(buffer / 1024));
+    PrintRow(label, cells);
+    if (scale == 1.0) {
+      PrintRow("       (paper)", {Num(kPaper[b][0]), Num(kPaper[b][1]),
+                                  Num(kPaper[b][2])});
+    }
+  }
+
+  // The CPU price of the z-order schedule (§4.3's argument against SJ5).
+  const Statistics sj5 = RunJoin(pair, JoinAlgorithm::kSJ5, 32 * 1024);
+  std::printf("\nSJ5 z-order schedule overhead: %s comparisons\n",
+              Num(sj5.schedule_comparisons.count()).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsj
+
+int main(int argc, char** argv) { return rsj::bench::Main(argc, argv); }

@@ -1,0 +1,78 @@
+// Table 6 — I/O-performance of SJ4 versus SJ1.
+//
+// SJ4 disk accesses per page size and buffer size on workload A, with the
+// percentage relative to SJ1 and the optimum |R|+|S| row. The paper finds
+// up to ~45% fewer accesses and near-optimal I/O for reasonable buffers.
+
+#include "bench/bench_common.h"
+
+namespace rsj {
+namespace bench {
+namespace {
+
+constexpr uint64_t kPaperSJ4[5][4] = {
+    {23088, 11530, 5384, 2703},
+    {17513, 10632, 5366, 2703},
+    {12704, 7436, 4246, 2552},
+    {10856, 5685, 3008, 1857},
+    {9385, 5108, 2373, 1186},
+};
+constexpr double kPaperPct[5][4] = {
+    {93.4, 92.4, 94.1, 95.3}, {86.2, 88.5, 93.8, 95.3},
+    {92.0, 77.5, 77.9, 90.4}, {95.6, 90.3, 67.2, 69.4},
+    {90.5, 102.9, 85.7, 154.4},
+};
+
+int Main(int argc, char** argv) {
+  const double scale = ParseScale(argc, argv);
+  PrintBanner("Table 6: I/O-performance of SJ4 vs SJ1",
+              "Table 6, Section 4.3", scale);
+  const Workload w = MakeWorkload(TestCase::kA, scale);
+  const std::vector<uint32_t> sizes(std::begin(kPageSizes),
+                                    std::end(kPageSizes));
+  const std::vector<TreePair> pairs = BuildAllPageSizes(w.r, w.s, sizes);
+
+  PrintRow("buffer \\ page", {"1K SJ4", "(%)", "2K SJ4", "(%)", "4K SJ4",
+                              "(%)", "8K SJ4", "(%)"},
+           18, 10);
+  for (size_t b = 0; b < std::size(kBufferSizes); ++b) {
+    const uint64_t buffer = kBufferSizes[b];
+    std::vector<std::string> cells;
+    for (const TreePair& pair : pairs) {
+      const uint64_t sj4 =
+          RunJoin(pair, JoinAlgorithm::kSJ4, buffer).disk_reads;
+      const uint64_t sj1 =
+          RunJoin(pair, JoinAlgorithm::kSJ1, buffer).disk_reads;
+      cells.push_back(Num(sj4));
+      cells.push_back(
+          Dbl(100.0 * static_cast<double>(sj4) / static_cast<double>(sj1),
+              1));
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%llu KByte",
+                  static_cast<unsigned long long>(buffer / 1024));
+    PrintRow(label, cells, 18, 10);
+    if (scale == 1.0) {
+      std::vector<std::string> paper;
+      for (int p = 0; p < 4; ++p) {
+        paper.push_back(Num(kPaperSJ4[b][p]));
+        paper.push_back(Dbl(kPaperPct[b][p], 1));
+      }
+      PrintRow("        (paper)", paper, 18, 10);
+    }
+  }
+  std::vector<std::string> optimum;
+  for (const TreePair& pair : pairs) {
+    optimum.push_back(Num(pair.r->ComputeStats().TotalPages() +
+                          pair.s->ComputeStats().TotalPages()));
+    optimum.push_back("");
+  }
+  PrintRow("optimum", optimum, 18, 10);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsj
+
+int main(int argc, char** argv) { return rsj::bench::Main(argc, argv); }

@@ -1,0 +1,40 @@
+// Table 8 — Characteristics of the R*-trees in tests (A) to (E).
+//
+// Cardinalities and join result sizes of the five workloads, measured with
+// the full-relation plane-sweep join (independent of the R-tree code), next
+// to the paper's values.
+
+#include "bench/bench_common.h"
+
+namespace rsj {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const double scale = ParseScale(argc, argv);
+  PrintBanner("Table 8: characteristics of tests (A) - (E)",
+              "Table 8, Section 5", scale);
+  PrintRow("test", {"||R||dat", "||S||dat", "intersections", "paper ||R||",
+                    "paper ||S||", "paper inter."},
+           6, 14);
+  for (const TestCase test : kAllTestCases) {
+    const Workload w = MakeWorkload(test, scale);
+    const uint64_t pairs = FullSweepJoin(w.r.Mbrs(), w.s.Mbrs(), nullptr);
+    PrintRow(w.label,
+             {Num(w.r.objects.size()), Num(w.s.objects.size()), Num(pairs),
+              Num(w.paper_r_count), Num(w.paper_s_count),
+              Num(w.paper_intersections)},
+             6, 14);
+  }
+  std::printf(
+      "\n(A) streets x rivers&railways   (B) streets x streets(2nd map)\n"
+      "(C) full streets x rivers&railways   (D) rivers self join\n"
+      "(E) region data x region data\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsj
+
+int main(int argc, char** argv) { return rsj::bench::Main(argc, argv); }

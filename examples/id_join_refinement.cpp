@@ -1,0 +1,54 @@
+// ID-spatial-join with refinement — beyond the paper's evaluation.
+//
+// The paper's experiments stop at the MBR-spatial-join (the filter step)
+// and name joins on the exact objects as work in progress (§6). This
+// example runs the full two-step pipeline of §2.1 on TIGER-like chains:
+// filter via the R*-tree join, refinement via exact polyline intersection,
+// and reports the filter's false-positive rate.
+//
+//   build/examples/id_join_refinement
+
+#include <cstdio>
+
+#include "rsj.h"
+
+int main() {
+  using namespace rsj;
+
+  StreetsConfig streets_config;
+  streets_config.object_count = 20000;
+  RiversConfig rivers_config;
+  rivers_config.object_count = 18000;
+  const Dataset streets = GenerateStreets(streets_config);
+  const Dataset rivers = GenerateRivers(rivers_config);
+  std::printf("%s\n%s\n\n", streets.Describe().c_str(),
+              rivers.Describe().c_str());
+
+  RTreeOptions tree_options;
+  tree_options.page_size = kPageSize2K;
+  PagedFile streets_file(tree_options.page_size);
+  PagedFile rivers_file(tree_options.page_size);
+  const RTree streets_tree =
+      BuildRTree(&streets_file, streets.Mbrs(), tree_options);
+  const RTree rivers_tree =
+      BuildRTree(&rivers_file, rivers.Mbrs(), tree_options);
+
+  JoinOptions join_options;
+  join_options.algorithm = JoinAlgorithm::kSJ4;
+  join_options.buffer_bytes = 128 * 1024;
+  const IdJoinResult result = RunIdSpatialJoin(streets_tree, streets,
+                                               rivers_tree, rivers,
+                                               join_options);
+
+  std::printf("filter step  (MBR-spatial-join): %llu candidate pairs\n",
+              static_cast<unsigned long long>(result.candidate_pairs));
+  std::printf("refinement   (exact polylines) : %llu real intersections\n",
+              static_cast<unsigned long long>(result.result_pairs));
+  std::printf("filter precision: %.1f%%  (%.1f%% of candidates were false "
+              "positives of the MBR approximation)\n",
+              100.0 * result.Selectivity(),
+              100.0 * (1.0 - result.Selectivity()));
+  std::printf("\nfilter-step counters:\n%s",
+              result.stats.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Tuning playground: explore the paper's parameter space from the command
+// line on a scaled workload A.
+//
+//   build/examples/tuning_playground [--alg=SJ1..SJ5] [--page=1|2|4|8]
+//                                    [--buffer=<KByte>] [--scale=<f>]
+//                                    [--policy=a|b|c]
+//
+// Prints the full counter set and the cost-model estimate for one
+// configuration — the fastest way to see how algorithm, page size and
+// buffer interact.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "rsj.h"
+
+namespace {
+
+const char* FlagValue(int argc, char** argv, const char* name) {
+  const size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rsj;
+
+  JoinAlgorithm algorithm = JoinAlgorithm::kSJ4;
+  if (const char* v = FlagValue(argc, argv, "--alg")) {
+    const std::string alg(v);
+    if (alg == "SJ1") algorithm = JoinAlgorithm::kSJ1;
+    else if (alg == "SJ2") algorithm = JoinAlgorithm::kSJ2;
+    else if (alg == "SJ3") algorithm = JoinAlgorithm::kSJ3;
+    else if (alg == "SJ4") algorithm = JoinAlgorithm::kSJ4;
+    else if (alg == "SJ5") algorithm = JoinAlgorithm::kSJ5;
+    else {
+      std::fprintf(stderr, "unknown --alg=%s (use SJ1..SJ5)\n", v);
+      return 1;
+    }
+  }
+  uint32_t page_size = kPageSize4K;
+  if (const char* v = FlagValue(argc, argv, "--page")) {
+    page_size = static_cast<uint32_t>(std::atoi(v)) * 1024;
+  }
+  uint64_t buffer_bytes = 128 * 1024;
+  if (const char* v = FlagValue(argc, argv, "--buffer")) {
+    buffer_bytes = static_cast<uint64_t>(std::atoll(v)) * 1024;
+  }
+  double scale = 0.1;
+  if (const char* v = FlagValue(argc, argv, "--scale")) scale = std::atof(v);
+  HeightPolicy policy = HeightPolicy::kBatchedSubtree;
+  if (const char* v = FlagValue(argc, argv, "--policy")) {
+    if (v[0] == 'a') policy = HeightPolicy::kPerPairQueries;
+    if (v[0] == 'c') policy = HeightPolicy::kPinnedQueries;
+  }
+
+  std::printf("workload A at scale %.3f, %s, %u KByte pages, %llu KByte "
+              "buffer, height policy (%s)\n\n",
+              scale, JoinAlgorithmName(algorithm), page_size / 1024,
+              static_cast<unsigned long long>(buffer_bytes / 1024),
+              HeightPolicyName(policy));
+
+  const Workload w = MakeWorkload(TestCase::kA, scale);
+  RTreeOptions tree_options;
+  tree_options.page_size = page_size;
+  PagedFile file_r(page_size);
+  PagedFile file_s(page_size);
+  const RTree tree_r = BuildRTree(&file_r, w.r.Mbrs(), tree_options);
+  const RTree tree_s = BuildRTree(&file_s, w.s.Mbrs(), tree_options);
+  const TreeStats stats_r = tree_r.ComputeStats();
+  const TreeStats stats_s = tree_s.ComputeStats();
+  std::printf("R: %zu entries, height %d, %zu pages   "
+              "S: %zu entries, height %d, %zu pages\n\n",
+              stats_r.data_entries, stats_r.height, stats_r.TotalPages(),
+              stats_s.data_entries, stats_s.height, stats_s.TotalPages());
+
+  JoinOptions join_options;
+  join_options.algorithm = algorithm;
+  join_options.buffer_bytes = buffer_bytes;
+  join_options.height_policy = policy;
+  const JoinRunResult result =
+      RunSpatialJoin(tree_r, tree_s, join_options);
+
+  std::printf("%s", result.stats.ToString().c_str());
+  const CostModel model;
+  std::printf("\nI/O time:  %8.2f s\nCPU time:  %8.2f s\ntotal:     %8.2f s "
+              "(paper's 1993 cost model)\n",
+              model.IoSeconds(result.stats.disk_reads, page_size),
+              model.CpuSeconds(result.stats.TotalComparisons()),
+              model.TotalSeconds(result.stats, page_size));
+  std::printf("\noptimum disk reads (|R|+|S|): %zu\n",
+              stats_r.TotalPages() + stats_s.TotalPages());
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Lightweight assertion macros used across the library.
+//
+// The library is exception-free (as is common for database kernels); internal
+// invariant violations abort with a readable message instead. `RSJ_CHECK` is
+// always on; `RSJ_DCHECK` compiles away in release builds.
+
+#ifndef RSJ_COMMON_LOGGING_H_
+#define RSJ_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rsj {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "RSJ_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace rsj
+
+// Aborts the process when `cond` is false. Enabled in all build types.
+#define RSJ_CHECK(cond)                                                \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::rsj::internal::CheckFailed(#cond, __FILE__, __LINE__, "");     \
+    }                                                                  \
+  } while (false)
+
+// Like RSJ_CHECK but with an explanatory message.
+#define RSJ_CHECK_MSG(cond, msg)                                       \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::rsj::internal::CheckFailed(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                                  \
+  } while (false)
+
+// Debug-only invariant check; compiled out when NDEBUG is defined.
+#ifdef NDEBUG
+#define RSJ_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#else
+#define RSJ_DCHECK(cond) RSJ_CHECK(cond)
+#endif
+
+#endif  // RSJ_COMMON_LOGGING_H_

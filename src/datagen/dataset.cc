@@ -1,0 +1,26 @@
+#include "datagen/dataset.h"
+
+#include <cstdio>
+
+namespace rsj {
+
+std::string Dataset::Describe() const {
+  double mean_w = 0.0;
+  double mean_h = 0.0;
+  if (!objects.empty()) {
+    for (const SpatialObject& o : objects) {
+      mean_w += static_cast<double>(o.mbr.xu) - o.mbr.xl;
+      mean_h += static_cast<double>(o.mbr.yu) - o.mbr.yl;
+    }
+    mean_w /= static_cast<double>(objects.size());
+    mean_h /= static_cast<double>(objects.size());
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s: %zu objects, universe %s, mean extent %.5f x %.5f",
+                name.c_str(), objects.size(),
+                universe.ToString().c_str(), mean_w, mean_h);
+  return std::string(buf);
+}
+
+}  // namespace rsj

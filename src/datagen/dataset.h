@@ -1,0 +1,47 @@
+// Spatial relations: collections of polyline/region objects with MBRs.
+//
+// The paper evaluates on TIGER/Line "line objects" (street / river /
+// railway chains, i.e. short polylines) and on region data. A
+// `SpatialObject` keeps the exact geometry (vertex chain) alongside its
+// MBR so the refinement step of the ID-spatial-join can be exercised; the
+// filter-step experiments only consume the MBRs.
+
+#ifndef RSJ_DATAGEN_DATASET_H_
+#define RSJ_DATAGEN_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/rect.h"
+
+namespace rsj {
+
+struct SpatialObject {
+  uint32_t id = 0;
+  std::vector<Point> chain;  // exact geometry: polyline vertices
+  Rect mbr;
+};
+
+struct Dataset {
+  std::string name;
+  Rect universe{0.0f, 0.0f, 1.0f, 1.0f};
+  std::vector<SpatialObject> objects;
+
+  size_t size() const { return objects.size(); }
+
+  // The filter-step approximations, indexed by object id.
+  std::vector<Rect> Mbrs() const {
+    std::vector<Rect> out;
+    out.reserve(objects.size());
+    for (const SpatialObject& o : objects) out.push_back(o.mbr);
+    return out;
+  }
+
+  // One-line summary (count, universe, mean extent) for bench logs.
+  std::string Describe() const;
+};
+
+}  // namespace rsj
+
+#endif  // RSJ_DATAGEN_DATASET_H_

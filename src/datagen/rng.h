@@ -1,0 +1,77 @@
+// Deterministic random number generation for workload synthesis.
+//
+// Self-contained xoshiro256++ with SplitMix64 seeding: identical sequences
+// on every platform and standard library, which keeps every generated
+// dataset, test and benchmark reproducible from its printed seed.
+
+#ifndef RSJ_DATAGEN_RNG_H_
+#define RSJ_DATAGEN_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace rsj {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (uint64_t& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  // Next raw 64-bit draw (xoshiro256++).
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double Uniform() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  // Uniform integer in [0, bound); bound must be positive.
+  uint64_t UniformInt(uint64_t bound) {
+    // Modulo bias is negligible for the bounds used here (<< 2^64).
+    return Next() % bound;
+  }
+
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  // Gaussian via Box-Muller (one value per call; simple and deterministic).
+  double Gaussian(double mean, double stddev) {
+    double u1 = Uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = Uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace rsj
+
+#endif  // RSJ_DATAGEN_RNG_H_

@@ -1,0 +1,233 @@
+#include "datagen/tiger_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "datagen/rng.h"
+#include "geom/segment.h"
+
+namespace rsj {
+
+namespace {
+
+constexpr double kTau = 6.283185307179586;
+
+Point ClampToUniverse(Point p) {
+  p.x = std::clamp(p.x, 0.0f, 1.0f);
+  p.y = std::clamp(p.y, 0.0f, 1.0f);
+  return p;
+}
+
+// Picks a city index proportional to the city weights.
+size_t PickCity(const CityLayout& layout, Rng* rng) {
+  double ticket = rng->Uniform();
+  for (size_t i = 0; i < layout.cities.size(); ++i) {
+    ticket -= layout.cities[i].weight;
+    if (ticket <= 0.0) return i;
+  }
+  return layout.cities.size() - 1;
+}
+
+SpatialObject MakeChainObject(uint32_t id, std::vector<Point> chain) {
+  SpatialObject o;
+  o.id = id;
+  o.mbr = PolylineMbr(chain);
+  o.chain = std::move(chain);
+  return o;
+}
+
+}  // namespace
+
+CityLayout MakeCityLayout(uint64_t seed, int num_cities) {
+  RSJ_CHECK(num_cities > 0);
+  Rng rng(seed);
+  CityLayout layout;
+  layout.cities.resize(static_cast<size_t>(num_cities));
+  double total_weight = 0.0;
+  for (size_t i = 0; i < layout.cities.size(); ++i) {
+    CityLayout::City& city = layout.cities[i];
+    city.center = Point{static_cast<Coord>(rng.Uniform(0.06, 0.94)),
+                        static_cast<Coord>(rng.Uniform(0.06, 0.94))};
+    // Zipf-ish sizes: a few metropolises, many towns.
+    city.weight = 1.0 / std::pow(static_cast<double>(i) + 1.0, 0.85);
+    total_weight += city.weight;
+  }
+  for (CityLayout::City& city : layout.cities) {
+    city.weight /= total_weight;
+    // Area (hence radius^2) proportional to the population share.
+    city.radius = 0.30 * std::sqrt(city.weight);
+  }
+  return layout;
+}
+
+Dataset GenerateStreets(const StreetsConfig& config) {
+  const CityLayout layout = MakeCityLayout(config.city_seed,
+                                           config.num_cities);
+  Rng rng(config.seed);
+  Dataset out;
+  out.name = "streets";
+  out.objects.reserve(config.object_count);
+
+  for (size_t n = 0; n < config.object_count; ++n) {
+    const auto id = static_cast<uint32_t>(n);
+    if (rng.Bernoulli(config.highway_fraction)) {
+      // Highway fragment: a piece of the straight line between two cities.
+      const size_t a = PickCity(layout, &rng);
+      size_t b = PickCity(layout, &rng);
+      if (b == a) b = (a + 1) % layout.cities.size();
+      const Point pa = layout.cities[a].center;
+      const Point pb = layout.cities[b].center;
+      const double t0 = rng.Uniform();
+      const double len = rng.Uniform(0.002, 0.006);
+      const double dx = static_cast<double>(pb.x) - pa.x;
+      const double dy = static_cast<double>(pb.y) - pa.y;
+      const double dist = std::max(1e-9, std::hypot(dx, dy));
+      const double t1 = std::min(1.0, t0 + len / dist);
+      const double jx = rng.Gaussian(0.0, 0.0004);
+      const double jy = rng.Gaussian(0.0, 0.0004);
+      std::vector<Point> chain{
+          ClampToUniverse(Point{static_cast<Coord>(pa.x + t0 * dx + jx),
+                                static_cast<Coord>(pa.y + t0 * dy + jy)}),
+          ClampToUniverse(Point{static_cast<Coord>(pa.x + t1 * dx + jx),
+                                static_cast<Coord>(pa.y + t1 * dy + jy)})};
+      out.objects.push_back(MakeChainObject(id, std::move(chain)));
+      continue;
+    }
+
+    // City street chain: an axis-aligned Manhattan walk near the center.
+    const CityLayout::City& city = layout.cities[PickCity(layout, &rng)];
+    const double block = config.block_size;
+    Point cursor{
+        static_cast<Coord>(city.center.x +
+                           rng.Gaussian(0.0, city.radius * 0.45)),
+        static_cast<Coord>(city.center.y +
+                           rng.Gaussian(0.0, city.radius * 0.45))};
+    cursor = ClampToUniverse(cursor);
+    std::vector<Point> chain{cursor};
+    const int segments = 2 + static_cast<int>(rng.UniformInt(3));
+    bool horizontal = rng.Bernoulli(0.5);
+    for (int s = 0; s < segments; ++s) {
+      const double len =
+          block * rng.Uniform(0.6, 1.6) * (rng.Bernoulli(0.5) ? 1.0 : -1.0);
+      Point next = cursor;
+      if (horizontal) {
+        next.x = static_cast<Coord>(next.x + len);
+      } else {
+        next.y = static_cast<Coord>(next.y + len);
+      }
+      next = ClampToUniverse(next);
+      chain.push_back(next);
+      cursor = next;
+      horizontal = !horizontal;
+    }
+    out.objects.push_back(MakeChainObject(id, std::move(chain)));
+  }
+  return out;
+}
+
+Dataset GenerateRivers(const RiversConfig& config) {
+  const CityLayout layout = MakeCityLayout(config.city_seed,
+                                           config.num_cities);
+  Rng rng(config.seed);
+  Dataset out;
+  out.name = "rivers+railways";
+  out.objects.reserve(config.object_count);
+
+  uint32_t id = 0;
+  while (out.objects.size() < config.object_count) {
+    const bool railway = rng.Bernoulli(config.railway_fraction);
+
+    // Course start and initial heading.
+    Point cursor;
+    double heading;
+    Point target{};  // railways steer towards a city
+    if (railway) {
+      const size_t a = PickCity(layout, &rng);
+      size_t b = PickCity(layout, &rng);
+      if (b == a) b = (a + 1) % layout.cities.size();
+      // Station-area jitter: real railway corridors fan out instead of
+      // converging on one exact point per city.
+      cursor = ClampToUniverse(
+          Point{static_cast<Coord>(layout.cities[a].center.x +
+                                   rng.Gaussian(0.0, 0.02)),
+                static_cast<Coord>(layout.cities[a].center.y +
+                                   rng.Gaussian(0.0, 0.02))});
+      target = ClampToUniverse(
+          Point{static_cast<Coord>(layout.cities[b].center.x +
+                                   rng.Gaussian(0.0, 0.02)),
+                static_cast<Coord>(layout.cities[b].center.y +
+                                   rng.Gaussian(0.0, 0.02))});
+      heading = std::atan2(static_cast<double>(target.y) - cursor.y,
+                           static_cast<double>(target.x) - cursor.x);
+    } else {
+      cursor = Point{static_cast<Coord>(rng.Uniform(0.0, 1.0)),
+                     static_cast<Coord>(rng.Uniform(0.0, 1.0))};
+      heading = rng.Uniform(0.0, kTau);
+    }
+
+    for (size_t c = 0;
+         c < config.chains_per_course &&
+         out.objects.size() < config.object_count;
+         ++c) {
+      std::vector<Point> chain{cursor};
+      for (int v = 0; v < 2; ++v) {  // 3-vertex chains
+        if (railway) {
+          // Re-aim softly at the target city; almost straight.
+          const double aim =
+              std::atan2(static_cast<double>(target.y) - cursor.y,
+                         static_cast<double>(target.x) - cursor.x);
+          heading = aim + rng.Gaussian(0.0, 0.06);
+        } else {
+          heading += rng.Gaussian(0.0, 0.25);  // meander
+        }
+        const double len = config.step_length * rng.Uniform(0.55, 1.45);
+        Point next{static_cast<Coord>(cursor.x + len * std::cos(heading)),
+                   static_cast<Coord>(cursor.y + len * std::sin(heading))};
+        next = ClampToUniverse(next);
+        chain.push_back(next);
+        cursor = next;
+      }
+      out.objects.push_back(MakeChainObject(id++, std::move(chain)));
+    }
+  }
+  out.objects.resize(config.object_count);  // exact cardinality
+  return out;
+}
+
+Dataset GenerateRegions(const RegionsConfig& config) {
+  Rng rng(config.seed);
+  Dataset out;
+  out.name = "regions";
+  out.objects.reserve(config.object_count);
+
+  const auto grid = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(config.object_count))));
+  const double cell = 1.0 / static_cast<double>(grid);
+
+  for (size_t n = 0; n < config.object_count; ++n) {
+    const size_t gx = n % grid;
+    const size_t gy = n / grid;
+    const double cx =
+        (static_cast<double>(gx) + 0.5 + rng.Gaussian(0.0, 0.22)) * cell;
+    const double cy =
+        (static_cast<double>(gy) + 0.5 + rng.Gaussian(0.0, 0.22)) * cell;
+    // Log-normal size heterogeneity around the expanded cell size.
+    const double scale =
+        config.expansion * std::exp(rng.Gaussian(0.0, config.size_sigma));
+    const double w = 0.5 * cell * scale * rng.Uniform(0.7, 1.3);
+    const double h = 0.5 * cell * scale * rng.Uniform(0.7, 1.3);
+    const Point lo = ClampToUniverse(
+        Point{static_cast<Coord>(cx - w), static_cast<Coord>(cy - h)});
+    const Point hi = ClampToUniverse(
+        Point{static_cast<Coord>(cx + w), static_cast<Coord>(cy + h)});
+    SpatialObject o;
+    o.id = static_cast<uint32_t>(n);
+    o.chain = {lo, hi};
+    o.mbr = Rect::BoundingBox(lo, hi);
+    out.objects.push_back(std::move(o));
+  }
+  return out;
+}
+
+}  // namespace rsj

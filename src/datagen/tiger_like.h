@@ -1,0 +1,84 @@
+// TIGER-like synthetic map generators.
+//
+// The paper's data — TIGER/Line chains for California streets and
+// rivers/railways, plus EU region data — are not redistributable, so this
+// module synthesizes maps with the properties the join experiments depend
+// on (see DESIGN.md "Substitutions"):
+//   * streets: very many short, thin, grid-aligned chains, strongly
+//     clustered in city blobs of Zipf-distributed size, plus a sprinkle of
+//     inter-city highways;
+//   * rivers & railways: far fewer but much longer meandering polylines
+//     crossing the whole map (and hence the cities);
+//   * regions: a jittered, overlapping size-heterogeneous tiling.
+//
+// All generators are deterministic functions of their config (seeds
+// included) and produce exactly `object_count` objects.
+
+#ifndef RSJ_DATAGEN_TIGER_LIKE_H_
+#define RSJ_DATAGEN_TIGER_LIKE_H_
+
+#include <cstdint>
+
+#include "datagen/dataset.h"
+
+namespace rsj {
+
+// Shared city layout so that different maps of the same "state" cluster in
+// the same places (tests A and B join maps over one geography).
+struct CityLayout {
+  struct City {
+    Point center;
+    double radius = 0.0;
+    double weight = 0.0;  // relative share of generated objects
+  };
+  std::vector<City> cities;
+};
+
+// Derives a city layout from a seed: Zipf-weighted city sizes, uniform
+// placement away from the universe boundary.
+CityLayout MakeCityLayout(uint64_t seed, int num_cities);
+
+struct StreetsConfig {
+  size_t object_count = 131461;
+  uint64_t seed = 1;           // chain-walk randomness
+  uint64_t city_seed = 4242;   // geography; share across maps of one area
+  int num_cities = 48;
+  double highway_fraction = 0.05;  // inter-city connector objects
+  // City block edge in universe units (city blocks have a constant
+  // physical size regardless of how large the city is).
+  double block_size = 0.0004;
+};
+
+// Generates grid-aligned street chains clustered in cities.
+Dataset GenerateStreets(const StreetsConfig& config);
+
+struct RiversConfig {
+  size_t object_count = 128971;
+  uint64_t seed = 2;
+  uint64_t city_seed = 4242;  // railways head for the same cities
+  int num_cities = 48;
+  double railway_fraction = 0.4;  // remainder are rivers
+  size_t chains_per_course = 48;  // objects per river/railway course
+  double step_length = 0.0006;    // mean chain segment length
+};
+
+// Generates long meandering river courses and straighter city-to-city
+// railway courses, emitted as consecutive 3-vertex chain objects.
+Dataset GenerateRivers(const RiversConfig& config);
+
+struct RegionsConfig {
+  size_t object_count = 67527;
+  uint64_t seed = 3;
+  // Regions are jittered grid cells scaled by `expansion` (>1 overlaps
+  // neighbours) with log-normal size heterogeneity.
+  double expansion = 1.55;
+  double size_sigma = 0.35;
+};
+
+// Generates overlapping region rectangles (objects carry their MBR corners
+// as a 2-point chain).
+Dataset GenerateRegions(const RegionsConfig& config);
+
+}  // namespace rsj
+
+#endif  // RSJ_DATAGEN_TIGER_LIKE_H_

@@ -1,0 +1,46 @@
+// The paper's five join workloads (Table 8, tests A–E).
+//
+//   (A) streets (131,461)        x  rivers & railways (128,971)
+//   (B) streets (131,461)        x  streets, 2nd map (131,192)
+//   (C) streets, full (598,677)  x  rivers & railways (128,971)
+//   (D) rivers & railways        x  the identical relation (self join)
+//   (E) region data (67,527)     x  region data (33,696)
+//
+// `scale` < 1 shrinks the cardinalities proportionally (used by tests and
+// quick runs); the spatial structure (city layout, course lengths) is kept
+// so that selectivities stay in the paper's bands.
+
+#ifndef RSJ_DATAGEN_WORKLOADS_H_
+#define RSJ_DATAGEN_WORKLOADS_H_
+
+#include <cstdint>
+
+#include "datagen/dataset.h"
+
+namespace rsj {
+
+enum class TestCase { kA, kB, kC, kD, kE };
+
+struct Workload {
+  std::string label;          // "A".."E"
+  Dataset r;
+  Dataset s;
+  // The paper's Table 8 reference values (for side-by-side reporting).
+  size_t paper_r_count = 0;
+  size_t paper_s_count = 0;
+  uint64_t paper_intersections = 0;
+};
+
+// Builds the workload for `test`, with cardinalities scaled by `scale`.
+Workload MakeWorkload(TestCase test, double scale = 1.0);
+
+// All five tests in order A..E.
+inline constexpr TestCase kAllTestCases[] = {TestCase::kA, TestCase::kB,
+                                             TestCase::kC, TestCase::kD,
+                                             TestCase::kE};
+
+const char* TestCaseName(TestCase test);
+
+}  // namespace rsj
+
+#endif  // RSJ_DATAGEN_WORKLOADS_H_

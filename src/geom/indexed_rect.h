@@ -1,0 +1,24 @@
+// A rectangle tagged with the position of its owning entry.
+//
+// The plane-sweep machinery and the read-schedule builders operate on
+// node-local entry sets; `IndexedRect` carries the rectangle together with
+// the entry's slot index in its node so the join can map sweep output back
+// to entries without copying full entries around.
+
+#ifndef RSJ_GEOM_INDEXED_RECT_H_
+#define RSJ_GEOM_INDEXED_RECT_H_
+
+#include <cstdint>
+
+#include "geom/rect.h"
+
+namespace rsj {
+
+struct IndexedRect {
+  Rect rect;
+  uint32_t index = 0;  // slot of the entry in its node
+};
+
+}  // namespace rsj
+
+#endif  // RSJ_GEOM_INDEXED_RECT_H_

@@ -1,0 +1,15 @@
+#include "geom/rect.h"
+
+#include <cstdio>
+
+namespace rsj {
+
+std::string Rect::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%g,%g x %g,%g]", static_cast<double>(xl),
+                static_cast<double>(xu), static_cast<double>(yl),
+                static_cast<double>(yu));
+  return std::string(buf);
+}
+
+}  // namespace rsj

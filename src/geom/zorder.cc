@@ -1,0 +1,43 @@
+#include "geom/zorder.h"
+
+#include <algorithm>
+
+namespace rsj {
+
+uint32_t SpreadBits16(uint32_t v) {
+  v &= 0x0000FFFFu;
+  v = (v | (v << 8)) & 0x00FF00FFu;
+  v = (v | (v << 4)) & 0x0F0F0F0Fu;
+  v = (v | (v << 2)) & 0x33333333u;
+  v = (v | (v << 1)) & 0x55555555u;
+  return v;
+}
+
+uint32_t CompactBits16(uint32_t v) {
+  v &= 0x55555555u;
+  v = (v | (v >> 1)) & 0x33333333u;
+  v = (v | (v >> 2)) & 0x0F0F0F0Fu;
+  v = (v | (v >> 4)) & 0x00FF00FFu;
+  v = (v | (v >> 8)) & 0x0000FFFFu;
+  return v;
+}
+
+uint32_t InterleaveBits16(uint32_t gx, uint32_t gy) {
+  return SpreadBits16(gx) | (SpreadBits16(gy) << 1);
+}
+
+uint32_t GridCoordinate(double value, double lo, double hi) {
+  if (hi <= lo) return 0;  // degenerate universe: single cell
+  const double t = (value - lo) / (hi - lo);
+  const double scaled = t * 65536.0;
+  const auto cell = static_cast<int64_t>(scaled);
+  return static_cast<uint32_t>(std::clamp<int64_t>(cell, 0, 65535));
+}
+
+uint32_t ZValue(const Point& p, const Rect& universe) {
+  const uint32_t gx = GridCoordinate(p.x, universe.xl, universe.xu);
+  const uint32_t gy = GridCoordinate(p.y, universe.yl, universe.yu);
+  return InterleaveBits16(gx, gy);
+}
+
+}  // namespace rsj

@@ -1,0 +1,36 @@
+// Z-ordering (Peano/Morton order) on a 2^16 x 2^16 grid.
+//
+// SpatialJoin5 (§4.3, "local z-order") sorts the intersection rectangles of
+// qualifying entry pairs by the z-value of their center points to obtain a
+// spatially local read schedule. This module provides the bit-interleaving
+// and the normalization from data-space coordinates to grid cells.
+
+#ifndef RSJ_GEOM_ZORDER_H_
+#define RSJ_GEOM_ZORDER_H_
+
+#include <cstdint>
+
+#include "geom/rect.h"
+
+namespace rsj {
+
+// Spreads the lower 16 bits of `v` so bit i moves to bit 2i.
+uint32_t SpreadBits16(uint32_t v);
+
+// Inverse of SpreadBits16: collects the even-position bits of `v`.
+uint32_t CompactBits16(uint32_t v);
+
+// Interleaves two 16-bit grid coordinates into a 32-bit z-value
+// (x occupies the even bit positions, y the odd ones).
+uint32_t InterleaveBits16(uint32_t gx, uint32_t gy);
+
+// Maps a point to its z-value on a 2^16 x 2^16 grid spanning `universe`.
+// Points outside the universe are clamped to the boundary cells.
+uint32_t ZValue(const Point& p, const Rect& universe);
+
+// Grid cell of a point along one axis; exposed for tests.
+uint32_t GridCoordinate(double value, double lo, double hi);
+
+}  // namespace rsj
+
+#endif  // RSJ_GEOM_ZORDER_H_

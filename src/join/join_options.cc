@@ -1,0 +1,35 @@
+#include "join/join_options.h"
+
+namespace rsj {
+
+const char* JoinAlgorithmName(JoinAlgorithm algorithm) {
+  switch (algorithm) {
+    case JoinAlgorithm::kSJ1:
+      return "SJ1";
+    case JoinAlgorithm::kSJ2:
+      return "SJ2";
+    case JoinAlgorithm::kSweepUnrestricted:
+      return "SweepI";
+    case JoinAlgorithm::kSJ3:
+      return "SJ3";
+    case JoinAlgorithm::kSJ4:
+      return "SJ4";
+    case JoinAlgorithm::kSJ5:
+      return "SJ5";
+  }
+  return "?";
+}
+
+const char* HeightPolicyName(HeightPolicy policy) {
+  switch (policy) {
+    case HeightPolicy::kPerPairQueries:
+      return "a";
+    case HeightPolicy::kBatchedSubtree:
+      return "b";
+    case HeightPolicy::kPinnedQueries:
+      return "c";
+  }
+  return "?";
+}
+
+}  // namespace rsj

@@ -1,0 +1,29 @@
+#include "join/join_runner.h"
+
+namespace rsj {
+
+RTree BuildRTree(PagedFile* file, std::span<const Rect> rects,
+                 const RTreeOptions& options) {
+  RTree tree(file, options);
+  for (uint32_t i = 0; i < rects.size(); ++i) {
+    tree.Insert(rects[i], i);
+  }
+  return tree;
+}
+
+JoinRunResult RunSpatialJoin(const RTree& r, const RTree& s,
+                             const JoinOptions& options, bool collect_pairs) {
+  JoinRunResult result;
+  BufferPool pool(
+      BufferPool::Options{options.buffer_bytes, r.options().page_size,
+                          options.eviction_policy},
+      &result.stats);
+  SpatialJoinEngine engine(r, s, options, &pool, &result.stats);
+  engine.Run([&result, collect_pairs](uint32_t r_id, uint32_t s_id) {
+    ++result.pair_count;
+    if (collect_pairs) result.pairs.emplace_back(r_id, s_id);
+  });
+  return result;
+}
+
+}  // namespace rsj

@@ -1,0 +1,88 @@
+#include "join/multiway_join.h"
+
+#include "common/logging.h"
+
+namespace rsj {
+
+namespace {
+
+// Buffered, counted window query used by the probe phases.
+void ProbeWindow(const RTree& tree, BufferPool* pool, Statistics* stats,
+                 const Rect& window, std::vector<uint32_t>* out) {
+  std::vector<PageId> stack{tree.root_page()};
+  ++stats->window_queries;
+  while (!stack.empty()) {
+    const PageId page = stack.back();
+    stack.pop_back();
+    pool->Read(tree.file(), page);
+    const Node node = Node::Load(tree.file(), page);
+    for (const Entry& e : node.entries) {
+      if (!e.rect.IntersectsCounted(window, &stats->join_comparisons)) {
+        continue;
+      }
+      if (node.is_leaf()) {
+        out->push_back(e.ref);
+      } else {
+        stack.push_back(e.ref);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+MultiwayJoinResult RunChainSpatialJoin(
+    const std::vector<JoinRelation>& relations, const JoinOptions& options,
+    bool collect_tuples) {
+  RSJ_CHECK_MSG(relations.size() >= 2, "chain join needs >= 2 relations");
+  for (const JoinRelation& rel : relations) {
+    RSJ_CHECK(rel.tree != nullptr && rel.rects != nullptr);
+    RSJ_CHECK_MSG(rel.tree->options().page_size ==
+                      relations[0].tree->options().page_size,
+                  "all relations must share one page size");
+  }
+
+  MultiwayJoinResult result;
+  BufferPool pool(
+      BufferPool::Options{options.buffer_bytes,
+                          relations[0].tree->options().page_size,
+                          options.eviction_policy},
+      &result.stats);
+
+  // Phase 1: pairwise join of the first two relations.
+  std::vector<std::vector<uint32_t>> frontier;  // partial tuples
+  {
+    SpatialJoinEngine engine(*relations[0].tree, *relations[1].tree, options,
+                             &pool, &result.stats);
+    engine.Run([&frontier](uint32_t a, uint32_t b) {
+      frontier.push_back({a, b});
+    });
+  }
+
+  // Phase 2..n-1: extend every partial tuple by window-probing the next
+  // relation with the rectangle of the tuple's last element.
+  for (size_t next = 2; next < relations.size(); ++next) {
+    const JoinRelation& rel = relations[next];
+    const std::vector<Rect>& prev_rects = *relations[next - 1].rects;
+    std::vector<std::vector<uint32_t>> extended;
+    std::vector<uint32_t> matches;
+    for (const std::vector<uint32_t>& tuple : frontier) {
+      matches.clear();
+      RSJ_DCHECK(tuple.back() < prev_rects.size());
+      ProbeWindow(*rel.tree, &pool, &result.stats, prev_rects[tuple.back()],
+                  &matches);
+      for (const uint32_t id : matches) {
+        std::vector<uint32_t> longer = tuple;
+        longer.push_back(id);
+        extended.push_back(std::move(longer));
+      }
+    }
+    frontier = std::move(extended);
+  }
+
+  result.tuple_count = frontier.size();
+  if (collect_tuples) result.tuples = std::move(frontier);
+  return result;
+}
+
+}  // namespace rsj

@@ -1,0 +1,46 @@
+// Multi-way spatial joins — §2.1: "if we consider more than two spatial
+// relations for processing a join. The problem ... is similarly defined and
+// its solution can make use of the techniques that will be presented".
+//
+// This module implements the chain join
+//
+//     R1 ⋈ R2 ⋈ ... ⋈ Rn   with   Mbr(a_i) ∩ Mbr(a_{i+1}) ≠ ∅
+//
+// using exactly those techniques: the first two relations run through the
+// synchronized-traversal engine (SJ4 by default), and every further
+// relation is probed with buffered window queries on its R*-tree, seeded
+// with the rectangle of the current tuple's last element.
+
+#ifndef RSJ_JOIN_MULTIWAY_JOIN_H_
+#define RSJ_JOIN_MULTIWAY_JOIN_H_
+
+#include <vector>
+
+#include "join/join_runner.h"
+
+namespace rsj {
+
+// One relation of a multi-way join: the index plus the rectangles backing
+// the object ids stored in it (needed to seed the probe windows).
+struct JoinRelation {
+  const RTree* tree = nullptr;
+  const std::vector<Rect>* rects = nullptr;
+};
+
+struct MultiwayJoinResult {
+  uint64_t tuple_count = 0;
+  // Tuples of object ids, one per relation, when collected.
+  std::vector<std::vector<uint32_t>> tuples;
+  Statistics stats;
+};
+
+// Runs the chain join over `relations` (at least two). All trees must share
+// one page size. `options` configures the pairwise engine and the buffer
+// (shared across the probe phases, as one system buffer).
+MultiwayJoinResult RunChainSpatialJoin(
+    const std::vector<JoinRelation>& relations, const JoinOptions& options,
+    bool collect_tuples = false);
+
+}  // namespace rsj
+
+#endif  // RSJ_JOIN_MULTIWAY_JOIN_H_

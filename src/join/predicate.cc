@@ -1,0 +1,38 @@
+#include "join/predicate.h"
+
+namespace rsj {
+
+const char* JoinPredicateName(JoinPredicate predicate) {
+  switch (predicate) {
+    case JoinPredicate::kIntersects:
+      return "intersects";
+    case JoinPredicate::kContains:
+      return "contains";
+    case JoinPredicate::kContainedBy:
+      return "contained-by";
+    case JoinPredicate::kWithinDistance:
+      return "within-distance";
+  }
+  return "?";
+}
+
+bool EvaluatePredicateCounted(JoinPredicate predicate, double epsilon,
+                              const Rect& a, const Rect& b,
+                              ComparisonCounter* counter) {
+  switch (predicate) {
+    case JoinPredicate::kIntersects:
+      return a.IntersectsCounted(b, counter);
+    case JoinPredicate::kContains:
+      return a.ContainsCounted(b, counter);
+    case JoinPredicate::kContainedBy:
+      return b.ContainsCounted(a, counter);
+    case JoinPredicate::kWithinDistance:
+      // Distance computation touches both axes: charge the paper's four
+      // comparisons worth of work plus the threshold comparison.
+      counter->Add(5);
+      return a.MinDist2(b) <= epsilon * epsilon;
+  }
+  return false;
+}
+
+}  // namespace rsj

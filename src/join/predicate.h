@@ -1,0 +1,49 @@
+// Generalized join predicates.
+//
+// §2.1 of the paper defines the spatial join for the intersection operator
+// and notes that "we can introduce other types of joins, if we use other
+// spatial operators than intersection, e.g. containment". This module
+// provides those operators for the join engine:
+//
+//   kIntersects       Mbr(a) ∩ Mbr(b) ≠ ∅         (the paper's join)
+//   kContains         Mbr(a) ⊇ Mbr(b)
+//   kContainedBy      Mbr(a) ⊆ Mbr(b)
+//   kWithinDistance   mindist(Mbr(a), Mbr(b)) ≤ ε  (Euclidean)
+//
+// The tree traversal always prunes with rectangle intersection — after
+// growing the R-side rectangle by ε for the distance join — which is a
+// superset filter for every predicate (containment and proximity imply
+// expanded intersection). The exact predicate is evaluated at the leaves.
+
+#ifndef RSJ_JOIN_PREDICATE_H_
+#define RSJ_JOIN_PREDICATE_H_
+
+#include "geom/rect.h"
+
+namespace rsj {
+
+enum class JoinPredicate {
+  kIntersects,
+  kContains,
+  kContainedBy,
+  kWithinDistance,
+};
+
+const char* JoinPredicateName(JoinPredicate predicate);
+
+// Margin by which R-side rectangles must be grown so that rectangle
+// intersection over-approximates the predicate. Chebyshev expansion by ε
+// covers the Euclidean ε-ball.
+constexpr double PredicateExpansion(JoinPredicate predicate, double epsilon) {
+  return predicate == JoinPredicate::kWithinDistance ? epsilon : 0.0;
+}
+
+// Exact leaf-level evaluation; `a` is the R-side rectangle, `b` the S-side.
+// Comparisons are charged to `counter` in the paper's style (early exit).
+bool EvaluatePredicateCounted(JoinPredicate predicate, double epsilon,
+                              const Rect& a, const Rect& b,
+                              ComparisonCounter* counter);
+
+}  // namespace rsj
+
+#endif  // RSJ_JOIN_PREDICATE_H_

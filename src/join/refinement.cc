@@ -1,0 +1,30 @@
+#include "join/refinement.h"
+
+#include "common/logging.h"
+#include "geom/segment.h"
+
+namespace rsj {
+
+IdJoinResult RunIdSpatialJoin(const RTree& r_tree, const Dataset& r,
+                              const RTree& s_tree, const Dataset& s,
+                              const JoinOptions& options) {
+  IdJoinResult result;
+  BufferPool pool(
+      BufferPool::Options{options.buffer_bytes, r_tree.options().page_size},
+      &result.stats);
+  SpatialJoinEngine engine(r_tree, s_tree, options, &pool, &result.stats);
+  engine.Run([&](uint32_t r_id, uint32_t s_id) {
+    ++result.candidate_pairs;
+    RSJ_DCHECK(r_id < r.objects.size());
+    RSJ_DCHECK(s_id < s.objects.size());
+    const SpatialObject& obj_r = r.objects[r_id];
+    const SpatialObject& obj_s = s.objects[s_id];
+    if (PolylinesIntersect(std::span<const Point>(obj_r.chain),
+                           std::span<const Point>(obj_s.chain))) {
+      ++result.result_pairs;
+    }
+  });
+  return result;
+}
+
+}  // namespace rsj

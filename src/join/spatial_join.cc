@@ -1,0 +1,393 @@
+#include "join/spatial_join.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "geom/plane_sweep.h"
+#include "geom/zorder.h"
+
+namespace rsj {
+
+SpatialJoinEngine::SpatialJoinEngine(const RTree& r, const RTree& s,
+                                     const JoinOptions& options,
+                                     BufferPool* pool, Statistics* stats)
+    : options_(options),
+      acc_r_(r, pool, stats, UsesPlaneSweep(options.algorithm)),
+      acc_s_(s, pool, stats, UsesPlaneSweep(options.algorithm)),
+      stats_(stats),
+      expansion_(PredicateExpansion(options.predicate, options.epsilon)) {
+  RSJ_CHECK_MSG(r.options().page_size == s.options().page_size,
+                "joined trees must share one page size");
+  RSJ_CHECK_MSG(expansion_ >= 0.0, "negative predicate expansion");
+}
+
+void SpatialJoinEngine::Run(const EmitFn& emit) {
+  emit_ = &emit;
+  const Node& root_r = acc_r_.Fetch(acc_r_.tree().root_page());
+  const Node& root_s = acc_s_.Fetch(acc_s_.tree().root_page());
+  const Rect mbr_r = root_r.ComputeMbr();
+  const Rect mbr_s = root_s.ComputeMbr();
+  universe_ = mbr_r.Union(mbr_s);
+  JoinNodes(root_r, root_s, RSideRect(mbr_r).Intersection(mbr_s));
+  emit_ = nullptr;
+}
+
+void SpatialJoinEngine::RunPartition(
+    std::span<const std::pair<Entry, Entry>> root_pairs, const EmitFn& emit) {
+  emit_ = &emit;
+  // Each worker reads the roots itself (counted), like a processor of a
+  // parallel R-tree would; the universe frame must agree across workers.
+  const Node& root_r = acc_r_.Fetch(acc_r_.tree().root_page());
+  const Node& root_s = acc_s_.Fetch(acc_s_.tree().root_page());
+  universe_ = root_r.ComputeMbr().Union(root_s.ComputeMbr());
+  for (const auto& [er, es] : root_pairs) {
+    ProcessChildPair(er, es);
+  }
+  emit_ = nullptr;
+}
+
+void SpatialJoinEngine::Emit(uint32_t r_ref, uint32_t s_ref) {
+  ++stats_->output_pairs;
+  (*emit_)(r_ref, s_ref);
+}
+
+std::vector<IndexedRect> SpatialJoinEngine::MarkEntries(const Node& node,
+                                                        const Rect& rect,
+                                                        bool is_r_side) {
+  const bool expand = is_r_side && expansion_ > 0.0;
+  std::vector<IndexedRect> marked;
+  marked.reserve(node.entries.size());
+  for (uint32_t i = 0; i < node.entries.size(); ++i) {
+    const Rect entry_rect = expand ? node.entries[i].rect.Expanded(expansion_)
+                                   : node.entries[i].rect;
+    if (entry_rect.IntersectsCounted(rect, &stats_->join_comparisons)) {
+      marked.push_back(IndexedRect{entry_rect, i});
+    }
+  }
+  return marked;
+}
+
+std::vector<SpatialJoinEngine::EntryPair> SpatialJoinEngine::QualifyingPairs(
+    const Node& first, const Node& second, const Rect& rect,
+    bool first_is_r) {
+  std::vector<EntryPair> pairs;
+  const bool expand_first = first_is_r && expansion_ > 0.0;
+  const bool expand_second = !first_is_r && expansion_ > 0.0;
+  const auto first_rect = [&](uint32_t i) {
+    return expand_first ? first.entries[i].rect.Expanded(expansion_)
+                        : first.entries[i].rect;
+  };
+  const auto second_rect = [&](uint32_t j) {
+    return expand_second ? second.entries[j].rect.Expanded(expansion_)
+                         : second.entries[j].rect;
+  };
+
+  if (!UsesPlaneSweep(options_.algorithm)) {
+    if (!RestrictsSearchSpace(options_.algorithm)) {
+      // SJ1: every entry of the one node against every entry of the other;
+      // the paper iterates S in the outer loop.
+      for (uint32_t j = 0; j < second.entries.size(); ++j) {
+        const Rect sj = second_rect(j);
+        for (uint32_t i = 0; i < first.entries.size(); ++i) {
+          if (first_rect(i).IntersectsCounted(sj,
+                                              &stats_->join_comparisons)) {
+            pairs.emplace_back(i, j);
+          }
+        }
+      }
+      return pairs;
+    }
+    // SJ2: mark the entries intersecting the parent intersection rectangle,
+    // then nested loops over the marked subsets only.
+    const std::vector<IndexedRect> marked_first =
+        MarkEntries(first, rect, first_is_r);
+    const std::vector<IndexedRect> marked_second =
+        MarkEntries(second, rect, !first_is_r);
+    for (const IndexedRect& js : marked_second) {
+      for (const IndexedRect& is : marked_first) {
+        if (is.rect.IntersectsCounted(js.rect, &stats_->join_comparisons)) {
+          pairs.emplace_back(is.index, js.index);
+        }
+      }
+    }
+    return pairs;
+  }
+
+  // Sweep algorithms: node entries arrive sorted by xl from the accessor;
+  // the (optional) marking scan preserves that order (expansion grows every
+  // rectangle equally, keeping the xl order intact), so the sequences feed
+  // straight into SortedIntersectionTest.
+  std::vector<IndexedRect> seq_first;
+  std::vector<IndexedRect> seq_second;
+  if (RestrictsSearchSpace(options_.algorithm)) {
+    seq_first = MarkEntries(first, rect, first_is_r);
+    seq_second = MarkEntries(second, rect, !first_is_r);
+  } else {
+    seq_first.reserve(first.entries.size());
+    for (uint32_t i = 0; i < first.entries.size(); ++i) {
+      seq_first.push_back(IndexedRect{first_rect(i), i});
+    }
+    seq_second.reserve(second.entries.size());
+    for (uint32_t j = 0; j < second.entries.size(); ++j) {
+      seq_second.push_back(IndexedRect{second_rect(j), j});
+    }
+  }
+  RSJ_DCHECK(IsSortedByLowerX(seq_first));
+  RSJ_DCHECK(IsSortedByLowerX(seq_second));
+  SortedIntersectionTest(
+      std::span<const IndexedRect>(seq_first),
+      std::span<const IndexedRect>(seq_second), &stats_->join_comparisons,
+      [&pairs](uint32_t i, uint32_t j) { pairs.emplace_back(i, j); });
+  return pairs;
+}
+
+void SpatialJoinEngine::ApplyZOrderSchedule(const Node& nr, const Node& ns,
+                                            std::vector<EntryPair>* pairs) {
+  struct Scheduled {
+    uint32_t zvalue;
+    EntryPair pair;
+  };
+  std::vector<Scheduled> scheduled;
+  scheduled.reserve(pairs->size());
+  for (const EntryPair& p : *pairs) {
+    const Rect inter =
+        nr.entries[p.first].rect.Intersection(ns.entries[p.second].rect);
+    scheduled.push_back(Scheduled{ZValue(inter.Center(), universe_), p});
+  }
+  // The z-order sort is the extra CPU price of SJ5 the paper points out;
+  // charge one comparison per comparator call to the schedule counter.
+  std::stable_sort(scheduled.begin(), scheduled.end(),
+                   [this](const Scheduled& a, const Scheduled& b) {
+                     stats_->schedule_comparisons.Add(1);
+                     return a.zvalue < b.zvalue;
+                   });
+  for (size_t i = 0; i < scheduled.size(); ++i) {
+    (*pairs)[i] = scheduled[i].pair;
+  }
+}
+
+void SpatialJoinEngine::JoinNodes(const Node& nr, const Node& ns,
+                                  const Rect& rect) {
+  ++stats_->node_pairs;
+  if (nr.is_leaf() && ns.is_leaf()) {
+    for (const EntryPair& p :
+         QualifyingPairs(nr, ns, rect, /*first_is_r=*/true)) {
+      const Entry& a = nr.entries[p.first];
+      const Entry& b = ns.entries[p.second];
+      // The traversal filter is exact for the intersection predicate; all
+      // other predicates are verified on the original rectangles here.
+      if (options_.predicate != JoinPredicate::kIntersects &&
+          !EvaluatePredicateCounted(options_.predicate, options_.epsilon,
+                                    a.rect, b.rect,
+                                    &stats_->join_comparisons)) {
+        continue;
+      }
+      Emit(a.ref, b.ref);
+    }
+    return;
+  }
+  if (!nr.is_leaf() && !ns.is_leaf()) {
+    std::vector<EntryPair> pairs =
+        QualifyingPairs(nr, ns, rect, /*first_is_r=*/true);
+    if (UsesZOrderSchedule(options_.algorithm)) {
+      ApplyZOrderSchedule(nr, ns, &pairs);
+    }
+    ExecuteDirectorySchedule(nr, ns, pairs);
+    return;
+  }
+  // Different heights: one side already reached its data nodes.
+  if (ns.is_leaf()) {
+    WindowPhase(&acc_r_, nr, ns, rect, /*r_is_deep=*/true);
+  } else {
+    WindowPhase(&acc_s_, ns, nr, rect, /*r_is_deep=*/false);
+  }
+}
+
+void SpatialJoinEngine::ProcessChildPair(const Entry& er, const Entry& es) {
+  const Node& child_r = acc_r_.Fetch(er.ref);
+  const Node& child_s = acc_s_.Fetch(es.ref);
+  JoinNodes(child_r, child_s, RSideRect(er.rect).Intersection(es.rect));
+}
+
+void SpatialJoinEngine::ExecuteDirectorySchedule(
+    const Node& nr, const Node& ns, const std::vector<EntryPair>& pairs) {
+  if (!UsesPinning(options_.algorithm)) {
+    for (const EntryPair& p : pairs) {
+      ProcessChildPair(nr.entries[p.first], ns.entries[p.second]);
+    }
+    return;
+  }
+
+  // SJ4/SJ5: the child page with the maximal degree (number of remaining
+  // schedule pairs it participates in) is pinned and completely drained
+  // before the schedule continues. The degree only depends on the schedule,
+  // so the pin is taken when the page is first read — the algorithm simply
+  // keeps holding the page it is working on, which is what makes pinning
+  // effective even with a zero-size LRU buffer (Table 5, row "0 KByte").
+  std::vector<bool> done(pairs.size(), false);
+  for (size_t idx = 0; idx < pairs.size(); ++idx) {
+    if (done[idx]) continue;
+
+    uint32_t degree_r = 0;
+    uint32_t degree_s = 0;
+    for (size_t k = idx + 1; k < pairs.size(); ++k) {
+      if (done[k]) continue;
+      if (pairs[k].first == pairs[idx].first) ++degree_r;
+      if (pairs[k].second == pairs[idx].second) ++degree_s;
+    }
+    if (degree_r == 0 && degree_s == 0) {
+      ProcessChildPair(nr.entries[pairs[idx].first],
+                       ns.entries[pairs[idx].second]);
+      done[idx] = true;
+      continue;
+    }
+
+    const bool pin_r = degree_r >= degree_s;
+    NodeAccessor* acc = pin_r ? &acc_r_ : &acc_s_;
+    const PageId pinned_page = pin_r ? nr.entries[pairs[idx].first].ref
+                                     : ns.entries[pairs[idx].second].ref;
+    acc->Pin(pinned_page);
+    for (size_t k = idx; k < pairs.size(); ++k) {
+      if (done[k]) continue;
+      const bool same_page = pin_r ? pairs[k].first == pairs[idx].first
+                                   : pairs[k].second == pairs[idx].second;
+      if (!same_page) continue;
+      ProcessChildPair(nr.entries[pairs[k].first],
+                       ns.entries[pairs[k].second]);
+      done[k] = true;
+    }
+    acc->Unpin(pinned_page);
+  }
+}
+
+void SpatialJoinEngine::WindowPhase(NodeAccessor* deep, const Node& dir_node,
+                                    const Node& leaf_node, const Rect& rect,
+                                    bool r_is_deep) {
+  const std::vector<EntryPair> pairs =
+      QualifyingPairs(dir_node, leaf_node, rect, /*first_is_r=*/r_is_deep);
+
+  switch (options_.height_policy) {
+    case HeightPolicy::kPerPairQueries: {
+      // (a) one window query per qualifying pair, in schedule order.
+      for (const EntryPair& p : pairs) {
+        ++stats_->window_queries;
+        SingleWindowQuery(deep, dir_node.entries[p.first].ref,
+                          leaf_node.entries[p.second], r_is_deep);
+      }
+      return;
+    }
+    case HeightPolicy::kBatchedSubtree: {
+      // (b) group the query rectangles per subtree; each subtree is
+      // traversed exactly once for its whole batch.
+      std::vector<uint32_t> group_order;
+      std::vector<std::vector<Entry>> batches(dir_node.entries.size());
+      for (const EntryPair& p : pairs) {
+        if (batches[p.first].empty()) group_order.push_back(p.first);
+        batches[p.first].push_back(leaf_node.entries[p.second]);
+      }
+      for (const uint32_t d : group_order) {
+        stats_->window_queries += batches[d].size();
+        BatchedWindowQuery(deep, dir_node.entries[d].ref, batches[d],
+                           r_is_deep);
+      }
+      return;
+    }
+    case HeightPolicy::kPinnedQueries: {
+      // (c) plane-sweep pair order with pinning of the subtree root page;
+      // as in the directory case the pin is held from the first read.
+      std::vector<bool> done(pairs.size(), false);
+      for (size_t idx = 0; idx < pairs.size(); ++idx) {
+        if (done[idx]) continue;
+        uint32_t degree = 0;
+        for (size_t k = idx + 1; k < pairs.size(); ++k) {
+          if (!done[k] && pairs[k].first == pairs[idx].first) ++degree;
+        }
+        if (degree == 0) {
+          ++stats_->window_queries;
+          SingleWindowQuery(deep, dir_node.entries[pairs[idx].first].ref,
+                            leaf_node.entries[pairs[idx].second], r_is_deep);
+          done[idx] = true;
+          continue;
+        }
+        const PageId pinned_page = dir_node.entries[pairs[idx].first].ref;
+        deep->Pin(pinned_page);
+        for (size_t k = idx; k < pairs.size(); ++k) {
+          if (done[k] || pairs[k].first != pairs[idx].first) continue;
+          ++stats_->window_queries;
+          SingleWindowQuery(deep, pinned_page,
+                            leaf_node.entries[pairs[k].second], r_is_deep);
+          done[k] = true;
+        }
+        deep->Unpin(pinned_page);
+      }
+      return;
+    }
+  }
+}
+
+void SpatialJoinEngine::SingleWindowQuery(NodeAccessor* deep, PageId page,
+                                          const Entry& query, bool r_is_deep) {
+  const Node& node = deep->Fetch(page);
+  // The R side carries the predicate expansion; it is either the deep
+  // tree's entries or the query rectangle.
+  const Rect query_rect = r_is_deep ? query.rect : RSideRect(query.rect);
+  for (const Entry& e : node.entries) {
+    if (node.is_leaf()) {
+      // Exact predicate on data entries (equivalent to, and cheaper than,
+      // candidate filter + verification).
+      const Rect& a = r_is_deep ? e.rect : query.rect;
+      const Rect& b = r_is_deep ? query.rect : e.rect;
+      if (EvaluatePredicateCounted(options_.predicate, options_.epsilon, a,
+                                   b, &stats_->join_comparisons)) {
+        if (r_is_deep) {
+          Emit(e.ref, query.ref);
+        } else {
+          Emit(query.ref, e.ref);
+        }
+      }
+      continue;
+    }
+    const Rect entry_rect = r_is_deep ? RSideRect(e.rect) : e.rect;
+    if (entry_rect.IntersectsCounted(query_rect,
+                                     &stats_->join_comparisons)) {
+      SingleWindowQuery(deep, e.ref, query, r_is_deep);
+    }
+  }
+}
+
+void SpatialJoinEngine::BatchedWindowQuery(NodeAccessor* deep, PageId page,
+                                           const std::vector<Entry>& queries,
+                                           bool r_is_deep) {
+  const Node& node = deep->Fetch(page);
+  if (node.is_leaf()) {
+    for (const Entry& e : node.entries) {
+      for (const Entry& q : queries) {
+        const Rect& a = r_is_deep ? e.rect : q.rect;
+        const Rect& b = r_is_deep ? q.rect : e.rect;
+        if (EvaluatePredicateCounted(options_.predicate, options_.epsilon, a,
+                                     b, &stats_->join_comparisons)) {
+          if (r_is_deep) {
+            Emit(e.ref, q.ref);
+          } else {
+            Emit(q.ref, e.ref);
+          }
+        }
+      }
+    }
+    return;
+  }
+  for (const Entry& e : node.entries) {
+    const Rect entry_rect = r_is_deep ? RSideRect(e.rect) : e.rect;
+    std::vector<Entry> subset;
+    for (const Entry& q : queries) {
+      const Rect query_rect = r_is_deep ? q.rect : RSideRect(q.rect);
+      if (entry_rect.IntersectsCounted(query_rect,
+                                       &stats_->join_comparisons)) {
+        subset.push_back(q);
+      }
+    }
+    if (!subset.empty()) BatchedWindowQuery(deep, e.ref, subset, r_is_deep);
+  }
+}
+
+}  // namespace rsj

@@ -1,0 +1,124 @@
+// The spatial join engine: synchronized R*-tree traversal with the paper's
+// CPU- and I/O-tuning techniques (§4).
+//
+// One engine implements the whole algorithm ladder; `JoinOptions` selects
+// the variant:
+//
+//   SJ1  nested-loop pair finding, discovery-order page reads      (§4.1)
+//   SJ2  + search-space restriction to the parent intersection     (§4.2)
+//   (I)  sorted nodes + plane sweep, unrestricted (Table 4 v. I)   (§4.2)
+//   SJ3  restriction + sweep; sweep order = read schedule          (§4.3)
+//   SJ4  SJ3 + pinning of the highest-degree child page            (§4.3)
+//   SJ5  SJ4 with a z-order read schedule                          (§4.3)
+//
+// When the trees have different heights the traversal reaches (directory,
+// data-node) pairs; the remaining subtrees are probed with window queries
+// under HeightPolicy (a), (b) or (c) (§4.4).
+//
+// All page requests go through a shared `BufferPool` and all executed
+// floating point comparisons are charged to `Statistics`, which therefore
+// carries exactly the measurements the paper's tables report.
+
+#ifndef RSJ_JOIN_SPATIAL_JOIN_H_
+#define RSJ_JOIN_SPATIAL_JOIN_H_
+
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geom/indexed_rect.h"
+#include "join/join_options.h"
+#include "join/node_accessor.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+#include "storage/statistics.h"
+
+namespace rsj {
+
+class SpatialJoinEngine {
+ public:
+  // Receives each result pair as (object id in R, object id in S).
+  using EmitFn = std::function<void(uint32_t, uint32_t)>;
+
+  // `pool` and `stats` must outlive the engine; both trees must use the
+  // same page size (the paper's setting).
+  SpatialJoinEngine(const RTree& r, const RTree& s, const JoinOptions& options,
+                    BufferPool* pool, Statistics* stats);
+
+  // Executes the MBR-spatial-join R ⋈ S.
+  void Run(const EmitFn& emit);
+
+  // Processes a subset of the root-level qualifying pairs as an
+  // independent work partition — the unit of parallelism of the parallel
+  // spatial join (§6 future work; see join/parallel_join.h). Entries must
+  // be directory entries of the respective roots.
+  void RunPartition(std::span<const std::pair<Entry, Entry>> root_pairs,
+                    const EmitFn& emit);
+
+ private:
+  // A qualifying pair of entry slots (index in nr.entries, in ns.entries).
+  using EntryPair = std::pair<uint32_t, uint32_t>;
+
+  void Emit(uint32_t r_ref, uint32_t s_ref);
+
+  // R-side rectangles are grown by the predicate expansion (ε for the
+  // within-distance join) so that intersection remains a superset filter.
+  Rect RSideRect(const Rect& rect) const {
+    return expansion_ > 0.0 ? rect.Expanded(expansion_) : rect;
+  }
+
+  // Pair finding between two nodes, honoring the configured CPU technique
+  // (nested loops / restriction / plane sweep). `rect` is the intersection
+  // of the parent rectangles; `first_is_r` says which operand the first
+  // node belongs to (the R side carries the predicate expansion).
+  std::vector<EntryPair> QualifyingPairs(const Node& first, const Node& second,
+                                         const Rect& rect, bool first_is_r);
+
+  // Entries of `node` intersecting `rect`, in node order (sorted order for
+  // the sweep algorithms since the accessor sorts on read). R-side entries
+  // are tested and returned with their expanded rectangles.
+  std::vector<IndexedRect> MarkEntries(const Node& node, const Rect& rect,
+                                       bool is_r_side);
+
+  // Reorders `pairs` into the z-order read schedule (SJ5 only).
+  void ApplyZOrderSchedule(const Node& nr, const Node& ns,
+                           std::vector<EntryPair>* pairs);
+
+  // Synchronized recursion on a node pair.
+  void JoinNodes(const Node& nr, const Node& ns, const Rect& rect);
+
+  // Reads both child pages of a directory-level pair and recurses.
+  void ProcessChildPair(const Entry& er, const Entry& es);
+
+  // Executes the read schedule of a directory-directory pair, with pinning
+  // for SJ4/SJ5.
+  void ExecuteDirectorySchedule(const Node& nr, const Node& ns,
+                                const std::vector<EntryPair>& pairs);
+
+  // §4.4 — different heights: `dir_node` (from the deeper tree, accessed
+  // via `deep`) against data node `leaf_node`. `r_is_deep` preserves the
+  // (R, S) orientation of emitted pairs.
+  void WindowPhase(NodeAccessor* deep, const Node& dir_node,
+                   const Node& leaf_node, const Rect& rect, bool r_is_deep);
+
+  // Policy (a)/(c) primitive: one window query in the subtree under `page`.
+  void SingleWindowQuery(NodeAccessor* deep, PageId page, const Entry& query,
+                         bool r_is_deep);
+
+  // Policy (b) primitive: all `queries` answered in one subtree traversal.
+  void BatchedWindowQuery(NodeAccessor* deep, PageId page,
+                          const std::vector<Entry>& queries, bool r_is_deep);
+
+  JoinOptions options_;
+  NodeAccessor acc_r_;
+  NodeAccessor acc_s_;
+  Statistics* stats_;
+  double expansion_ = 0.0;         // R-side growth for the predicate filter
+  Rect universe_ = Rect::Empty();  // z-value reference frame
+  const EmitFn* emit_ = nullptr;
+};
+
+}  // namespace rsj
+
+#endif  // RSJ_JOIN_SPATIAL_JOIN_H_

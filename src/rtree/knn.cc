@@ -1,0 +1,70 @@
+#include "rtree/knn.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace rsj {
+
+double MinDist2(const Point& p, const Rect& r) {
+  double dx = 0.0;
+  if (p.x < r.xl) {
+    dx = static_cast<double>(r.xl) - p.x;
+  } else if (p.x > r.xu) {
+    dx = static_cast<double>(p.x) - r.xu;
+  }
+  double dy = 0.0;
+  if (p.y < r.yl) {
+    dy = static_cast<double>(r.yl) - p.y;
+  } else if (p.y > r.yu) {
+    dy = static_cast<double>(p.y) - r.yu;
+  }
+  return dx * dx + dy * dy;
+}
+
+namespace {
+
+// Priority-queue element: either a node to expand or a data entry.
+struct QueueItem {
+  double distance2;
+  bool is_data;
+  uint32_t ref;       // page id or object id
+  uint32_t tiebreak;  // object id for deterministic ordering
+
+  // std::priority_queue is a max-heap; invert for ascending distance.
+  // Data entries sort before nodes at equal distance so results pop in
+  // a stable, correct order.
+  bool operator<(const QueueItem& o) const {
+    if (distance2 != o.distance2) return distance2 > o.distance2;
+    if (is_data != o.is_data) return !is_data;
+    return tiebreak > o.tiebreak;
+  }
+};
+
+}  // namespace
+
+std::vector<KnnResult> KnnQuery(const RTree& tree, const Point& query,
+                                size_t k) {
+  std::vector<KnnResult> results;
+  if (k == 0) return results;
+
+  std::priority_queue<QueueItem> frontier;
+  frontier.push(QueueItem{0.0, false, tree.root_page(), 0});
+
+  while (!frontier.empty() && results.size() < k) {
+    const QueueItem item = frontier.top();
+    frontier.pop();
+    if (item.is_data) {
+      // Best-first: when a data entry pops, no unexplored item can beat it.
+      results.push_back(KnnResult{item.ref, item.distance2});
+      continue;
+    }
+    const Node node = Node::Load(tree.file(), item.ref);
+    for (const Entry& e : node.entries) {
+      frontier.push(QueueItem{MinDist2(query, e.rect), node.is_leaf(),
+                              e.ref, e.ref});
+    }
+  }
+  return results;
+}
+
+}  // namespace rsj

@@ -1,0 +1,36 @@
+// K-nearest-neighbor queries on the R-tree (best-first branch-and-bound,
+// Hjaltason & Samet style): descend the tree by ascending MINDIST of the
+// entry rectangles to the query point.
+//
+// Not part of the paper's evaluation, but a standard member of the spatial
+// query suite a production R-tree library ships (§2 groups it with the
+// single-scan queries the R*-tree is built to serve).
+
+#ifndef RSJ_RTREE_KNN_H_
+#define RSJ_RTREE_KNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rtree/rtree.h"
+
+namespace rsj {
+
+struct KnnResult {
+  uint32_t object_id = 0;
+  double distance2 = 0.0;  // squared Euclidean distance of the MBR
+};
+
+// Squared minimum Euclidean distance between point `p` and rectangle `r`
+// (zero when `p` lies inside `r`).
+double MinDist2(const Point& p, const Rect& r);
+
+// The `k` data entries whose rectangles are nearest to `query`, ordered by
+// ascending distance (ties broken by object id). Returns fewer than `k`
+// results when the tree is smaller than `k`.
+std::vector<KnnResult> KnnQuery(const RTree& tree, const Point& query,
+                                size_t k);
+
+}  // namespace rsj
+
+#endif  // RSJ_RTREE_KNN_H_

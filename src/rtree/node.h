@@ -1,0 +1,37 @@
+// Decoded in-memory form of one R-tree node page.
+//
+// Nodes are value types: `Load` decodes a page into a Node, algorithms
+// mutate the copy, `Store` serializes it back. This keeps the tree code free
+// of aliasing surprises and models the paper's "read page into main memory"
+// step one-to-one.
+
+#ifndef RSJ_RTREE_NODE_H_
+#define RSJ_RTREE_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rtree/entry.h"
+
+namespace rsj {
+
+struct Node {
+  uint8_t level = 0;  // 0 = leaf; root has level = height - 1
+  std::vector<Entry> entries;
+
+  bool is_leaf() const { return level == 0; }
+
+  // Minimum bounding rectangle of all entries (Rect::Empty() when empty).
+  Rect ComputeMbr() const;
+
+  // Decodes the node stored on page `id` of `file`.
+  static Node Load(const PagedFile& file, PageId id);
+
+  // Serializes this node onto page `id`. The entry count must not exceed
+  // NodeCapacity(file->page_size()).
+  void Store(PagedFile* file, PageId id) const;
+};
+
+}  // namespace rsj
+
+#endif  // RSJ_RTREE_NODE_H_

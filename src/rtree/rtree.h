@@ -1,0 +1,162 @@
+// R-tree / R*-tree over simulated paged storage.
+//
+// One class covers the R-tree family the paper discusses: the insertion and
+// split strategy is selected by `RTreeOptions` (R* with forced reinsertion —
+// the paper's index of choice — or Guttman's quadratic/linear variants as
+// baselines). Nodes live on fixed-size pages of a `PagedFile`; capacities
+// derive from the page size exactly as in Table 1.
+//
+// The tree performs its own page I/O directly against the file (index
+// construction and maintenance are not part of the measured experiments).
+// The spatial join operators in src/join traverse the tree through a
+// `BufferPool` so every page access of the *join* is accounted.
+
+#ifndef RSJ_RTREE_RTREE_H_
+#define RSJ_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rtree/node.h"
+#include "rtree/split.h"
+#include "storage/paged_file.h"
+
+namespace rsj {
+
+enum class SplitPolicy { kRStar, kQuadratic, kLinear };
+
+struct RTreeOptions {
+  uint32_t page_size = kPageSize4K;
+
+  // m = max(2, min_fill_fraction * M); the R*-tree paper recommends 40%.
+  double min_fill_fraction = 0.4;
+
+  SplitPolicy split_policy = SplitPolicy::kRStar;
+
+  // R* forced reinsertion: on the first overflow of a level per insertion,
+  // the `reinsert_fraction` of entries farthest from the node's MBR center
+  // are removed and reinserted ("close reinsert" order).
+  bool forced_reinsert = true;
+  double reinsert_fraction = 0.3;
+
+  // R* ChooseSubtree: number of least-enlargement candidates for which the
+  // exact overlap-enlargement is evaluated at the level above the leaves.
+  uint32_t choose_subtree_candidates = 32;
+};
+
+// Aggregate structural statistics (the quantities of the paper's Table 1).
+struct TreeStats {
+  int height = 0;            // number of levels; a lone leaf root has height 1
+  size_t dir_pages = 0;      // |R|dir
+  size_t data_pages = 0;     // |R|dat
+  size_t dir_entries = 0;    // ||R||dir
+  size_t data_entries = 0;   // ||R||dat
+  Rect root_mbr = Rect::Empty();
+
+  size_t TotalPages() const { return dir_pages + data_pages; }
+  size_t TotalEntries() const { return dir_entries + data_entries; }
+};
+
+class RTree {
+ public:
+  // The tree allocates its pages from `file`, which must outlive it and must
+  // have the same page size as `options.page_size`.
+  RTree(PagedFile* file, const RTreeOptions& options);
+
+  // Re-attaches a tree to pages already present on `file` (persistence
+  // load path). The caller supplies the metadata that was saved.
+  static RTree Attach(PagedFile* file, const RTreeOptions& options,
+                      PageId root, int height, size_t size);
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) = default;
+
+  // Inserts a data entry (filter-step approximation + object identifier).
+  void Insert(const Rect& rect, uint32_t object_id);
+
+  // Removes a data entry matching (rect, object_id) exactly. Returns false
+  // when no such entry exists.
+  bool Delete(const Rect& rect, uint32_t object_id);
+
+  // Bulk-loads an empty tree with Sort-Tile-Recursive packing (extension;
+  // used by the substrate ablation). `fill_fraction` sets the target node
+  // utilization in (0, 1].
+  void BulkLoadStr(std::span<const Entry> data_entries, double fill_fraction);
+
+  // Single-scan window query (§2): appends the object ids of all data
+  // entries whose rectangle intersects `window`.
+  void WindowQuery(const Rect& window, std::vector<uint32_t>* results) const;
+
+  // Number of data entries.
+  size_t size() const { return size_; }
+
+  // Number of levels (leaf level is 0, root level is height() - 1).
+  int height() const { return height_; }
+
+  PageId root_page() const { return root_; }
+  uint32_t capacity() const { return capacity_; }          // M
+  uint32_t min_entries() const { return min_entries_; }    // m
+  const PagedFile& file() const { return *file_; }
+  const RTreeOptions& options() const { return options_; }
+
+  // Full-tree scan computing Table 1 style statistics.
+  TreeStats ComputeStats() const;
+
+  // Structural invariant check; returns human-readable violations (empty
+  // when the tree is valid): balance, fill bounds, exact parent MBRs,
+  // level consistency, entry conservation, no page aliasing.
+  std::vector<std::string> Validate() const;
+
+ private:
+  // Descends from the root to a node at `target_level`, choosing subtrees
+  // per the configured policy; returns the page path (root first).
+  std::vector<PageId> DescendPath(const Rect& rect, int target_level) const;
+
+  // Index of the child entry of `node` to descend into for `rect`.
+  size_t ChooseSubtree(const Node& node, const Rect& rect) const;
+
+  // Inserts `entry` into a node at `target_level`, handling overflow.
+  void InsertAtLevel(const Entry& entry, int target_level);
+
+  // Places `entry` into the node at path.back(), then resolves overflow.
+  void PlaceEntry(const std::vector<PageId>& path, const Entry& entry);
+
+  // Overflow resolution: forced reinsertion (first time per level per
+  // insertion, R* only, never at the root) or split. `node` holds M+1
+  // entries and is not yet stored.
+  void HandleOverflow(std::vector<PageId> path, Node node);
+  void ReInsertEntries(std::vector<PageId> path, Node node);
+  void SplitNode(std::vector<PageId> path, Node node);
+
+  // Recomputes parent entry MBRs along `path` bottom-up (early exit once a
+  // level's MBR is unchanged).
+  void UpdatePathMbrs(const std::vector<PageId>& path);
+
+  // DFS locating the leaf containing (rect, object_id); fills `path`.
+  bool FindLeafPath(PageId page, const Rect& rect, uint32_t object_id,
+                    std::vector<PageId>* path) const;
+
+  // Post-deletion maintenance: dissolve under-full nodes along `path`,
+  // reinsert their entries, tighten MBRs, shrink the root.
+  void CondenseTree(const std::vector<PageId>& path);
+
+  SplitResult RunSplitPolicy(std::vector<Entry> entries) const;
+
+  PagedFile* file_;
+  RTreeOptions options_;
+  uint32_t capacity_;     // M
+  uint32_t min_entries_;  // m
+  PageId root_;
+  int height_;
+  size_t size_ = 0;
+
+  // Per-level "overflow already treated" flags of the insertion in progress.
+  std::vector<bool> overflow_handled_;
+};
+
+}  // namespace rsj
+
+#endif  // RSJ_RTREE_RTREE_H_

@@ -1,0 +1,42 @@
+// Node split algorithms for the R-tree family.
+//
+// The R*-split (§3.2 of the paper, after Beckmann et al. 1990) first picks
+// the split axis by minimizing the summed margins over all allowed
+// distributions of both sortings (by lower and by upper coordinate), then
+// picks the distribution on that axis with minimal overlap between the two
+// resulting bounding rectangles (ties: minimal combined area).
+//
+// Guttman's quadratic and linear splits are provided as the original R-tree
+// baselines used in the ablation benchmarks.
+
+#ifndef RSJ_RTREE_SPLIT_H_
+#define RSJ_RTREE_SPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rtree/entry.h"
+
+namespace rsj {
+
+struct SplitResult {
+  std::vector<Entry> left;
+  std::vector<Entry> right;
+};
+
+// R*-tree split. `entries` must contain capacity+1 elements; each output
+// group receives between `min_entries` and entries.size() - min_entries
+// elements.
+SplitResult SplitRStar(std::vector<Entry> entries, uint32_t min_entries);
+
+// Guttman's quadratic split (PickSeeds by maximal dead area, PickNext by
+// maximal preference difference, with a min-fill safeguard).
+SplitResult SplitQuadratic(std::vector<Entry> entries, uint32_t min_entries);
+
+// Guttman's linear split (seeds by maximal normalized separation, remaining
+// entries assigned by minimal enlargement, with a min-fill safeguard).
+SplitResult SplitLinear(std::vector<Entry> entries, uint32_t min_entries);
+
+}  // namespace rsj
+
+#endif  // RSJ_RTREE_SPLIT_H_

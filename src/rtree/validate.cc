@@ -1,0 +1,106 @@
+// Structural invariant checking for R-trees (used heavily by the
+// property-based tests): balance, fill bounds, exact parent MBRs, level
+// consistency, entry conservation, and page-aliasing detection.
+
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_set>
+
+#include "rtree/rtree.h"
+
+namespace rsj {
+
+namespace {
+
+void AddError(std::vector<std::string>* errors, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AddError(std::vector<std::string>* errors, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  errors->emplace_back(buf);
+}
+
+struct ValidationContext {
+  const PagedFile* file = nullptr;
+  uint32_t capacity = 0;
+  uint32_t min_entries = 0;
+  int height = 0;
+  std::unordered_set<PageId> visited;
+  size_t data_entries = 0;
+  std::vector<std::string> errors;
+};
+
+// Validates the subtree rooted at `page`; `expected_mbr` is the rectangle
+// the parent stores for it (nullptr for the root).
+void ValidateSubtree(ValidationContext* ctx, PageId page, int expected_level,
+                     const Rect* expected_mbr) {
+  if (page >= ctx->file->allocated_pages()) {
+    AddError(&ctx->errors, "reference to page %u beyond the file (%zu pages)",
+             page, ctx->file->allocated_pages());
+    return;
+  }
+  if (!ctx->visited.insert(page).second) {
+    AddError(&ctx->errors, "page %u referenced more than once", page);
+    return;
+  }
+  const Node node = Node::Load(*ctx->file, page);
+
+  if (node.level != expected_level) {
+    AddError(&ctx->errors, "page %u: level %d, expected %d (unbalanced tree)",
+             page, static_cast<int>(node.level), expected_level);
+  }
+  const bool is_root = expected_mbr == nullptr;
+  if (!is_root && node.entries.size() < ctx->min_entries) {
+    AddError(&ctx->errors, "page %u: %zu entries under minimum %u", page,
+             node.entries.size(), ctx->min_entries);
+  }
+  if (is_root && !node.is_leaf() && node.entries.size() < 2) {
+    AddError(&ctx->errors, "directory root %u has fewer than two children",
+             page);
+  }
+  if (node.entries.size() > ctx->capacity) {
+    AddError(&ctx->errors, "page %u: %zu entries exceed capacity %u", page,
+             node.entries.size(), ctx->capacity);
+  }
+  if (expected_mbr != nullptr && !(node.ComputeMbr() == *expected_mbr)) {
+    AddError(&ctx->errors,
+             "page %u: stored parent MBR is not the exact union of entries",
+             page);
+  }
+  for (const Entry& e : node.entries) {
+    if (!e.rect.IsValid()) {
+      AddError(&ctx->errors, "page %u: invalid entry rectangle", page);
+    }
+  }
+  if (node.is_leaf()) {
+    ctx->data_entries += node.entries.size();
+    return;
+  }
+  for (const Entry& e : node.entries) {
+    ValidateSubtree(ctx, e.ref, expected_level - 1, &e.rect);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> RTree::Validate() const {
+  ValidationContext ctx;
+  ctx.file = file_;
+  ctx.capacity = capacity_;
+  ctx.min_entries = min_entries_;
+  ctx.height = height_;
+
+  ValidateSubtree(&ctx, root_, height_ - 1, nullptr);
+
+  if (ctx.data_entries != size_) {
+    AddError(&ctx.errors, "tree reports size %zu but holds %zu data entries",
+             size_, ctx.data_entries);
+  }
+  return std::move(ctx.errors);
+}
+
+}  // namespace rsj

@@ -1,0 +1,122 @@
+#include "storage/buffer_pool.h"
+
+namespace rsj {
+
+const char* EvictionPolicyName(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kLru:
+      return "LRU";
+    case EvictionPolicy::kFifo:
+      return "FIFO";
+    case EvictionPolicy::kClock:
+      return "CLOCK";
+  }
+  return "?";
+}
+
+BufferPool::BufferPool(const Options& options, Statistics* stats)
+    : frame_capacity_(options.page_size == 0
+                          ? 0
+                          : options.capacity_bytes / options.page_size),
+      policy_(options.policy),
+      stats_(stats) {
+  RSJ_CHECK(stats != nullptr);
+}
+
+bool BufferPool::Read(const PagedFile& file, PageId id) {
+  const Key key{&file, id};
+  if (pinned_.contains(key)) {
+    ++stats_->buffer_hits;
+    return true;
+  }
+  auto it = frames_.find(key);
+  if (it != frames_.end()) {
+    ++stats_->buffer_hits;
+    switch (policy_) {
+      case EvictionPolicy::kLru:
+        order_.splice(order_.begin(), order_, it->second.position);
+        break;
+      case EvictionPolicy::kFifo:
+        break;  // hits do not refresh FIFO order
+      case EvictionPolicy::kClock:
+        it->second.referenced = true;  // second chance on eviction
+        break;
+    }
+    return true;
+  }
+  ++stats_->disk_reads;
+  InsertNewest(key);
+  return false;
+}
+
+void BufferPool::Pin(const PagedFile& file, PageId id) {
+  const Key key{&file, id};
+  ++stats_->pin_count;
+  auto pinned_it = pinned_.find(key);
+  if (pinned_it != pinned_.end()) {
+    ++pinned_it->second;
+    return;
+  }
+  auto frame_it = frames_.find(key);
+  if (frame_it != frames_.end()) {
+    // Promote from frame to pinned; frees the frame.
+    order_.erase(frame_it->second.position);
+    frames_.erase(frame_it);
+  } else {
+    // Not resident: pinning implies reading the page first.
+    ++stats_->disk_reads;
+  }
+  pinned_.emplace(key, 1u);
+}
+
+void BufferPool::Unpin(const PagedFile& file, PageId id) {
+  const Key key{&file, id};
+  auto it = pinned_.find(key);
+  RSJ_CHECK_MSG(it != pinned_.end(), "Unpin of a page that is not pinned");
+  if (--it->second > 0) return;
+  pinned_.erase(it);
+  InsertNewest(key);  // recently used; keep it cached if the budget allows
+}
+
+bool BufferPool::Contains(const PagedFile& file, PageId id) const {
+  const Key key{&file, id};
+  return pinned_.contains(key) || frames_.contains(key);
+}
+
+void BufferPool::Clear() {
+  RSJ_CHECK_MSG(pinned_.empty(), "Clear() with pinned pages outstanding");
+  order_.clear();
+  frames_.clear();
+}
+
+void BufferPool::EvictOne() {
+  if (policy_ == EvictionPolicy::kClock) {
+    // Sweep from the oldest end, granting one second chance per bit.
+    while (true) {
+      const Key victim = order_.back();
+      auto it = frames_.find(victim);
+      RSJ_DCHECK(it != frames_.end());
+      if (!it->second.referenced) {
+        order_.pop_back();
+        frames_.erase(it);
+        ++stats_->buffer_evictions;
+        return;
+      }
+      it->second.referenced = false;
+      order_.splice(order_.begin(), order_, it->second.position);
+    }
+  }
+  // LRU and FIFO both evict the back of the order list.
+  frames_.erase(order_.back());
+  order_.pop_back();
+  ++stats_->buffer_evictions;
+}
+
+void BufferPool::InsertNewest(const Key& key) {
+  if (frame_capacity_ == 0) return;
+  while (order_.size() >= frame_capacity_) EvictOne();
+  order_.push_front(key);
+  frames_[key] = Frame{order_.begin(), /*referenced=*/false};
+}
+
+}  // namespace rsj

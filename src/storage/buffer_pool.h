@@ -1,0 +1,121 @@
+// Buffer pool with page pinning — the protagonist of §4.1/§4.3.
+//
+// The paper assumes an LRU buffer owned by the surrounding system; its size
+// is given in bytes (0, 8K, 32K, 128K, 512K) and divides by the page size
+// into a frame count, which may be zero. SpatialJoin4/5 additionally *pin*
+// one page at a time: a pinned page stays memory-resident even when the LRU
+// frame budget is zero (the join algorithm itself holds on to it, exactly
+// like it holds the current recursion path). The pool therefore tracks
+// pinned pages outside the frame budget.
+//
+// Besides the paper's LRU policy the pool implements FIFO and CLOCK
+// (second chance) eviction, used by the ablation benchmarks to measure how
+// sensitive the join's I/O behaviour is to the replacement policy.
+//
+// Because the backing `PagedFile`s are in-memory, the pool does not copy
+// page bytes; it is the *accounting* authority: `Read()` returns whether the
+// request was a disk access or a buffer hit and updates `Statistics`.
+
+#ifndef RSJ_STORAGE_BUFFER_POOL_H_
+#define RSJ_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "storage/paged_file.h"
+#include "storage/statistics.h"
+
+namespace rsj {
+
+enum class EvictionPolicy {
+  kLru,    // least recently used (the paper's buffer)
+  kFifo,   // first in, first out: hits do not refresh recency
+  kClock,  // second chance: hits set a reference bit instead of moving
+};
+
+const char* EvictionPolicyName(EvictionPolicy policy);
+
+class BufferPool {
+ public:
+  struct Options {
+    uint64_t capacity_bytes = 128 * 1024;  // frame budget; 0 disables caching
+    uint32_t page_size = kPageSize4K;
+    EvictionPolicy policy = EvictionPolicy::kLru;
+  };
+
+  // `stats` must outlive the pool; all I/O counters are charged to it.
+  BufferPool(const Options& options, Statistics* stats);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Requests page `id` of `file`. Counts either a disk read (miss) or a
+  // buffer hit, updates the policy's bookkeeping, and returns true when it
+  // was a hit.
+  bool Read(const PagedFile& file, PageId id);
+
+  // Pins the page, reading it first if absent (that read is counted).
+  // Pins nest: a page pinned twice needs two Unpin() calls. Pinned pages
+  // do not occupy frames and are never evicted.
+  void Pin(const PagedFile& file, PageId id);
+
+  // Releases one pin. When the last pin is released the page moves into
+  // the frames as the newest page (or is dropped with zero frames).
+  void Unpin(const PagedFile& file, PageId id);
+
+  // True when the page is resident (in a frame or pinned).
+  bool Contains(const PagedFile& file, PageId id) const;
+
+  // Drops all cached pages (pins must have been released).
+  void Clear();
+
+  // Number of frames the byte budget buys (0 when budget < page size).
+  size_t frame_capacity() const { return frame_capacity_; }
+
+  // Currently used frames (excludes pinned pages).
+  size_t frames_in_use() const { return frames_.size(); }
+
+  size_t pinned_pages() const { return pinned_.size(); }
+
+  EvictionPolicy policy() const { return policy_; }
+
+ private:
+  // Pages are identified across files by (file identity, page id).
+  using Key = std::pair<const PagedFile*, PageId>;
+
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      const auto h1 = std::hash<const void*>{}(k.first);
+      const auto h2 = std::hash<uint32_t>{}(k.second);
+      return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+    }
+  };
+
+  struct Frame {
+    std::list<Key>::iterator position;  // place in the order list
+    bool referenced = false;            // CLOCK reference bit
+  };
+
+  // Inserts the key as the newest frame, evicting per policy if needed.
+  void InsertNewest(const Key& key);
+
+  // Frees one frame according to the eviction policy.
+  void EvictOne();
+
+  size_t frame_capacity_;
+  EvictionPolicy policy_;
+  Statistics* stats_;
+
+  // Order list: front = newest (LRU: most recently used; FIFO/CLOCK:
+  // most recently inserted). Back is the eviction candidate.
+  std::list<Key> order_;
+  std::unordered_map<Key, Frame, KeyHash> frames_;
+
+  // Pinned pages with their pin counts.
+  std::unordered_map<Key, uint32_t, KeyHash> pinned_;
+};
+
+}  // namespace rsj
+
+#endif  // RSJ_STORAGE_BUFFER_POOL_H_

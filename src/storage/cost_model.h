@@ -1,0 +1,48 @@
+// The paper's analytic execution-time model (§4.1, Figures 2, 8, 9, 10).
+//
+// Brinkhoff et al. convert counted disk accesses and comparisons into
+// estimated seconds with three constants measured on their HP 720
+// workstations:
+//     1.5 * 10^-2 s  per disk-arm positioning (seek + rotational latency),
+//     5.0 * 10^-3 s  per KByte transferred,
+//     3.9 * 10^-6 s  per floating point comparison (incl. overhead).
+// Every figure of the evaluation is computed from the tables with exactly
+// this model, so the reproduction does the same.
+
+#ifndef RSJ_STORAGE_COST_MODEL_H_
+#define RSJ_STORAGE_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "storage/statistics.h"
+
+namespace rsj {
+
+struct CostModel {
+  double positioning_seconds = 1.5e-2;         // per disk access
+  double transfer_seconds_per_kbyte = 5.0e-3;  // per KByte moved
+  double comparison_seconds = 3.9e-6;          // per float comparison
+
+  // I/O time for `accesses` reads of `page_size_bytes`-sized pages.
+  double IoSeconds(uint64_t accesses, uint32_t page_size_bytes) const {
+    const double per_page =
+        positioning_seconds +
+        transfer_seconds_per_kbyte * (static_cast<double>(page_size_bytes) / 1024.0);
+    return static_cast<double>(accesses) * per_page;
+  }
+
+  // CPU time for `comparisons` floating point comparisons.
+  double CpuSeconds(uint64_t comparisons) const {
+    return static_cast<double>(comparisons) * comparison_seconds;
+  }
+
+  // Estimated total execution time of a run described by `stats`.
+  double TotalSeconds(const Statistics& stats, uint32_t page_size_bytes) const {
+    return IoSeconds(stats.disk_reads, page_size_bytes) +
+           CpuSeconds(stats.TotalComparisons());
+  }
+};
+
+}  // namespace rsj
+
+#endif  // RSJ_STORAGE_COST_MODEL_H_

@@ -1,0 +1,108 @@
+// Simulated paged secondary storage.
+//
+// The paper's experiments run against real disks but *report* counted page
+// accesses; the substrate here is therefore an in-memory array of fixed-size
+// pages. `PagedFile` is deliberately dumb: it only allocates pages and hands
+// out their bytes. All caching and all I/O accounting happen in `BufferPool`,
+// which decides whether a page request is a (counted) disk read or a buffer
+// hit. Index construction bypasses the pool — the paper measures the join,
+// not the loading of the relations.
+
+#ifndef RSJ_STORAGE_PAGED_FILE_H_
+#define RSJ_STORAGE_PAGED_FILE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace rsj {
+
+// Identifies a page within one PagedFile.
+using PageId = uint32_t;
+
+// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+// Common page sizes of the paper's experiments.
+inline constexpr uint32_t kPageSize1K = 1024;
+inline constexpr uint32_t kPageSize2K = 2048;
+inline constexpr uint32_t kPageSize4K = 4096;
+inline constexpr uint32_t kPageSize8K = 8192;
+
+// A growable array of fixed-size pages modelling one file on disk.
+class PagedFile {
+ public:
+  explicit PagedFile(uint32_t page_size) : page_size_(page_size) {
+    RSJ_CHECK_MSG(page_size >= 64, "page size unrealistically small");
+  }
+
+  PagedFile(const PagedFile&) = delete;
+  PagedFile& operator=(const PagedFile&) = delete;
+
+  // Allocates a zero-initialized page (reusing a freed one if available)
+  // and returns its id.
+  PageId Allocate() {
+    if (!free_list_.empty()) {
+      const PageId id = free_list_.back();
+      free_list_.pop_back();
+      std::fill(pages_[id].begin(), pages_[id].end(), std::byte{0});
+      return id;
+    }
+    pages_.emplace_back(page_size_, std::byte{0});
+    return static_cast<PageId>(pages_.size() - 1);
+  }
+
+  // Returns a page to the free list. The caller must not use `id` afterwards.
+  void Free(PageId id) {
+    RSJ_DCHECK(id < pages_.size());
+    free_list_.push_back(id);
+  }
+
+  // Read-only access to the raw bytes of a page.
+  const std::byte* PageData(PageId id) const {
+    RSJ_DCHECK(id < pages_.size());
+    return pages_[id].data();
+  }
+
+  // Mutable access to the raw bytes of a page.
+  std::byte* MutablePageData(PageId id) {
+    RSJ_DCHECK(id < pages_.size());
+    return pages_[id].data();
+  }
+
+  uint32_t page_size() const { return page_size_; }
+
+  // Total pages ever allocated (including freed ones still owned).
+  size_t allocated_pages() const { return pages_.size(); }
+
+  // Pages currently live (allocated minus freed).
+  size_t live_pages() const { return pages_.size() - free_list_.size(); }
+
+  // --- persistence support ---
+
+  // Appends a page with the given raw contents; used by the load path.
+  PageId AppendRaw(const std::byte* data) {
+    pages_.emplace_back(page_size_, std::byte{0});
+    std::copy(data, data + page_size_, pages_.back().begin());
+    return static_cast<PageId>(pages_.size() - 1);
+  }
+
+  // Free list snapshot/restore for persistence round trips.
+  const std::vector<PageId>& free_list() const { return free_list_; }
+  void RestoreFreeList(std::vector<PageId> free_list) {
+    free_list_ = std::move(free_list);
+  }
+
+ private:
+  uint32_t page_size_;
+  std::vector<std::vector<std::byte>> pages_;
+  std::vector<PageId> free_list_;
+};
+
+}  // namespace rsj
+
+#endif  // RSJ_STORAGE_PAGED_FILE_H_

@@ -1,0 +1,45 @@
+// Persistence: saving and loading an indexed relation to a real file.
+//
+// The experiments run against simulated storage, but a library a user
+// adopts must survive a process restart. The format is a fixed header
+// (magic, version, page size, page count, tree metadata, header checksum)
+// followed by the raw pages. Loading verifies magic, version and checksum
+// and re-attaches an `RTree` to the loaded `PagedFile`.
+
+#ifndef RSJ_STORAGE_PERSISTENCE_H_
+#define RSJ_STORAGE_PERSISTENCE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "rtree/rtree.h"
+#include "storage/paged_file.h"
+
+namespace rsj {
+
+// Everything needed to re-attach a tree to its pages.
+struct StoredTreeMeta {
+  PageId root_page = kInvalidPageId;
+  int height = 1;
+  uint64_t size = 0;  // data entries
+  RTreeOptions options;
+};
+
+// Writes `file` and `meta` to `path`. Returns false on I/O failure.
+bool SaveIndexedRelation(const PagedFile& file, const StoredTreeMeta& meta,
+                         const std::string& path);
+
+// Result of loading: the paged file plus the re-attached tree.
+struct LoadedRelation {
+  std::unique_ptr<PagedFile> file;
+  std::unique_ptr<RTree> tree;
+};
+
+// Reads a file written by SaveIndexedRelation. Returns std::nullopt when
+// the file is missing, truncated, or fails validation.
+std::optional<LoadedRelation> LoadIndexedRelation(const std::string& path);
+
+}  // namespace rsj
+
+#endif  // RSJ_STORAGE_PERSISTENCE_H_

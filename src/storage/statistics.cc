@@ -1,0 +1,34 @@
+#include "storage/statistics.h"
+
+#include <cstdio>
+
+namespace rsj {
+
+std::string Statistics::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "disk reads:        %llu\n"
+      "buffer hits:       %llu (hit rate %.1f%%)\n"
+      "evictions:         %llu\n"
+      "pins:              %llu\n"
+      "join comparisons:  %llu\n"
+      "sort comparisons:  %llu\n"
+      "sched comparisons: %llu\n"
+      "node pairs:        %llu\n"
+      "window queries:    %llu\n"
+      "output pairs:      %llu\n",
+      static_cast<unsigned long long>(disk_reads),
+      static_cast<unsigned long long>(buffer_hits), HitRate() * 100.0,
+      static_cast<unsigned long long>(buffer_evictions),
+      static_cast<unsigned long long>(pin_count),
+      static_cast<unsigned long long>(join_comparisons.count()),
+      static_cast<unsigned long long>(sort_comparisons.count()),
+      static_cast<unsigned long long>(schedule_comparisons.count()),
+      static_cast<unsigned long long>(node_pairs),
+      static_cast<unsigned long long>(window_queries),
+      static_cast<unsigned long long>(output_pairs));
+  return std::string(buf);
+}
+
+}  // namespace rsj

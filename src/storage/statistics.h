@@ -1,0 +1,58 @@
+// Execution statistics: the quantities every table of the paper reports.
+//
+// The paper measures a spatial join by (i) the number of disk accesses and
+// (ii) the number of executed floating point comparisons, split into the
+// comparisons spent on the join itself, on sorting node entries (Table 4's
+// `sorting` row) and on computing the z-order read schedule (the CPU price
+// of SpatialJoin5 discussed in §4.3). `Statistics` carries all counters and
+// is threaded through the buffer pool and the join engine.
+
+#ifndef RSJ_STORAGE_STATISTICS_H_
+#define RSJ_STORAGE_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geom/comparison_counter.h"
+
+namespace rsj {
+
+struct Statistics {
+  // --- I/O ---
+  uint64_t disk_reads = 0;         // physical page reads ("disk accesses")
+  uint64_t disk_writes = 0;        // physical page writes
+  uint64_t buffer_hits = 0;        // reads served from the LRU buffer
+  uint64_t buffer_evictions = 0;   // pages dropped from the buffer
+  uint64_t pin_count = 0;          // Pin() events (SJ4/SJ5 page pinning)
+
+  // --- CPU (floating point comparisons, the paper's metric) ---
+  ComparisonCounter join_comparisons;      // join-condition tests + marking
+  ComparisonCounter sort_comparisons;      // sorting node entries by xl
+  ComparisonCounter schedule_comparisons;  // z-order schedule computation
+
+  // --- join bookkeeping ---
+  uint64_t output_pairs = 0;    // result pairs emitted
+  uint64_t node_pairs = 0;      // node pairs processed by the recursion
+  uint64_t window_queries = 0;  // window queries issued (different heights)
+
+  // Total comparisons across all three counters.
+  uint64_t TotalComparisons() const {
+    return join_comparisons.count() + sort_comparisons.count() +
+           schedule_comparisons.count();
+  }
+
+  // Fraction of page requests served from the buffer.
+  double HitRate() const {
+    const uint64_t total = disk_reads + buffer_hits;
+    return total == 0 ? 0.0 : static_cast<double>(buffer_hits) / total;
+  }
+
+  void Reset() { *this = Statistics(); }
+
+  // Multi-line human readable dump (used by the examples).
+  std::string ToString() const;
+};
+
+}  // namespace rsj
+
+#endif  // RSJ_STORAGE_STATISTICS_H_

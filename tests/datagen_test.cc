@@ -1,0 +1,241 @@
+// Tests for the TIGER-like workload generators: determinism, exact
+// cardinalities, universe containment, structural properties (thin street
+// rects, chain connectivity of river courses, region overlap), and the
+// Table 8 workload definitions.
+
+#include "datagen/tiger_like.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/rng.h"
+#include "datagen/workloads.h"
+#include "geom/plane_sweep.h"
+#include "geom/segment.h"
+
+namespace rsj {
+namespace {
+
+TEST(RngTest, DeterministicSequences) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.Next(), b.Next());
+  Rng c(124);
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) differs |= a2.Next() != c.Next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(6);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian(1.0, 2.0);
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(CityLayoutTest, DeterministicAndWeighted) {
+  const CityLayout a = MakeCityLayout(42, 30);
+  const CityLayout b = MakeCityLayout(42, 30);
+  ASSERT_EQ(a.cities.size(), 30u);
+  for (size_t i = 0; i < a.cities.size(); ++i) {
+    EXPECT_EQ(a.cities[i].center, b.cities[i].center);
+  }
+  double total = 0.0;
+  for (const auto& c : a.cities) {
+    EXPECT_GT(c.weight, 0.0);
+    EXPECT_GT(c.radius, 0.0);
+    total += c.weight;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Zipf: the first city dominates the last.
+  EXPECT_GT(a.cities.front().weight, 5 * a.cities.back().weight);
+}
+
+TEST(StreetsTest, ExactCountDeterministicAndInUniverse) {
+  StreetsConfig config;
+  config.object_count = 5000;
+  const Dataset d1 = GenerateStreets(config);
+  const Dataset d2 = GenerateStreets(config);
+  ASSERT_EQ(d1.objects.size(), 5000u);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(d1.objects[i].mbr, d2.objects[i].mbr);
+  }
+  for (const SpatialObject& o : d1.objects) {
+    EXPECT_TRUE(d1.universe.Contains(o.mbr)) << o.mbr.ToString();
+    EXPECT_GE(o.chain.size(), 2u);
+    EXPECT_EQ(o.mbr, PolylineMbr(o.chain));
+  }
+}
+
+TEST(StreetsTest, RectsAreSmall) {
+  StreetsConfig config;
+  config.object_count = 5000;
+  const Dataset d = GenerateStreets(config);
+  double mean_extent = 0.0;
+  for (const SpatialObject& o : d.objects) {
+    mean_extent += (o.mbr.xu - o.mbr.xl) + (o.mbr.yu - o.mbr.yl);
+  }
+  mean_extent /= static_cast<double>(d.objects.size());
+  EXPECT_LT(mean_extent, 0.05);  // street chains are tiny map features
+}
+
+TEST(StreetsTest, ClusteredNotUniform) {
+  // Strong clustering: the densest 10% of a coarse grid holds far more
+  // than 10% of the objects.
+  StreetsConfig config;
+  config.object_count = 20000;
+  const Dataset d = GenerateStreets(config);
+  constexpr int kGrid = 20;
+  std::vector<size_t> cells(kGrid * kGrid, 0);
+  for (const SpatialObject& o : d.objects) {
+    const Point c = o.mbr.Center();
+    const int gx = std::min(kGrid - 1, static_cast<int>(c.x * kGrid));
+    const int gy = std::min(kGrid - 1, static_cast<int>(c.y * kGrid));
+    ++cells[static_cast<size_t>(gy) * kGrid + gx];
+  }
+  std::sort(cells.begin(), cells.end(), std::greater<>());
+  size_t top10 = 0;
+  for (int i = 0; i < kGrid * kGrid / 10; ++i) top10 += cells[static_cast<size_t>(i)];
+  EXPECT_GT(top10, d.objects.size() / 2);
+}
+
+TEST(StreetsTest, DifferentWalkSeedSameCities) {
+  StreetsConfig c1;
+  c1.object_count = 20000;
+  c1.seed = 1;
+  StreetsConfig c2 = c1;
+  c2.seed = 99;  // same city_seed: same geography, different streets
+  StreetsConfig c3 = c2;
+  c3.city_seed = 777;  // different geography entirely
+  const Dataset d1 = GenerateStreets(c1);
+  const Dataset d2 = GenerateStreets(c2);
+  const Dataset d3 = GenerateStreets(c3);
+  // Different objects...
+  EXPECT_FALSE(d1.objects[0].mbr == d2.objects[0].mbr);
+  // ...but shared geography: two maps over the same cities must intersect
+  // far more than maps over unrelated cities (the paper's test B setting).
+  const uint64_t same_geo = FullSweepJoin(d1.Mbrs(), d2.Mbrs(), nullptr);
+  const uint64_t diff_geo = FullSweepJoin(d1.Mbrs(), d3.Mbrs(), nullptr);
+  EXPECT_GT(same_geo, 4 * (diff_geo + 1));
+  EXPECT_GT(same_geo, 0u);
+}
+
+TEST(RiversTest, ExactCountAndChains) {
+  RiversConfig config;
+  config.object_count = 3000;
+  const Dataset d = GenerateRivers(config);
+  ASSERT_EQ(d.objects.size(), 3000u);
+  for (const SpatialObject& o : d.objects) {
+    EXPECT_EQ(o.chain.size(), 3u);  // 3-vertex chains
+    EXPECT_TRUE(d.universe.Contains(o.mbr));
+  }
+}
+
+TEST(RiversTest, ConsecutiveChainsShareVertices) {
+  RiversConfig config;
+  config.object_count = 1000;
+  config.chains_per_course = 50;
+  const Dataset d = GenerateRivers(config);
+  // Within a course, chain i ends where chain i+1 begins — the source of
+  // the paper's high self-join selectivity (test D).
+  size_t connected = 0;
+  for (size_t i = 0; i + 1 < 50; ++i) {
+    if (d.objects[i].chain.back() == d.objects[i + 1].chain.front()) {
+      ++connected;
+    }
+  }
+  EXPECT_GE(connected, 45u);
+}
+
+TEST(RiversTest, CoursesAreLongerThanStreets) {
+  RiversConfig rc;
+  rc.object_count = 2000;
+  const Dataset rivers = GenerateRivers(rc);
+  StreetsConfig sc;
+  sc.object_count = 2000;
+  const Dataset streets = GenerateStreets(sc);
+  auto mean_extent = [](const Dataset& d) {
+    double m = 0.0;
+    for (const SpatialObject& o : d.objects) {
+      m += (o.mbr.xu - o.mbr.xl) + (o.mbr.yu - o.mbr.yl);
+    }
+    return m / static_cast<double>(d.objects.size());
+  };
+  EXPECT_GT(mean_extent(rivers), mean_extent(streets));
+}
+
+TEST(RegionsTest, ExactCountAndOverlap) {
+  RegionsConfig config;
+  config.object_count = 4000;
+  const Dataset d = GenerateRegions(config);
+  ASSERT_EQ(d.objects.size(), 4000u);
+  for (const SpatialObject& o : d.objects) {
+    EXPECT_TRUE(d.universe.Contains(o.mbr));
+    EXPECT_GT(o.mbr.Area(), 0.0);
+  }
+  // Region data is denser than line data: the self join should produce
+  // several pairs per object (the paper's test E has ~16 per S object).
+  const uint64_t self_pairs = FullSweepJoin(d.Mbrs(), d.Mbrs(), nullptr);
+  EXPECT_GT(self_pairs, 3 * d.objects.size());
+}
+
+TEST(WorkloadTest, CardinalitiesMatchPaperAtFullScale) {
+  // Verify the definition without generating full-size data: scale 1/100.
+  const Workload a = MakeWorkload(TestCase::kA, 0.01);
+  EXPECT_EQ(a.paper_r_count, 131461u);
+  EXPECT_EQ(a.paper_s_count, 128971u);
+  EXPECT_EQ(a.paper_intersections, 86094u);
+  EXPECT_EQ(a.r.objects.size(), 1314u);
+  EXPECT_EQ(a.s.objects.size(), 1289u);
+}
+
+TEST(WorkloadTest, AllFiveTestsBuild) {
+  for (const TestCase test : kAllTestCases) {
+    const Workload w = MakeWorkload(test, 0.005);
+    EXPECT_FALSE(w.r.objects.empty()) << w.label;
+    EXPECT_FALSE(w.s.objects.empty()) << w.label;
+    EXPECT_GT(w.paper_intersections, 0u) << w.label;
+  }
+}
+
+TEST(WorkloadTest, TestDIsSelfJoin) {
+  const Workload d = MakeWorkload(TestCase::kD, 0.01);
+  ASSERT_EQ(d.r.objects.size(), d.s.objects.size());
+  for (size_t i = 0; i < d.r.objects.size(); ++i) {
+    ASSERT_EQ(d.r.objects[i].mbr, d.s.objects[i].mbr);
+  }
+}
+
+TEST(WorkloadTest, TestBSharesGeography) {
+  const Workload b = MakeWorkload(TestCase::kB, 0.02);
+  const uint64_t pairs = FullSweepJoin(b.r.Mbrs(), b.s.Mbrs(), nullptr);
+  EXPECT_GT(pairs, 0u);
+}
+
+TEST(WorkloadTest, DescribeMentionsNameAndCount) {
+  const Workload a = MakeWorkload(TestCase::kA, 0.005);
+  const std::string desc = a.r.Describe();
+  EXPECT_NE(desc.find("streets"), std::string::npos);
+  EXPECT_NE(desc.find("657"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rsj

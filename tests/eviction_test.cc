@@ -1,0 +1,124 @@
+// Tests for the FIFO and CLOCK replacement policies (the LRU behaviour is
+// covered by storage_test.cc) and for policy effects on full joins.
+
+#include <gtest/gtest.h>
+
+#include "join/join_runner.h"
+#include "storage/buffer_pool.h"
+#include "tests/test_util.h"
+
+namespace rsj {
+namespace {
+
+TEST(EvictionPolicyTest, Names) {
+  EXPECT_STREQ(EvictionPolicyName(EvictionPolicy::kLru), "LRU");
+  EXPECT_STREQ(EvictionPolicyName(EvictionPolicy::kFifo), "FIFO");
+  EXPECT_STREQ(EvictionPolicyName(EvictionPolicy::kClock), "CLOCK");
+}
+
+TEST(FifoPolicyTest, HitDoesNotRefreshOrder) {
+  Statistics stats;
+  BufferPool pool(
+      BufferPool::Options{2 * kPageSize1K, kPageSize1K, EvictionPolicy::kFifo},
+      &stats);
+  PagedFile file(kPageSize1K);
+  const PageId a = file.Allocate();
+  const PageId b = file.Allocate();
+  const PageId c = file.Allocate();
+  pool.Read(file, a);
+  pool.Read(file, b);
+  pool.Read(file, a);  // FIFO: does NOT make a the newest
+  pool.Read(file, c);  // evicts a (oldest insertion)
+  EXPECT_FALSE(pool.Contains(file, a));
+  EXPECT_TRUE(pool.Contains(file, b));
+  EXPECT_TRUE(pool.Contains(file, c));
+}
+
+TEST(ClockPolicyTest, ReferencedPageGetsSecondChance) {
+  Statistics stats;
+  BufferPool pool(BufferPool::Options{2 * kPageSize1K, kPageSize1K,
+                                      EvictionPolicy::kClock},
+                  &stats);
+  PagedFile file(kPageSize1K);
+  const PageId a = file.Allocate();
+  const PageId b = file.Allocate();
+  const PageId c = file.Allocate();
+  pool.Read(file, a);
+  pool.Read(file, b);
+  pool.Read(file, a);  // sets a's reference bit
+  pool.Read(file, c);  // a gets the second chance; b is evicted
+  EXPECT_TRUE(pool.Contains(file, a));
+  EXPECT_FALSE(pool.Contains(file, b));
+  EXPECT_TRUE(pool.Contains(file, c));
+}
+
+TEST(ClockPolicyTest, SecondChanceExpires) {
+  Statistics stats;
+  BufferPool pool(BufferPool::Options{1 * kPageSize1K, kPageSize1K,
+                                      EvictionPolicy::kClock},
+                  &stats);
+  PagedFile file(kPageSize1K);
+  const PageId a = file.Allocate();
+  const PageId b = file.Allocate();
+  pool.Read(file, a);
+  pool.Read(file, a);  // referenced
+  pool.Read(file, b);  // a's bit is cleared, then a is evicted anyway
+  EXPECT_FALSE(pool.Contains(file, a));
+  EXPECT_TRUE(pool.Contains(file, b));
+}
+
+TEST(ClockPolicyTest, PinnedPagesUnaffectedBySweep) {
+  Statistics stats;
+  BufferPool pool(BufferPool::Options{1 * kPageSize1K, kPageSize1K,
+                                      EvictionPolicy::kClock},
+                  &stats);
+  PagedFile file(kPageSize1K);
+  const PageId pinned = file.Allocate();
+  const PageId x = file.Allocate();
+  const PageId y = file.Allocate();
+  pool.Pin(file, pinned);
+  pool.Read(file, x);
+  pool.Read(file, y);
+  EXPECT_TRUE(pool.Contains(file, pinned));
+  pool.Unpin(file, pinned);
+}
+
+struct PolicyCase {
+  EvictionPolicy policy;
+  const char* name;
+};
+
+class PolicyJoinTest : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(PolicyJoinTest, ResultIndependentOfPolicy) {
+  const auto rects_r = testutil::ClusteredRects(1200, 901);
+  const auto rects_s = testutil::ClusteredRects(1000, 902);
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation r(rects_r, topt);
+  IndexedRelation s(rects_s, topt);
+  JoinOptions jopt;
+  jopt.algorithm = JoinAlgorithm::kSJ4;
+  jopt.buffer_bytes = 8 * 1024;
+  jopt.eviction_policy = GetParam().policy;
+  const auto result = RunSpatialJoin(r.tree(), s.tree(), jopt, true);
+
+  JoinOptions reference = jopt;
+  reference.eviction_policy = EvictionPolicy::kLru;
+  const auto expected = RunSpatialJoin(r.tree(), s.tree(), reference, true);
+  EXPECT_EQ(testutil::Canonical(result.pairs),
+            testutil::Canonical(expected.pairs));
+  EXPECT_GT(result.stats.disk_reads, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyJoinTest,
+    ::testing::Values(PolicyCase{EvictionPolicy::kLru, "lru"},
+                      PolicyCase{EvictionPolicy::kFifo, "fifo"},
+                      PolicyCase{EvictionPolicy::kClock, "clock"}),
+    [](const ::testing::TestParamInfo<PolicyCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace rsj

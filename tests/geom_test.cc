@@ -1,0 +1,194 @@
+// Unit tests for the geometry kernel: Rect predicates and measures, and the
+// paper's comparison-counting contract (exactly four comparisons for a
+// positive MBR intersection test, early exit otherwise).
+
+#include "geom/rect.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace rsj {
+namespace {
+
+TEST(RectTest, ValidityBasics) {
+  EXPECT_TRUE((Rect{0, 0, 1, 1}).IsValid());
+  EXPECT_TRUE((Rect{0, 0, 0, 0}).IsValid());  // degenerate point
+  EXPECT_FALSE((Rect{1, 0, 0, 1}).IsValid());
+  EXPECT_TRUE(Rect::Empty().IsEmpty());
+  EXPECT_FALSE((Rect{0, 0, 1, 1}).IsEmpty());
+}
+
+TEST(RectTest, IntersectsOverlapping) {
+  const Rect a{0, 0, 2, 2};
+  const Rect b{1, 1, 3, 3};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+}
+
+TEST(RectTest, IntersectsDisjoint) {
+  const Rect a{0, 0, 1, 1};
+  EXPECT_FALSE(a.Intersects(Rect{2, 0, 3, 1}));  // right of a
+  EXPECT_FALSE(a.Intersects(Rect{-2, 0, -1, 1}));  // left of a
+  EXPECT_FALSE(a.Intersects(Rect{0, 2, 1, 3}));  // above a
+  EXPECT_FALSE(a.Intersects(Rect{0, -3, 1, -2}));  // below a
+}
+
+TEST(RectTest, IntersectsClosedSemantics) {
+  const Rect a{0, 0, 1, 1};
+  EXPECT_TRUE(a.Intersects(Rect{1, 0, 2, 1}));  // shared edge
+  EXPECT_TRUE(a.Intersects(Rect{1, 1, 2, 2}));  // shared corner
+  EXPECT_TRUE(a.Intersects(Rect{0.5f, 0.5f, 0.5f, 0.5f}));  // point inside
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect outer{0, 0, 10, 10};
+  EXPECT_TRUE(outer.Contains(Rect{1, 1, 9, 9}));
+  EXPECT_TRUE(outer.Contains(outer));  // closed: contains itself
+  EXPECT_FALSE(outer.Contains(Rect{1, 1, 11, 9}));
+  EXPECT_FALSE((Rect{1, 1, 9, 9}).Contains(outer));
+}
+
+TEST(RectTest, ContainsPoint) {
+  const Rect r{0, 0, 1, 1};
+  EXPECT_TRUE(r.Contains(Point{0.5f, 0.5f}));
+  EXPECT_TRUE(r.Contains(Point{0, 0}));  // boundary
+  EXPECT_TRUE(r.Contains(Point{1, 1}));  // boundary
+  EXPECT_FALSE(r.Contains(Point{1.0001f, 0.5f}));
+}
+
+TEST(RectTest, IntersectionGeometry) {
+  const Rect a{0, 0, 2, 2};
+  const Rect b{1, 1, 3, 3};
+  const Rect i = a.Intersection(b);
+  EXPECT_EQ(i, (Rect{1, 1, 2, 2}));
+}
+
+TEST(RectTest, UnionGeometry) {
+  const Rect a{0, 0, 1, 1};
+  const Rect b{2, 2, 3, 3};
+  EXPECT_EQ(a.Union(b), (Rect{0, 0, 3, 3}));
+}
+
+TEST(RectTest, UnionWithEmptyIsIdentity) {
+  const Rect a{0, 0, 1, 1};
+  EXPECT_EQ(a.Union(Rect::Empty()), a);
+  EXPECT_EQ(Rect::Empty().Union(a), a);
+}
+
+TEST(RectTest, ExpandToInclude) {
+  Rect mbr = Rect::Empty();
+  mbr.ExpandToInclude(Rect{2, 3, 4, 5});
+  EXPECT_EQ(mbr, (Rect{2, 3, 4, 5}));
+  mbr.ExpandToInclude(Rect{0, 4, 3, 9});
+  EXPECT_EQ(mbr, (Rect{0, 3, 4, 9}));
+}
+
+TEST(RectTest, AreaAndMargin) {
+  const Rect r{0, 0, 2, 3};
+  EXPECT_DOUBLE_EQ(r.Area(), 6.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 5.0);
+  EXPECT_DOUBLE_EQ((Rect{1, 1, 1, 1}).Area(), 0.0);
+  EXPECT_DOUBLE_EQ(Rect::Empty().Area(), 0.0);
+}
+
+TEST(RectTest, OverlapArea) {
+  const Rect a{0, 0, 2, 2};
+  EXPECT_DOUBLE_EQ(a.OverlapArea(Rect{1, 1, 3, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(a.OverlapArea(Rect{5, 5, 6, 6}), 0.0);
+  EXPECT_DOUBLE_EQ(a.OverlapArea(Rect{2, 0, 3, 2}), 0.0);  // touching edge
+  EXPECT_DOUBLE_EQ(a.OverlapArea(a), 4.0);
+}
+
+TEST(RectTest, Enlargement) {
+  const Rect a{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(a.Enlargement(Rect{0.2f, 0.2f, 0.8f, 0.8f}), 0.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(Rect{0, 0, 2, 1}), 1.0);
+}
+
+TEST(RectTest, CenterAndDistance) {
+  const Rect a{0, 0, 2, 2};
+  EXPECT_EQ(a.Center(), (Point{1, 1}));
+  const Rect b{4, 0, 6, 2};  // center (5, 1)
+  EXPECT_DOUBLE_EQ(a.CenterDistance2(b), 16.0);
+}
+
+TEST(RectTest, BoundingBoxOfPoints) {
+  const Rect r = Rect::BoundingBox(Point{3, 1}, Point{0, 2});
+  EXPECT_EQ(r, (Rect{0, 1, 3, 2}));
+}
+
+// --- Comparison counting: the paper's exact CPU cost contract ---
+
+TEST(ComparisonCountTest, IntersectingPairCostsExactlyFour) {
+  ComparisonCounter counter;
+  const Rect a{0, 0, 2, 2};
+  const Rect b{1, 1, 3, 3};
+  EXPECT_TRUE(a.IntersectsCounted(b, &counter));
+  EXPECT_EQ(counter.count(), 4u);
+}
+
+TEST(ComparisonCountTest, EarlyExitOnFirstAxis) {
+  ComparisonCounter counter;
+  const Rect a{0, 0, 1, 1};
+  const Rect right{5, 0, 6, 1};  // a.xl > right.xu is false; right.xl > a.xu
+  EXPECT_FALSE(a.IntersectsCounted(right, &counter));
+  EXPECT_LE(counter.count(), 2u);
+  EXPECT_GE(counter.count(), 1u);
+}
+
+TEST(ComparisonCountTest, FailOnFirstComparison) {
+  ComparisonCounter counter;
+  const Rect a{5, 0, 6, 1};
+  const Rect left{0, 0, 1, 1};  // a.xl > left.xu fails immediately
+  EXPECT_FALSE(a.IntersectsCounted(left, &counter));
+  EXPECT_EQ(counter.count(), 1u);
+}
+
+TEST(ComparisonCountTest, YOnlyDisjointCostsThreeOrFour) {
+  ComparisonCounter counter;
+  const Rect a{0, 0, 1, 1};
+  const Rect above{0, 5, 1, 6};  // x overlaps, y disjoint
+  EXPECT_FALSE(a.IntersectsCounted(above, &counter));
+  EXPECT_GE(counter.count(), 3u);
+  EXPECT_LE(counter.count(), 4u);
+}
+
+TEST(ComparisonCountTest, CounterAccumulatesAndResets) {
+  ComparisonCounter counter;
+  const Rect a{0, 0, 2, 2};
+  a.IntersectsCounted(a, &counter);
+  a.IntersectsCounted(a, &counter);
+  EXPECT_EQ(counter.count(), 8u);
+  counter.Reset();
+  EXPECT_EQ(counter.count(), 0u);
+}
+
+TEST(ComparisonCountTest, CountedAgreesWithUncountedOnRandomPairs) {
+  const auto rects = testutil::RandomRects(300, /*seed=*/17, /*extent=*/0.3);
+  ComparisonCounter counter;
+  for (size_t i = 0; i < rects.size(); ++i) {
+    for (size_t j = 0; j < rects.size(); ++j) {
+      ASSERT_EQ(rects[i].Intersects(rects[j]),
+                rects[i].IntersectsCounted(rects[j], &counter))
+          << "disagreement at pair (" << i << "," << j << ")";
+    }
+  }
+  // Every test costs between 1 and 4 comparisons.
+  EXPECT_GE(counter.count(), rects.size() * rects.size());
+  EXPECT_LE(counter.count(), 4 * rects.size() * rects.size());
+}
+
+TEST(ComparisonCountTest, IntersectionIsSymmetricCounted) {
+  const auto rects = testutil::RandomRects(100, /*seed=*/23, /*extent=*/0.2);
+  ComparisonCounter counter;
+  for (size_t i = 0; i < rects.size(); ++i) {
+    for (size_t j = i; j < rects.size(); ++j) {
+      EXPECT_EQ(rects[i].IntersectsCounted(rects[j], &counter),
+                rects[j].IntersectsCounted(rects[i], &counter));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rsj

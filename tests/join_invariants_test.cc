@@ -1,0 +1,165 @@
+// Cross-algorithm invariants of the join engine — properties that must
+// hold regardless of workload, connecting the counters of different
+// algorithms to each other.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "join/join_runner.h"
+#include "tests/test_util.h"
+
+namespace rsj {
+namespace {
+
+constexpr JoinAlgorithm kAllAlgorithms[] = {
+    JoinAlgorithm::kSJ1, JoinAlgorithm::kSJ2,
+    JoinAlgorithm::kSweepUnrestricted, JoinAlgorithm::kSJ3,
+    JoinAlgorithm::kSJ4, JoinAlgorithm::kSJ5};
+
+class JoinInvariantsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RTreeOptions topt;
+    topt.page_size = kPageSize1K;
+    r_ = new IndexedRelation(testutil::ClusteredRects(3000, 551), topt);
+    s_ = new IndexedRelation(testutil::ClusteredRects(2800, 552), topt);
+  }
+  static void TearDownTestSuite() {
+    delete r_;
+    delete s_;
+    r_ = nullptr;
+    s_ = nullptr;
+  }
+  static IndexedRelation* r_;
+  static IndexedRelation* s_;
+};
+
+IndexedRelation* JoinInvariantsTest::r_ = nullptr;
+IndexedRelation* JoinInvariantsTest::s_ = nullptr;
+
+TEST_F(JoinInvariantsTest, InfiniteBufferReadsEqualAcrossSchedules) {
+  // With every page cached after first use, the read count is exactly the
+  // number of distinct pages required — independent of the read schedule.
+  constexpr uint64_t kInfinite = 1ull << 30;
+  std::set<uint64_t> distinct_reads;
+  for (const JoinAlgorithm alg :
+       {JoinAlgorithm::kSJ3, JoinAlgorithm::kSJ4, JoinAlgorithm::kSJ5}) {
+    JoinOptions jopt;
+    jopt.algorithm = alg;
+    jopt.buffer_bytes = kInfinite;
+    distinct_reads.insert(
+        RunSpatialJoin(r_->tree(), s_->tree(), jopt).stats.disk_reads);
+  }
+  EXPECT_EQ(distinct_reads.size(), 1u)
+      << "schedules must touch the same page set";
+}
+
+TEST_F(JoinInvariantsTest, RequiredPagesNeverExceedTreeSizes) {
+  constexpr uint64_t kInfinite = 1ull << 30;
+  const size_t total_pages = r_->tree().ComputeStats().TotalPages() +
+                             s_->tree().ComputeStats().TotalPages();
+  for (const JoinAlgorithm alg : kAllAlgorithms) {
+    JoinOptions jopt;
+    jopt.algorithm = alg;
+    jopt.buffer_bytes = kInfinite;
+    const auto stats = RunSpatialJoin(r_->tree(), s_->tree(), jopt).stats;
+    EXPECT_LE(stats.disk_reads, total_pages) << JoinAlgorithmName(alg);
+  }
+}
+
+TEST_F(JoinInvariantsTest, ZeroBufferReadsAreWorstCase) {
+  for (const JoinAlgorithm alg : kAllAlgorithms) {
+    JoinOptions jopt;
+    jopt.algorithm = alg;
+    jopt.buffer_bytes = 0;
+    const uint64_t without = RunSpatialJoin(r_->tree(), s_->tree(), jopt)
+                                 .stats.disk_reads;
+    jopt.buffer_bytes = 1ull << 30;
+    const uint64_t with = RunSpatialJoin(r_->tree(), s_->tree(), jopt)
+                              .stats.disk_reads;
+    EXPECT_GE(without, with) << JoinAlgorithmName(alg);
+  }
+}
+
+TEST_F(JoinInvariantsTest, RestrictionNeverIncreasesJoinComparisons) {
+  // SJ2's marking scan can only pay off or break even vs SJ1 on this
+  // workload class (the paper's Table 3 claim).
+  JoinOptions sj1;
+  sj1.algorithm = JoinAlgorithm::kSJ1;
+  JoinOptions sj2;
+  sj2.algorithm = JoinAlgorithm::kSJ2;
+  EXPECT_LE(RunSpatialJoin(r_->tree(), s_->tree(), sj2)
+                .stats.join_comparisons.count(),
+            RunSpatialJoin(r_->tree(), s_->tree(), sj1)
+                .stats.join_comparisons.count());
+}
+
+TEST_F(JoinInvariantsTest, DeterministicCountersAcrossRuns) {
+  JoinOptions jopt;
+  jopt.algorithm = JoinAlgorithm::kSJ4;
+  jopt.buffer_bytes = 16 * 1024;
+  const auto first = RunSpatialJoin(r_->tree(), s_->tree(), jopt).stats;
+  const auto second = RunSpatialJoin(r_->tree(), s_->tree(), jopt).stats;
+  EXPECT_EQ(first.disk_reads, second.disk_reads);
+  EXPECT_EQ(first.buffer_hits, second.buffer_hits);
+  EXPECT_EQ(first.join_comparisons.count(),
+            second.join_comparisons.count());
+  EXPECT_EQ(first.sort_comparisons.count(),
+            second.sort_comparisons.count());
+  EXPECT_EQ(first.pin_count, second.pin_count);
+  EXPECT_EQ(first.output_pairs, second.output_pairs);
+}
+
+TEST_F(JoinInvariantsTest, ReadsPlusHitsInvariantAcrossBufferSizes) {
+  // The engine issues the same page *requests* regardless of the buffer;
+  // the buffer only shifts requests between misses and hits. (Holds for
+  // non-pinning algorithms; pinning drains reorder requests.)
+  for (const JoinAlgorithm alg :
+       {JoinAlgorithm::kSJ1, JoinAlgorithm::kSJ2, JoinAlgorithm::kSJ3}) {
+    std::set<uint64_t> totals;
+    for (const uint64_t buffer : {0ull, 8ull * 1024, 512ull * 1024}) {
+      JoinOptions jopt;
+      jopt.algorithm = alg;
+      jopt.buffer_bytes = buffer;
+      const auto stats = RunSpatialJoin(r_->tree(), s_->tree(), jopt).stats;
+      totals.insert(stats.disk_reads + stats.buffer_hits);
+    }
+    EXPECT_EQ(totals.size(), 1u) << JoinAlgorithmName(alg);
+  }
+}
+
+TEST_F(JoinInvariantsTest, SweepOutputIsPermutationOfNestedLoopOutput) {
+  JoinOptions nested;
+  nested.algorithm = JoinAlgorithm::kSJ2;
+  JoinOptions sweep;
+  sweep.algorithm = JoinAlgorithm::kSJ3;
+  auto a = RunSpatialJoin(r_->tree(), s_->tree(), nested, true);
+  auto b = RunSpatialJoin(r_->tree(), s_->tree(), sweep, true);
+  EXPECT_EQ(testutil::Canonical(std::move(a.pairs)),
+            testutil::Canonical(std::move(b.pairs)));
+}
+
+TEST_F(JoinInvariantsTest, OutputPairsMatchesEmittedCount) {
+  for (const JoinAlgorithm alg : kAllAlgorithms) {
+    JoinOptions jopt;
+    jopt.algorithm = alg;
+    const auto result = RunSpatialJoin(r_->tree(), s_->tree(), jopt, true);
+    EXPECT_EQ(result.stats.output_pairs, result.pairs.size())
+        << JoinAlgorithmName(alg);
+  }
+}
+
+TEST_F(JoinInvariantsTest, JoinIsSymmetricUpToPairOrientation) {
+  JoinOptions jopt;
+  jopt.algorithm = JoinAlgorithm::kSJ4;
+  auto forward = RunSpatialJoin(r_->tree(), s_->tree(), jopt, true);
+  auto backward = RunSpatialJoin(s_->tree(), r_->tree(), jopt, true);
+  ASSERT_EQ(forward.pair_count, backward.pair_count);
+  for (auto& p : backward.pairs) std::swap(p.first, p.second);
+  EXPECT_EQ(testutil::Canonical(std::move(forward.pairs)),
+            testutil::Canonical(std::move(backward.pairs)));
+}
+
+}  // namespace
+}  // namespace rsj

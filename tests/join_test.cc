@@ -1,0 +1,402 @@
+// Spatial join engine tests.
+//
+// The core property: every algorithm SJ1..SJ5 (and the Table 4 variant)
+// computes exactly the same result set as the brute-force MBR join, for all
+// page sizes, buffer sizes and tree shapes — the optimizations may only
+// change the counters, never the answer. Further tests pin down the paper's
+// qualitative claims: SJ2 needs fewer comparisons than SJ1, sweep variants
+// fewer than SJ2, SJ4 needs no more disk reads than SJ3, buffer size only
+// affects I/O, pinning happens, optimum bounds hold.
+
+#include "join/spatial_join.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/plane_sweep.h"
+#include "join/join_runner.h"
+#include "tests/test_util.h"
+
+namespace rsj {
+namespace {
+
+constexpr JoinAlgorithm kAllAlgorithms[] = {
+    JoinAlgorithm::kSJ1, JoinAlgorithm::kSJ2,
+    JoinAlgorithm::kSweepUnrestricted, JoinAlgorithm::kSJ3,
+    JoinAlgorithm::kSJ4, JoinAlgorithm::kSJ5};
+
+std::vector<std::pair<uint32_t, uint32_t>> Oracle(
+    const std::vector<Rect>& r, const std::vector<Rect>& s) {
+  return testutil::Canonical(NestedLoopIntersectionPairs(r, s));
+}
+
+// --- Exhaustive result-set equality across the whole config space ---
+
+struct JoinCase {
+  JoinAlgorithm algorithm;
+  uint32_t page_size;
+  uint64_t buffer_bytes;
+};
+
+std::string JoinCaseName(const ::testing::TestParamInfo<JoinCase>& info) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s_p%u_b%llu",
+                JoinAlgorithmName(info.param.algorithm),
+                info.param.page_size / 1024,
+                static_cast<unsigned long long>(info.param.buffer_bytes /
+                                                1024));
+  return std::string(buf);
+}
+
+class JoinCorrectnessTest : public ::testing::TestWithParam<JoinCase> {};
+
+TEST_P(JoinCorrectnessTest, MatchesBruteForce) {
+  const JoinCase& c = GetParam();
+  const auto rects_r = testutil::ClusteredRects(900, /*seed=*/101);
+  const auto rects_s = testutil::ClusteredRects(800, /*seed=*/202);
+  RTreeOptions topt;
+  topt.page_size = c.page_size;
+  IndexedRelation r(rects_r, topt);
+  IndexedRelation s(rects_s, topt);
+  JoinOptions jopt;
+  jopt.algorithm = c.algorithm;
+  jopt.buffer_bytes = c.buffer_bytes;
+  const JoinRunResult result =
+      RunSpatialJoin(r.tree(), s.tree(), jopt, /*collect_pairs=*/true);
+  EXPECT_EQ(testutil::Canonical(result.pairs), Oracle(rects_r, rects_s));
+  EXPECT_EQ(result.pair_count, result.pairs.size());
+  EXPECT_EQ(result.stats.output_pairs, result.pair_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsPagesBuffers, JoinCorrectnessTest,
+    ::testing::Values(
+        // every algorithm, 1K pages, medium buffer
+        JoinCase{JoinAlgorithm::kSJ1, kPageSize1K, 32 * 1024},
+        JoinCase{JoinAlgorithm::kSJ2, kPageSize1K, 32 * 1024},
+        JoinCase{JoinAlgorithm::kSweepUnrestricted, kPageSize1K, 32 * 1024},
+        JoinCase{JoinAlgorithm::kSJ3, kPageSize1K, 32 * 1024},
+        JoinCase{JoinAlgorithm::kSJ4, kPageSize1K, 32 * 1024},
+        JoinCase{JoinAlgorithm::kSJ5, kPageSize1K, 32 * 1024},
+        // zero buffer
+        JoinCase{JoinAlgorithm::kSJ1, kPageSize1K, 0},
+        JoinCase{JoinAlgorithm::kSJ3, kPageSize1K, 0},
+        JoinCase{JoinAlgorithm::kSJ4, kPageSize1K, 0},
+        JoinCase{JoinAlgorithm::kSJ5, kPageSize1K, 0},
+        // other page sizes
+        JoinCase{JoinAlgorithm::kSJ4, kPageSize2K, 32 * 1024},
+        JoinCase{JoinAlgorithm::kSJ4, kPageSize4K, 128 * 1024},
+        JoinCase{JoinAlgorithm::kSJ1, kPageSize4K, 0},
+        JoinCase{JoinAlgorithm::kSJ5, kPageSize2K, 8 * 1024},
+        JoinCase{JoinAlgorithm::kSJ2, kPageSize4K, 512 * 1024},
+        // huge buffer
+        JoinCase{JoinAlgorithm::kSJ4, kPageSize1K, 4096 * 1024}),
+    JoinCaseName);
+
+// --- Edge cases ---
+
+TEST(JoinEdgeTest, EmptyTrees) {
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation r(std::vector<Rect>{}, topt);
+  IndexedRelation s(std::vector<Rect>{}, topt);
+  for (const JoinAlgorithm alg : kAllAlgorithms) {
+    JoinOptions jopt;
+    jopt.algorithm = alg;
+    const auto result = RunSpatialJoin(r.tree(), s.tree(), jopt);
+    EXPECT_EQ(result.pair_count, 0u) << JoinAlgorithmName(alg);
+  }
+}
+
+TEST(JoinEdgeTest, OneEmptyTree) {
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation r(testutil::RandomRects(100, 1), topt);
+  IndexedRelation s(std::vector<Rect>{}, topt);
+  for (const JoinAlgorithm alg : kAllAlgorithms) {
+    JoinOptions jopt;
+    jopt.algorithm = alg;
+    EXPECT_EQ(RunSpatialJoin(r.tree(), s.tree(), jopt).pair_count, 0u);
+    EXPECT_EQ(RunSpatialJoin(s.tree(), r.tree(), jopt).pair_count, 0u);
+  }
+}
+
+TEST(JoinEdgeTest, SingleEntryTrees) {
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation r(std::vector<Rect>{Rect{0, 0, 1, 1}}, topt);
+  IndexedRelation s(std::vector<Rect>{Rect{0.5f, 0.5f, 2, 2}}, topt);
+  IndexedRelation t(std::vector<Rect>{Rect{5, 5, 6, 6}}, topt);
+  for (const JoinAlgorithm alg : kAllAlgorithms) {
+    JoinOptions jopt;
+    jopt.algorithm = alg;
+    EXPECT_EQ(RunSpatialJoin(r.tree(), s.tree(), jopt).pair_count, 1u);
+    EXPECT_EQ(RunSpatialJoin(r.tree(), t.tree(), jopt).pair_count, 0u);
+  }
+}
+
+TEST(JoinEdgeTest, DisjointUniverses) {
+  auto left = testutil::RandomRects(300, 7, 0.02);
+  auto right = left;
+  for (Rect& rect : right) {  // shift far away
+    rect.xl += 50;
+    rect.xu += 50;
+  }
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation r(left, topt);
+  IndexedRelation s(right, topt);
+  for (const JoinAlgorithm alg : kAllAlgorithms) {
+    JoinOptions jopt;
+    jopt.algorithm = alg;
+    EXPECT_EQ(RunSpatialJoin(r.tree(), s.tree(), jopt).pair_count, 0u);
+  }
+}
+
+TEST(JoinEdgeTest, SelfJoinOfIdenticalTreesContainsDiagonal) {
+  const auto rects = testutil::ClusteredRects(600, /*seed=*/55);
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation r(rects, topt);
+  IndexedRelation s(rects, topt);
+  JoinOptions jopt;
+  jopt.algorithm = JoinAlgorithm::kSJ4;
+  const auto result = RunSpatialJoin(r.tree(), s.tree(), jopt, true);
+  size_t diagonal = 0;
+  for (const auto& p : result.pairs) diagonal += p.first == p.second;
+  EXPECT_EQ(diagonal, rects.size());
+  EXPECT_EQ(testutil::Canonical(result.pairs), Oracle(rects, rects));
+}
+
+TEST(JoinEdgeTest, DegenerateRectangles) {
+  std::vector<Rect> r;
+  std::vector<Rect> s;
+  Rng rng(66);
+  for (int i = 0; i < 200; ++i) {
+    const auto x = static_cast<Coord>(rng.Uniform(0, 1));
+    const auto y = static_cast<Coord>(rng.Uniform(0, 1));
+    r.push_back(Rect{x, y, x, y});  // points
+    const auto x2 = static_cast<Coord>(rng.Uniform(0, 1));
+    const auto y2 = static_cast<Coord>(rng.Uniform(0, 1));
+    s.push_back(Rect{x2, 0, x2, y2});  // vertical segments
+  }
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation rr(r, topt);
+  IndexedRelation ss(s, topt);
+  for (const JoinAlgorithm alg : kAllAlgorithms) {
+    JoinOptions jopt;
+    jopt.algorithm = alg;
+    const auto result = RunSpatialJoin(rr.tree(), ss.tree(), jopt, true);
+    EXPECT_EQ(testutil::Canonical(result.pairs), Oracle(r, s));
+  }
+}
+
+// --- The paper's qualitative CPU/I-O claims on a mid-size workload ---
+
+class JoinBehaviorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rects_r_ = new std::vector<Rect>(testutil::ClusteredRects(4000, 301));
+    rects_s_ = new std::vector<Rect>(testutil::ClusteredRects(3500, 302));
+    RTreeOptions topt;
+    topt.page_size = kPageSize1K;
+    r_ = new IndexedRelation(*rects_r_, topt);
+    s_ = new IndexedRelation(*rects_s_, topt);
+  }
+  static void TearDownTestSuite() {
+    delete r_;
+    delete s_;
+    delete rects_r_;
+    delete rects_s_;
+    r_ = nullptr;
+    s_ = nullptr;
+    rects_r_ = nullptr;
+    rects_s_ = nullptr;
+  }
+
+  static Statistics Stats(JoinAlgorithm alg, uint64_t buffer) {
+    JoinOptions jopt;
+    jopt.algorithm = alg;
+    jopt.buffer_bytes = buffer;
+    return RunSpatialJoin(r_->tree(), s_->tree(), jopt).stats;
+  }
+
+  static std::vector<Rect>* rects_r_;
+  static std::vector<Rect>* rects_s_;
+  static IndexedRelation* r_;
+  static IndexedRelation* s_;
+};
+
+std::vector<Rect>* JoinBehaviorTest::rects_r_ = nullptr;
+std::vector<Rect>* JoinBehaviorTest::rects_s_ = nullptr;
+IndexedRelation* JoinBehaviorTest::r_ = nullptr;
+IndexedRelation* JoinBehaviorTest::s_ = nullptr;
+
+TEST_F(JoinBehaviorTest, RestrictionReducesComparisons) {
+  const auto sj1 = Stats(JoinAlgorithm::kSJ1, 32 * 1024);
+  const auto sj2 = Stats(JoinAlgorithm::kSJ2, 32 * 1024);
+  EXPECT_LT(sj2.join_comparisons.count(), sj1.join_comparisons.count());
+}
+
+TEST_F(JoinBehaviorTest, SweepReducesComparisonsFurther) {
+  const auto sj2 = Stats(JoinAlgorithm::kSJ2, 32 * 1024);
+  const auto sj3 = Stats(JoinAlgorithm::kSJ3, 32 * 1024);
+  EXPECT_LT(sj3.join_comparisons.count(), sj2.join_comparisons.count());
+}
+
+TEST_F(JoinBehaviorTest, UnrestrictedSweepBeatsSJ1) {
+  const auto sj1 = Stats(JoinAlgorithm::kSJ1, 32 * 1024);
+  const auto v1 = Stats(JoinAlgorithm::kSweepUnrestricted, 32 * 1024);
+  EXPECT_LT(v1.join_comparisons.count(), sj1.join_comparisons.count());
+}
+
+TEST_F(JoinBehaviorTest, ComparisonsIndependentOfBufferForSJ1SJ2) {
+  // Table 2: "this number is independent of the size of the LRU-buffer".
+  // (Sweep variants recharge sort cost on re-reads, so only join counters
+  // of the non-sorting algorithms are buffer-invariant.)
+  for (const JoinAlgorithm alg :
+       {JoinAlgorithm::kSJ1, JoinAlgorithm::kSJ2}) {
+    const auto b0 = Stats(alg, 0);
+    const auto b512 = Stats(alg, 512 * 1024);
+    EXPECT_EQ(b0.join_comparisons.count(), b512.join_comparisons.count());
+  }
+}
+
+TEST_F(JoinBehaviorTest, JoinComparisonsOfSweepVariantsBufferInvariant) {
+  const auto b0 = Stats(JoinAlgorithm::kSJ4, 0);
+  const auto b512 = Stats(JoinAlgorithm::kSJ4, 512 * 1024);
+  EXPECT_EQ(b0.join_comparisons.count(), b512.join_comparisons.count());
+  // Sort cost shrinks with a bigger buffer (fewer physical re-reads).
+  EXPECT_GE(b0.sort_comparisons.count(), b512.sort_comparisons.count());
+}
+
+TEST_F(JoinBehaviorTest, BufferReducesDiskReadsMonotonically) {
+  uint64_t previous = UINT64_MAX;
+  for (const uint64_t buffer :
+       {0ull, 8ull * 1024, 32ull * 1024, 128ull * 1024, 512ull * 1024}) {
+    const auto stats = Stats(JoinAlgorithm::kSJ1, buffer);
+    EXPECT_LE(stats.disk_reads, previous) << "buffer " << buffer;
+    previous = stats.disk_reads;
+  }
+}
+
+TEST_F(JoinBehaviorTest, PinningNeverHurtsIo) {
+  for (const uint64_t buffer : {0ull, 8ull * 1024, 32ull * 1024}) {
+    const auto sj3 = Stats(JoinAlgorithm::kSJ3, buffer);
+    const auto sj4 = Stats(JoinAlgorithm::kSJ4, buffer);
+    EXPECT_LE(sj4.disk_reads, sj3.disk_reads) << "buffer " << buffer;
+  }
+}
+
+TEST_F(JoinBehaviorTest, SJ4ActuallyPins) {
+  const auto sj4 = Stats(JoinAlgorithm::kSJ4, 8 * 1024);
+  EXPECT_GT(sj4.pin_count, 0u);
+  const auto sj3 = Stats(JoinAlgorithm::kSJ3, 8 * 1024);
+  EXPECT_EQ(sj3.pin_count, 0u);
+}
+
+TEST_F(JoinBehaviorTest, SJ5PaysScheduleComparisons) {
+  const auto sj4 = Stats(JoinAlgorithm::kSJ4, 32 * 1024);
+  const auto sj5 = Stats(JoinAlgorithm::kSJ5, 32 * 1024);
+  EXPECT_EQ(sj4.schedule_comparisons.count(), 0u);
+  EXPECT_GT(sj5.schedule_comparisons.count(), 0u);
+}
+
+TEST_F(JoinBehaviorTest, LowerBoundDiskReads) {
+  // A join must read at least the pages it outputs results from; with a
+  // giant buffer it reads each required page exactly once, so reads are
+  // bounded by the total page count.
+  const TreeStats tr = r_->tree().ComputeStats();
+  const TreeStats ts = s_->tree().ComputeStats();
+  const auto stats = Stats(JoinAlgorithm::kSJ4, 16 * 1024 * 1024);
+  EXPECT_LE(stats.disk_reads, tr.TotalPages() + ts.TotalPages());
+  EXPECT_GT(stats.disk_reads, 0u);
+}
+
+TEST_F(JoinBehaviorTest, NodePairsCountedForAllAlgorithms) {
+  for (const JoinAlgorithm alg : kAllAlgorithms) {
+    EXPECT_GT(Stats(alg, 32 * 1024).node_pairs, 0u)
+        << JoinAlgorithmName(alg);
+  }
+}
+
+// --- Different tree heights (§4.4) ---
+
+struct HeightCase {
+  HeightPolicy policy;
+  JoinAlgorithm algorithm;
+  uint64_t buffer_bytes;
+  const char* name;
+};
+
+class HeightPolicyTest : public ::testing::TestWithParam<HeightCase> {};
+
+TEST_P(HeightPolicyTest, MatchesBruteForceWithHeightGap) {
+  const HeightCase& c = GetParam();
+  // Big R (height 3+ at 1K pages), small S (height 1-2).
+  const auto rects_r = testutil::ClusteredRects(3000, /*seed=*/401);
+  const auto rects_s = testutil::ClusteredRects(60, /*seed=*/402);
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation r(rects_r, topt);
+  IndexedRelation s(rects_s, topt);
+  ASSERT_GT(r.tree().height(), s.tree().height());
+  JoinOptions jopt;
+  jopt.algorithm = c.algorithm;
+  jopt.height_policy = c.policy;
+  jopt.buffer_bytes = c.buffer_bytes;
+  const auto result = RunSpatialJoin(r.tree(), s.tree(), jopt, true);
+  EXPECT_EQ(testutil::Canonical(result.pairs), Oracle(rects_r, rects_s));
+  EXPECT_GT(result.stats.window_queries, 0u);
+
+  // Swapped operands: S deeper than R.
+  const auto swapped = RunSpatialJoin(s.tree(), r.tree(), jopt, true);
+  EXPECT_EQ(testutil::Canonical(swapped.pairs), Oracle(rects_s, rects_r));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, HeightPolicyTest,
+    ::testing::Values(
+        HeightCase{HeightPolicy::kPerPairQueries, JoinAlgorithm::kSJ4,
+                   32 * 1024, "a_sj4"},
+        HeightCase{HeightPolicy::kBatchedSubtree, JoinAlgorithm::kSJ4,
+                   32 * 1024, "b_sj4"},
+        HeightCase{HeightPolicy::kPinnedQueries, JoinAlgorithm::kSJ4,
+                   32 * 1024, "c_sj4"},
+        HeightCase{HeightPolicy::kPerPairQueries, JoinAlgorithm::kSJ1, 0,
+                   "a_sj1_nobuf"},
+        HeightCase{HeightPolicy::kBatchedSubtree, JoinAlgorithm::kSJ1, 0,
+                   "b_sj1_nobuf"},
+        HeightCase{HeightPolicy::kPinnedQueries, JoinAlgorithm::kSJ3,
+                   8 * 1024, "c_sj3"},
+        HeightCase{HeightPolicy::kBatchedSubtree, JoinAlgorithm::kSJ5,
+                   128 * 1024, "b_sj5"}),
+    [](const ::testing::TestParamInfo<HeightCase>& info) {
+      return info.param.name;
+    });
+
+TEST(HeightPolicyIoTest, BatchedReadsNoMoreThanPerPair) {
+  // Table 7: policy (b) dominates policy (a), dramatically without buffer.
+  const auto rects_r = testutil::ClusteredRects(5000, /*seed=*/403);
+  const auto rects_s = testutil::ClusteredRects(80, /*seed=*/404);
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation r(rects_r, topt);
+  IndexedRelation s(rects_s, topt);
+  ASSERT_GT(r.tree().height(), s.tree().height());
+  auto run = [&](HeightPolicy policy) {
+    JoinOptions jopt;
+    jopt.algorithm = JoinAlgorithm::kSJ4;
+    jopt.height_policy = policy;
+    jopt.buffer_bytes = 0;
+    return RunSpatialJoin(r.tree(), s.tree(), jopt).stats.disk_reads;
+  };
+  const uint64_t a = run(HeightPolicy::kPerPairQueries);
+  const uint64_t b = run(HeightPolicy::kBatchedSubtree);
+  const uint64_t c = run(HeightPolicy::kPinnedQueries);
+  EXPECT_LT(b, a);
+  EXPECT_LE(c, a);  // pinning saves re-reads of the subtree root
+}
+
+}  // namespace
+}  // namespace rsj

@@ -1,0 +1,144 @@
+// Tests for k-nearest-neighbor queries: MINDIST correctness and best-first
+// search against a brute-force oracle.
+
+#include "rtree/knn.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace rsj {
+namespace {
+
+TEST(MinDistTest, InsideIsZero) {
+  const Rect r{0, 0, 2, 2};
+  EXPECT_DOUBLE_EQ(MinDist2(Point{1, 1}, r), 0.0);
+  EXPECT_DOUBLE_EQ(MinDist2(Point{0, 0}, r), 0.0);  // corner
+  EXPECT_DOUBLE_EQ(MinDist2(Point{2, 1}, r), 0.0);  // edge
+}
+
+TEST(MinDistTest, AxisAndDiagonalGaps) {
+  const Rect r{0, 0, 2, 2};
+  EXPECT_DOUBLE_EQ(MinDist2(Point{5, 1}, r), 9.0);   // right gap 3
+  EXPECT_DOUBLE_EQ(MinDist2(Point{1, -2}, r), 4.0);  // below gap 2
+  EXPECT_DOUBLE_EQ(MinDist2(Point{5, 6}, r), 9.0 + 16.0);  // corner gap
+}
+
+TEST(MinDistTest, AgreesWithRectMinDist) {
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const Point p{static_cast<Coord>(rng.Uniform(-1, 2)),
+                  static_cast<Coord>(rng.Uniform(-1, 2))};
+    const auto x = static_cast<Coord>(rng.Uniform(0, 1));
+    const auto y = static_cast<Coord>(rng.Uniform(0, 1));
+    const Rect r{x, y, static_cast<Coord>(x + rng.Uniform(0, 0.5)),
+                 static_cast<Coord>(y + rng.Uniform(0, 0.5))};
+    const Rect point_rect{p.x, p.y, p.x, p.y};
+    EXPECT_NEAR(MinDist2(p, r), r.MinDist2(point_rect), 1e-9);
+  }
+}
+
+std::vector<KnnResult> OracleKnn(const std::vector<Rect>& rects,
+                                 const Point& q, size_t k) {
+  std::vector<KnnResult> all;
+  for (uint32_t i = 0; i < rects.size(); ++i) {
+    all.push_back(KnnResult{i, MinDist2(q, rects[i])});
+  }
+  std::sort(all.begin(), all.end(), [](const KnnResult& a,
+                                       const KnnResult& b) {
+    if (a.distance2 != b.distance2) return a.distance2 < b.distance2;
+    return a.object_id < b.object_id;
+  });
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+TEST(KnnTest, EmptyTreeAndZeroK) {
+  PagedFile file(kPageSize1K);
+  RTree tree(&file, RTreeOptions{.page_size = kPageSize1K});
+  EXPECT_TRUE(KnnQuery(tree, Point{0.5f, 0.5f}, 5).empty());
+  tree.Insert(Rect{0, 0, 1, 1}, 0);
+  EXPECT_TRUE(KnnQuery(tree, Point{0.5f, 0.5f}, 0).empty());
+}
+
+TEST(KnnTest, KLargerThanTree) {
+  PagedFile file(kPageSize1K);
+  RTree tree(&file, RTreeOptions{.page_size = kPageSize1K});
+  for (uint32_t i = 0; i < 5; ++i) {
+    const auto f = static_cast<float>(i);
+    tree.Insert(Rect{f, f, f + 0.5f, f + 0.5f}, i);
+  }
+  const auto results = KnnQuery(tree, Point{0, 0}, 100);
+  ASSERT_EQ(results.size(), 5u);
+  // Sorted by ascending distance.
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i].distance2, results[i - 1].distance2);
+  }
+  EXPECT_EQ(results[0].object_id, 0u);
+}
+
+TEST(KnnTest, NearestIsContainingRect) {
+  PagedFile file(kPageSize1K);
+  RTree tree(&file, RTreeOptions{.page_size = kPageSize1K});
+  tree.Insert(Rect{0, 0, 10, 10}, 1);     // contains the query point
+  tree.Insert(Rect{20, 20, 21, 21}, 2);
+  const auto results = KnnQuery(tree, Point{5, 5}, 1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].object_id, 1u);
+  EXPECT_DOUBLE_EQ(results[0].distance2, 0.0);
+}
+
+struct KnnCase {
+  size_t tree_size;
+  size_t k;
+  uint64_t seed;
+};
+
+class KnnPropertyTest : public ::testing::TestWithParam<KnnCase> {};
+
+TEST_P(KnnPropertyTest, MatchesBruteForce) {
+  const KnnCase& c = GetParam();
+  const auto rects = testutil::ClusteredRects(c.tree_size, c.seed);
+  PagedFile file(kPageSize1K);
+  RTree tree(&file, RTreeOptions{.page_size = kPageSize1K});
+  for (uint32_t i = 0; i < rects.size(); ++i) tree.Insert(rects[i], i);
+
+  Rng rng(c.seed + 500);
+  for (int q = 0; q < 20; ++q) {
+    const Point query{static_cast<Coord>(rng.Uniform(0, 1)),
+                      static_cast<Coord>(rng.Uniform(0, 1))};
+    const auto got = KnnQuery(tree, query, c.k);
+    const auto expected = OracleKnn(rects, query, c.k);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      // Distances must agree exactly; ids may differ only among ties.
+      ASSERT_DOUBLE_EQ(got[i].distance2, expected[i].distance2)
+          << "query " << q << " position " << i;
+    }
+    // As sets (ignoring tie order within equal distances), ids must agree.
+    auto ids = [](std::vector<KnnResult> v) {
+      std::vector<uint32_t> out;
+      for (const KnnResult& r : v) out.push_back(r.object_id);
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+    // Only compare id sets when there is no tie at the boundary.
+    if (got.empty() || expected.size() < c.k ||
+        (expected.size() == c.k &&
+         (expected.size() == rects.size() ||
+          OracleKnn(rects, query, c.k + 1).back().distance2 !=
+              expected.back().distance2))) {
+      ASSERT_EQ(ids(got), ids(expected));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndK, KnnPropertyTest,
+    ::testing::Values(KnnCase{1, 1, 1}, KnnCase{50, 5, 2},
+                      KnnCase{500, 1, 3}, KnnCase{500, 10, 4},
+                      KnnCase{2000, 3, 5}, KnnCase{2000, 50, 6},
+                      KnnCase{5000, 100, 7}));
+
+}  // namespace
+}  // namespace rsj

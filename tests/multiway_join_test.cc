@@ -1,0 +1,122 @@
+// Tests for the multi-way chain join against brute force.
+
+#include "join/multiway_join.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace rsj {
+namespace {
+
+// Brute-force chain join: consecutive relations' rectangles intersect.
+std::vector<std::vector<uint32_t>> OracleChain(
+    const std::vector<const std::vector<Rect>*>& relations) {
+  std::vector<std::vector<uint32_t>> tuples;
+  for (uint32_t i = 0; i < relations[0]->size(); ++i) {
+    tuples.push_back({i});
+  }
+  for (size_t next = 1; next < relations.size(); ++next) {
+    std::vector<std::vector<uint32_t>> extended;
+    for (const auto& t : tuples) {
+      const Rect& prev = (*relations[next - 1])[t.back()];
+      for (uint32_t j = 0; j < relations[next]->size(); ++j) {
+        if (prev.Intersects((*relations[next])[j])) {
+          auto longer = t;
+          longer.push_back(j);
+          extended.push_back(std::move(longer));
+        }
+      }
+    }
+    tuples = std::move(extended);
+  }
+  std::sort(tuples.begin(), tuples.end());
+  return tuples;
+}
+
+TEST(MultiwayJoinTest, TwoWayEqualsPairwiseJoin) {
+  const auto rects_a = testutil::ClusteredRects(600, 921);
+  const auto rects_b = testutil::ClusteredRects(500, 922);
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation a(rects_a, topt);
+  IndexedRelation b(rects_b, topt);
+  JoinOptions jopt;
+  jopt.algorithm = JoinAlgorithm::kSJ4;
+  const auto pairwise = RunSpatialJoin(a.tree(), b.tree(), jopt);
+  const auto chain = RunChainSpatialJoin(
+      {{&a.tree(), &rects_a}, {&b.tree(), &rects_b}}, jopt);
+  EXPECT_EQ(chain.tuple_count, pairwise.pair_count);
+}
+
+TEST(MultiwayJoinTest, ThreeWayMatchesBruteForce) {
+  const auto rects_a = testutil::ClusteredRects(300, 931, 5, 0.02);
+  const auto rects_b = testutil::ClusteredRects(250, 932, 5, 0.02);
+  const auto rects_c = testutil::ClusteredRects(280, 933, 5, 0.02);
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation a(rects_a, topt);
+  IndexedRelation b(rects_b, topt);
+  IndexedRelation c(rects_c, topt);
+  JoinOptions jopt;
+  jopt.algorithm = JoinAlgorithm::kSJ4;
+  auto result = RunChainSpatialJoin({{&a.tree(), &rects_a},
+                                     {&b.tree(), &rects_b},
+                                     {&c.tree(), &rects_c}},
+                                    jopt, /*collect_tuples=*/true);
+  std::sort(result.tuples.begin(), result.tuples.end());
+  EXPECT_EQ(result.tuples, OracleChain({&rects_a, &rects_b, &rects_c}));
+  EXPECT_EQ(result.tuple_count, result.tuples.size());
+  EXPECT_GT(result.stats.window_queries, 0u);
+}
+
+TEST(MultiwayJoinTest, FourWayMatchesBruteForce) {
+  const auto rects_a = testutil::ClusteredRects(120, 941, 4, 0.03);
+  const auto rects_b = testutil::ClusteredRects(110, 942, 4, 0.03);
+  const auto rects_c = testutil::ClusteredRects(100, 943, 4, 0.03);
+  const auto rects_d = testutil::ClusteredRects(90, 944, 4, 0.03);
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation a(rects_a, topt);
+  IndexedRelation b(rects_b, topt);
+  IndexedRelation c(rects_c, topt);
+  IndexedRelation d(rects_d, topt);
+  JoinOptions jopt;
+  auto result = RunChainSpatialJoin({{&a.tree(), &rects_a},
+                                     {&b.tree(), &rects_b},
+                                     {&c.tree(), &rects_c},
+                                     {&d.tree(), &rects_d}},
+                                    jopt, true);
+  std::sort(result.tuples.begin(), result.tuples.end());
+  EXPECT_EQ(result.tuples,
+            OracleChain({&rects_a, &rects_b, &rects_c, &rects_d}));
+}
+
+TEST(MultiwayJoinTest, EmptyMiddleRelationYieldsNothing) {
+  const auto rects_a = testutil::RandomRects(50, 951);
+  const std::vector<Rect> empty;
+  const auto rects_c = testutil::RandomRects(50, 952);
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation a(rects_a, topt);
+  IndexedRelation b(empty, topt);
+  IndexedRelation c(rects_c, topt);
+  JoinOptions jopt;
+  const auto result = RunChainSpatialJoin(
+      {{&a.tree(), &rects_a}, {&b.tree(), &empty}, {&c.tree(), &rects_c}},
+      jopt);
+  EXPECT_EQ(result.tuple_count, 0u);
+}
+
+TEST(MultiwayJoinTest, RejectsSingleRelation) {
+  const auto rects = testutil::RandomRects(10, 961);
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation a(rects, topt);
+  JoinOptions jopt;
+  EXPECT_DEATH(RunChainSpatialJoin({{&a.tree(), &rects}}, jopt),
+               ">= 2 relations");
+}
+
+}  // namespace
+}  // namespace rsj

@@ -1,0 +1,98 @@
+// Tests for the on-page node layout: capacities matching Table 1, header
+// encoding, serialization round trips, and corruption detection.
+
+#include "rtree/node.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace rsj {
+namespace {
+
+TEST(EntryLayoutTest, PaperTable1Capacities) {
+  // M = (pagesize - 4) / 20 must reproduce the paper's fan-outs exactly.
+  EXPECT_EQ(NodeCapacity(kPageSize1K), 51u);
+  EXPECT_EQ(NodeCapacity(kPageSize2K), 102u);
+  EXPECT_EQ(NodeCapacity(kPageSize4K), 204u);
+  EXPECT_EQ(NodeCapacity(kPageSize8K), 409u);
+}
+
+TEST(NodeTest, EmptyNodeRoundTrip) {
+  PagedFile file(kPageSize1K);
+  const PageId id = file.Allocate();
+  Node node;
+  node.level = 0;
+  node.Store(&file, id);
+  const Node loaded = Node::Load(file, id);
+  EXPECT_EQ(loaded.level, 0);
+  EXPECT_TRUE(loaded.entries.empty());
+  EXPECT_TRUE(loaded.is_leaf());
+}
+
+TEST(NodeTest, FullNodeRoundTrip) {
+  PagedFile file(kPageSize1K);
+  const PageId id = file.Allocate();
+  Node node;
+  node.level = 2;
+  const auto rects = testutil::RandomRects(NodeCapacity(kPageSize1K), 3);
+  for (uint32_t i = 0; i < rects.size(); ++i) {
+    node.entries.push_back(Entry{rects[i], i * 7 + 1});
+  }
+  node.Store(&file, id);
+  const Node loaded = Node::Load(file, id);
+  EXPECT_EQ(loaded.level, 2);
+  EXPECT_FALSE(loaded.is_leaf());
+  ASSERT_EQ(loaded.entries.size(), node.entries.size());
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    EXPECT_EQ(loaded.entries[i], node.entries[i]);
+  }
+}
+
+TEST(NodeTest, ComputeMbrUnionOfEntries) {
+  Node node;
+  node.entries = {Entry{Rect{0, 0, 1, 1}, 0}, Entry{Rect{2, -1, 3, 0.5f}, 1}};
+  EXPECT_EQ(node.ComputeMbr(), (Rect{0, -1, 3, 1}));
+}
+
+TEST(NodeTest, ComputeMbrOfEmptyNodeIsEmpty) {
+  Node node;
+  EXPECT_TRUE(node.ComputeMbr().IsEmpty());
+}
+
+TEST(NodeTest, StoreRejectsOverflow) {
+  PagedFile file(kPageSize1K);
+  const PageId id = file.Allocate();
+  Node node;
+  for (uint32_t i = 0; i <= NodeCapacity(kPageSize1K); ++i) {
+    node.entries.push_back(Entry{Rect{0, 0, 1, 1}, i});
+  }
+  EXPECT_DEATH(node.Store(&file, id), "overflows");
+}
+
+TEST(NodeTest, LoadRejectsNonNodePage) {
+  PagedFile file(kPageSize1K);
+  const PageId id = file.Allocate();  // zeroed page, no magic byte
+  EXPECT_DEATH(Node::Load(file, id), "R-tree node");
+}
+
+TEST(NodeTest, RewriteInPlace) {
+  PagedFile file(kPageSize2K);
+  const PageId id = file.Allocate();
+  Node a;
+  a.level = 1;
+  a.entries = {Entry{Rect{0, 0, 1, 1}, 42}};
+  a.Store(&file, id);
+  Node b;
+  b.level = 0;
+  b.entries = {Entry{Rect{5, 5, 6, 6}, 7}, Entry{Rect{1, 2, 3, 4}, 8}};
+  b.Store(&file, id);
+  const Node loaded = Node::Load(file, id);
+  EXPECT_EQ(loaded.level, 0);
+  ASSERT_EQ(loaded.entries.size(), 2u);
+  EXPECT_EQ(loaded.entries[0].ref, 7u);
+  EXPECT_EQ(loaded.entries[1].ref, 8u);
+}
+
+}  // namespace
+}  // namespace rsj

@@ -1,0 +1,109 @@
+// Tests for the ID-spatial-join (filter + refinement on exact polylines).
+
+#include "join/refinement.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/tiger_like.h"
+#include "geom/segment.h"
+#include "tests/test_util.h"
+
+namespace rsj {
+namespace {
+
+Dataset ChainDataset(std::vector<std::vector<Point>> chains) {
+  Dataset d;
+  d.name = "chains";
+  for (uint32_t i = 0; i < chains.size(); ++i) {
+    SpatialObject o;
+    o.id = i;
+    o.chain = std::move(chains[i]);
+    o.mbr = PolylineMbr(o.chain);
+    d.objects.push_back(std::move(o));
+  }
+  return d;
+}
+
+IdJoinResult RunIdJoin(const Dataset& r, const Dataset& s) {
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  PagedFile fr(topt.page_size);
+  PagedFile fs(topt.page_size);
+  const auto mr = r.Mbrs();
+  const auto ms = s.Mbrs();
+  RTree tr = BuildRTree(&fr, mr, topt);
+  RTree ts = BuildRTree(&fs, ms, topt);
+  JoinOptions jopt;
+  jopt.algorithm = JoinAlgorithm::kSJ4;
+  return RunIdSpatialJoin(tr, r, ts, s, jopt);
+}
+
+TEST(IdJoinTest, FilterPassesRefinementRejects) {
+  // Two diagonal chains whose MBRs overlap but which never touch.
+  const Dataset r = ChainDataset({{Point{0, 0}, Point{1, 1}}});
+  const Dataset s = ChainDataset({{Point{0, 0.1f}, Point{1, 1.1f}}});
+  const IdJoinResult result = RunIdJoin(r, s);
+  EXPECT_EQ(result.candidate_pairs, 1u);
+  EXPECT_EQ(result.result_pairs, 0u);
+  EXPECT_DOUBLE_EQ(result.Selectivity(), 0.0);
+}
+
+TEST(IdJoinTest, CrossingChainsSurvive) {
+  const Dataset r = ChainDataset({{Point{0, 0}, Point{1, 1}}});
+  const Dataset s = ChainDataset({{Point{0, 1}, Point{1, 0}}});
+  const IdJoinResult result = RunIdJoin(r, s);
+  EXPECT_EQ(result.candidate_pairs, 1u);
+  EXPECT_EQ(result.result_pairs, 1u);
+}
+
+TEST(IdJoinTest, RefinementSubsetOfFilter) {
+  StreetsConfig sc;
+  sc.object_count = 800;
+  RiversConfig rc;
+  rc.object_count = 700;
+  const Dataset streets = GenerateStreets(sc);
+  const Dataset rivers = GenerateRivers(rc);
+  const IdJoinResult result = RunIdJoin(streets, rivers);
+  EXPECT_LE(result.result_pairs, result.candidate_pairs);
+  EXPECT_GE(result.Selectivity(), 0.0);
+  EXPECT_LE(result.Selectivity(), 1.0);
+}
+
+TEST(IdJoinTest, MatchesBruteForceRefinement) {
+  StreetsConfig sc;
+  sc.object_count = 300;
+  RiversConfig rc;
+  rc.object_count = 250;
+  const Dataset streets = GenerateStreets(sc);
+  const Dataset rivers = GenerateRivers(rc);
+  const IdJoinResult result = RunIdJoin(streets, rivers);
+  uint64_t expected_candidates = 0;
+  uint64_t expected_results = 0;
+  for (const SpatialObject& a : streets.objects) {
+    for (const SpatialObject& b : rivers.objects) {
+      if (!a.mbr.Intersects(b.mbr)) continue;
+      ++expected_candidates;
+      if (PolylinesIntersect(std::span<const Point>(a.chain),
+                             std::span<const Point>(b.chain))) {
+        ++expected_results;
+      }
+    }
+  }
+  EXPECT_EQ(result.candidate_pairs, expected_candidates);
+  EXPECT_EQ(result.result_pairs, expected_results);
+}
+
+TEST(IdJoinTest, SelfJoinRefinementKeepsDiagonalAndNeighbors) {
+  RiversConfig rc;
+  rc.object_count = 400;
+  const Dataset rivers = GenerateRivers(rc);
+  const IdJoinResult result = RunIdJoin(rivers, rivers);
+  // Every object exactly intersects itself, and consecutive chains share a
+  // vertex, so refinement keeps at least ~3 pairs per object minus course
+  // boundaries.
+  EXPECT_GE(result.result_pairs, 2 * rivers.objects.size());
+  EXPECT_LE(result.result_pairs, result.candidate_pairs);
+}
+
+}  // namespace
+}  // namespace rsj

@@ -1,0 +1,123 @@
+// Tests for exact segment/polyline geometry (refinement-step kernel).
+
+#include "geom/segment.h"
+
+#include <gtest/gtest.h>
+
+namespace rsj {
+namespace {
+
+TEST(OrientationTest, BasicCases) {
+  EXPECT_EQ(Orientation(Point{0, 0}, Point{1, 0}, Point{0, 1}), 1);   // ccw
+  EXPECT_EQ(Orientation(Point{0, 0}, Point{0, 1}, Point{1, 0}), -1);  // cw
+  EXPECT_EQ(Orientation(Point{0, 0}, Point{1, 1}, Point{2, 2}), 0);   // col
+}
+
+TEST(PointOnSegmentTest, OnAndOff) {
+  const Segment s{Point{0, 0}, Point{2, 2}};
+  EXPECT_TRUE(PointOnSegment(Point{1, 1}, s));
+  EXPECT_TRUE(PointOnSegment(Point{0, 0}, s));   // endpoint
+  EXPECT_TRUE(PointOnSegment(Point{2, 2}, s));   // endpoint
+  EXPECT_FALSE(PointOnSegment(Point{3, 3}, s));  // collinear but outside
+  EXPECT_FALSE(PointOnSegment(Point{1, 0}, s));  // off the line
+}
+
+TEST(SegmentsIntersectTest, ProperCrossing) {
+  EXPECT_TRUE(SegmentsIntersect(Segment{Point{0, 0}, Point{2, 2}},
+                                Segment{Point{0, 2}, Point{2, 0}}));
+}
+
+TEST(SegmentsIntersectTest, DisjointSegments) {
+  EXPECT_FALSE(SegmentsIntersect(Segment{Point{0, 0}, Point{1, 0}},
+                                 Segment{Point{0, 1}, Point{1, 1}}));
+  EXPECT_FALSE(SegmentsIntersect(Segment{Point{0, 0}, Point{1, 1}},
+                                 Segment{Point{2, 2.0001f}, Point{3, 3}}));
+}
+
+TEST(SegmentsIntersectTest, SharedEndpoint) {
+  EXPECT_TRUE(SegmentsIntersect(Segment{Point{0, 0}, Point{1, 1}},
+                                Segment{Point{1, 1}, Point{2, 0}}));
+}
+
+TEST(SegmentsIntersectTest, TIntersection) {
+  // Endpoint of one segment lies in the interior of the other.
+  EXPECT_TRUE(SegmentsIntersect(Segment{Point{0, 0}, Point{2, 0}},
+                                Segment{Point{1, 0}, Point{1, 5}}));
+}
+
+TEST(SegmentsIntersectTest, CollinearOverlap) {
+  EXPECT_TRUE(SegmentsIntersect(Segment{Point{0, 0}, Point{2, 0}},
+                                Segment{Point{1, 0}, Point{3, 0}}));
+}
+
+TEST(SegmentsIntersectTest, CollinearDisjoint) {
+  EXPECT_FALSE(SegmentsIntersect(Segment{Point{0, 0}, Point{1, 0}},
+                                 Segment{Point{2, 0}, Point{3, 0}}));
+}
+
+TEST(SegmentsIntersectTest, CollinearTouchingAtPoint) {
+  EXPECT_TRUE(SegmentsIntersect(Segment{Point{0, 0}, Point{1, 0}},
+                                Segment{Point{1, 0}, Point{2, 0}}));
+}
+
+TEST(SegmentsIntersectTest, ZeroLengthSegments) {
+  const Segment point{Point{1, 1}, Point{1, 1}};
+  EXPECT_TRUE(SegmentsIntersect(point, point));
+  EXPECT_TRUE(
+      SegmentsIntersect(point, Segment{Point{0, 0}, Point{2, 2}}));
+  EXPECT_FALSE(
+      SegmentsIntersect(point, Segment{Point{0, 0}, Point{0, 5}}));
+}
+
+TEST(SegmentsIntersectTest, MbrOverlapButNoIntersection) {
+  // Bounding boxes overlap, segments do not — the cheap reject must not
+  // produce a false positive.
+  EXPECT_FALSE(
+      SegmentsIntersect(Segment{Point{0, 0}, Point{3, 3}},
+                        Segment{Point{2.5f, 0.0f}, Point{3.0f, 0.4f}}));
+  EXPECT_FALSE(SegmentsIntersect(Segment{Point{0, 0}, Point{4, 4}},
+                                 Segment{Point{3, 0}, Point{4, 1}}));
+}
+
+TEST(PolylinesIntersectTest, CrossingChains) {
+  const std::vector<Point> a{Point{0, 0}, Point{1, 0}, Point{1, 1}};
+  const std::vector<Point> b{Point{0.5f, -1.0f}, Point{0.5f, 3.0f}};
+  EXPECT_TRUE(PolylinesIntersect(a, b));
+}
+
+TEST(PolylinesIntersectTest, DisjointChains) {
+  const std::vector<Point> a{Point{0, 0}, Point{1, 0}};
+  const std::vector<Point> b{Point{0, 1}, Point{1, 1}, Point{2, 2}};
+  EXPECT_FALSE(PolylinesIntersect(a, b));
+}
+
+TEST(PolylinesIntersectTest, SingleVertexChains) {
+  const std::vector<Point> point{Point{1, 1}};
+  const std::vector<Point> through{Point{0, 0}, Point{2, 2}};
+  EXPECT_TRUE(PolylinesIntersect(point, through));
+  EXPECT_TRUE(PolylinesIntersect(through, point));
+  const std::vector<Point> away{Point{5, 5}, Point{6, 6}};
+  EXPECT_FALSE(PolylinesIntersect(point, away));
+}
+
+TEST(PolylinesIntersectTest, EmptyChains) {
+  const std::vector<Point> empty;
+  const std::vector<Point> chain{Point{0, 0}, Point{1, 1}};
+  EXPECT_FALSE(PolylinesIntersect(empty, chain));
+  EXPECT_FALSE(PolylinesIntersect(chain, empty));
+}
+
+TEST(PolylineMbrTest, CoversAllVertices) {
+  const std::vector<Point> chain{Point{1, 5}, Point{-2, 3}, Point{4, -1}};
+  const Rect mbr = PolylineMbr(chain);
+  EXPECT_EQ(mbr, (Rect{-2, -1, 4, 5}));
+  for (const Point& p : chain) EXPECT_TRUE(mbr.Contains(p));
+}
+
+TEST(PolylineMbrTest, SingleVertexIsPoint) {
+  const std::vector<Point> chain{Point{2, 3}};
+  EXPECT_EQ(PolylineMbr(chain), (Rect{2, 3, 2, 3}));
+}
+
+}  // namespace
+}  // namespace rsj

@@ -1,0 +1,161 @@
+// Tests for the three split algorithms: partition correctness (every entry
+// in exactly one group), min-fill bounds, and quality ordering (the R*
+// split should not produce more overlap than the linear split on average).
+
+#include "rtree/split.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace rsj {
+namespace {
+
+using SplitFn = SplitResult (*)(std::vector<Entry>, uint32_t);
+
+std::vector<Entry> MakeEntries(const std::vector<Rect>& rects) {
+  std::vector<Entry> entries;
+  for (uint32_t i = 0; i < rects.size(); ++i) {
+    entries.push_back(Entry{rects[i], i});
+  }
+  return entries;
+}
+
+Rect GroupMbr(const std::vector<Entry>& group) {
+  Rect mbr = Rect::Empty();
+  for (const Entry& e : group) mbr.ExpandToInclude(e.rect);
+  return mbr;
+}
+
+// Every entry id appears exactly once across both groups.
+void ExpectPartition(const std::vector<Entry>& input,
+                     const SplitResult& result) {
+  EXPECT_EQ(result.left.size() + result.right.size(), input.size());
+  std::vector<uint32_t> seen;
+  for (const Entry& e : result.left) seen.push_back(e.ref);
+  for (const Entry& e : result.right) seen.push_back(e.ref);
+  std::sort(seen.begin(), seen.end());
+  for (uint32_t i = 0; i < input.size(); ++i) {
+    ASSERT_EQ(seen[i], i) << "entry " << i << " lost or duplicated";
+  }
+}
+
+struct SplitCase {
+  const char* name;
+  SplitFn fn;
+};
+
+class SplitAlgorithmTest : public ::testing::TestWithParam<SplitCase> {};
+
+TEST_P(SplitAlgorithmTest, PartitionsAllEntries) {
+  const auto entries =
+      MakeEntries(testutil::RandomRects(52, /*seed=*/11, /*extent=*/0.1));
+  const SplitResult result = GetParam().fn(entries, 20);
+  ExpectPartition(entries, result);
+}
+
+TEST_P(SplitAlgorithmTest, RespectsMinFill) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto entries =
+        MakeEntries(testutil::RandomRects(103, seed, /*extent=*/0.05));
+    const uint32_t m = 40;
+    const SplitResult result = GetParam().fn(entries, m);
+    EXPECT_GE(result.left.size(), m) << "seed " << seed;
+    EXPECT_GE(result.right.size(), m) << "seed " << seed;
+    ExpectPartition(entries, result);
+  }
+}
+
+TEST_P(SplitAlgorithmTest, MinimalInput) {
+  // 4 entries, m = 2: the smallest legal split.
+  const auto entries =
+      MakeEntries(testutil::RandomRects(4, /*seed=*/2, /*extent=*/0.3));
+  const SplitResult result = GetParam().fn(entries, 2);
+  EXPECT_EQ(result.left.size(), 2u);
+  EXPECT_EQ(result.right.size(), 2u);
+  ExpectPartition(entries, result);
+}
+
+TEST_P(SplitAlgorithmTest, HandlesDuplicateRectangles) {
+  std::vector<Entry> entries;
+  for (uint32_t i = 0; i < 10; ++i) {
+    entries.push_back(Entry{Rect{1, 1, 2, 2}, i});  // all identical
+  }
+  const SplitResult result = GetParam().fn(entries, 4);
+  EXPECT_GE(result.left.size(), 4u);
+  EXPECT_GE(result.right.size(), 4u);
+  ExpectPartition(entries, result);
+}
+
+TEST_P(SplitAlgorithmTest, HandlesDegenerateRectangles) {
+  std::vector<Entry> entries;
+  for (uint32_t i = 0; i < 12; ++i) {
+    const auto f = static_cast<float>(i);
+    entries.push_back(Entry{Rect{f, f, f, f}, i});  // points on a diagonal
+  }
+  const SplitResult result = GetParam().fn(entries, 5);
+  ExpectPartition(entries, result);
+  EXPECT_GE(result.left.size(), 5u);
+  EXPECT_GE(result.right.size(), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, SplitAlgorithmTest,
+    ::testing::Values(SplitCase{"rstar", &SplitRStar},
+                      SplitCase{"quadratic", &SplitQuadratic},
+                      SplitCase{"linear", &SplitLinear}),
+    [](const ::testing::TestParamInfo<SplitCase>& info) {
+      return info.param.name;
+    });
+
+TEST(RStarSplitTest, SeparatesTwoObviousClusters) {
+  // Two tight clusters far apart: the R* split must cut between them.
+  std::vector<Entry> entries;
+  uint32_t id = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto f = static_cast<float>(i) * 0.01f;
+    entries.push_back(Entry{Rect{f, f, f + 0.01f, f + 0.01f}, id++});
+    entries.push_back(
+        Entry{Rect{10 + f, 10 + f, 10.01f + f, 10.01f + f}, id++});
+  }
+  const SplitResult result = SplitRStar(entries, 5);
+  const Rect left = GroupMbr(result.left);
+  const Rect right = GroupMbr(result.right);
+  EXPECT_DOUBLE_EQ(left.OverlapArea(right), 0.0);
+  EXPECT_EQ(result.left.size(), result.right.size());
+}
+
+TEST(RStarSplitTest, OverlapNoWorseThanLinearOnAverage) {
+  double rstar_overlap = 0.0;
+  double linear_overlap = 0.0;
+  for (uint64_t seed = 100; seed < 130; ++seed) {
+    const auto entries =
+        MakeEntries(testutil::ClusteredRects(52, seed, 4, 0.05));
+    const SplitResult rs = SplitRStar(entries, 20);
+    const SplitResult ls = SplitLinear(entries, 20);
+    rstar_overlap += GroupMbr(rs.left).OverlapArea(GroupMbr(rs.right));
+    linear_overlap += GroupMbr(ls.left).OverlapArea(GroupMbr(ls.right));
+  }
+  EXPECT_LE(rstar_overlap, linear_overlap * 1.05);
+}
+
+TEST(QuadraticSplitTest, SeedsAreSeparated) {
+  // The two most wasteful entries must land in different groups.
+  std::vector<Entry> entries;
+  entries.push_back(Entry{Rect{0, 0, 1, 1}, 0});      // far left
+  entries.push_back(Entry{Rect{99, 99, 100, 100}, 1});  // far right
+  for (uint32_t i = 2; i < 8; ++i) {
+    entries.push_back(Entry{Rect{50, 50, 51, 51}, i});  // middle blob
+  }
+  const SplitResult result = SplitQuadratic(entries, 2);
+  const auto in_left = [&](uint32_t ref) {
+    for (const Entry& e : result.left) {
+      if (e.ref == ref) return true;
+    }
+    return false;
+  };
+  EXPECT_NE(in_left(0), in_left(1));
+}
+
+}  // namespace
+}  // namespace rsj

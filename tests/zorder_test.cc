@@ -1,0 +1,93 @@
+// Tests for the z-order (Morton) machinery used by SpatialJoin5.
+
+#include "geom/zorder.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/rng.h"
+
+namespace rsj {
+namespace {
+
+TEST(SpreadBitsTest, KnownValues) {
+  EXPECT_EQ(SpreadBits16(0x0000u), 0x00000000u);
+  EXPECT_EQ(SpreadBits16(0x0001u), 0x00000001u);
+  EXPECT_EQ(SpreadBits16(0x0003u), 0x00000005u);
+  EXPECT_EQ(SpreadBits16(0xFFFFu), 0x55555555u);
+}
+
+TEST(SpreadBitsTest, CompactInverts) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = static_cast<uint32_t>(rng.UniformInt(0x10000));
+    EXPECT_EQ(CompactBits16(SpreadBits16(v)), v);
+  }
+}
+
+TEST(InterleaveTest, AxesDoNotCollide) {
+  EXPECT_EQ(InterleaveBits16(1, 0), 0x1u);
+  EXPECT_EQ(InterleaveBits16(0, 1), 0x2u);
+  EXPECT_EQ(InterleaveBits16(1, 1), 0x3u);
+  EXPECT_EQ(InterleaveBits16(2, 0), 0x4u);
+  EXPECT_EQ(InterleaveBits16(0, 2), 0x8u);
+}
+
+TEST(InterleaveTest, RoundTripsBothAxes) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = static_cast<uint32_t>(rng.UniformInt(0x10000));
+    const auto y = static_cast<uint32_t>(rng.UniformInt(0x10000));
+    const uint32_t z = InterleaveBits16(x, y);
+    EXPECT_EQ(CompactBits16(z), x);
+    EXPECT_EQ(CompactBits16(z >> 1), y);
+  }
+}
+
+TEST(GridCoordinateTest, Clamping) {
+  EXPECT_EQ(GridCoordinate(-0.5, 0.0, 1.0), 0u);
+  EXPECT_EQ(GridCoordinate(1.5, 0.0, 1.0), 65535u);
+  EXPECT_EQ(GridCoordinate(0.0, 0.0, 1.0), 0u);
+  EXPECT_EQ(GridCoordinate(1.0, 0.0, 1.0), 65535u);
+}
+
+TEST(GridCoordinateTest, DegenerateUniverse) {
+  EXPECT_EQ(GridCoordinate(3.0, 5.0, 5.0), 0u);  // zero-width universe
+}
+
+TEST(ZValueTest, QuadrantOrdering) {
+  // The Peano/Morton curve visits quadrants in the order
+  // (lower-left, lower-right, upper-left, upper-right) when x occupies the
+  // even bits. Quadrant membership is decided by the top interleaved bits.
+  const Rect universe{0, 0, 1, 1};
+  const uint32_t ll = ZValue(Point{0.25f, 0.25f}, universe);
+  const uint32_t lr = ZValue(Point{0.75f, 0.25f}, universe);
+  const uint32_t ul = ZValue(Point{0.25f, 0.75f}, universe);
+  const uint32_t ur = ZValue(Point{0.75f, 0.75f}, universe);
+  EXPECT_LT(ll, lr);
+  EXPECT_LT(lr, ul);
+  EXPECT_LT(ul, ur);
+}
+
+TEST(ZValueTest, LocalityWithinQuadrant) {
+  // All points of one quadrant sort before any point of a later quadrant.
+  const Rect universe{0, 0, 1, 1};
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const Point a{static_cast<Coord>(rng.Uniform(0.0, 0.49)),
+                  static_cast<Coord>(rng.Uniform(0.0, 0.49))};
+    const Point b{static_cast<Coord>(rng.Uniform(0.51, 1.0)),
+                  static_cast<Coord>(rng.Uniform(0.51, 1.0))};
+    EXPECT_LT(ZValue(a, universe), ZValue(b, universe));
+  }
+}
+
+TEST(ZValueTest, UsesUniverseFrame) {
+  // The same point maps to different cells under different universes.
+  const Point p{0.5f, 0.5f};
+  const uint32_t z1 = ZValue(p, Rect{0, 0, 1, 1});
+  const uint32_t z2 = ZValue(p, Rect{0, 0, 10, 10});
+  EXPECT_NE(z1, z2);
+}
+
+}  // namespace
+}  // namespace rsj
