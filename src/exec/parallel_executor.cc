@@ -1,0 +1,147 @@
+#include "exec/parallel_executor.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+#include "exec/partition.h"
+#include "exec/result_sink.h"
+#include "exec/task_scheduler.h"
+#include "join/join_runner.h"
+#include "join/spatial_join.h"
+#include "storage/buffer_pool.h"
+#include "storage/shared_buffer_pool.h"
+
+namespace rsj {
+
+namespace {
+
+// Everything one worker owns: counters, an optional private pool, the
+// engine bound to them, and the output sink. Only the owning worker thread
+// touches a context (work stealing moves tasks, not contexts).
+struct WorkerContext {
+  Statistics stats;
+  std::unique_ptr<BufferPool> private_pool;  // null in shared-pool mode
+  std::unique_ptr<SpatialJoinEngine> engine;
+  std::unique_ptr<ResultSink> sink;
+  bool prepared = false;  // BeginPartitionedRun done (lazily, on its thread)
+};
+
+// Degenerate shapes (leaf roots, single thread): one sequential partition.
+ParallelJoinResult SequentialFallback(const RTree& r, const RTree& s,
+                                      const JoinOptions& options,
+                                      bool collect_pairs) {
+  ParallelJoinResult result;
+  JoinRunResult sequential = RunSpatialJoin(r, s, options, collect_pairs);
+  result.pair_count = sequential.pair_count;
+  result.pairs = std::move(sequential.pairs);
+  result.worker_stats.push_back(sequential.stats);
+  result.worker_task_counts.push_back(1);
+  result.task_count = 1;
+  result.total_stats.MergeFrom(sequential.stats);
+  return result;
+}
+
+}  // namespace
+
+ParallelJoinResult RunParallelSpatialJoin(
+    const RTree& r, const RTree& s, const JoinOptions& options,
+    const ParallelExecutorOptions& exec_options) {
+  RSJ_CHECK_MSG(r.options().page_size == s.options().page_size,
+                "joined trees must share one page size");
+  if (exec_options.num_threads <= 1) {
+    return SequentialFallback(r, s, options, exec_options.collect_pairs);
+  }
+
+  ParallelJoinResult result;
+  result.used_shared_pool = exec_options.shared_pool;
+  Statistics coordinator;
+
+  // The shared pool is created before partitioning so the coordinator's
+  // directory reads warm it for the workers.
+  std::unique_ptr<SharedBufferPool> shared;
+  std::unique_ptr<BufferPool> coordinator_pool;
+  PageCache* coordinator_cache = nullptr;
+  if (exec_options.shared_pool) {
+    shared = std::make_unique<SharedBufferPool>(SharedBufferPool::Options{
+        options.buffer_bytes, r.options().page_size, options.eviction_policy,
+        exec_options.pool_shards});
+    coordinator_cache = shared.get();
+  } else {
+    coordinator_pool = std::make_unique<BufferPool>(
+        BufferPool::Options{options.buffer_bytes, r.options().page_size,
+                            options.eviction_policy},
+        &coordinator);
+    coordinator_cache = coordinator_pool.get();
+  }
+
+  const size_t target_tasks =
+      static_cast<size_t>(exec_options.partition_multiplier) *
+      exec_options.num_threads;
+  const PartitionPlan plan = BuildPartitionPlan(
+      r, s, options, target_tasks, coordinator_cache, &coordinator);
+  if (plan.degenerate) {
+    return SequentialFallback(r, s, options, exec_options.collect_pairs);
+  }
+  result.task_count = plan.tasks.size();
+  result.partition_depth = plan.depth;
+  if (plan.tasks.empty()) {
+    result.total_stats.MergeFrom(coordinator);
+    return result;
+  }
+
+  const unsigned workers = static_cast<unsigned>(
+      std::min<size_t>(exec_options.num_threads, plan.tasks.size()));
+  std::vector<std::unique_ptr<WorkerContext>> contexts;
+  contexts.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    auto ctx = std::make_unique<WorkerContext>();
+    PageCache* cache = shared.get();
+    if (!exec_options.shared_pool) {
+      ctx->private_pool = std::make_unique<BufferPool>(
+          BufferPool::Options{options.buffer_bytes, r.options().page_size,
+                              options.eviction_policy},
+          &ctx->stats);
+      cache = ctx->private_pool.get();
+    }
+    ctx->engine =
+        std::make_unique<SpatialJoinEngine>(r, s, options, cache, &ctx->stats);
+    if (exec_options.collect_pairs) {
+      ctx->sink = std::make_unique<MaterializingSink>();
+    } else {
+      ctx->sink = std::make_unique<CountingSink>();
+    }
+    contexts.push_back(std::move(ctx));
+  }
+
+  TaskScheduler scheduler(workers, plan.tasks.size());
+  result.worker_task_counts =
+      scheduler.Run([&](unsigned w, size_t task_index) {
+        WorkerContext& ctx = *contexts[w];
+        if (!ctx.prepared) {
+          // Root fetch and z-order universe, counted on this worker and
+          // done on its own thread so private pools stay single-owner.
+          ctx.engine->BeginPartitionedRun();
+          ctx.prepared = true;
+        }
+        const PartitionTask& task = plan.tasks[task_index];
+        ctx.engine->ProcessPartition(task.er, task.es, ctx.sink.get());
+      });
+
+  result.total_stats.MergeFrom(coordinator);
+  for (unsigned w = 0; w < workers; ++w) {
+    WorkerContext& ctx = *contexts[w];
+    ctx.sink->Flush();
+    result.pair_count += ctx.sink->count();
+    if (exec_options.collect_pairs) {
+      auto pairs =
+          static_cast<MaterializingSink*>(ctx.sink.get())->TakePairs();
+      result.pairs.insert(result.pairs.end(), pairs.begin(), pairs.end());
+    }
+    result.worker_stats.push_back(ctx.stats);
+    result.total_stats.MergeFrom(ctx.stats);
+  }
+  return result;
+}
+
+}  // namespace rsj

@@ -1,0 +1,78 @@
+// Task-based parallel join executor — the successor of the seed's static
+// root-level declustering (§6 future work).
+//
+// Execution pipeline:
+//   1. the coordinator builds a depth-adaptive partition plan of at least
+//      partition_multiplier × num_threads subtree-pair tasks
+//      (exec/partition.h),
+//   2. a work-stealing scheduler (exec/task_scheduler.h) runs the tasks on
+//      per-worker contexts: each worker owns a SpatialJoinEngine, its own
+//      Statistics and a batched ResultSink,
+//   3. page requests go through one shared, sharded, thread-safe
+//      SharedBufferPool (default) or through per-worker private
+//      BufferPools (the seed's model, kept for A/B benchmarking),
+//   4. worker statistics and sink outputs are merged into the result.
+//
+// Work units are disjoint subtree pairs, so the union of the workers'
+// outputs is exactly the sequential result, without deduplication.
+
+#ifndef RSJ_EXEC_PARALLEL_EXECUTOR_H_
+#define RSJ_EXEC_PARALLEL_EXECUTOR_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "join/join_options.h"
+#include "rtree/rtree.h"
+#include "storage/statistics.h"
+
+namespace rsj {
+
+struct ParallelExecutorOptions {
+  unsigned num_threads = 1;
+
+  // Depth-adaptive declustering descends the synchronized traversal until
+  // at least partition_multiplier × num_threads qualifying subtree pairs
+  // exist (the "k" of the ISSUE).
+  unsigned partition_multiplier = 8;
+
+  // true: all workers share one SharedBufferPool of options.buffer_bytes.
+  // false: every worker owns a private BufferPool of options.buffer_bytes
+  // (the seed's model — N× the memory for the same nominal budget).
+  bool shared_pool = true;
+
+  // Shards of the shared pool (ignored for private pools).
+  size_t pool_shards = 8;
+
+  // Materialize the result pairs (otherwise only counts are kept).
+  bool collect_pairs = false;
+};
+
+struct ParallelJoinResult {
+  uint64_t pair_count = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;  // when collected
+  // Aggregated counters (coordinator + all workers).
+  Statistics total_stats;
+  // Per-worker counters, for skew analysis.
+  std::vector<Statistics> worker_stats;
+
+  // --- executor telemetry ---
+  // Tasks each worker executed (work stealing balances these).
+  std::vector<uint64_t> worker_task_counts;
+  // Subtree-pair tasks the partitioner generated.
+  size_t task_count = 0;
+  // Directory levels the partitioner descended below the roots.
+  int partition_depth = 0;
+  bool used_shared_pool = false;
+};
+
+// Runs R ⋈ S under `exec_options`. Falls back to a single sequential
+// partition when a root is a leaf or num_threads <= 1.
+ParallelJoinResult RunParallelSpatialJoin(
+    const RTree& r, const RTree& s, const JoinOptions& options,
+    const ParallelExecutorOptions& exec_options);
+
+}  // namespace rsj
+
+#endif  // RSJ_EXEC_PARALLEL_EXECUTOR_H_

@@ -1,0 +1,93 @@
+#include "exec/partition.h"
+
+#include "geom/plane_sweep.h"
+#include "join/predicate.h"
+
+namespace rsj {
+
+namespace {
+
+// Qualifying entry pairs between two directory nodes, appended to `out` as
+// tasks. Uses the counted sort + plane sweep (the paper's CPU technique);
+// the R side carries the predicate expansion, so the filter matches the
+// engine's exactly.
+void AppendQualifyingPairs(const Node& nr, const Node& ns, double expansion,
+                           Statistics* stats,
+                           std::vector<PartitionTask>* out) {
+  std::vector<IndexedRect> seq_r;
+  seq_r.reserve(nr.entries.size());
+  for (uint32_t i = 0; i < nr.entries.size(); ++i) {
+    const Rect rect = expansion > 0.0
+                          ? nr.entries[i].rect.Expanded(expansion)
+                          : nr.entries[i].rect;
+    seq_r.push_back(IndexedRect{rect, i});
+  }
+  std::vector<IndexedRect> seq_s;
+  seq_s.reserve(ns.entries.size());
+  for (uint32_t j = 0; j < ns.entries.size(); ++j) {
+    seq_s.push_back(IndexedRect{ns.entries[j].rect, j});
+  }
+  SortByLowerXCounted(&seq_r, &stats->sort_comparisons);
+  SortByLowerXCounted(&seq_s, &stats->sort_comparisons);
+  SortedIntersectionTest(
+      std::span<const IndexedRect>(seq_r), std::span<const IndexedRect>(seq_s),
+      &stats->join_comparisons, [&](uint32_t i, uint32_t j) {
+        out->push_back(PartitionTask{nr.entries[i], ns.entries[j]});
+      });
+}
+
+// Counted read + decode of one page.
+Node FetchNode(const RTree& tree, PageId id, PageCache* cache,
+               Statistics* stats) {
+  cache->Read(tree.file(), id, stats);
+  return Node::Load(tree.file(), id);
+}
+
+}  // namespace
+
+PartitionPlan BuildPartitionPlan(const RTree& r, const RTree& s,
+                                 const JoinOptions& options,
+                                 size_t target_tasks, PageCache* cache,
+                                 Statistics* stats) {
+  PartitionPlan plan;
+  const double expansion =
+      PredicateExpansion(options.predicate, options.epsilon);
+
+  const Node root_r = FetchNode(r, r.root_page(), cache, stats);
+  const Node root_s = FetchNode(s, s.root_page(), cache, stats);
+  if (root_r.is_leaf() || root_s.is_leaf()) {
+    plan.degenerate = true;
+    return plan;
+  }
+  // Depth-adaptive refinement: while the task list is too short, replace
+  // every directory-directory task by its qualifying child pairs. Tasks
+  // that reach a data node on either side are final — they move to
+  // `final_tasks` and are never fetched again.
+  std::vector<PartitionTask> final_tasks;
+  std::vector<PartitionTask> frontier;
+  AppendQualifyingPairs(root_r, root_s, expansion, stats, &frontier);
+  while (!frontier.empty() &&
+         final_tasks.size() + frontier.size() < target_tasks) {
+    std::vector<PartitionTask> next;
+    next.reserve(frontier.size() * 2);
+    bool expanded_any = false;
+    for (const PartitionTask& task : frontier) {
+      const Node child_r = FetchNode(r, task.er.ref, cache, stats);
+      const Node child_s = FetchNode(s, task.es.ref, cache, stats);
+      if (child_r.is_leaf() || child_s.is_leaf()) {
+        final_tasks.push_back(task);
+        continue;
+      }
+      expanded_any = true;
+      AppendQualifyingPairs(child_r, child_s, expansion, stats, &next);
+    }
+    frontier = std::move(next);
+    if (!expanded_any) break;
+    ++plan.depth;
+  }
+  plan.tasks = std::move(final_tasks);
+  plan.tasks.insert(plan.tasks.end(), frontier.begin(), frontier.end());
+  return plan;
+}
+
+}  // namespace rsj

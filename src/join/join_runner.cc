@@ -1,5 +1,7 @@
 #include "join/join_runner.h"
 
+#include "storage/buffer_pool.h"
+
 namespace rsj {
 
 RTree BuildRTree(PagedFile* file, std::span<const Rect> rects,
@@ -11,18 +13,29 @@ RTree BuildRTree(PagedFile* file, std::span<const Rect> rects,
   return tree;
 }
 
-JoinRunResult RunSpatialJoin(const RTree& r, const RTree& s,
-                             const JoinOptions& options, bool collect_pairs) {
-  JoinRunResult result;
+void RunSpatialJoin(const RTree& r, const RTree& s, const JoinOptions& options,
+                    ResultSink* sink, Statistics* stats) {
   BufferPool pool(
       BufferPool::Options{options.buffer_bytes, r.options().page_size,
                           options.eviction_policy},
-      &result.stats);
-  SpatialJoinEngine engine(r, s, options, &pool, &result.stats);
-  engine.Run([&result, collect_pairs](uint32_t r_id, uint32_t s_id) {
-    ++result.pair_count;
-    if (collect_pairs) result.pairs.emplace_back(r_id, s_id);
-  });
+      stats);
+  SpatialJoinEngine engine(r, s, options, &pool, stats);
+  engine.Run(sink);
+}
+
+JoinRunResult RunSpatialJoin(const RTree& r, const RTree& s,
+                             const JoinOptions& options, bool collect_pairs) {
+  JoinRunResult result;
+  if (collect_pairs) {
+    MaterializingSink sink;
+    RunSpatialJoin(r, s, options, &sink, &result.stats);
+    result.pairs = sink.TakePairs();
+    result.pair_count = sink.count();
+  } else {
+    CountingSink sink;
+    RunSpatialJoin(r, s, options, &sink, &result.stats);
+    result.pair_count = sink.count();
+  }
   return result;
 }
 

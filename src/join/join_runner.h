@@ -32,6 +32,14 @@ JoinRunResult RunSpatialJoin(const RTree& r, const RTree& s,
                              const JoinOptions& options,
                              bool collect_pairs = false);
 
+// Sink-based entry point: runs the join into a caller-provided sink
+// (counting, materializing, or batched-callback — see exec/result_sink.h)
+// and charges all counters to `stats`. The sink is flushed before
+// returning. The struct-returning overload above is a convenience wrapper
+// over this one.
+void RunSpatialJoin(const RTree& r, const RTree& s, const JoinOptions& options,
+                    ResultSink* sink, Statistics* stats);
+
 // A relation bundled with its index (convenience owner used by examples
 // and benchmarks; keeps file + tree lifetimes together).
 class IndexedRelation {

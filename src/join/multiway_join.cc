@@ -54,9 +54,10 @@ MultiwayJoinResult RunChainSpatialJoin(
   {
     SpatialJoinEngine engine(*relations[0].tree, *relations[1].tree, options,
                              &pool, &result.stats);
-    engine.Run([&frontier](uint32_t a, uint32_t b) {
-      frontier.push_back({a, b});
+    BatchedCallbackSink sink([&frontier](std::span<const ResultPair> batch) {
+      for (const ResultPair& p : batch) frontier.push_back({p.r, p.s});
     });
+    engine.Run(&sink);
   }
 
   // Phase 2..n-1: extend every partial tuple by window-probing the next

@@ -4,9 +4,9 @@
 
 namespace rsj {
 
-NodeAccessor::NodeAccessor(const RTree& tree, BufferPool* pool,
+NodeAccessor::NodeAccessor(const RTree& tree, PageCache* cache,
                            Statistics* stats, bool sort_on_read)
-    : tree_(tree), pool_(pool), stats_(stats), sort_on_read_(sort_on_read) {}
+    : tree_(tree), pages_(cache), stats_(stats), sort_on_read_(sort_on_read) {}
 
 namespace {
 
@@ -34,7 +34,7 @@ uint64_t InsertionSortByLowerX(std::vector<Entry>* entries) {
 }  // namespace
 
 const Node& NodeAccessor::Fetch(PageId id) {
-  const bool hit = pool_->Read(tree_.file(), id);
+  const bool hit = pages_->Read(tree_.file(), id, stats_);
   auto it = cache_.find(id);
   if (it == cache_.end()) {
     CachedNode cached;
@@ -54,8 +54,10 @@ const Node& NodeAccessor::Fetch(PageId id) {
   return it->second.node;
 }
 
-void NodeAccessor::Pin(PageId id) { pool_->Pin(tree_.file(), id); }
+void NodeAccessor::Pin(PageId id) { pages_->Pin(tree_.file(), id, stats_); }
 
-void NodeAccessor::Unpin(PageId id) { pool_->Unpin(tree_.file(), id); }
+void NodeAccessor::Unpin(PageId id) {
+  pages_->Unpin(tree_.file(), id, stats_);
+}
 
 }  // namespace rsj

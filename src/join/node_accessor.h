@@ -1,8 +1,11 @@
 // Buffered node access for the join engine.
 //
 // Every node the join touches is requested through a `NodeAccessor`, which
-// routes the page request through the shared LRU `BufferPool` (so disk
-// accesses and buffer hits are counted) and hands back the decoded node.
+// routes the page request through a `PageCache` (a private `BufferPool` or
+// the parallel executor's `SharedBufferPool`, so disk accesses and buffer
+// hits are counted) and hands back the decoded node. The decoded-node cache
+// is private to the accessor: in a parallel join every worker keeps its own
+// decodes, so returned `Node&` references are never shared across threads.
 //
 // For the sweep-based algorithms the accessor keeps each node's entries
 // sorted by their rectangles' lower x coordinate and charges the sorting
@@ -19,24 +22,25 @@
 #include <unordered_map>
 
 #include "rtree/rtree.h"
-#include "storage/buffer_pool.h"
+#include "storage/page_cache.h"
 
 namespace rsj {
 
 class NodeAccessor {
  public:
   // Does not take ownership; all arguments must outlive the accessor.
-  NodeAccessor(const RTree& tree, BufferPool* pool, Statistics* stats,
+  // Page requests are charged to `stats` (the owning worker's counters).
+  NodeAccessor(const RTree& tree, PageCache* cache, Statistics* stats,
                bool sort_on_read);
 
   NodeAccessor(const NodeAccessor&) = delete;
   NodeAccessor& operator=(const NodeAccessor&) = delete;
 
-  // Reads page `id` through the buffer pool and returns the decoded node.
+  // Reads page `id` through the page cache and returns the decoded node.
   // The reference stays valid for the accessor's lifetime.
   const Node& Fetch(PageId id);
 
-  // Pins / unpins the page in the shared buffer pool.
+  // Pins / unpins the page in the page cache.
   void Pin(PageId id);
   void Unpin(PageId id);
 
@@ -49,7 +53,7 @@ class NodeAccessor {
   };
 
   const RTree& tree_;
-  BufferPool* pool_;
+  PageCache* pages_;
   Statistics* stats_;
   bool sort_on_read_;
   std::unordered_map<PageId, CachedNode> cache_;

@@ -1,126 +1,15 @@
 #include "join/parallel_join.h"
 
-#include <thread>
-
-#include "common/logging.h"
-#include "geom/plane_sweep.h"
-
 namespace rsj {
-
-namespace {
-
-void AccumulateStats(const Statistics& from, Statistics* into) {
-  into->disk_reads += from.disk_reads;
-  into->disk_writes += from.disk_writes;
-  into->buffer_hits += from.buffer_hits;
-  into->buffer_evictions += from.buffer_evictions;
-  into->pin_count += from.pin_count;
-  into->join_comparisons.Add(from.join_comparisons.count());
-  into->sort_comparisons.Add(from.sort_comparisons.count());
-  into->schedule_comparisons.Add(from.schedule_comparisons.count());
-  into->output_pairs += from.output_pairs;
-  into->node_pairs += from.node_pairs;
-  into->window_queries += from.window_queries;
-}
-
-}  // namespace
 
 ParallelJoinResult RunParallelSpatialJoin(const RTree& r, const RTree& s,
                                           const JoinOptions& options,
                                           unsigned num_threads,
                                           bool collect_pairs) {
-  RSJ_CHECK_MSG(r.options().page_size == s.options().page_size,
-                "joined trees must share one page size");
-  ParallelJoinResult result;
-
-  // Coordinator: read the roots once and compute the qualifying pairs of
-  // root entries with the plane sweep (counted as coordinator work).
-  Statistics coordinator;
-  const Node root_r = Node::Load(r.file(), r.root_page());
-  const Node root_s = Node::Load(s.file(), s.root_page());
-  coordinator.disk_reads += 2;
-
-  if (num_threads <= 1 || root_r.is_leaf() || root_s.is_leaf()) {
-    // Degenerate shapes: a single partition is the sequential join.
-    JoinRunResult sequential = RunSpatialJoin(r, s, options, collect_pairs);
-    result.pair_count = sequential.pair_count;
-    result.pairs = std::move(sequential.pairs);
-    result.worker_stats.push_back(sequential.stats);
-    AccumulateStats(sequential.stats, &result.total_stats);
-    return result;
-  }
-
-  std::vector<IndexedRect> seq_r;
-  seq_r.reserve(root_r.entries.size());
-  for (uint32_t i = 0; i < root_r.entries.size(); ++i) {
-    seq_r.push_back(IndexedRect{root_r.entries[i].rect, i});
-  }
-  std::vector<IndexedRect> seq_s;
-  seq_s.reserve(root_s.entries.size());
-  for (uint32_t j = 0; j < root_s.entries.size(); ++j) {
-    seq_s.push_back(IndexedRect{root_s.entries[j].rect, j});
-  }
-  SortByLowerXCounted(&seq_r, &coordinator.join_comparisons);
-  SortByLowerXCounted(&seq_s, &coordinator.join_comparisons);
-
-  const double expansion =
-      PredicateExpansion(options.predicate, options.epsilon);
-  if (expansion > 0.0) {
-    for (IndexedRect& e : seq_r) e.rect = e.rect.Expanded(expansion);
-  }
-
-  std::vector<std::pair<Entry, Entry>> root_pairs;
-  SortedIntersectionTest(
-      std::span<const IndexedRect>(seq_r), std::span<const IndexedRect>(seq_s),
-      &coordinator.join_comparisons, [&](uint32_t i, uint32_t j) {
-        root_pairs.emplace_back(root_r.entries[i], root_s.entries[j]);
-      });
-
-  // Round-robin declustering of the work units.
-  const unsigned workers =
-      std::min<unsigned>(num_threads,
-                         std::max<size_t>(1, root_pairs.size()));
-  std::vector<std::vector<std::pair<Entry, Entry>>> partitions(workers);
-  for (size_t i = 0; i < root_pairs.size(); ++i) {
-    partitions[i % workers].push_back(root_pairs[i]);
-  }
-
-  result.worker_stats.assign(workers, Statistics());
-  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> worker_pairs(
-      workers);
-  std::vector<uint64_t> worker_counts(workers, 0);
-
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    threads.emplace_back([&, w]() {
-      Statistics& stats = result.worker_stats[w];
-      BufferPool pool(
-          BufferPool::Options{options.buffer_bytes,
-                              r.options().page_size,
-                              options.eviction_policy},
-          &stats);
-      SpatialJoinEngine engine(r, s, options, &pool, &stats);
-      engine.RunPartition(
-          std::span<const std::pair<Entry, Entry>>(partitions[w]),
-          [&, w](uint32_t a, uint32_t b) {
-            ++worker_counts[w];
-            if (collect_pairs) worker_pairs[w].emplace_back(a, b);
-          });
-    });
-  }
-  for (std::thread& t : threads) t.join();
-
-  AccumulateStats(coordinator, &result.total_stats);
-  for (unsigned w = 0; w < workers; ++w) {
-    AccumulateStats(result.worker_stats[w], &result.total_stats);
-    result.pair_count += worker_counts[w];
-    if (collect_pairs) {
-      result.pairs.insert(result.pairs.end(), worker_pairs[w].begin(),
-                          worker_pairs[w].end());
-    }
-  }
-  return result;
+  ParallelExecutorOptions exec_options;
+  exec_options.num_threads = num_threads;
+  exec_options.collect_pairs = collect_pairs;
+  return RunParallelSpatialJoin(r, s, options, exec_options);
 }
 
 }  // namespace rsj

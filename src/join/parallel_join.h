@@ -2,36 +2,27 @@
 //
 // The paper closes with "parallel computer systems and disk arrays are very
 // interesting for performing spatial joins ... for example using parallel
-// R-trees [Kamel/Faloutsos]". This module implements the natural
-// declustering: the qualifying pairs of root entries are the work units,
-// distributed over worker threads; every worker owns a private buffer pool
-// (modelling a processor with its own disk and cache, as in the parallel
-// R-tree setting) and runs the configured join algorithm on its partition.
+// R-trees [Kamel/Faloutsos]". The implementation lives in the execution
+// subsystem (exec/parallel_executor.h): a depth-adaptive partitioner breaks
+// the join into subtree-pair tasks, a work-stealing scheduler balances them
+// over worker threads, and the workers share one thread-safe buffer pool.
 //
-// Work units are disjoint subtree pairs, so the union of the workers'
-// outputs is exactly the sequential result, without deduplication.
+// This header keeps the classic entry point used by examples, tests and
+// benchmarks; callers that want to tune the executor (partition
+// granularity, private vs shared pools) use the ParallelExecutorOptions
+// overload directly.
 
 #ifndef RSJ_JOIN_PARALLEL_JOIN_H_
 #define RSJ_JOIN_PARALLEL_JOIN_H_
 
-#include <vector>
-
+#include "exec/parallel_executor.h"
 #include "join/join_runner.h"
 
 namespace rsj {
 
-struct ParallelJoinResult {
-  uint64_t pair_count = 0;
-  std::vector<std::pair<uint32_t, uint32_t>> pairs;  // when collected
-  // Aggregated counters (coordinator + all workers).
-  Statistics total_stats;
-  // Per-worker counters, for skew analysis.
-  std::vector<Statistics> worker_stats;
-};
-
-// Runs R ⋈ S with `num_threads` workers. Falls back to a single partition
-// when a root is a leaf or num_threads <= 1. Each worker gets a private
-// buffer of options.buffer_bytes.
+// Runs R ⋈ S with `num_threads` workers over one shared buffer pool of
+// options.buffer_bytes. Falls back to a single partition when a root is a
+// leaf or num_threads <= 1.
 ParallelJoinResult RunParallelSpatialJoin(const RTree& r, const RTree& s,
                                           const JoinOptions& options,
                                           unsigned num_threads,

@@ -13,17 +13,21 @@ IdJoinResult RunIdSpatialJoin(const RTree& r_tree, const Dataset& r,
       BufferPool::Options{options.buffer_bytes, r_tree.options().page_size},
       &result.stats);
   SpatialJoinEngine engine(r_tree, s_tree, options, &pool, &result.stats);
-  engine.Run([&](uint32_t r_id, uint32_t s_id) {
-    ++result.candidate_pairs;
-    RSJ_DCHECK(r_id < r.objects.size());
-    RSJ_DCHECK(s_id < s.objects.size());
-    const SpatialObject& obj_r = r.objects[r_id];
-    const SpatialObject& obj_s = s.objects[s_id];
-    if (PolylinesIntersect(std::span<const Point>(obj_r.chain),
-                           std::span<const Point>(obj_s.chain))) {
-      ++result.result_pairs;
+  // The filter step streams candidate batches into the exact geometry test.
+  BatchedCallbackSink sink([&](std::span<const ResultPair> batch) {
+    result.candidate_pairs += batch.size();
+    for (const ResultPair& p : batch) {
+      RSJ_DCHECK(p.r < r.objects.size());
+      RSJ_DCHECK(p.s < s.objects.size());
+      const SpatialObject& obj_r = r.objects[p.r];
+      const SpatialObject& obj_s = s.objects[p.s];
+      if (PolylinesIntersect(std::span<const Point>(obj_r.chain),
+                             std::span<const Point>(obj_s.chain))) {
+        ++result.result_pairs;
+      }
     }
   });
+  engine.Run(&sink);
   return result;
 }
 

@@ -10,10 +10,10 @@ namespace rsj {
 
 SpatialJoinEngine::SpatialJoinEngine(const RTree& r, const RTree& s,
                                      const JoinOptions& options,
-                                     BufferPool* pool, Statistics* stats)
+                                     PageCache* cache, Statistics* stats)
     : options_(options),
-      acc_r_(r, pool, stats, UsesPlaneSweep(options.algorithm)),
-      acc_s_(s, pool, stats, UsesPlaneSweep(options.algorithm)),
+      acc_r_(r, cache, stats, UsesPlaneSweep(options.algorithm)),
+      acc_s_(s, cache, stats, UsesPlaneSweep(options.algorithm)),
       stats_(stats),
       expansion_(PredicateExpansion(options.predicate, options.epsilon)) {
   RSJ_CHECK_MSG(r.options().page_size == s.options().page_size,
@@ -21,34 +21,45 @@ SpatialJoinEngine::SpatialJoinEngine(const RTree& r, const RTree& s,
   RSJ_CHECK_MSG(expansion_ >= 0.0, "negative predicate expansion");
 }
 
-void SpatialJoinEngine::Run(const EmitFn& emit) {
-  emit_ = &emit;
+void SpatialJoinEngine::Run(ResultSink* sink) {
+  sink_ = sink;
   const Node& root_r = acc_r_.Fetch(acc_r_.tree().root_page());
   const Node& root_s = acc_s_.Fetch(acc_s_.tree().root_page());
   const Rect mbr_r = root_r.ComputeMbr();
   const Rect mbr_s = root_s.ComputeMbr();
   universe_ = mbr_r.Union(mbr_s);
   JoinNodes(root_r, root_s, RSideRect(mbr_r).Intersection(mbr_s));
-  emit_ = nullptr;
+  sink_ = nullptr;
+  sink->Flush();
 }
 
-void SpatialJoinEngine::RunPartition(
-    std::span<const std::pair<Entry, Entry>> root_pairs, const EmitFn& emit) {
-  emit_ = &emit;
+void SpatialJoinEngine::BeginPartitionedRun() {
   // Each worker reads the roots itself (counted), like a processor of a
   // parallel R-tree would; the universe frame must agree across workers.
   const Node& root_r = acc_r_.Fetch(acc_r_.tree().root_page());
   const Node& root_s = acc_s_.Fetch(acc_s_.tree().root_page());
   universe_ = root_r.ComputeMbr().Union(root_s.ComputeMbr());
-  for (const auto& [er, es] : root_pairs) {
-    ProcessChildPair(er, es);
+}
+
+void SpatialJoinEngine::ProcessPartition(const Entry& er, const Entry& es,
+                                         ResultSink* sink) {
+  sink_ = sink;
+  ProcessChildPair(er, es);
+  sink_ = nullptr;
+}
+
+void SpatialJoinEngine::RunPartition(
+    std::span<const std::pair<Entry, Entry>> pairs, ResultSink* sink) {
+  BeginPartitionedRun();
+  for (const auto& [er, es] : pairs) {
+    ProcessPartition(er, es, sink);
   }
-  emit_ = nullptr;
+  sink->Flush();
 }
 
 void SpatialJoinEngine::Emit(uint32_t r_ref, uint32_t s_ref) {
   ++stats_->output_pairs;
-  (*emit_)(r_ref, s_ref);
+  sink_->Add(r_ref, s_ref);
 }
 
 std::vector<IndexedRect> SpatialJoinEngine::MarkEntries(const Node& node,

@@ -15,46 +15,55 @@
 // data-node) pairs; the remaining subtrees are probed with window queries
 // under HeightPolicy (a), (b) or (c) (§4.4).
 //
-// All page requests go through a shared `BufferPool` and all executed
-// floating point comparisons are charged to `Statistics`, which therefore
-// carries exactly the measurements the paper's tables report.
+// All page requests go through a `PageCache` (a private `BufferPool` or the
+// parallel executor's shared pool) and all executed floating point
+// comparisons are charged to `Statistics`, which therefore carries exactly
+// the measurements the paper's tables report.
+//
+// Results leave the engine through a batched `ResultSink` (see
+// exec/result_sink.h); the hot loops never make a per-pair indirect call.
 
 #ifndef RSJ_JOIN_SPATIAL_JOIN_H_
 #define RSJ_JOIN_SPATIAL_JOIN_H_
 
-#include <functional>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "exec/result_sink.h"
 #include "geom/indexed_rect.h"
 #include "join/join_options.h"
 #include "join/node_accessor.h"
 #include "rtree/rtree.h"
-#include "storage/buffer_pool.h"
+#include "storage/page_cache.h"
 #include "storage/statistics.h"
 
 namespace rsj {
 
 class SpatialJoinEngine {
  public:
-  // Receives each result pair as (object id in R, object id in S).
-  using EmitFn = std::function<void(uint32_t, uint32_t)>;
-
-  // `pool` and `stats` must outlive the engine; both trees must use the
+  // `cache` and `stats` must outlive the engine; both trees must use the
   // same page size (the paper's setting).
   SpatialJoinEngine(const RTree& r, const RTree& s, const JoinOptions& options,
-                    BufferPool* pool, Statistics* stats);
+                    PageCache* cache, Statistics* stats);
 
-  // Executes the MBR-spatial-join R ⋈ S.
-  void Run(const EmitFn& emit);
+  // Executes the MBR-spatial-join R ⋈ S into `sink` (flushed on return).
+  void Run(ResultSink* sink);
 
-  // Processes a subset of the root-level qualifying pairs as an
-  // independent work partition — the unit of parallelism of the parallel
-  // spatial join (§6 future work; see join/parallel_join.h). Entries must
-  // be directory entries of the respective roots.
-  void RunPartition(std::span<const std::pair<Entry, Entry>> root_pairs,
-                    const EmitFn& emit);
+  // Processes a set of qualifying directory-entry pairs as one independent
+  // work partition (flushes `sink` on return). Equivalent to
+  // BeginPartitionedRun() + ProcessPartition() per pair + Flush().
+  void RunPartition(std::span<const std::pair<Entry, Entry>> pairs,
+                    ResultSink* sink);
+
+  // Fine-grained partitioned execution, used by the parallel executor
+  // (exec/parallel_executor.h): Begin fetches both roots (counted, like a
+  // processor of a parallel R-tree would) and fixes the z-order universe;
+  // ProcessPartition then joins the subtree pair under one qualifying
+  // (R-entry, S-entry) pair. The sink is NOT flushed per partition — the
+  // caller flushes once per worker.
+  void BeginPartitionedRun();
+  void ProcessPartition(const Entry& er, const Entry& es, ResultSink* sink);
 
  private:
   // A qualifying pair of entry slots (index in nr.entries, in ns.entries).
@@ -116,7 +125,7 @@ class SpatialJoinEngine {
   Statistics* stats_;
   double expansion_ = 0.0;         // R-side growth for the predicate filter
   Rect universe_ = Rect::Empty();  // z-value reference frame
-  const EmitFn* emit_ = nullptr;
+  ResultSink* sink_ = nullptr;     // output of the run in progress
 };
 
 }  // namespace rsj

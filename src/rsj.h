@@ -22,6 +22,10 @@
 #include "datagen/dataset.h"       // IWYU pragma: export
 #include "datagen/tiger_like.h"    // IWYU pragma: export
 #include "datagen/workloads.h"     // IWYU pragma: export
+#include "exec/parallel_executor.h"  // IWYU pragma: export
+#include "exec/partition.h"        // IWYU pragma: export
+#include "exec/result_sink.h"      // IWYU pragma: export
+#include "exec/task_scheduler.h"   // IWYU pragma: export
 #include "geom/plane_sweep.h"      // IWYU pragma: export
 #include "geom/rect.h"             // IWYU pragma: export
 #include "geom/segment.h"          // IWYU pragma: export
@@ -37,7 +41,9 @@
 #include "rtree/rtree.h"           // IWYU pragma: export
 #include "storage/buffer_pool.h"   // IWYU pragma: export
 #include "storage/cost_model.h"    // IWYU pragma: export
+#include "storage/page_cache.h"    // IWYU pragma: export
 #include "storage/paged_file.h"    // IWYU pragma: export
+#include "storage/shared_buffer_pool.h"  // IWYU pragma: export
 #include "storage/persistence.h"   // IWYU pragma: export
 #include "storage/statistics.h"    // IWYU pragma: export
 

@@ -23,15 +23,15 @@ BufferPool::BufferPool(const Options& options, Statistics* stats)
   RSJ_CHECK(stats != nullptr);
 }
 
-bool BufferPool::Read(const PagedFile& file, PageId id) {
-  const Key key{&file, id};
+bool BufferPool::Read(const PagedFile& file, PageId id, Statistics* stats) {
+  const PageKey key{&file, id};
   if (pinned_.contains(key)) {
-    ++stats_->buffer_hits;
+    ++stats->buffer_hits;
     return true;
   }
   auto it = frames_.find(key);
   if (it != frames_.end()) {
-    ++stats_->buffer_hits;
+    ++stats->buffer_hits;
     switch (policy_) {
       case EvictionPolicy::kLru:
         order_.splice(order_.begin(), order_, it->second.position);
@@ -44,14 +44,14 @@ bool BufferPool::Read(const PagedFile& file, PageId id) {
     }
     return true;
   }
-  ++stats_->disk_reads;
-  InsertNewest(key);
+  ++stats->disk_reads;
+  InsertNewest(key, stats);
   return false;
 }
 
-void BufferPool::Pin(const PagedFile& file, PageId id) {
-  const Key key{&file, id};
-  ++stats_->pin_count;
+void BufferPool::Pin(const PagedFile& file, PageId id, Statistics* stats) {
+  const PageKey key{&file, id};
+  ++stats->pin_count;
   auto pinned_it = pinned_.find(key);
   if (pinned_it != pinned_.end()) {
     ++pinned_it->second;
@@ -64,22 +64,23 @@ void BufferPool::Pin(const PagedFile& file, PageId id) {
     frames_.erase(frame_it);
   } else {
     // Not resident: pinning implies reading the page first.
-    ++stats_->disk_reads;
+    ++stats->disk_reads;
   }
   pinned_.emplace(key, 1u);
 }
 
-void BufferPool::Unpin(const PagedFile& file, PageId id) {
-  const Key key{&file, id};
+void BufferPool::Unpin(const PagedFile& file, PageId id, Statistics* stats) {
+  const PageKey key{&file, id};
   auto it = pinned_.find(key);
   RSJ_CHECK_MSG(it != pinned_.end(), "Unpin of a page that is not pinned");
   if (--it->second > 0) return;
   pinned_.erase(it);
-  InsertNewest(key);  // recently used; keep it cached if the budget allows
+  // Recently used; keep it cached if the budget allows.
+  InsertNewest(key, stats);
 }
 
 bool BufferPool::Contains(const PagedFile& file, PageId id) const {
-  const Key key{&file, id};
+  const PageKey key{&file, id};
   return pinned_.contains(key) || frames_.contains(key);
 }
 
@@ -89,17 +90,17 @@ void BufferPool::Clear() {
   frames_.clear();
 }
 
-void BufferPool::EvictOne() {
+void BufferPool::EvictOne(Statistics* stats) {
   if (policy_ == EvictionPolicy::kClock) {
     // Sweep from the oldest end, granting one second chance per bit.
     while (true) {
-      const Key victim = order_.back();
+      const PageKey victim = order_.back();
       auto it = frames_.find(victim);
       RSJ_DCHECK(it != frames_.end());
       if (!it->second.referenced) {
         order_.pop_back();
         frames_.erase(it);
-        ++stats_->buffer_evictions;
+        ++stats->buffer_evictions;
         return;
       }
       it->second.referenced = false;
@@ -109,12 +110,12 @@ void BufferPool::EvictOne() {
   // LRU and FIFO both evict the back of the order list.
   frames_.erase(order_.back());
   order_.pop_back();
-  ++stats_->buffer_evictions;
+  ++stats->buffer_evictions;
 }
 
-void BufferPool::InsertNewest(const Key& key) {
+void BufferPool::InsertNewest(const PageKey& key, Statistics* stats) {
   if (frame_capacity_ == 0) return;
-  while (order_.size() >= frame_capacity_) EvictOne();
+  while (order_.size() >= frame_capacity_) EvictOne(stats);
   order_.push_front(key);
   frames_[key] = Frame{order_.begin(), /*referenced=*/false};
 }

@@ -15,6 +15,10 @@
 // Because the backing `PagedFile`s are in-memory, the pool does not copy
 // page bytes; it is the *accounting* authority: `Read()` returns whether the
 // request was a disk access or a buffer hit and updates `Statistics`.
+//
+// `BufferPool` is single-owner (not thread-safe) and implements the
+// `PageCache` interface; the thread-safe shared variant lives in
+// storage/shared_buffer_pool.h.
 
 #ifndef RSJ_STORAGE_BUFFER_POOL_H_
 #define RSJ_STORAGE_BUFFER_POOL_H_
@@ -23,6 +27,7 @@
 #include <list>
 #include <unordered_map>
 
+#include "storage/page_cache.h"
 #include "storage/paged_file.h"
 #include "storage/statistics.h"
 
@@ -36,7 +41,7 @@ enum class EvictionPolicy {
 
 const char* EvictionPolicyName(EvictionPolicy policy);
 
-class BufferPool {
+class BufferPool : public PageCache {
  public:
   struct Options {
     uint64_t capacity_bytes = 128 * 1024;  // frame budget; 0 disables caching
@@ -44,28 +49,25 @@ class BufferPool {
     EvictionPolicy policy = EvictionPolicy::kLru;
   };
 
-  // `stats` must outlive the pool; all I/O counters are charged to it.
+  // `stats` must outlive the pool; the legacy two-argument calls charge all
+  // I/O counters to it.
   BufferPool(const Options& options, Statistics* stats);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  // Requests page `id` of `file`. Counts either a disk read (miss) or a
-  // buffer hit, updates the policy's bookkeeping, and returns true when it
-  // was a hit.
-  bool Read(const PagedFile& file, PageId id);
+  // Legacy single-owner API: charges the bound Statistics.
+  bool Read(const PagedFile& file, PageId id) {
+    return Read(file, id, stats_);
+  }
+  void Pin(const PagedFile& file, PageId id) { Pin(file, id, stats_); }
+  void Unpin(const PagedFile& file, PageId id) { Unpin(file, id, stats_); }
 
-  // Pins the page, reading it first if absent (that read is counted).
-  // Pins nest: a page pinned twice needs two Unpin() calls. Pinned pages
-  // do not occupy frames and are never evicted.
-  void Pin(const PagedFile& file, PageId id);
-
-  // Releases one pin. When the last pin is released the page moves into
-  // the frames as the newest page (or is dropped with zero frames).
-  void Unpin(const PagedFile& file, PageId id);
-
-  // True when the page is resident (in a frame or pinned).
-  bool Contains(const PagedFile& file, PageId id) const;
+  // PageCache interface: charges the caller-provided Statistics.
+  bool Read(const PagedFile& file, PageId id, Statistics* stats) override;
+  void Pin(const PagedFile& file, PageId id, Statistics* stats) override;
+  void Unpin(const PagedFile& file, PageId id, Statistics* stats) override;
+  bool Contains(const PagedFile& file, PageId id) const override;
 
   // Drops all cached pages (pins must have been released).
   void Clear();
@@ -81,27 +83,16 @@ class BufferPool {
   EvictionPolicy policy() const { return policy_; }
 
  private:
-  // Pages are identified across files by (file identity, page id).
-  using Key = std::pair<const PagedFile*, PageId>;
-
-  struct KeyHash {
-    size_t operator()(const Key& k) const {
-      const auto h1 = std::hash<const void*>{}(k.first);
-      const auto h2 = std::hash<uint32_t>{}(k.second);
-      return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
-    }
-  };
-
   struct Frame {
-    std::list<Key>::iterator position;  // place in the order list
-    bool referenced = false;            // CLOCK reference bit
+    std::list<PageKey>::iterator position;  // place in the order list
+    bool referenced = false;                // CLOCK reference bit
   };
 
   // Inserts the key as the newest frame, evicting per policy if needed.
-  void InsertNewest(const Key& key);
+  void InsertNewest(const PageKey& key, Statistics* stats);
 
   // Frees one frame according to the eviction policy.
-  void EvictOne();
+  void EvictOne(Statistics* stats);
 
   size_t frame_capacity_;
   EvictionPolicy policy_;
@@ -109,11 +100,11 @@ class BufferPool {
 
   // Order list: front = newest (LRU: most recently used; FIFO/CLOCK:
   // most recently inserted). Back is the eviction candidate.
-  std::list<Key> order_;
-  std::unordered_map<Key, Frame, KeyHash> frames_;
+  std::list<PageKey> order_;
+  std::unordered_map<PageKey, Frame, PageKeyHash> frames_;
 
   // Pinned pages with their pin counts.
-  std::unordered_map<Key, uint32_t, KeyHash> pinned_;
+  std::unordered_map<PageKey, uint32_t, PageKeyHash> pinned_;
 };
 
 }  // namespace rsj

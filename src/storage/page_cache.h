@@ -1,0 +1,63 @@
+// The page-caching interface the join layer programs against.
+//
+// Two implementations exist:
+//   * BufferPool        — the original single-owner pool (one Statistics,
+//                         no locking); models one processor's private
+//                         buffer, exactly the paper's setting.
+//   * SharedBufferPool  — a sharded, thread-safe pool shared by all
+//                         workers of a parallel join.
+//
+// Counter attribution is per call: every request carries the Statistics of
+// the requesting actor (a worker or the coordinator), so a shared pool can
+// charge hits, misses and evictions to whoever caused them.
+
+#ifndef RSJ_STORAGE_PAGE_CACHE_H_
+#define RSJ_STORAGE_PAGE_CACHE_H_
+
+#include <cstdint>
+
+#include "storage/paged_file.h"
+#include "storage/statistics.h"
+
+namespace rsj {
+
+// Pages are identified across files by (file identity, page id).
+struct PageKey {
+  const PagedFile* file = nullptr;
+  PageId id = kInvalidPageId;
+
+  friend bool operator==(const PageKey&, const PageKey&) = default;
+};
+
+struct PageKeyHash {
+  size_t operator()(const PageKey& k) const {
+    const auto h1 = std::hash<const void*>{}(k.file);
+    const auto h2 = std::hash<uint32_t>{}(k.id);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};
+
+class PageCache {
+ public:
+  virtual ~PageCache() = default;
+
+  // Requests page `id` of `file`. Counts either a disk read (miss) or a
+  // buffer hit against `stats` and returns true when it was a hit.
+  virtual bool Read(const PagedFile& file, PageId id, Statistics* stats) = 0;
+
+  // Pins the page, reading it first if absent (that read is counted).
+  // Pins nest: a page pinned twice needs two Unpin() calls. Pinned pages
+  // do not occupy frames and are never evicted.
+  virtual void Pin(const PagedFile& file, PageId id, Statistics* stats) = 0;
+
+  // Releases one pin. When the last pin is released the page moves into
+  // the frames as the newest page (or is dropped with zero frames).
+  virtual void Unpin(const PagedFile& file, PageId id, Statistics* stats) = 0;
+
+  // True when the page is resident (in a frame or pinned).
+  virtual bool Contains(const PagedFile& file, PageId id) const = 0;
+};
+
+}  // namespace rsj
+
+#endif  // RSJ_STORAGE_PAGE_CACHE_H_

@@ -1,0 +1,77 @@
+#include "storage/shared_buffer_pool.h"
+
+#include <algorithm>
+
+namespace rsj {
+
+SharedBufferPool::SharedBufferPool(const Options& options)
+    : frame_capacity_(options.page_size == 0
+                          ? 0
+                          : options.capacity_bytes / options.page_size),
+      policy_(options.policy) {
+  const size_t shard_count = std::max<size_t>(1, options.shard_count);
+  // Distribute the frame budget round-robin so small budgets still spread
+  // over several shards (a shard may end up with zero frames; pinned pages
+  // live outside the budget either way).
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    const size_t frames =
+        frame_capacity_ / shard_count + (i < frame_capacity_ % shard_count);
+    shards_.push_back(std::make_unique<Shard>(BufferPool::Options{
+        frames * options.page_size, options.page_size, options.policy}));
+  }
+}
+
+bool SharedBufferPool::Read(const PagedFile& file, PageId id,
+                            Statistics* stats) {
+  Shard& shard = ShardFor(PageKey{&file, id});
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.pool.Read(file, id, stats);
+}
+
+void SharedBufferPool::Pin(const PagedFile& file, PageId id,
+                           Statistics* stats) {
+  Shard& shard = ShardFor(PageKey{&file, id});
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.pool.Pin(file, id, stats);
+}
+
+void SharedBufferPool::Unpin(const PagedFile& file, PageId id,
+                             Statistics* stats) {
+  Shard& shard = ShardFor(PageKey{&file, id});
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.pool.Unpin(file, id, stats);
+}
+
+bool SharedBufferPool::Contains(const PagedFile& file, PageId id) const {
+  const Shard& shard = ShardFor(PageKey{&file, id});
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.pool.Contains(file, id);
+}
+
+void SharedBufferPool::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->pool.Clear();
+  }
+}
+
+size_t SharedBufferPool::frames_in_use() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->pool.frames_in_use();
+  }
+  return total;
+}
+
+size_t SharedBufferPool::pinned_pages() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->pool.pinned_pages();
+  }
+  return total;
+}
+
+}  // namespace rsj

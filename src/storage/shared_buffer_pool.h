@@ -1,0 +1,90 @@
+// Thread-safe shared buffer pool for the parallel join executor.
+//
+// The seed parallel join gave every worker a fully private BufferPool, so
+// hot directory pages near the root were re-read once per worker and the
+// frame budget multiplied with the thread count. This pool is shared by all
+// workers instead: the key space is hash-partitioned into shards, each an
+// independently locked BufferPool, so concurrent workers only contend when
+// they touch pages of the same shard. Pin counts live in the shard pools
+// under the same lock, which makes SJ4/SJ5 pinning safe across threads
+// (two workers pinning the same page nest their pins).
+//
+// Counter attribution follows the PageCache contract: every call charges
+// the requesting worker's Statistics, so per-worker I/O skew stays
+// observable even though the frames are shared. Evictions are charged to
+// the worker whose insertion triggered them.
+
+#ifndef RSJ_STORAGE_SHARED_BUFFER_POOL_H_
+#define RSJ_STORAGE_SHARED_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page_cache.h"
+
+namespace rsj {
+
+class SharedBufferPool : public PageCache {
+ public:
+  struct Options {
+    uint64_t capacity_bytes = 128 * 1024;  // total frame budget, all shards
+    uint32_t page_size = kPageSize4K;
+    EvictionPolicy policy = EvictionPolicy::kLru;
+    size_t shard_count = 8;
+  };
+
+  explicit SharedBufferPool(const Options& options);
+
+  SharedBufferPool(const SharedBufferPool&) = delete;
+  SharedBufferPool& operator=(const SharedBufferPool&) = delete;
+
+  bool Read(const PagedFile& file, PageId id, Statistics* stats) override;
+  void Pin(const PagedFile& file, PageId id, Statistics* stats) override;
+  void Unpin(const PagedFile& file, PageId id, Statistics* stats) override;
+  bool Contains(const PagedFile& file, PageId id) const override;
+
+  // Drops all cached pages (no pins may be outstanding).
+  void Clear();
+
+  // Total frames across all shards.
+  size_t frame_capacity() const { return frame_capacity_; }
+
+  size_t shard_count() const { return shards_.size(); }
+
+  // Snapshot counts; exact only while no worker is active.
+  size_t frames_in_use() const;
+  size_t pinned_pages() const;
+
+  EvictionPolicy policy() const { return policy_; }
+
+ private:
+  // One independently locked cache unit: a plain BufferPool scoped to the
+  // keys that hash into it. The pool's bound Statistics is unused (every
+  // access goes through the 3-arg PageCache API) but required by its
+  // constructor.
+  struct Shard {
+    Shard(const BufferPool::Options& options)
+        : pool(options, &unused_stats) {}
+    mutable std::mutex mu;
+    Statistics unused_stats;
+    BufferPool pool;
+  };
+
+  Shard& ShardFor(const PageKey& key) {
+    return *shards_[PageKeyHash{}(key) % shards_.size()];
+  }
+  const Shard& ShardFor(const PageKey& key) const {
+    return *shards_[PageKeyHash{}(key) % shards_.size()];
+  }
+
+  size_t frame_capacity_;
+  EvictionPolicy policy_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace rsj
+
+#endif  // RSJ_STORAGE_SHARED_BUFFER_POOL_H_

@@ -4,6 +4,20 @@
 
 namespace rsj {
 
+void Statistics::MergeFrom(const Statistics& other) {
+  disk_reads += other.disk_reads;
+  disk_writes += other.disk_writes;
+  buffer_hits += other.buffer_hits;
+  buffer_evictions += other.buffer_evictions;
+  pin_count += other.pin_count;
+  join_comparisons.Add(other.join_comparisons.count());
+  sort_comparisons.Add(other.sort_comparisons.count());
+  schedule_comparisons.Add(other.schedule_comparisons.count());
+  output_pairs += other.output_pairs;
+  node_pairs += other.node_pairs;
+  window_queries += other.window_queries;
+}
+
 std::string Statistics::ToString() const {
   char buf[512];
   std::snprintf(

@@ -49,6 +49,10 @@ struct Statistics {
 
   void Reset() { *this = Statistics(); }
 
+  // Adds every counter of `other` into this instance. Parallel execution
+  // gives each worker its own Statistics and merges them at the end.
+  void MergeFrom(const Statistics& other);
+
   // Multi-line human readable dump (used by the examples).
   std::string ToString() const;
 };

@@ -1,0 +1,479 @@
+// Tests for the execution subsystem: batched result sinks, the shared
+// concurrent buffer pool, the work-stealing scheduler, depth-adaptive
+// partitioning, and the parallel executor's exact equivalence with the
+// sequential engine across algorithms, thread counts and pool modes.
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "exec/parallel_executor.h"
+#include "exec/partition.h"
+#include "exec/result_sink.h"
+#include "exec/task_scheduler.h"
+#include "join/join_runner.h"
+#include "storage/buffer_pool.h"
+#include "storage/shared_buffer_pool.h"
+#include "tests/test_util.h"
+
+namespace rsj {
+namespace {
+
+// --- result sinks ----------------------------------------------------------
+
+TEST(ResultSinkTest, CountingSinkCountsAcrossBatchBoundaries) {
+  CountingSink sink;
+  const size_t n = 2 * ResultSink::kBatchCapacity + 437;
+  for (size_t i = 0; i < n; ++i) {
+    sink.Add(static_cast<uint32_t>(i), static_cast<uint32_t>(i + 1));
+  }
+  EXPECT_EQ(sink.count(), n);
+  sink.Flush();
+  EXPECT_EQ(sink.count(), n);
+  sink.Flush();  // idempotent
+  EXPECT_EQ(sink.count(), n);
+}
+
+TEST(ResultSinkTest, MaterializingSinkPreservesInsertionOrder) {
+  MaterializingSink sink;
+  const size_t n = ResultSink::kBatchCapacity + 5;
+  for (size_t i = 0; i < n; ++i) {
+    sink.Add(static_cast<uint32_t>(i), static_cast<uint32_t>(2 * i));
+  }
+  const auto pairs = sink.TakePairs();
+  ASSERT_EQ(pairs.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(pairs[i].first, i);
+    EXPECT_EQ(pairs[i].second, 2 * i);
+  }
+}
+
+TEST(ResultSinkTest, BatchedCallbackSinkDeliversFullThenPartialBatches) {
+  std::vector<size_t> batch_sizes;
+  std::vector<ResultPair> received;
+  BatchedCallbackSink sink([&](std::span<const ResultPair> batch) {
+    batch_sizes.push_back(batch.size());
+    received.insert(received.end(), batch.begin(), batch.end());
+  });
+  const size_t n = 3 * ResultSink::kBatchCapacity + 11;
+  for (size_t i = 0; i < n; ++i) {
+    sink.Add(static_cast<uint32_t>(i), static_cast<uint32_t>(i));
+  }
+  sink.Flush();
+  ASSERT_EQ(batch_sizes.size(), 4u);
+  EXPECT_EQ(batch_sizes[0], ResultSink::kBatchCapacity);
+  EXPECT_EQ(batch_sizes[1], ResultSink::kBatchCapacity);
+  EXPECT_EQ(batch_sizes[2], ResultSink::kBatchCapacity);
+  EXPECT_EQ(batch_sizes[3], 11u);
+  ASSERT_EQ(received.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(received[i], (ResultPair{static_cast<uint32_t>(i),
+                                       static_cast<uint32_t>(i)}));
+  }
+}
+
+TEST(ResultSinkTest, EmptySinkFlushDeliversNothing) {
+  size_t calls = 0;
+  BatchedCallbackSink sink([&](std::span<const ResultPair>) { ++calls; });
+  sink.Flush();
+  EXPECT_EQ(calls, 0u);
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+// --- statistics merging ----------------------------------------------------
+
+TEST(StatisticsTest, MergeFromAddsEveryCounter) {
+  Statistics a;
+  a.disk_reads = 3;
+  a.buffer_hits = 5;
+  a.output_pairs = 7;
+  a.join_comparisons.Add(11);
+  Statistics b;
+  b.disk_reads = 13;
+  b.buffer_evictions = 17;
+  b.sort_comparisons.Add(19);
+  b.window_queries = 23;
+  a.MergeFrom(b);
+  EXPECT_EQ(a.disk_reads, 16u);
+  EXPECT_EQ(a.buffer_hits, 5u);
+  EXPECT_EQ(a.buffer_evictions, 17u);
+  EXPECT_EQ(a.output_pairs, 7u);
+  EXPECT_EQ(a.join_comparisons.count(), 11u);
+  EXPECT_EQ(a.sort_comparisons.count(), 19u);
+  EXPECT_EQ(a.window_queries, 23u);
+}
+
+// --- shared buffer pool ----------------------------------------------------
+
+TEST(SharedBufferPoolTest, HitOnSecondReadAndPerCallerAttribution) {
+  PagedFile file(kPageSize1K);
+  const PageId id = file.Allocate();
+  SharedBufferPool pool(SharedBufferPool::Options{4 * kPageSize1K,
+                                                  kPageSize1K,
+                                                  EvictionPolicy::kLru, 4});
+  Statistics worker_a;
+  Statistics worker_b;
+  EXPECT_FALSE(pool.Read(file, id, &worker_a));  // miss, charged to A
+  EXPECT_TRUE(pool.Read(file, id, &worker_b));   // hit, charged to B
+  EXPECT_EQ(worker_a.disk_reads, 1u);
+  EXPECT_EQ(worker_a.buffer_hits, 0u);
+  EXPECT_EQ(worker_b.disk_reads, 0u);
+  EXPECT_EQ(worker_b.buffer_hits, 1u);
+}
+
+TEST(SharedBufferPoolTest, FrameBudgetSplitsOverShards) {
+  SharedBufferPool pool(SharedBufferPool::Options{10 * kPageSize1K,
+                                                  kPageSize1K,
+                                                  EvictionPolicy::kLru, 4});
+  EXPECT_EQ(pool.frame_capacity(), 10u);
+  EXPECT_EQ(pool.shard_count(), 4u);
+}
+
+TEST(SharedBufferPoolTest, PinnedPageSurvivesEvictionPressure) {
+  PagedFile file(kPageSize1K);
+  const PageId pinned = file.Allocate();
+  std::vector<PageId> others;
+  for (int i = 0; i < 16; ++i) others.push_back(file.Allocate());
+  // One frame in one shard: maximal eviction pressure.
+  SharedBufferPool pool(SharedBufferPool::Options{1 * kPageSize1K,
+                                                  kPageSize1K,
+                                                  EvictionPolicy::kLru, 1});
+  Statistics stats;
+  pool.Pin(file, pinned, &stats);
+  for (const PageId id : others) pool.Read(file, id, &stats);
+  EXPECT_TRUE(pool.Contains(file, pinned));
+  pool.Unpin(file, pinned, &stats);
+  EXPECT_EQ(pool.pinned_pages(), 0u);
+}
+
+TEST(SharedBufferPoolTest, PinsNestAcrossCallers) {
+  PagedFile file(kPageSize1K);
+  const PageId id = file.Allocate();
+  SharedBufferPool pool(SharedBufferPool::Options{0, kPageSize1K,
+                                                  EvictionPolicy::kLru, 2});
+  Statistics a;
+  Statistics b;
+  pool.Pin(file, id, &a);
+  pool.Pin(file, id, &b);  // nests
+  pool.Unpin(file, id, &a);
+  EXPECT_TRUE(pool.Contains(file, id));  // b's pin still holds
+  pool.Unpin(file, id, &b);
+  // Zero frames: the page is dropped after the last unpin.
+  EXPECT_FALSE(pool.Contains(file, id));
+  EXPECT_EQ(a.pin_count + b.pin_count, 2u);
+  // Only the first pin paid the read.
+  EXPECT_EQ(a.disk_reads + b.disk_reads, 1u);
+}
+
+TEST(SharedBufferPoolTest, ConcurrentReadersAccountConsistently) {
+  PagedFile file(kPageSize1K);
+  std::vector<PageId> pages;
+  for (int i = 0; i < 64; ++i) pages.push_back(file.Allocate());
+  SharedBufferPool pool(SharedBufferPool::Options{32 * kPageSize1K,
+                                                  kPageSize1K,
+                                                  EvictionPolicy::kLru, 8});
+  constexpr unsigned kThreads = 4;
+  constexpr size_t kReadsPerThread = 20000;
+  std::vector<Statistics> stats(kThreads);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      uint64_t state = 0x9e3779b97f4a7c15ULL + t;
+      for (size_t i = 0; i < kReadsPerThread; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        pool.Read(file, pages[(state >> 33) % pages.size()], &stats[t]);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  uint64_t requests = 0;
+  for (const Statistics& st : stats) {
+    requests += st.disk_reads + st.buffer_hits;
+  }
+  EXPECT_EQ(requests, uint64_t{kThreads} * kReadsPerThread);
+  EXPECT_LE(pool.frames_in_use(), pool.frame_capacity());
+}
+
+// --- task scheduler --------------------------------------------------------
+
+TEST(TaskSchedulerTest, EveryTaskRunsExactlyOnce) {
+  constexpr size_t kTasks = 500;
+  std::vector<std::atomic<int>> executed(kTasks);
+  TaskScheduler scheduler(4, kTasks);
+  const auto counts = scheduler.Run(
+      [&](unsigned, size_t task) { executed[task].fetch_add(1); });
+  uint64_t total = 0;
+  for (const uint64_t c : counts) total += c;
+  EXPECT_EQ(total, kTasks);
+  for (size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(executed[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(TaskSchedulerTest, EveryWorkerWithABlockExecutesAtLeastOneTask) {
+  // Thieves leave the last task of a queue to its owner, so with >= 2
+  // tasks per worker every worker must execute at least one — even when
+  // one thread races ahead and steals aggressively.
+  for (int round = 0; round < 5; ++round) {
+    TaskScheduler scheduler(4, 8);
+    const auto counts = scheduler.Run([](unsigned, size_t) {});
+    ASSERT_EQ(counts.size(), 4u);
+    for (unsigned w = 0; w < 4; ++w) {
+      EXPECT_GE(counts[w], 1u) << "worker " << w;
+    }
+  }
+}
+
+TEST(TaskSchedulerTest, SingleWorkerRunsInline) {
+  TaskScheduler scheduler(1, 17);
+  size_t executed = 0;
+  const auto counts = scheduler.Run([&](unsigned w, size_t) {
+    EXPECT_EQ(w, 0u);
+    ++executed;
+  });
+  EXPECT_EQ(executed, 17u);
+  EXPECT_EQ(counts[0], 17u);
+}
+
+TEST(TaskSchedulerTest, ZeroTasksCompletesImmediately) {
+  TaskScheduler scheduler(3, 0);
+  const auto counts = scheduler.Run(
+      [](unsigned, size_t) { FAIL() << "no task should run"; });
+  for (const uint64_t c : counts) EXPECT_EQ(c, 0u);
+}
+
+// --- partitioning ----------------------------------------------------------
+
+class PartitionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RTreeOptions topt;
+    topt.page_size = kPageSize1K;
+    r_ = new IndexedRelation(testutil::ClusteredRects(4000, 931), topt);
+    s_ = new IndexedRelation(testutil::ClusteredRects(3600, 932), topt);
+  }
+  static void TearDownTestSuite() {
+    delete r_;
+    delete s_;
+    r_ = nullptr;
+    s_ = nullptr;
+  }
+  static IndexedRelation* r_;
+  static IndexedRelation* s_;
+};
+
+IndexedRelation* PartitionTest::r_ = nullptr;
+IndexedRelation* PartitionTest::s_ = nullptr;
+
+TEST_F(PartitionTest, SmallTargetStaysAtRootLevel) {
+  JoinOptions jopt;
+  Statistics stats;
+  BufferPool pool(BufferPool::Options{128 * 1024, kPageSize1K}, &stats);
+  const PartitionPlan plan =
+      BuildPartitionPlan(r_->tree(), s_->tree(), jopt, 1, &pool, &stats);
+  EXPECT_FALSE(plan.degenerate);
+  EXPECT_EQ(plan.depth, 0);
+  EXPECT_GT(plan.tasks.size(), 0u);
+  EXPECT_GT(stats.disk_reads, 0u);  // coordinator I/O is counted
+}
+
+TEST_F(PartitionTest, LargeTargetDescendsBelowTheRoot) {
+  JoinOptions jopt;
+  Statistics stats;
+  BufferPool pool(BufferPool::Options{128 * 1024, kPageSize1K}, &stats);
+  const PartitionPlan shallow =
+      BuildPartitionPlan(r_->tree(), s_->tree(), jopt, 1, &pool, &stats);
+  const PartitionPlan deep = BuildPartitionPlan(
+      r_->tree(), s_->tree(), jopt, shallow.tasks.size() + 1, &pool, &stats);
+  EXPECT_GE(deep.depth, 1);
+  EXPECT_GT(deep.tasks.size(), shallow.tasks.size());
+}
+
+TEST_F(PartitionTest, LeafRootIsDegenerate) {
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation tiny(testutil::RandomRects(5, 933, 0.3), topt);
+  JoinOptions jopt;
+  Statistics stats;
+  BufferPool pool(BufferPool::Options{128 * 1024, kPageSize1K}, &stats);
+  EXPECT_TRUE(BuildPartitionPlan(tiny.tree(), s_->tree(), jopt, 8, &pool,
+                                 &stats)
+                  .degenerate);
+  EXPECT_TRUE(BuildPartitionPlan(r_->tree(), tiny.tree(), jopt, 8, &pool,
+                                 &stats)
+                  .degenerate);
+}
+
+// --- parallel executor -----------------------------------------------------
+
+class ParallelExecutorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RTreeOptions topt;
+    topt.page_size = kPageSize1K;
+    r_ = new IndexedRelation(testutil::ClusteredRects(1500, 941), topt);
+    s_ = new IndexedRelation(testutil::ClusteredRects(1300, 942), topt);
+  }
+  static void TearDownTestSuite() {
+    delete r_;
+    delete s_;
+    r_ = nullptr;
+    s_ = nullptr;
+  }
+  static IndexedRelation* r_;
+  static IndexedRelation* s_;
+};
+
+IndexedRelation* ParallelExecutorTest::r_ = nullptr;
+IndexedRelation* ParallelExecutorTest::s_ = nullptr;
+
+TEST_F(ParallelExecutorTest, MatchesSequentialForAllAlgorithmsAndModes) {
+  for (const JoinAlgorithm alg :
+       {JoinAlgorithm::kSJ1, JoinAlgorithm::kSJ2,
+        JoinAlgorithm::kSweepUnrestricted, JoinAlgorithm::kSJ3,
+        JoinAlgorithm::kSJ4, JoinAlgorithm::kSJ5}) {
+    JoinOptions jopt;
+    jopt.algorithm = alg;
+    jopt.buffer_bytes = 32 * 1024;
+    const auto sequential =
+        RunSpatialJoin(r_->tree(), s_->tree(), jopt, true);
+    const auto expected = testutil::Canonical(sequential.pairs);
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+      for (const bool shared : {true, false}) {
+        ParallelExecutorOptions exec;
+        exec.num_threads = threads;
+        exec.shared_pool = shared;
+        exec.collect_pairs = true;
+        auto parallel =
+            RunParallelSpatialJoin(r_->tree(), s_->tree(), jopt, exec);
+        EXPECT_EQ(parallel.pair_count, sequential.pair_count)
+            << JoinAlgorithmName(alg) << " threads=" << threads
+            << " shared=" << shared;
+        EXPECT_EQ(testutil::Canonical(std::move(parallel.pairs)), expected)
+            << JoinAlgorithmName(alg) << " threads=" << threads
+            << " shared=" << shared;
+        EXPECT_EQ(parallel.total_stats.output_pairs, parallel.pair_count);
+      }
+    }
+  }
+}
+
+TEST_F(ParallelExecutorTest, EvictionPolicyAblationsParallelize) {
+  for (const EvictionPolicy policy :
+       {EvictionPolicy::kFifo, EvictionPolicy::kClock}) {
+    JoinOptions jopt;
+    jopt.algorithm = JoinAlgorithm::kSJ4;
+    jopt.eviction_policy = policy;
+    const auto sequential = RunSpatialJoin(r_->tree(), s_->tree(), jopt, true);
+    ParallelExecutorOptions exec;
+    exec.num_threads = 4;
+    exec.collect_pairs = true;
+    auto parallel = RunParallelSpatialJoin(r_->tree(), s_->tree(), jopt, exec);
+    EXPECT_EQ(testutil::Canonical(std::move(parallel.pairs)),
+              testutil::Canonical(sequential.pairs))
+        << EvictionPolicyName(policy);
+  }
+}
+
+TEST_F(ParallelExecutorTest, DepthAdaptivePartitioningReportsTelemetry) {
+  // Needs trees of height >= 3 so the partitioner has a directory level
+  // below the root to descend into.
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation tall_r(testutil::ClusteredRects(4000, 943), topt);
+  IndexedRelation tall_s(testutil::ClusteredRects(3600, 944), topt);
+  ASSERT_GE(tall_r.tree().height(), 3);
+  ASSERT_GE(tall_s.tree().height(), 3);
+  JoinOptions jopt;
+  jopt.algorithm = JoinAlgorithm::kSJ4;
+  ParallelExecutorOptions exec;
+  exec.num_threads = 4;
+  exec.partition_multiplier = 1024;  // force descent below the root
+  const auto result =
+      RunParallelSpatialJoin(tall_r.tree(), tall_s.tree(), jopt, exec);
+  EXPECT_TRUE(result.used_shared_pool);
+  EXPECT_GE(result.task_count, result.worker_stats.size());
+  EXPECT_GE(result.partition_depth, 1);
+  uint64_t executed = 0;
+  for (const uint64_t c : result.worker_task_counts) executed += c;
+  EXPECT_EQ(executed, result.task_count);
+}
+
+TEST_F(ParallelExecutorTest, SkewedDataStarvesNoWorker) {
+  // One tight blob: the root fan-out is heavily unbalanced, the failure
+  // mode of the seed's static root declustering.
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation skew_r(
+      testutil::ClusteredRects(2500, 951, /*clusters=*/1), topt);
+  IndexedRelation skew_s(
+      testutil::ClusteredRects(2200, 952, /*clusters=*/1), topt);
+  JoinOptions jopt;
+  jopt.algorithm = JoinAlgorithm::kSJ4;
+  ParallelExecutorOptions exec;
+  exec.num_threads = 4;
+  exec.collect_pairs = true;
+  const auto result =
+      RunParallelSpatialJoin(skew_r.tree(), skew_s.tree(), jopt, exec);
+  const auto sequential =
+      RunSpatialJoin(skew_r.tree(), skew_s.tree(), jopt, true);
+  EXPECT_EQ(result.pair_count, sequential.pair_count);
+  ASSERT_EQ(result.worker_task_counts.size(), 4u);
+  for (size_t w = 0; w < result.worker_task_counts.size(); ++w) {
+    EXPECT_GT(result.worker_task_counts[w], 0u) << "worker " << w;
+  }
+}
+
+TEST_F(ParallelExecutorTest, RootLeafFallbackBothOrientations) {
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation tiny(testutil::RandomRects(5, 961, 0.3), topt);
+  JoinOptions jopt;
+  jopt.algorithm = JoinAlgorithm::kSJ4;
+  ParallelExecutorOptions exec;
+  exec.num_threads = 8;
+  exec.collect_pairs = true;
+
+  // Leaf root on the R side.
+  const auto seq_r = RunSpatialJoin(tiny.tree(), s_->tree(), jopt, true);
+  auto par_r = RunParallelSpatialJoin(tiny.tree(), s_->tree(), jopt, exec);
+  EXPECT_EQ(testutil::Canonical(std::move(par_r.pairs)),
+            testutil::Canonical(seq_r.pairs));
+  EXPECT_EQ(par_r.task_count, 1u);
+
+  // Leaf root on the S side.
+  const auto seq_s = RunSpatialJoin(r_->tree(), tiny.tree(), jopt, true);
+  auto par_s = RunParallelSpatialJoin(r_->tree(), tiny.tree(), jopt, exec);
+  EXPECT_EQ(testutil::Canonical(std::move(par_s.pairs)),
+            testutil::Canonical(seq_s.pairs));
+  EXPECT_EQ(par_s.task_count, 1u);
+}
+
+TEST_F(ParallelExecutorTest, SharedPoolAvoidsPerWorkerReReads) {
+  // With a buffer large enough that neither mode ever evicts, the shared
+  // pool pays each page's miss once globally, while private pools pay it
+  // once per worker that touches the page (all workers read the roots) —
+  // so shared-mode aggregate disk reads are strictly lower.
+  JoinOptions jopt;
+  jopt.algorithm = JoinAlgorithm::kSJ4;
+  jopt.buffer_bytes = 1024 * 1024;
+  ParallelExecutorOptions shared;
+  shared.num_threads = 4;
+  shared.shared_pool = true;
+  ParallelExecutorOptions priv = shared;
+  priv.shared_pool = false;
+  const auto with_shared =
+      RunParallelSpatialJoin(r_->tree(), s_->tree(), jopt, shared);
+  const auto with_private =
+      RunParallelSpatialJoin(r_->tree(), s_->tree(), jopt, priv);
+  EXPECT_EQ(with_shared.pair_count, with_private.pair_count);
+  EXPECT_EQ(with_shared.total_stats.buffer_evictions, 0u);
+  EXPECT_LT(with_shared.total_stats.disk_reads,
+            with_private.total_stats.disk_reads);
+  EXPECT_GT(with_shared.total_stats.HitRate(),
+            with_private.total_stats.HitRate());
+}
+
+}  // namespace
+}  // namespace rsj

@@ -65,11 +65,16 @@ TEST_F(ParallelJoinTest, WorkIsActuallyDistributed) {
   const auto result =
       RunParallelSpatialJoin(r_->tree(), s_->tree(), jopt, 4);
   ASSERT_GE(result.worker_stats.size(), 2u);
-  size_t workers_with_reads = 0;
-  for (const Statistics& st : result.worker_stats) {
-    workers_with_reads += st.disk_reads > 0 ? 1 : 0;
+  // The depth-adaptive partitioner must produce enough tasks for every
+  // worker, and stealing guarantees each worker executes at least one.
+  EXPECT_GE(result.task_count, result.worker_stats.size());
+  ASSERT_EQ(result.worker_task_counts.size(), result.worker_stats.size());
+  uint64_t executed = 0;
+  for (size_t w = 0; w < result.worker_task_counts.size(); ++w) {
+    EXPECT_GT(result.worker_task_counts[w], 0u) << "worker " << w;
+    executed += result.worker_task_counts[w];
   }
-  EXPECT_GE(workers_with_reads, 2u);
+  EXPECT_EQ(executed, result.task_count);
   // Aggregate statistics cover all workers.
   EXPECT_EQ(result.total_stats.output_pairs, result.pair_count);
   uint64_t summed = 0;
