@@ -1,0 +1,192 @@
+#include "exec/multiway_executor.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+#include "exec/task_scheduler.h"
+#include "storage/buffer_pool.h"
+#include "storage/node_cache.h"
+#include "storage/shared_buffer_pool.h"
+
+namespace rsj {
+
+namespace {
+
+// Everything one probe worker owns. Only the owning worker thread touches
+// a context while the scheduler runs (work stealing moves chunk indices,
+// not contexts).
+struct ProbeWorker {
+  Statistics stats;
+  std::unique_ptr<BufferPool> private_pool;    // null in shared-pool mode
+  std::vector<std::vector<uint32_t>> out;      // extended tuples, this phase
+  std::vector<uint32_t> matches;               // per-probe scratch
+  uint64_t chunks = 0;
+};
+
+ParallelChainJoinResult SequentialChainFallback(
+    const std::vector<JoinRelation>& relations, const JoinOptions& options,
+    bool collect_tuples) {
+  ParallelChainJoinResult result;
+  MultiwayJoinResult sequential =
+      RunChainSpatialJoin(relations, options, collect_tuples);
+  result.tuple_count = sequential.tuple_count;
+  result.tuples = std::move(sequential.tuples);
+  result.worker_stats.push_back(sequential.stats);
+  result.total_stats.MergeFrom(sequential.stats);
+  // The sequential chain join always runs over its own decode cache.
+  result.used_node_cache = true;
+  result.pairwise_task_count = 1;
+  result.probe_chunk_counts.assign(
+      relations.size() > 2 ? relations.size() - 2 : 0, 1);
+  result.worker_probe_chunks.assign(1, result.probe_chunk_counts.size());
+  return result;
+}
+
+}  // namespace
+
+ParallelChainJoinResult RunParallelChainSpatialJoin(
+    const std::vector<JoinRelation>& relations, const JoinOptions& options,
+    const ParallelExecutorOptions& exec_options, bool collect_tuples) {
+  RSJ_CHECK_MSG(relations.size() >= 2, "chain join needs >= 2 relations");
+  for (const JoinRelation& rel : relations) {
+    RSJ_CHECK(rel.tree != nullptr && rel.rects != nullptr);
+    RSJ_CHECK_MSG(rel.tree->options().page_size ==
+                      relations[0].tree->options().page_size,
+                  "all relations must share one page size");
+  }
+  if (exec_options.num_threads <= 1) {
+    return SequentialChainFallback(relations, options, collect_tuples);
+  }
+
+  const unsigned num_threads = exec_options.num_threads;
+  const uint32_t page_size = relations[0].tree->options().page_size;
+  ParallelChainJoinResult result;
+  result.used_shared_pool = exec_options.shared_pool;
+  result.worker_stats.resize(num_threads);
+
+  // One buffer and one decode cache for the whole chain: the pairwise
+  // phase warms both, the probe phases keep hitting the same directory
+  // pages for every frontier tuple.
+  std::unique_ptr<SharedBufferPool> shared;
+  std::unique_ptr<NodeCache> shared_nodes;
+  if (exec_options.shared_pool) {
+    shared = std::make_unique<SharedBufferPool>(SharedBufferPool::Options{
+        options.buffer_bytes, page_size, options.eviction_policy,
+        exec_options.pool_shards});
+    if (exec_options.node_cache) {
+      shared_nodes = std::make_unique<NodeCache>(
+          shared.get(), NodeCache::Options{exec_options.node_cache_capacity,
+                                           exec_options.pool_shards});
+    }
+  }
+  result.used_node_cache = shared_nodes != nullptr;
+
+  // Phase 1: the partitioned pairwise executor over relations 0 ⋈ 1,
+  // materializing the pairs as the initial tuple frontier.
+  ParallelExecutorOptions pair_exec = exec_options;
+  pair_exec.collect_pairs = true;
+  ParallelJoinResult pairwise = RunParallelSpatialJoinWith(
+      *relations[0].tree, *relations[1].tree, options, pair_exec,
+      shared.get(), shared_nodes.get());
+  result.pairwise_task_count = pairwise.task_count;
+  result.partition_depth = pairwise.partition_depth;
+  result.total_stats.MergeFrom(pairwise.total_stats);
+  for (size_t w = 0; w < pairwise.worker_stats.size(); ++w) {
+    result.worker_stats[w % num_threads].MergeFrom(pairwise.worker_stats[w]);
+  }
+
+  std::vector<std::vector<uint32_t>> frontier;
+  frontier.reserve(pairwise.pairs.size());
+  for (const auto& [r_id, s_id] : pairwise.pairs) {
+    frontier.push_back({r_id, s_id});
+  }
+  pairwise.pairs.clear();
+
+  // Probe workers, reused across phases so private pools and decode
+  // caches stay warm from phase to phase.
+  std::vector<std::unique_ptr<ProbeWorker>> workers;
+  workers.reserve(num_threads);
+  for (unsigned w = 0; w < num_threads; ++w) {
+    auto worker = std::make_unique<ProbeWorker>();
+    if (!exec_options.shared_pool) {
+      // Private-pool mode is the seed's A/B baseline: per-worker buffers
+      // and no decode cache (matching the pairwise executor), so every
+      // probe visit pays its decode.
+      worker->private_pool = std::make_unique<BufferPool>(
+          BufferPool::Options{options.buffer_bytes, page_size,
+                              options.eviction_policy},
+          &worker->stats);
+    }
+    workers.push_back(std::move(worker));
+  }
+
+  // Phase 2..n-1: fan the frontier out in contiguous chunks; every chunk
+  // is one schedulable unit, sized so that partition_multiplier × threads
+  // chunks exist (the same "k" as the pairwise partitioner).
+  for (size_t next = 2; next < relations.size(); ++next) {
+    const JoinRelation& rel = relations[next];
+    const std::vector<Rect>& prev_rects = *relations[next - 1].rects;
+    if (frontier.empty()) {
+      result.probe_chunk_counts.push_back(0);
+      continue;
+    }
+    const size_t target_chunks =
+        static_cast<size_t>(exec_options.partition_multiplier) * num_threads;
+    const size_t chunk_size = std::max<size_t>(
+        1, (frontier.size() + target_chunks - 1) / target_chunks);
+    const size_t num_chunks = (frontier.size() + chunk_size - 1) / chunk_size;
+    result.probe_chunk_counts.push_back(num_chunks);
+
+    const unsigned phase_workers =
+        static_cast<unsigned>(std::min<size_t>(num_threads, num_chunks));
+    TaskScheduler scheduler(phase_workers, num_chunks);
+    scheduler.Run([&](unsigned w, size_t chunk) {
+      ProbeWorker& worker = *workers[w];
+      ++worker.chunks;
+      const size_t begin = chunk * chunk_size;
+      const size_t end = std::min(frontier.size(), begin + chunk_size);
+      PageCache* pages = exec_options.shared_pool
+                             ? static_cast<PageCache*>(shared.get())
+                             : worker.private_pool.get();
+      NodeCache* nodes = shared_nodes.get();
+      for (size_t t = begin; t < end; ++t) {
+        const std::vector<uint32_t>& tuple = frontier[t];
+        RSJ_DCHECK(tuple.back() < prev_rects.size());
+        worker.matches.clear();
+        ProbeChainWindow(*rel.tree, pages, nodes, options,
+                         prev_rects[tuple.back()], &worker.stats,
+                         &worker.matches);
+        for (const uint32_t id : worker.matches) {
+          std::vector<uint32_t> longer = tuple;
+          longer.push_back(id);
+          worker.out.push_back(std::move(longer));
+        }
+      }
+    });
+
+    // Concatenate the worker outputs into the next frontier (moves only).
+    size_t total = 0;
+    for (const auto& worker : workers) total += worker->out.size();
+    std::vector<std::vector<uint32_t>> extended;
+    extended.reserve(total);
+    for (const auto& worker : workers) {
+      for (auto& tuple : worker->out) extended.push_back(std::move(tuple));
+      worker->out.clear();
+    }
+    frontier = std::move(extended);
+  }
+
+  result.worker_probe_chunks.assign(num_threads, 0);
+  for (unsigned w = 0; w < num_threads; ++w) {
+    result.worker_probe_chunks[w] = workers[w]->chunks;
+    result.worker_stats[w].MergeFrom(workers[w]->stats);
+    result.total_stats.MergeFrom(workers[w]->stats);
+  }
+
+  result.tuple_count = frontier.size();
+  if (collect_tuples) result.tuples = std::move(frontier);
+  return result;
+}
+
+}  // namespace rsj

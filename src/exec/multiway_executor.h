@@ -1,0 +1,72 @@
+// Parallel multi-way chain join on the execution subsystem.
+//
+// PR 1 parallelized only the pairwise join; the chain join's probe phases
+// (join/multiway_join.h) stayed single-threaded even though they are
+// embarrassingly parallel over the frontier of partial tuples. This
+// executor runs the whole chain on the exec machinery:
+//
+//   1. phase 1 (relations 0 ⋈ 1) reuses the partitioned pairwise executor
+//      — depth-adaptive plan, work-stealing scheduler, per-worker sinks —
+//      with pairs materialized into the tuple frontier,
+//   2. every probe phase chunks the frontier into
+//      partition_multiplier × num_threads contiguous chunks and fans them
+//      out over the TaskScheduler; each worker probes with
+//      ProbeChainWindow into a worker-private output vector,
+//   3. in shared-pool mode one SharedBufferPool and one NodeCache span all
+//      phases and workers: directory nodes decoded during partitioning or
+//      by any probe are decoded exactly once system-wide,
+//   4. per-worker Statistics and outputs are merged exactly like
+//      RunParallelSpatialJoin's.
+//
+// Tuples are disjoint work units and every tuple is probed exactly once,
+// so the union of the workers' outputs is the sequential chain result as
+// a multiset (the concatenation order differs run to run).
+
+#ifndef RSJ_EXEC_MULTIWAY_EXECUTOR_H_
+#define RSJ_EXEC_MULTIWAY_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/parallel_executor.h"
+#include "join/multiway_join.h"
+
+namespace rsj {
+
+struct ParallelChainJoinResult {
+  uint64_t tuple_count = 0;
+  // Tuples of object ids, one per relation, when collected. The multiset
+  // equals the sequential result; the order is scheduling-dependent.
+  std::vector<std::vector<uint32_t>> tuples;
+  // Aggregated counters (coordinator + all workers, all phases).
+  Statistics total_stats;
+  // Per-worker counters, merged across phases (index = worker slot).
+  std::vector<Statistics> worker_stats;
+
+  // --- executor telemetry ---
+  // Subtree-pair tasks of the pairwise phase and its descent depth.
+  size_t pairwise_task_count = 0;
+  int partition_depth = 0;
+  // Frontier chunks scheduled per probe phase (one entry per phase >= 2).
+  std::vector<size_t> probe_chunk_counts;
+  // Probe chunks each worker executed, summed over all probe phases
+  // (work stealing balances these).
+  std::vector<uint64_t> worker_probe_chunks;
+  bool used_shared_pool = false;
+  bool used_node_cache = false;
+};
+
+// Runs the chain join over `relations` (>= 2, one shared page size) with
+// `exec_options.num_threads` workers. Falls back to the sequential
+// RunChainSpatialJoin when num_threads <= 1 — that path always runs over
+// a private buffer and its own decode cache regardless of the pool/cache
+// options, and the result's used_* flags report what actually ran. The
+// tuple multiset is identical to RunChainSpatialJoin's for every
+// configuration.
+ParallelChainJoinResult RunParallelChainSpatialJoin(
+    const std::vector<JoinRelation>& relations, const JoinOptions& options,
+    const ParallelExecutorOptions& exec_options, bool collect_tuples = false);
+
+}  // namespace rsj
+
+#endif  // RSJ_EXEC_MULTIWAY_EXECUTOR_H_

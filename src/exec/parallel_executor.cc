@@ -1,6 +1,7 @@
 #include "exec/parallel_executor.h"
 
 #include <algorithm>
+#include <iterator>
 #include <memory>
 
 #include "common/logging.h"
@@ -10,6 +11,7 @@
 #include "join/join_runner.h"
 #include "join/spatial_join.h"
 #include "storage/buffer_pool.h"
+#include "storage/node_cache.h"
 #include "storage/shared_buffer_pool.h"
 
 namespace rsj {
@@ -44,9 +46,10 @@ ParallelJoinResult SequentialFallback(const RTree& r, const RTree& s,
 
 }  // namespace
 
-ParallelJoinResult RunParallelSpatialJoin(
+ParallelJoinResult RunParallelSpatialJoinWith(
     const RTree& r, const RTree& s, const JoinOptions& options,
-    const ParallelExecutorOptions& exec_options) {
+    const ParallelExecutorOptions& exec_options, SharedBufferPool* shared_pool,
+    NodeCache* node_cache) {
   RSJ_CHECK_MSG(r.options().page_size == s.options().page_size,
                 "joined trees must share one page size");
   if (exec_options.num_threads <= 1) {
@@ -57,31 +60,60 @@ ParallelJoinResult RunParallelSpatialJoin(
   result.used_shared_pool = exec_options.shared_pool;
   Statistics coordinator;
 
-  // The shared pool is created before partitioning so the coordinator's
-  // directory reads warm it for the workers.
-  std::unique_ptr<SharedBufferPool> shared;
+  // The shared pool (and the decode cache over it) is created before
+  // partitioning so the coordinator's directory reads and decodes warm it
+  // for the workers.
+  std::unique_ptr<SharedBufferPool> owned_shared;
+  std::unique_ptr<NodeCache> owned_nodes;
   std::unique_ptr<BufferPool> coordinator_pool;
+  SharedBufferPool* shared = nullptr;
+  NodeCache* nodes = nullptr;
   PageCache* coordinator_cache = nullptr;
   if (exec_options.shared_pool) {
-    shared = std::make_unique<SharedBufferPool>(SharedBufferPool::Options{
-        options.buffer_bytes, r.options().page_size, options.eviction_policy,
-        exec_options.pool_shards});
-    coordinator_cache = shared.get();
+    shared = shared_pool;
+    if (shared == nullptr) {
+      owned_shared = std::make_unique<SharedBufferPool>(
+          SharedBufferPool::Options{options.buffer_bytes,
+                                    r.options().page_size,
+                                    options.eviction_policy,
+                                    exec_options.pool_shards});
+      shared = owned_shared.get();
+    }
+    nodes = node_cache;
+    if (nodes == nullptr && exec_options.node_cache) {
+      owned_nodes = std::make_unique<NodeCache>(
+          shared, NodeCache::Options{exec_options.node_cache_capacity,
+                                     exec_options.pool_shards});
+      nodes = owned_nodes.get();
+    }
+    coordinator_cache = shared;
   } else {
+    // Private pools are single-owner; a shared decode cache over them
+    // would cross the ownership line, so each worker keeps its own decodes
+    // (the seed's model, the A/B baseline).
     coordinator_pool = std::make_unique<BufferPool>(
         BufferPool::Options{options.buffer_bytes, r.options().page_size,
                             options.eviction_policy},
         &coordinator);
     coordinator_cache = coordinator_pool.get();
   }
+  result.used_node_cache = nodes != nullptr;
 
   const size_t target_tasks =
       static_cast<size_t>(exec_options.partition_multiplier) *
       exec_options.num_threads;
   const PartitionPlan plan = BuildPartitionPlan(
-      r, s, options, target_tasks, coordinator_cache, &coordinator);
+      r, s, options, target_tasks, coordinator_cache, &coordinator, nodes);
   if (plan.degenerate) {
-    return SequentialFallback(r, s, options, exec_options.collect_pairs);
+    // The sequential run replaces the partitioned one, but the
+    // coordinator's root reads/decodes happened and stay counted, and the
+    // mode flags keep describing what was actually set up.
+    ParallelJoinResult fallback =
+        SequentialFallback(r, s, options, exec_options.collect_pairs);
+    fallback.total_stats.MergeFrom(coordinator);
+    fallback.used_shared_pool = result.used_shared_pool;
+    fallback.used_node_cache = result.used_node_cache;
+    return fallback;
   }
   result.task_count = plan.tasks.size();
   result.partition_depth = plan.depth;
@@ -96,7 +128,7 @@ ParallelJoinResult RunParallelSpatialJoin(
   contexts.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) {
     auto ctx = std::make_unique<WorkerContext>();
-    PageCache* cache = shared.get();
+    PageCache* cache = shared;
     if (!exec_options.shared_pool) {
       ctx->private_pool = std::make_unique<BufferPool>(
           BufferPool::Options{options.buffer_bytes, r.options().page_size,
@@ -104,8 +136,8 @@ ParallelJoinResult RunParallelSpatialJoin(
           &ctx->stats);
       cache = ctx->private_pool.get();
     }
-    ctx->engine =
-        std::make_unique<SpatialJoinEngine>(r, s, options, cache, &ctx->stats);
+    ctx->engine = std::make_unique<SpatialJoinEngine>(r, s, options, cache,
+                                                      &ctx->stats, nodes);
     if (exec_options.collect_pairs) {
       ctx->sink = std::make_unique<MaterializingSink>();
     } else {
@@ -129,19 +161,39 @@ ParallelJoinResult RunParallelSpatialJoin(
       });
 
   result.total_stats.MergeFrom(coordinator);
+  for (unsigned w = 0; w < workers; ++w) contexts[w]->sink->Flush();
+  if (exec_options.collect_pairs) {
+    // One exact reservation, then per-worker chunks moved in: the merge is
+    // O(pairs) moves with no reallocation, instead of repeated copying
+    // growth while appending worker after worker.
+    size_t total_pairs = 0;
+    for (unsigned w = 0; w < workers; ++w) {
+      total_pairs += contexts[w]->sink->count();
+    }
+    result.pairs.reserve(total_pairs);
+  }
   for (unsigned w = 0; w < workers; ++w) {
     WorkerContext& ctx = *contexts[w];
-    ctx.sink->Flush();
     result.pair_count += ctx.sink->count();
     if (exec_options.collect_pairs) {
       auto pairs =
           static_cast<MaterializingSink*>(ctx.sink.get())->TakePairs();
-      result.pairs.insert(result.pairs.end(), pairs.begin(), pairs.end());
+      result.pairs.insert(result.pairs.end(),
+                          std::make_move_iterator(pairs.begin()),
+                          std::make_move_iterator(pairs.end()));
     }
     result.worker_stats.push_back(ctx.stats);
     result.total_stats.MergeFrom(ctx.stats);
   }
   return result;
+}
+
+ParallelJoinResult RunParallelSpatialJoin(
+    const RTree& r, const RTree& s, const JoinOptions& options,
+    const ParallelExecutorOptions& exec_options) {
+  return RunParallelSpatialJoinWith(r, s, options, exec_options,
+                                    /*shared_pool=*/nullptr,
+                                    /*node_cache=*/nullptr);
 }
 
 }  // namespace rsj

@@ -45,6 +45,15 @@ struct ParallelExecutorOptions {
   // Shards of the shared pool (ignored for private pools).
   size_t pool_shards = 8;
 
+  // Share one decoded-node cache (storage/node_cache.h) between the
+  // coordinator and all workers, so directory nodes the partitioner
+  // decodes are never re-decoded. Only effective in shared-pool mode —
+  // private pools keep the seed's per-worker decodes for A/B runs.
+  bool node_cache = true;
+
+  // Node budget of the shared decode cache (total across its shards).
+  size_t node_cache_capacity = 4096;
+
   // Materialize the result pairs (otherwise only counts are kept).
   bool collect_pairs = false;
 };
@@ -65,13 +74,28 @@ struct ParallelJoinResult {
   // Directory levels the partitioner descended below the roots.
   int partition_depth = 0;
   bool used_shared_pool = false;
+  bool used_node_cache = false;
 };
+
+class SharedBufferPool;
+class NodeCache;
 
 // Runs R ⋈ S under `exec_options`. Falls back to a single sequential
 // partition when a root is a leaf or num_threads <= 1.
 ParallelJoinResult RunParallelSpatialJoin(
     const RTree& r, const RTree& s, const JoinOptions& options,
     const ParallelExecutorOptions& exec_options);
+
+// Core of RunParallelSpatialJoin, reusable by the multi-way chain executor
+// (exec/multiway_executor.h): in shared-pool mode, non-null `shared_pool` /
+// `node_cache` are used instead of executor-private instances, so one
+// buffer and one decode cache can span several join phases. `node_cache`,
+// when given, must be layered over `shared_pool`, and the pool's page size
+// must match the trees'.
+ParallelJoinResult RunParallelSpatialJoinWith(
+    const RTree& r, const RTree& s, const JoinOptions& options,
+    const ParallelExecutorOptions& exec_options, SharedBufferPool* shared_pool,
+    NodeCache* node_cache);
 
 }  // namespace rsj
 

@@ -36,11 +36,17 @@ void AppendQualifyingPairs(const Node& nr, const Node& ns, double expansion,
       });
 }
 
-// Counted read + decode of one page.
-Node FetchNode(const RTree& tree, PageId id, PageCache* cache,
-               Statistics* stats) {
+// Counted read + decode of one page; published to `nodes` when present so
+// the workers inherit the decode.
+std::shared_ptr<const Node> FetchNode(const RTree& tree, PageId id,
+                                      PageCache* cache, Statistics* stats,
+                                      NodeCache* nodes) {
+  if (nodes != nullptr) {
+    return nodes->Fetch(tree.file(), id, stats).node;
+  }
   cache->Read(tree.file(), id, stats);
-  return Node::Load(tree.file(), id);
+  ++stats->node_decodes;
+  return std::make_shared<const Node>(Node::Load(tree.file(), id));
 }
 
 }  // namespace
@@ -48,14 +54,14 @@ Node FetchNode(const RTree& tree, PageId id, PageCache* cache,
 PartitionPlan BuildPartitionPlan(const RTree& r, const RTree& s,
                                  const JoinOptions& options,
                                  size_t target_tasks, PageCache* cache,
-                                 Statistics* stats) {
+                                 Statistics* stats, NodeCache* nodes) {
   PartitionPlan plan;
   const double expansion =
       PredicateExpansion(options.predicate, options.epsilon);
 
-  const Node root_r = FetchNode(r, r.root_page(), cache, stats);
-  const Node root_s = FetchNode(s, s.root_page(), cache, stats);
-  if (root_r.is_leaf() || root_s.is_leaf()) {
+  const auto root_r = FetchNode(r, r.root_page(), cache, stats, nodes);
+  const auto root_s = FetchNode(s, s.root_page(), cache, stats, nodes);
+  if (root_r->is_leaf() || root_s->is_leaf()) {
     plan.degenerate = true;
     return plan;
   }
@@ -65,21 +71,21 @@ PartitionPlan BuildPartitionPlan(const RTree& r, const RTree& s,
   // `final_tasks` and are never fetched again.
   std::vector<PartitionTask> final_tasks;
   std::vector<PartitionTask> frontier;
-  AppendQualifyingPairs(root_r, root_s, expansion, stats, &frontier);
+  AppendQualifyingPairs(*root_r, *root_s, expansion, stats, &frontier);
   while (!frontier.empty() &&
          final_tasks.size() + frontier.size() < target_tasks) {
     std::vector<PartitionTask> next;
     next.reserve(frontier.size() * 2);
     bool expanded_any = false;
     for (const PartitionTask& task : frontier) {
-      const Node child_r = FetchNode(r, task.er.ref, cache, stats);
-      const Node child_s = FetchNode(s, task.es.ref, cache, stats);
-      if (child_r.is_leaf() || child_s.is_leaf()) {
+      const auto child_r = FetchNode(r, task.er.ref, cache, stats, nodes);
+      const auto child_s = FetchNode(s, task.es.ref, cache, stats, nodes);
+      if (child_r->is_leaf() || child_s->is_leaf()) {
         final_tasks.push_back(task);
         continue;
       }
       expanded_any = true;
-      AppendQualifyingPairs(child_r, child_s, expansion, stats, &next);
+      AppendQualifyingPairs(*child_r, *child_s, expansion, stats, &next);
     }
     frontier = std::move(next);
     if (!expanded_any) break;

@@ -4,32 +4,49 @@
 
 namespace rsj {
 
-namespace {
-
-// Buffered, counted window query used by the probe phases.
-void ProbeWindow(const RTree& tree, BufferPool* pool, Statistics* stats,
-                 const Rect& window, std::vector<uint32_t>* out) {
-  std::vector<PageId> stack{tree.root_page()};
+void ProbeChainWindow(const RTree& tree, PageCache* pages, NodeCache* nodes,
+                      const JoinOptions& options, const Rect& query,
+                      Statistics* stats, std::vector<uint32_t>* out) {
+  // The probe window carries the predicate expansion, like the engine's
+  // R-side rectangles: a within-distance probe that only tested raw
+  // intersection would drop every match at distance (0, ε].
+  const double expansion =
+      PredicateExpansion(options.predicate, options.epsilon);
+  const Rect window = expansion > 0.0 ? query.Expanded(expansion) : query;
   ++stats->window_queries;
+  std::vector<PageId> stack{tree.root_page()};
   while (!stack.empty()) {
     const PageId page = stack.back();
     stack.pop_back();
-    pool->Read(tree.file(), page);
-    const Node node = Node::Load(tree.file(), page);
-    for (const Entry& e : node.entries) {
-      if (!e.rect.IntersectsCounted(window, &stats->join_comparisons)) {
-        continue;
-      }
-      if (node.is_leaf()) {
-        out->push_back(e.ref);
-      } else {
+    std::shared_ptr<const Node> cached;
+    Node local;
+    const Node* node;
+    if (nodes != nullptr) {
+      cached = nodes->Fetch(tree.file(), page, stats).node;
+      node = cached.get();
+    } else {
+      // No-cache baseline: decode into a stack-local node, allocation-free.
+      pages->Read(tree.file(), page, stats);
+      ++stats->node_decodes;
+      local = Node::Load(tree.file(), page);
+      node = &local;
+    }
+    for (const Entry& e : node->entries) {
+      if (node->is_leaf()) {
+        // Exact predicate on data entries; the query rectangle is the
+        // R side of the consecutive pair.
+        if (EvaluatePredicateCounted(options.predicate, options.epsilon,
+                                     query, e.rect,
+                                     &stats->join_comparisons)) {
+          out->push_back(e.ref);
+        }
+      } else if (e.rect.IntersectsCounted(window,
+                                          &stats->join_comparisons)) {
         stack.push_back(e.ref);
       }
     }
   }
 }
-
-}  // namespace
 
 MultiwayJoinResult RunChainSpatialJoin(
     const std::vector<JoinRelation>& relations, const JoinOptions& options,
@@ -48,12 +65,16 @@ MultiwayJoinResult RunChainSpatialJoin(
                           relations[0].tree->options().page_size,
                           options.eviction_policy},
       &result.stats);
+  // One decode cache over the system buffer: probe phases revisit the same
+  // directory pages for every tuple of the frontier, so keeping the
+  // decodes hot removes almost all repeated decoding.
+  NodeCache node_cache(&pool, NodeCache::Options{});
 
   // Phase 1: pairwise join of the first two relations.
   std::vector<std::vector<uint32_t>> frontier;  // partial tuples
   {
     SpatialJoinEngine engine(*relations[0].tree, *relations[1].tree, options,
-                             &pool, &result.stats);
+                             &pool, &result.stats, &node_cache);
     BatchedCallbackSink sink([&frontier](std::span<const ResultPair> batch) {
       for (const ResultPair& p : batch) frontier.push_back({p.r, p.s});
     });
@@ -70,8 +91,8 @@ MultiwayJoinResult RunChainSpatialJoin(
     for (const std::vector<uint32_t>& tuple : frontier) {
       matches.clear();
       RSJ_DCHECK(tuple.back() < prev_rects.size());
-      ProbeWindow(*rel.tree, &pool, &result.stats, prev_rects[tuple.back()],
-                  &matches);
+      ProbeChainWindow(*rel.tree, &pool, &node_cache, options,
+                       prev_rects[tuple.back()], &result.stats, &matches);
       for (const uint32_t id : matches) {
         std::vector<uint32_t> longer = tuple;
         longer.push_back(id);

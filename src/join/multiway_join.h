@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "join/join_runner.h"
+#include "storage/node_cache.h"
 
 namespace rsj {
 
@@ -40,6 +41,20 @@ struct MultiwayJoinResult {
 MultiwayJoinResult RunChainSpatialJoin(
     const std::vector<JoinRelation>& relations, const JoinOptions& options,
     bool collect_tuples = false);
+
+// One probe of a chain-join phase: collects into `out` the ids of the data
+// entries of `tree` that satisfy `options.predicate` against `query` (the
+// rectangle of the current tuple's last element, which is the R side of
+// the consecutive pair). The traversal prunes with the predicate-expanded
+// window — within-distance probes grow `query` by ε, exactly like the
+// pairwise engine — and data entries are tested with the exact predicate.
+// Pages are requested through `nodes` when given (decodes shared and
+// counted) or `pages` otherwise (one counted decode per visit); costs are
+// charged to `stats`. Used by both the sequential chain join and the
+// parallel probe workers (exec/multiway_executor.h).
+void ProbeChainWindow(const RTree& tree, PageCache* pages, NodeCache* nodes,
+                      const JoinOptions& options, const Rect& query,
+                      Statistics* stats, std::vector<uint32_t>* out);
 
 }  // namespace rsj
 

@@ -5,8 +5,13 @@
 namespace rsj {
 
 NodeAccessor::NodeAccessor(const RTree& tree, PageCache* cache,
-                           Statistics* stats, bool sort_on_read)
-    : tree_(tree), pages_(cache), stats_(stats), sort_on_read_(sort_on_read) {}
+                           Statistics* stats, bool sort_on_read,
+                           NodeCache* nodes)
+    : tree_(tree),
+      pages_(cache),
+      stats_(stats),
+      sort_on_read_(sort_on_read),
+      nodes_(nodes) {}
 
 namespace {
 
@@ -34,11 +39,19 @@ uint64_t InsertionSortByLowerX(std::vector<Entry>* entries) {
 }  // namespace
 
 const Node& NodeAccessor::Fetch(PageId id) {
-  const bool hit = pages_->Read(tree_.file(), id, stats_);
   auto it = cache_.find(id);
   if (it == cache_.end()) {
+    // Private-cache miss: obtain the decoded node — copied from the shared
+    // node cache when one is attached, decoded from the page otherwise —
+    // then sort our own copy (the shared decode is immutable and unsorted).
     CachedNode cached;
-    cached.node = Node::Load(tree_.file(), id);
+    if (nodes_ != nullptr) {
+      cached.node = *nodes_->Fetch(tree_.file(), id, stats_).node;
+    } else {
+      pages_->Read(tree_.file(), id, stats_);
+      ++stats_->node_decodes;
+      cached.node = Node::Load(tree_.file(), id);
+    }
     if (sort_on_read_) {
       cached.first_sort_cost = InsertionSortByLowerX(&cached.node.entries);
       stats_->sort_comparisons.Add(cached.first_sort_cost);
@@ -46,10 +59,19 @@ const Node& NodeAccessor::Fetch(PageId id) {
     it = cache_.emplace(id, std::move(cached)).first;
     return it->second.node;
   }
-  if (!hit && sort_on_read_) {
-    // Physical re-read: the on-disk page is unsorted, so the paper's model
-    // re-sorts it from scratch. Recharge the memoized cost.
-    stats_->sort_comparisons.Add(it->second.first_sort_cost);
+  // Private-cache hit: the page request is still issued (every node visit
+  // is a page request in the paper's model) but no fresh decode is
+  // needed, so the shared node cache is bypassed.
+  const bool hit = pages_->Read(tree_.file(), id, stats_);
+  if (!hit) {
+    // Physical re-read: physically the page bytes are decoded (and, for
+    // the sweep algorithms, re-sorted from scratch) again, so both costs
+    // recur even though the in-memory copy is reused. This matches the
+    // node cache's decode-validity model (storage/node_cache.h).
+    ++stats_->node_decodes;
+    if (sort_on_read_) {
+      stats_->sort_comparisons.Add(it->second.first_sort_cost);
+    }
   }
   return it->second.node;
 }

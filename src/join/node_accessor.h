@@ -3,9 +3,13 @@
 // Every node the join touches is requested through a `NodeAccessor`, which
 // routes the page request through a `PageCache` (a private `BufferPool` or
 // the parallel executor's `SharedBufferPool`, so disk accesses and buffer
-// hits are counted) and hands back the decoded node. The decoded-node cache
-// is private to the accessor: in a parallel join every worker keeps its own
-// decodes, so returned `Node&` references are never shared across threads.
+// hits are counted) and hands back the decoded node. The accessor's own
+// decode cache stays private — in a parallel join every worker keeps its
+// own (sorted) copies, so returned `Node&` references are never shared
+// across threads — but when a shared `NodeCache` is supplied, private-cache
+// misses copy the decoded node from it instead of re-decoding the page, so
+// nodes decoded by the coordinator or another worker are decoded only once
+// system-wide.
 //
 // For the sweep-based algorithms the accessor keeps each node's entries
 // sorted by their rectangles' lower x coordinate and charges the sorting
@@ -22,6 +26,7 @@
 #include <unordered_map>
 
 #include "rtree/rtree.h"
+#include "storage/node_cache.h"
 #include "storage/page_cache.h"
 
 namespace rsj {
@@ -30,8 +35,10 @@ class NodeAccessor {
  public:
   // Does not take ownership; all arguments must outlive the accessor.
   // Page requests are charged to `stats` (the owning worker's counters).
+  // `nodes`, when given, must be layered over `cache` (it issues the page
+  // requests on the accessor's behalf).
   NodeAccessor(const RTree& tree, PageCache* cache, Statistics* stats,
-               bool sort_on_read);
+               bool sort_on_read, NodeCache* nodes = nullptr);
 
   NodeAccessor(const NodeAccessor&) = delete;
   NodeAccessor& operator=(const NodeAccessor&) = delete;
@@ -56,6 +63,7 @@ class NodeAccessor {
   PageCache* pages_;
   Statistics* stats_;
   bool sort_on_read_;
+  NodeCache* nodes_;  // optional shared decode cache (may be null)
   std::unordered_map<PageId, CachedNode> cache_;
 };
 

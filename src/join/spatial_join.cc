@@ -10,10 +10,11 @@ namespace rsj {
 
 SpatialJoinEngine::SpatialJoinEngine(const RTree& r, const RTree& s,
                                      const JoinOptions& options,
-                                     PageCache* cache, Statistics* stats)
+                                     PageCache* cache, Statistics* stats,
+                                     NodeCache* nodes)
     : options_(options),
-      acc_r_(r, cache, stats, UsesPlaneSweep(options.algorithm)),
-      acc_s_(s, cache, stats, UsesPlaneSweep(options.algorithm)),
+      acc_r_(r, cache, stats, UsesPlaneSweep(options.algorithm), nodes),
+      acc_s_(s, cache, stats, UsesPlaneSweep(options.algorithm), nodes),
       stats_(stats),
       expansion_(PredicateExpansion(options.predicate, options.epsilon)) {
   RSJ_CHECK_MSG(r.options().page_size == s.options().page_size,

@@ -43,9 +43,13 @@ namespace rsj {
 class SpatialJoinEngine {
  public:
   // `cache` and `stats` must outlive the engine; both trees must use the
-  // same page size (the paper's setting).
+  // same page size (the paper's setting). `nodes`, when given, is a shared
+  // decoded-node cache layered over `cache` (storage/node_cache.h): the
+  // accessors then copy ready-made decodes instead of re-decoding pages
+  // already decoded by the coordinator or another worker.
   SpatialJoinEngine(const RTree& r, const RTree& s, const JoinOptions& options,
-                    PageCache* cache, Statistics* stats);
+                    PageCache* cache, Statistics* stats,
+                    NodeCache* nodes = nullptr);
 
   // Executes the MBR-spatial-join R ⋈ S into `sink` (flushed on return).
   void Run(ResultSink* sink);

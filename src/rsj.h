@@ -22,6 +22,7 @@
 #include "datagen/dataset.h"       // IWYU pragma: export
 #include "datagen/tiger_like.h"    // IWYU pragma: export
 #include "datagen/workloads.h"     // IWYU pragma: export
+#include "exec/multiway_executor.h"  // IWYU pragma: export
 #include "exec/parallel_executor.h"  // IWYU pragma: export
 #include "exec/partition.h"        // IWYU pragma: export
 #include "exec/result_sink.h"      // IWYU pragma: export
@@ -41,6 +42,7 @@
 #include "rtree/rtree.h"           // IWYU pragma: export
 #include "storage/buffer_pool.h"   // IWYU pragma: export
 #include "storage/cost_model.h"    // IWYU pragma: export
+#include "storage/node_cache.h"    // IWYU pragma: export
 #include "storage/page_cache.h"    // IWYU pragma: export
 #include "storage/paged_file.h"    // IWYU pragma: export
 #include "storage/shared_buffer_pool.h"  // IWYU pragma: export

@@ -1,0 +1,103 @@
+// Sharded, thread-safe cache of decoded R-tree nodes, layered over a
+// PageCache.
+//
+// The page layer models the paper's I/O accounting: every node visit is a
+// page request, counted as a disk read or a buffer hit. Decoding the page
+// payload into a `Node` is pure CPU work on top of that, and before this
+// cache it was repeated freely — the partitioner decoded directory nodes
+// the workers decoded again, every multi-way probe decoded every page it
+// visited, and each parallel worker kept fully private decodes. The node
+// cache keeps one immutable decoded copy per resident page and shares it
+// across all actors: the key space is hash-partitioned into shards (the
+// same shard/lock structure as SharedBufferPool), each an independently
+// locked LRU map from PageKey to `shared_ptr<const Node>`.
+//
+// A cached decode is only valid while the page is buffer-resident: `Fetch`
+// always issues the page request first (so I/O counters are untouched by
+// this layer), and a physical re-read — a page-cache miss — re-decodes the
+// page, exactly as a real system would have to. Counter attribution follows
+// the PageCache contract: every call charges the requesting actor's
+// Statistics, via the `node_decodes` and `node_cache_hits` counters.
+//
+// Returned nodes are immutable and shared; callers that need to mutate
+// entries (e.g. the accessor's sort-on-read) copy first.
+
+#ifndef RSJ_STORAGE_NODE_CACHE_H_
+#define RSJ_STORAGE_NODE_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "rtree/node.h"
+#include "storage/page_cache.h"
+
+namespace rsj {
+
+class NodeCache {
+ public:
+  struct Options {
+    // Maximal cached decodes across all shards (the eviction bound).
+    size_t capacity_nodes = 4096;
+    size_t shard_count = 8;
+  };
+
+  struct FetchResult {
+    std::shared_ptr<const Node> node;
+    // True when the page request was served from the page buffer. A miss
+    // means the page was physically re-read, which forces a re-decode.
+    bool page_hit = false;
+  };
+
+  // `pages` must outlive the cache and must itself be thread-safe when the
+  // node cache is shared across threads (i.e. a SharedBufferPool).
+  NodeCache(PageCache* pages, const Options& options);
+
+  NodeCache(const NodeCache&) = delete;
+  NodeCache& operator=(const NodeCache&) = delete;
+
+  // Requests the page through the page cache (charged to `stats` as usual)
+  // and returns its decoded node: a cached copy when the page stayed
+  // resident since the last decode (one `node_cache_hits`), a fresh decode
+  // otherwise (one `node_decodes`).
+  FetchResult Fetch(const PagedFile& file, PageId id, Statistics* stats);
+
+  // Drops every cached decode.
+  void Clear();
+
+  // Decodes currently cached across all shards (snapshot).
+  size_t node_count() const;
+
+  size_t capacity_nodes() const { return capacity_nodes_; }
+  size_t shard_count() const { return shards_.size(); }
+
+  // The page layer this cache decodes from.
+  PageCache* pages() const { return pages_; }
+
+ private:
+  struct CacheEntry {
+    std::shared_ptr<const Node> node;
+    std::list<PageKey>::iterator position;  // place in the LRU order list
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    size_t capacity = 0;
+    std::list<PageKey> order;  // front = most recently fetched
+    std::unordered_map<PageKey, CacheEntry, PageKeyHash> nodes;
+  };
+
+  Shard& ShardFor(const PageKey& key) {
+    return *shards_[PageKeyHash{}(key) % shards_.size()];
+  }
+
+  PageCache* pages_;
+  size_t capacity_nodes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace rsj
+
+#endif  // RSJ_STORAGE_NODE_CACHE_H_

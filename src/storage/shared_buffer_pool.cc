@@ -2,14 +2,19 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace rsj {
 
 SharedBufferPool::SharedBufferPool(const Options& options)
-    : frame_capacity_(options.page_size == 0
-                          ? 0
-                          : options.capacity_bytes / options.page_size),
+    : frame_capacity_(options.capacity_bytes / std::max<uint32_t>(
+                                                   1, options.page_size)),
       policy_(options.policy) {
-  const size_t shard_count = std::max<size_t>(1, options.shard_count);
+  // Silently constructing zero-frame shards hides configuration bugs (a
+  // forgotten page size turns the pool into a 100%-miss cache); fail fast.
+  RSJ_CHECK_MSG(options.page_size != 0, "shared pool needs a page size");
+  RSJ_CHECK_MSG(options.shard_count != 0, "shared pool needs >= 1 shard");
+  const size_t shard_count = options.shard_count;
   // Distribute the frame budget round-robin so small budgets still spread
   // over several shards (a shard may end up with zero frames; pinned pages
   // live outside the budget either way).

@@ -10,6 +10,8 @@ void Statistics::MergeFrom(const Statistics& other) {
   buffer_hits += other.buffer_hits;
   buffer_evictions += other.buffer_evictions;
   pin_count += other.pin_count;
+  node_decodes += other.node_decodes;
+  node_cache_hits += other.node_cache_hits;
   join_comparisons.Add(other.join_comparisons.count());
   sort_comparisons.Add(other.sort_comparisons.count());
   schedule_comparisons.Add(other.schedule_comparisons.count());
@@ -19,13 +21,15 @@ void Statistics::MergeFrom(const Statistics& other) {
 }
 
 std::string Statistics::ToString() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "disk reads:        %llu\n"
       "buffer hits:       %llu (hit rate %.1f%%)\n"
       "evictions:         %llu\n"
       "pins:              %llu\n"
+      "node decodes:      %llu\n"
+      "node cache hits:   %llu\n"
       "join comparisons:  %llu\n"
       "sort comparisons:  %llu\n"
       "sched comparisons: %llu\n"
@@ -36,6 +40,8 @@ std::string Statistics::ToString() const {
       static_cast<unsigned long long>(buffer_hits), HitRate() * 100.0,
       static_cast<unsigned long long>(buffer_evictions),
       static_cast<unsigned long long>(pin_count),
+      static_cast<unsigned long long>(node_decodes),
+      static_cast<unsigned long long>(node_cache_hits),
       static_cast<unsigned long long>(join_comparisons.count()),
       static_cast<unsigned long long>(sort_comparisons.count()),
       static_cast<unsigned long long>(schedule_comparisons.count()),

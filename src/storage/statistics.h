@@ -25,6 +25,10 @@ struct Statistics {
   uint64_t buffer_evictions = 0;   // pages dropped from the buffer
   uint64_t pin_count = 0;          // Pin() events (SJ4/SJ5 page pinning)
 
+  // --- decoding (storage/node_cache.h) ---
+  uint64_t node_decodes = 0;     // page payloads decoded into Nodes
+  uint64_t node_cache_hits = 0;  // decodes avoided by the shared node cache
+
   // --- CPU (floating point comparisons, the paper's metric) ---
   ComparisonCounter join_comparisons;      // join-condition tests + marking
   ComparisonCounter sort_comparisons;      // sorting node entries by xl

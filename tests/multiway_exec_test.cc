@@ -1,0 +1,173 @@
+// Tests for the parallel multi-way chain executor: exact tuple-multiset
+// equivalence with the sequential chain join across chain lengths, thread
+// counts, predicates and pool modes, plus the decode savings of the
+// shared node cache.
+
+#include "exec/multiway_executor.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace rsj {
+namespace {
+
+// A 4-relation fixture; 3-relation chains use a prefix.
+class MultiwayExecTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RTreeOptions topt;
+    topt.page_size = kPageSize1K;
+    rects_ = new std::vector<std::vector<Rect>>{
+        testutil::ClusteredRects(500, 971, 5, 0.02),
+        testutil::ClusteredRects(450, 972, 5, 0.02),
+        testutil::ClusteredRects(400, 973, 5, 0.02),
+        testutil::ClusteredRects(350, 974, 5, 0.02),
+    };
+    relations_ = new std::vector<IndexedRelation*>;
+    for (const auto& rects : *rects_) {
+      relations_->push_back(new IndexedRelation(rects, topt));
+    }
+  }
+  static void TearDownTestSuite() {
+    for (IndexedRelation* rel : *relations_) delete rel;
+    delete relations_;
+    delete rects_;
+    relations_ = nullptr;
+    rects_ = nullptr;
+  }
+
+  static std::vector<JoinRelation> Chain(size_t n) {
+    std::vector<JoinRelation> chain;
+    for (size_t i = 0; i < n; ++i) {
+      chain.push_back({&(*relations_)[i]->tree(), &(*rects_)[i]});
+    }
+    return chain;
+  }
+
+  static std::vector<std::vector<Rect>>* rects_;
+  static std::vector<IndexedRelation*>* relations_;
+};
+
+std::vector<std::vector<Rect>>* MultiwayExecTest::rects_ = nullptr;
+std::vector<IndexedRelation*>* MultiwayExecTest::relations_ = nullptr;
+
+TEST_F(MultiwayExecTest, MatchesSequentialAcrossThreadsAndPredicates) {
+  for (const size_t chain_len : {size_t{3}, size_t{4}}) {
+    const auto chain = Chain(chain_len);
+    for (const JoinPredicate predicate :
+         {JoinPredicate::kIntersects, JoinPredicate::kWithinDistance}) {
+      JoinOptions jopt;
+      jopt.algorithm = JoinAlgorithm::kSJ4;
+      jopt.predicate = predicate;
+      jopt.epsilon = predicate == JoinPredicate::kWithinDistance ? 0.01 : 0.0;
+      auto sequential = RunChainSpatialJoin(chain, jopt, true);
+      std::sort(sequential.tuples.begin(), sequential.tuples.end());
+      for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        ParallelExecutorOptions exec;
+        exec.num_threads = threads;
+        auto parallel =
+            RunParallelChainSpatialJoin(chain, jopt, exec, true);
+        EXPECT_EQ(parallel.tuple_count, sequential.tuple_count)
+            << "chain=" << chain_len << " threads=" << threads << " "
+            << JoinPredicateName(predicate);
+        std::sort(parallel.tuples.begin(), parallel.tuples.end());
+        EXPECT_EQ(parallel.tuples, sequential.tuples)
+            << "chain=" << chain_len << " threads=" << threads << " "
+            << JoinPredicateName(predicate);
+      }
+    }
+  }
+}
+
+TEST_F(MultiwayExecTest, PrivatePoolModeMatchesToo) {
+  const auto chain = Chain(3);
+  JoinOptions jopt;
+  jopt.algorithm = JoinAlgorithm::kSJ4;
+  auto sequential = RunChainSpatialJoin(chain, jopt, true);
+  std::sort(sequential.tuples.begin(), sequential.tuples.end());
+  ParallelExecutorOptions exec;
+  exec.num_threads = 4;
+  exec.shared_pool = false;
+  auto parallel = RunParallelChainSpatialJoin(chain, jopt, exec, true);
+  EXPECT_FALSE(parallel.used_shared_pool);
+  EXPECT_FALSE(parallel.used_node_cache);
+  std::sort(parallel.tuples.begin(), parallel.tuples.end());
+  EXPECT_EQ(parallel.tuples, sequential.tuples);
+}
+
+TEST_F(MultiwayExecTest, ReportsProbeTelemetryAndWorkerStats) {
+  const auto chain = Chain(4);
+  JoinOptions jopt;
+  jopt.algorithm = JoinAlgorithm::kSJ4;
+  ParallelExecutorOptions exec;
+  exec.num_threads = 4;
+  const auto result = RunParallelChainSpatialJoin(chain, jopt, exec);
+  EXPECT_TRUE(result.used_shared_pool);
+  EXPECT_TRUE(result.used_node_cache);
+  EXPECT_GT(result.pairwise_task_count, 0u);
+  ASSERT_EQ(result.probe_chunk_counts.size(), 2u);  // phases for R3, R4
+  ASSERT_EQ(result.worker_probe_chunks.size(), 4u);
+  uint64_t executed = 0;
+  for (const uint64_t c : result.worker_probe_chunks) executed += c;
+  uint64_t scheduled = 0;
+  for (const size_t c : result.probe_chunk_counts) scheduled += c;
+  EXPECT_EQ(executed, scheduled);
+  // Per-worker counters merge to the total.
+  Statistics merged;
+  for (const Statistics& st : result.worker_stats) merged.MergeFrom(st);
+  EXPECT_LE(merged.window_queries, result.total_stats.window_queries);
+  EXPECT_GT(result.total_stats.window_queries, 0u);
+}
+
+TEST_F(MultiwayExecTest, NodeCacheCutsDecodesOnTheSameWorkload) {
+  const auto chain = Chain(4);
+  JoinOptions jopt;
+  jopt.algorithm = JoinAlgorithm::kSJ4;
+  ParallelExecutorOptions with_cache;
+  with_cache.num_threads = 4;
+  ParallelExecutorOptions without_cache = with_cache;
+  without_cache.node_cache = false;
+  const auto cached = RunParallelChainSpatialJoin(chain, jopt, with_cache);
+  const auto plain = RunParallelChainSpatialJoin(chain, jopt, without_cache);
+  EXPECT_EQ(cached.tuple_count, plain.tuple_count);
+  EXPECT_TRUE(cached.used_node_cache);
+  EXPECT_FALSE(plain.used_node_cache);
+  EXPECT_GT(cached.total_stats.node_cache_hits, 0u);
+  EXPECT_EQ(plain.total_stats.node_cache_hits, 0u);
+  EXPECT_LT(cached.total_stats.node_decodes,
+            plain.total_stats.node_decodes);
+}
+
+TEST_F(MultiwayExecTest, EmptyMiddleRelationYieldsNothing) {
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  const std::vector<Rect> empty;
+  IndexedRelation empty_rel(empty, topt);
+  const std::vector<JoinRelation> chain = {
+      {&(*relations_)[0]->tree(), &(*rects_)[0]},
+      {&empty_rel.tree(), &empty},
+      {&(*relations_)[2]->tree(), &(*rects_)[2]},
+  };
+  JoinOptions jopt;
+  ParallelExecutorOptions exec;
+  exec.num_threads = 4;
+  const auto result = RunParallelChainSpatialJoin(chain, jopt, exec);
+  EXPECT_EQ(result.tuple_count, 0u);
+  ASSERT_EQ(result.probe_chunk_counts.size(), 1u);
+  EXPECT_EQ(result.probe_chunk_counts[0], 0u);  // empty frontier, no chunks
+}
+
+TEST_F(MultiwayExecTest, RejectsSingleRelation) {
+  const auto chain = Chain(1);
+  JoinOptions jopt;
+  ParallelExecutorOptions exec;
+  exec.num_threads = 4;
+  EXPECT_DEATH(RunParallelChainSpatialJoin(chain, jopt, exec),
+               ">= 2 relations");
+}
+
+}  // namespace
+}  // namespace rsj

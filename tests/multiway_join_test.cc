@@ -92,6 +92,86 @@ TEST(MultiwayJoinTest, FourWayMatchesBruteForce) {
             OracleChain({&rects_a, &rects_b, &rects_c, &rects_d}));
 }
 
+// Brute-force chain join under an arbitrary exact predicate.
+std::vector<std::vector<uint32_t>> OracleChainPredicate(
+    const std::vector<const std::vector<Rect>*>& relations,
+    const JoinOptions& options) {
+  ComparisonCounter unused;
+  std::vector<std::vector<uint32_t>> tuples;
+  for (uint32_t i = 0; i < relations[0]->size(); ++i) {
+    tuples.push_back({i});
+  }
+  for (size_t next = 1; next < relations.size(); ++next) {
+    std::vector<std::vector<uint32_t>> extended;
+    for (const auto& t : tuples) {
+      const Rect& prev = (*relations[next - 1])[t.back()];
+      for (uint32_t j = 0; j < relations[next]->size(); ++j) {
+        if (EvaluatePredicateCounted(options.predicate, options.epsilon,
+                                     prev, (*relations[next])[j], &unused)) {
+          auto longer = t;
+          longer.push_back(j);
+          extended.push_back(std::move(longer));
+        }
+      }
+    }
+    tuples = std::move(extended);
+  }
+  std::sort(tuples.begin(), tuples.end());
+  return tuples;
+}
+
+// Regression: the probe phases used to test raw intersection against the
+// unexpanded window, silently dropping every within-distance match at
+// distance (0, ε] from phase 2 on.
+TEST(MultiwayJoinTest, WithinDistanceChainFindsNonIntersectingMatches) {
+  const auto rects_a = testutil::ClusteredRects(250, 981, 5, 0.02);
+  const auto rects_b = testutil::ClusteredRects(220, 982, 5, 0.02);
+  const auto rects_c = testutil::ClusteredRects(240, 983, 5, 0.02);
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation a(rects_a, topt);
+  IndexedRelation b(rects_b, topt);
+  IndexedRelation c(rects_c, topt);
+  JoinOptions jopt;
+  jopt.algorithm = JoinAlgorithm::kSJ4;
+  jopt.predicate = JoinPredicate::kWithinDistance;
+  jopt.epsilon = 0.015;
+  const auto expected =
+      OracleChainPredicate({&rects_a, &rects_b, &rects_c}, jopt);
+  // The fix must matter on this data: some within-distance tuples must not
+  // be plain-intersection tuples (those were the ones silently dropped).
+  ASSERT_GT(expected.size(),
+            OracleChain({&rects_a, &rects_b, &rects_c}).size());
+  auto result = RunChainSpatialJoin(
+      {{&a.tree(), &rects_a}, {&b.tree(), &rects_b}, {&c.tree(), &rects_c}},
+      jopt, /*collect_tuples=*/true);
+  std::sort(result.tuples.begin(), result.tuples.end());
+  EXPECT_EQ(result.tuples, expected);
+}
+
+// Containment chains run through the same probe path: the exact predicate
+// is now evaluated on the data entries instead of raw intersection.
+TEST(MultiwayJoinTest, ContainmentChainMatchesOracle) {
+  const auto rects_a = testutil::ClusteredRects(200, 991, 4, 0.06);
+  const auto rects_b = testutil::ClusteredRects(300, 992, 4, 0.008);
+  const auto rects_c = testutil::ClusteredRects(250, 993, 4, 0.002);
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation a(rects_a, topt);
+  IndexedRelation b(rects_b, topt);
+  IndexedRelation c(rects_c, topt);
+  JoinOptions jopt;
+  jopt.algorithm = JoinAlgorithm::kSJ4;
+  jopt.predicate = JoinPredicate::kContains;
+  const auto expected =
+      OracleChainPredicate({&rects_a, &rects_b, &rects_c}, jopt);
+  auto result = RunChainSpatialJoin(
+      {{&a.tree(), &rects_a}, {&b.tree(), &rects_b}, {&c.tree(), &rects_c}},
+      jopt, /*collect_tuples=*/true);
+  std::sort(result.tuples.begin(), result.tuples.end());
+  EXPECT_EQ(result.tuples, expected);
+}
+
 TEST(MultiwayJoinTest, EmptyMiddleRelationYieldsNothing) {
   const auto rects_a = testutil::RandomRects(50, 951);
   const std::vector<Rect> empty;

@@ -1,0 +1,183 @@
+// Tests for the shared decoded-node cache: hit/decode accounting tied to
+// page residency, cross-thread reuse, the eviction bound, and the option
+// guards of both concurrent caches.
+
+#include "storage/node_cache.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rtree/node.h"
+#include "storage/buffer_pool.h"
+#include "storage/shared_buffer_pool.h"
+
+namespace rsj {
+namespace {
+
+// Allocates `count` pages of `file`, each storing a one-entry leaf node so
+// decodes are well-formed.
+std::vector<PageId> MakeNodePages(PagedFile* file, int count) {
+  std::vector<PageId> pages;
+  for (int i = 0; i < count; ++i) {
+    const PageId id = file->Allocate();
+    Node node;
+    node.level = 0;
+    node.entries.push_back(Entry{
+        Rect{static_cast<Coord>(i), 0.0f, static_cast<Coord>(i + 1), 1.0f},
+        static_cast<uint32_t>(i)});
+    node.Store(file, id);
+    pages.push_back(id);
+  }
+  return pages;
+}
+
+TEST(NodeCacheTest, DecodesOnceWhilePageStaysResident) {
+  PagedFile file(kPageSize1K);
+  const auto pages = MakeNodePages(&file, 1);
+  SharedBufferPool pool(SharedBufferPool::Options{4 * kPageSize1K,
+                                                  kPageSize1K,
+                                                  EvictionPolicy::kLru, 2});
+  NodeCache cache(&pool, NodeCache::Options{16, 2});
+  Statistics stats;
+
+  const auto first = cache.Fetch(file, pages[0], &stats);
+  EXPECT_FALSE(first.page_hit);
+  EXPECT_EQ(stats.node_decodes, 1u);
+  EXPECT_EQ(stats.node_cache_hits, 0u);
+  ASSERT_EQ(first.node->entries.size(), 1u);
+  EXPECT_EQ(first.node->entries[0].ref, 0u);
+
+  const auto second = cache.Fetch(file, pages[0], &stats);
+  EXPECT_TRUE(second.page_hit);
+  EXPECT_EQ(stats.node_decodes, 1u);
+  EXPECT_EQ(stats.node_cache_hits, 1u);
+  // The decode is shared, not copied.
+  EXPECT_EQ(first.node.get(), second.node.get());
+  // The page layer was charged normally underneath.
+  EXPECT_EQ(stats.disk_reads, 1u);
+  EXPECT_EQ(stats.buffer_hits, 1u);
+}
+
+TEST(NodeCacheTest, PhysicalReReadForcesReDecode) {
+  PagedFile file(kPageSize1K);
+  const auto pages = MakeNodePages(&file, 2);
+  // One frame in one shard: the two pages evict each other on every read.
+  SharedBufferPool pool(SharedBufferPool::Options{1 * kPageSize1K,
+                                                  kPageSize1K,
+                                                  EvictionPolicy::kLru, 1});
+  NodeCache cache(&pool, NodeCache::Options{16, 1});
+  Statistics stats;
+  for (int round = 0; round < 3; ++round) {
+    cache.Fetch(file, pages[0], &stats);
+    cache.Fetch(file, pages[1], &stats);
+  }
+  // Every fetch was a page miss, so every fetch re-decoded: a cached
+  // decode is only valid while its page stays buffer-resident.
+  EXPECT_EQ(stats.node_decodes, 6u);
+  EXPECT_EQ(stats.node_cache_hits, 0u);
+  EXPECT_EQ(stats.disk_reads, 6u);
+}
+
+TEST(NodeCacheTest, CrossThreadReuseAfterCoordinatorWarmup) {
+  PagedFile file(kPageSize1K);
+  const auto pages = MakeNodePages(&file, 32);
+  SharedBufferPool pool(SharedBufferPool::Options{64 * kPageSize1K,
+                                                  kPageSize1K,
+                                                  EvictionPolicy::kLru, 8});
+  NodeCache cache(&pool, NodeCache::Options{64, 8});
+
+  // The "coordinator" decodes every page once.
+  Statistics coordinator;
+  for (const PageId id : pages) cache.Fetch(file, id, &coordinator);
+  EXPECT_EQ(coordinator.node_decodes, pages.size());
+
+  // "Workers" then fetch the same pages concurrently: all decodes are
+  // served from the shared cache, none re-decoded.
+  constexpr unsigned kThreads = 4;
+  std::vector<Statistics> stats(kThreads);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int round = 0; round < 50; ++round) {
+        for (const PageId id : pages) cache.Fetch(file, id, &stats[t]);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const Statistics& st : stats) {
+    EXPECT_EQ(st.node_decodes, 0u);
+    EXPECT_EQ(st.node_cache_hits, 50u * pages.size());
+  }
+}
+
+TEST(NodeCacheTest, EvictionBoundHolds) {
+  PagedFile file(kPageSize1K);
+  const auto pages = MakeNodePages(&file, 64);
+  SharedBufferPool pool(SharedBufferPool::Options{128 * kPageSize1K,
+                                                  kPageSize1K,
+                                                  EvictionPolicy::kLru, 4});
+  NodeCache cache(&pool, NodeCache::Options{8, 4});
+  Statistics stats;
+  for (const PageId id : pages) cache.Fetch(file, id, &stats);
+  EXPECT_LE(cache.node_count(), cache.capacity_nodes());
+  EXPECT_EQ(stats.node_decodes, pages.size());
+
+  cache.Clear();
+  EXPECT_EQ(cache.node_count(), 0u);
+  // Pages are still buffer-resident, so re-fetching decodes again (the
+  // decode was dropped, not the page).
+  const auto res = cache.Fetch(file, pages.back(), &stats);
+  EXPECT_TRUE(res.page_hit);
+  EXPECT_EQ(stats.node_decodes, pages.size() + 1);
+}
+
+TEST(NodeCacheTest, NodeEvictionTriggersReDecodeDespiteResidentPage) {
+  PagedFile file(kPageSize1K);
+  const auto pages = MakeNodePages(&file, 4);
+  SharedBufferPool pool(SharedBufferPool::Options{16 * kPageSize1K,
+                                                  kPageSize1K,
+                                                  EvictionPolicy::kLru, 1});
+  // Single shard with room for one decode: fetching page B evicts A's.
+  NodeCache cache(&pool, NodeCache::Options{1, 1});
+  Statistics stats;
+  cache.Fetch(file, pages[0], &stats);
+  cache.Fetch(file, pages[1], &stats);  // evicts pages[0]'s decode
+  cache.Fetch(file, pages[0], &stats);  // page hit, decode gone
+  EXPECT_EQ(stats.node_decodes, 3u);
+  EXPECT_EQ(stats.node_cache_hits, 0u);
+  EXPECT_EQ(stats.disk_reads, 2u);
+  EXPECT_EQ(stats.buffer_hits, 1u);
+}
+
+// --- option guards (shared pool + node cache) ------------------------------
+
+TEST(NodeCacheDeathTest, RejectsZeroShards) {
+  SharedBufferPool pool(SharedBufferPool::Options{4 * kPageSize1K,
+                                                  kPageSize1K,
+                                                  EvictionPolicy::kLru, 2});
+  EXPECT_DEATH(NodeCache(&pool, NodeCache::Options{16, 0}), "zero-shard");
+}
+
+TEST(NodeCacheDeathTest, RejectsZeroCapacity) {
+  SharedBufferPool pool(SharedBufferPool::Options{4 * kPageSize1K,
+                                                  kPageSize1K,
+                                                  EvictionPolicy::kLru, 2});
+  EXPECT_DEATH(NodeCache(&pool, NodeCache::Options{0, 2}), "zero-capacity");
+}
+
+TEST(SharedBufferPoolDeathTest, RejectsZeroPageSize) {
+  EXPECT_DEATH(SharedBufferPool(SharedBufferPool::Options{
+                   128 * 1024, 0, EvictionPolicy::kLru, 4}),
+               "page size");
+}
+
+TEST(SharedBufferPoolDeathTest, RejectsZeroShards) {
+  EXPECT_DEATH(SharedBufferPool(SharedBufferPool::Options{
+                   128 * 1024, kPageSize1K, EvictionPolicy::kLru, 0}),
+               "shard");
+}
+
+}  // namespace
+}  // namespace rsj
