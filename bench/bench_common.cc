@@ -62,6 +62,23 @@ Statistics RunJoin(const TreePair& pair, JoinAlgorithm algorithm,
   return RunSpatialJoin(*pair.r, *pair.s, options).stats;
 }
 
+std::string IoCountersJson(const Statistics& stats) {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"disk_reads\":%llu,\"buffer_hits\":%llu,\"prefetch_issued\":%llu,"
+      "\"prefetch_hits\":%llu,\"prefetch_wasted\":%llu,\"io_batches\":%llu,"
+      "\"modeled_io_micros\":%llu",
+      static_cast<unsigned long long>(stats.disk_reads),
+      static_cast<unsigned long long>(stats.buffer_hits),
+      static_cast<unsigned long long>(stats.prefetch_issued),
+      static_cast<unsigned long long>(stats.prefetch_hits),
+      static_cast<unsigned long long>(stats.prefetch_wasted),
+      static_cast<unsigned long long>(stats.io_batches),
+      static_cast<unsigned long long>(stats.modeled_io_micros));
+  return std::string(buf);
+}
+
 std::string Num(uint64_t value) {
   char digits[32];
   std::snprintf(digits, sizeof(digits), "%llu",

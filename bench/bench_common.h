@@ -50,6 +50,11 @@ Statistics RunJoin(const TreePair& pair, JoinAlgorithm algorithm,
 
 // --- formatting helpers ---
 
+// JSON object fragment (no surrounding braces) with the I/O, prefetch and
+// modeled-time counters of `stats`; appended to every bench's JSON lines
+// so the async-I/O metrics are scrapeable everywhere.
+std::string IoCountersJson(const Statistics& stats);
+
 // 12-char right-aligned integer with thousands separators.
 std::string Num(uint64_t value);
 

@@ -74,9 +74,9 @@ void EmitJson(const char* mode, unsigned workers, const Measured& m,
       "JSON {\"bench\":\"multiway_scaling\",\"mode\":\"%s\","
       "\"workers\":%u,\"tuples\":%llu,\"seconds\":%.6f,\"speedup\":%.3f,"
       "\"node_decodes\":%llu,\"node_cache_hits\":%llu,"
-      "\"decode_saving\":%.4f,\"disk_reads\":%llu,\"hit_rate\":%.4f,"
+      "\"decode_saving\":%.4f,\"hit_rate\":%.4f,"
       "\"pair_tasks\":%zu,\"probe_chunks\":%llu,"
-      "\"max_worker_chunks\":%llu}\n",
+      "\"max_worker_chunks\":%llu,%s}\n",
       mode, workers,
       static_cast<unsigned long long>(m.result.tuple_count), m.seconds,
       seq_seconds / std::max(1e-9, m.seconds),
@@ -86,10 +86,10 @@ void EmitJson(const char* mode, unsigned workers, const Measured& m,
           ? 0.0
           : 1.0 - static_cast<double>(m.result.total_stats.node_decodes) /
                       static_cast<double>(baseline_decodes),
-      static_cast<unsigned long long>(m.result.total_stats.disk_reads),
       m.result.total_stats.HitRate(), m.result.pairwise_task_count,
       static_cast<unsigned long long>(chunks),
-      static_cast<unsigned long long>(MaxChunks(m.result)));
+      static_cast<unsigned long long>(MaxChunks(m.result)),
+      IoCountersJson(m.result.total_stats).c_str());
 }
 
 int Main(int argc, char** argv) {

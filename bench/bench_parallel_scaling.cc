@@ -62,17 +62,16 @@ void EmitJson(const char* mode, unsigned workers, const Measured& m,
   std::printf(
       "JSON {\"bench\":\"parallel_scaling\",\"mode\":\"%s\","
       "\"workers\":%u,\"pairs\":%llu,\"seconds\":%.6f,\"speedup\":%.3f,"
-      "\"disk_reads\":%llu,\"buffer_hits\":%llu,\"hit_rate\":%.4f,"
+      "\"hit_rate\":%.4f,"
       "\"tasks\":%zu,\"partition_depth\":%d,\"max_worker_tasks\":%llu,"
-      "\"min_worker_tasks\":%llu}\n",
+      "\"min_worker_tasks\":%llu,%s}\n",
       mode, workers,
       static_cast<unsigned long long>(m.result.pair_count), m.seconds,
       seq_seconds / std::max(1e-9, m.seconds),
-      static_cast<unsigned long long>(m.result.total_stats.disk_reads),
-      static_cast<unsigned long long>(m.result.total_stats.buffer_hits),
       m.result.total_stats.HitRate(), m.result.task_count,
       m.result.partition_depth, static_cast<unsigned long long>(spread.max),
-      static_cast<unsigned long long>(spread.min));
+      static_cast<unsigned long long>(spread.min),
+      IoCountersJson(m.result.total_stats).c_str());
 }
 
 void RunMode(const TreePair& pair, const JoinOptions& jopt, bool shared_pool,
@@ -125,11 +124,10 @@ int Main(int argc, char** argv) {
   std::printf(
       "JSON {\"bench\":\"parallel_scaling\",\"mode\":\"sequential\","
       "\"workers\":1,\"pairs\":%llu,\"seconds\":%.6f,\"speedup\":1.0,"
-      "\"disk_reads\":%llu,\"buffer_hits\":%llu,\"hit_rate\":%.4f}\n",
+      "\"hit_rate\":%.4f,%s}\n",
       static_cast<unsigned long long>(sequential.pair_count), seq_seconds,
-      static_cast<unsigned long long>(sequential.stats.disk_reads),
-      static_cast<unsigned long long>(sequential.stats.buffer_hits),
-      sequential.stats.HitRate());
+      sequential.stats.HitRate(),
+      IoCountersJson(sequential.stats).c_str());
 
   RunMode(pair, jopt, /*shared_pool=*/true, seq_seconds);
   RunMode(pair, jopt, /*shared_pool=*/false, seq_seconds);

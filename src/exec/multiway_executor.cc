@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "exec/task_scheduler.h"
+#include "io/io_scheduler.h"
+#include "io/prefetcher.h"
 #include "storage/buffer_pool.h"
 #include "storage/node_cache.h"
 #include "storage/shared_buffer_pool.h"
@@ -70,17 +72,26 @@ ParallelChainJoinResult RunParallelChainSpatialJoin(
   // pages for every frontier tuple.
   std::unique_ptr<SharedBufferPool> shared;
   std::unique_ptr<NodeCache> shared_nodes;
+  std::unique_ptr<Prefetcher> prefetcher;  // shared-pool mode only
+  IoScheduler* const io = exec_options.io_scheduler;
+  const uint64_t io_clock_before = io != nullptr ? io->NowMicros() : 0;
   if (exec_options.shared_pool) {
     shared = std::make_unique<SharedBufferPool>(SharedBufferPool::Options{
         options.buffer_bytes, page_size, options.eviction_policy,
         exec_options.pool_shards});
+    if (io != nullptr) shared->AttachIoScheduler(io);
     if (exec_options.node_cache) {
       shared_nodes = std::make_unique<NodeCache>(
           shared.get(), NodeCache::Options{exec_options.node_cache_capacity,
                                            exec_options.pool_shards});
     }
+    if (exec_options.prefetch) {
+      prefetcher = std::make_unique<Prefetcher>(
+          shared.get(), Prefetcher::Options{exec_options.prefetch_ahead});
+    }
   }
   result.used_node_cache = shared_nodes != nullptr;
+  Statistics chain_coordinator;  // probe-phase prefetch hints
 
   // Phase 1: the partitioned pairwise executor over relations 0 ⋈ 1,
   // materializing the pairs as the initial tuple frontier.
@@ -89,6 +100,9 @@ ParallelChainJoinResult RunParallelChainSpatialJoin(
   ParallelJoinResult pairwise = RunParallelSpatialJoinWith(
       *relations[0].tree, *relations[1].tree, options, pair_exec,
       shared.get(), shared_nodes.get());
+  // The pairwise executor already accounted its own I/O batches; the chain
+  // only adds the delta of the probe phases below.
+  const uint64_t io_batches_mid = io != nullptr ? io->io_batches() : 0;
   result.pairwise_task_count = pairwise.task_count;
   result.partition_depth = pairwise.partition_depth;
   result.total_stats.MergeFrom(pairwise.total_stats);
@@ -117,6 +131,7 @@ ParallelChainJoinResult RunParallelChainSpatialJoin(
           BufferPool::Options{options.buffer_bytes, page_size,
                               options.eviction_policy},
           &worker->stats);
+      if (io != nullptr) worker->private_pool->AttachIoScheduler(io);
     }
     workers.push_back(std::move(worker));
   }
@@ -137,6 +152,32 @@ ParallelChainJoinResult RunParallelChainSpatialJoin(
         1, (frontier.size() + target_chunks - 1) / target_chunks);
     const size_t num_chunks = (frontier.size() + chunk_size - 1) / chunk_size;
     result.probe_chunk_counts.push_back(num_chunks);
+
+    if (prefetcher != nullptr) {
+      // Hint the probe tree's hot top before the fan-out: every frontier
+      // tuple descends from this root, so its children are the phase's
+      // shared read frontier. The root itself is read synchronously right
+      // here to learn them — prefetching it too would only be consumed on
+      // the next statement with its full stall.
+      const PagedFile& probe_file = rel.tree->file();
+      const PageId root = rel.tree->root_page();
+      const auto root_node =
+          shared_nodes != nullptr
+              ? shared_nodes->Fetch(probe_file, root, &chain_coordinator).node
+              : [&]() {
+                  shared->Read(probe_file, root, &chain_coordinator);
+                  ++chain_coordinator.node_decodes;
+                  return std::make_shared<const Node>(
+                      Node::Load(probe_file, root));
+                }();
+      if (!root_node->is_leaf()) {
+        std::vector<PageId> children;
+        children.reserve(root_node->entries.size());
+        for (const Entry& e : root_node->entries) children.push_back(e.ref);
+        prefetcher->PrefetchSchedule(probe_file, children,
+                                     &chain_coordinator);
+      }
+    }
 
     const unsigned phase_workers =
         static_cast<unsigned>(std::min<size_t>(num_threads, num_chunks));
@@ -176,6 +217,13 @@ ParallelChainJoinResult RunParallelChainSpatialJoin(
     }
     frontier = std::move(extended);
   }
+
+  if (io != nullptr) {
+    io->Drain();
+    chain_coordinator.io_batches += io->io_batches() - io_batches_mid;
+    result.modeled_elapsed_micros = io->NowMicros() - io_clock_before;
+  }
+  result.total_stats.MergeFrom(chain_coordinator);
 
   result.worker_probe_chunks.assign(num_threads, 0);
   for (unsigned w = 0; w < num_threads; ++w) {

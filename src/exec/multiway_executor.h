@@ -54,6 +54,9 @@ struct ParallelChainJoinResult {
   std::vector<uint64_t> worker_probe_chunks;
   bool used_shared_pool = false;
   bool used_node_cache = false;
+  // Advance of the modeled I/O clock across the whole chain (0 without an
+  // exec_options.io_scheduler).
+  uint64_t modeled_elapsed_micros = 0;
 };
 
 // Runs the chain join over `relations` (>= 2, one shared page size) with

@@ -8,6 +8,8 @@
 #include "exec/partition.h"
 #include "exec/result_sink.h"
 #include "exec/task_scheduler.h"
+#include "io/io_scheduler.h"
+#include "io/prefetcher.h"
 #include "join/join_runner.h"
 #include "join/spatial_join.h"
 #include "storage/buffer_pool.h"
@@ -24,6 +26,8 @@ namespace {
 struct WorkerContext {
   Statistics stats;
   std::unique_ptr<BufferPool> private_pool;  // null in shared-pool mode
+  std::unique_ptr<Prefetcher> private_prefetcher;  // over the private pool
+  const Prefetcher* prefetcher = nullptr;  // private or the shared one
   std::unique_ptr<SpatialJoinEngine> engine;
   std::unique_ptr<ResultSink> sink;
   bool prepared = false;  // BeginPartitionedRun done (lazily, on its thread)
@@ -59,6 +63,9 @@ ParallelJoinResult RunParallelSpatialJoinWith(
   ParallelJoinResult result;
   result.used_shared_pool = exec_options.shared_pool;
   Statistics coordinator;
+  IoScheduler* const io = exec_options.io_scheduler;
+  const uint64_t io_clock_before = io != nullptr ? io->NowMicros() : 0;
+  const uint64_t io_batches_before = io != nullptr ? io->io_batches() : 0;
 
   // The shared pool (and the decode cache over it) is created before
   // partitioning so the coordinator's directory reads and decodes warm it
@@ -86,6 +93,7 @@ ParallelJoinResult RunParallelSpatialJoinWith(
                                      exec_options.pool_shards});
       nodes = owned_nodes.get();
     }
+    if (io != nullptr) shared->AttachIoScheduler(io);
     coordinator_cache = shared;
   } else {
     // Private pools are single-owner; a shared decode cache over them
@@ -95,9 +103,19 @@ ParallelJoinResult RunParallelSpatialJoinWith(
         BufferPool::Options{options.buffer_bytes, r.options().page_size,
                             options.eviction_policy},
         &coordinator);
+    if (io != nullptr) coordinator_pool->AttachIoScheduler(io);
     coordinator_cache = coordinator_pool.get();
   }
   result.used_node_cache = nodes != nullptr;
+
+  // One prefetcher over the shared pool serves everyone; private-pool mode
+  // builds per-worker instances below (a prefetch hint only makes sense in
+  // the pool the worker reads from).
+  std::unique_ptr<Prefetcher> shared_prefetcher;
+  if (exec_options.prefetch && shared != nullptr) {
+    shared_prefetcher = std::make_unique<Prefetcher>(
+        shared, Prefetcher::Options{exec_options.prefetch_ahead});
+  }
 
   const size_t target_tasks =
       static_cast<size_t>(exec_options.partition_multiplier) *
@@ -122,6 +140,22 @@ ParallelJoinResult RunParallelSpatialJoinWith(
     return result;
   }
 
+  // Subtree-pair hints from the partitioner: the plan *is* the order the
+  // workers will start tasks in, so its leading child pages are the
+  // system-wide read frontier — hint them before the workers launch.
+  if (shared_prefetcher != nullptr) {
+    std::vector<PageId> r_pages;
+    std::vector<PageId> s_pages;
+    r_pages.reserve(plan.tasks.size());
+    s_pages.reserve(plan.tasks.size());
+    for (const PartitionTask& task : plan.tasks) {
+      r_pages.push_back(task.er.ref);
+      s_pages.push_back(task.es.ref);
+    }
+    shared_prefetcher->PrefetchSchedule(r.file(), r_pages, s.file(), s_pages,
+                                        &coordinator);
+  }
+
   const unsigned workers = static_cast<unsigned>(
       std::min<size_t>(exec_options.num_threads, plan.tasks.size()));
   std::vector<std::unique_ptr<WorkerContext>> contexts;
@@ -134,10 +168,22 @@ ParallelJoinResult RunParallelSpatialJoinWith(
           BufferPool::Options{options.buffer_bytes, r.options().page_size,
                               options.eviction_policy},
           &ctx->stats);
+      if (io != nullptr) ctx->private_pool->AttachIoScheduler(io);
       cache = ctx->private_pool.get();
+    }
+    if (exec_options.prefetch) {
+      if (ctx->private_pool != nullptr) {
+        ctx->private_prefetcher = std::make_unique<Prefetcher>(
+            ctx->private_pool.get(),
+            Prefetcher::Options{exec_options.prefetch_ahead});
+        ctx->prefetcher = ctx->private_prefetcher.get();
+      } else {
+        ctx->prefetcher = shared_prefetcher.get();
+      }
     }
     ctx->engine = std::make_unique<SpatialJoinEngine>(r, s, options, cache,
                                                       &ctx->stats, nodes);
+    ctx->engine->set_prefetcher(ctx->prefetcher);
     if (exec_options.collect_pairs) {
       ctx->sink = std::make_unique<MaterializingSink>();
     } else {
@@ -157,8 +203,20 @@ ParallelJoinResult RunParallelSpatialJoinWith(
           ctx.prepared = true;
         }
         const PartitionTask& task = plan.tasks[task_index];
+        if (ctx.prefetcher != nullptr) {
+          // The task frontier: both subtree roots, issued before the
+          // engine's (ordered) fetches so they ride different disks.
+          ctx.prefetcher->PrefetchPage(r.file(), task.er.ref, &ctx.stats);
+          ctx.prefetcher->PrefetchPage(s.file(), task.es.ref, &ctx.stats);
+        }
         ctx.engine->ProcessPartition(task.er, task.es, ctx.sink.get());
       });
+
+  if (io != nullptr) {
+    io->Drain();
+    coordinator.io_batches += io->io_batches() - io_batches_before;
+    result.modeled_elapsed_micros = io->NowMicros() - io_clock_before;
+  }
 
   result.total_stats.MergeFrom(coordinator);
   for (unsigned w = 0; w < workers; ++w) contexts[w]->sink->Flush();

@@ -29,6 +29,8 @@
 
 namespace rsj {
 
+class IoScheduler;
+
 struct ParallelExecutorOptions {
   unsigned num_threads = 1;
 
@@ -56,6 +58,24 @@ struct ParallelExecutorOptions {
 
   // Materialize the result pairs (otherwise only counts are kept).
   bool collect_pairs = false;
+
+  // --- simulated asynchronous I/O (src/io/) ---
+
+  // When non-null, every pool (shared or per-worker private) services its
+  // misses in modeled disk-array time through this scheduler. Not owned;
+  // must outlive the run. Ignored by the num_threads <= 1 sequential
+  // fallback (use RunSpatialJoinWithIo for a modeled sequential run).
+  IoScheduler* io_scheduler = nullptr;
+
+  // Schedule-driven prefetching: the coordinator hints the partition
+  // plan's task frontier ahead, each worker prefetches its task's subtree
+  // roots, and the engines stream their §4.3 read schedules into the
+  // prefetcher. Effective with or without io_scheduler (without one,
+  // prefetch is zero-latency accounting only).
+  bool prefetch = false;
+
+  // Maximal async reads issued per schedule handoff.
+  size_t prefetch_ahead = 32;
 };
 
 struct ParallelJoinResult {
@@ -75,6 +95,9 @@ struct ParallelJoinResult {
   int partition_depth = 0;
   bool used_shared_pool = false;
   bool used_node_cache = false;
+  // Advance of the modeled I/O clock across the run (0 without a
+  // scheduler): the join's modeled elapsed time over the disk array.
+  uint64_t modeled_elapsed_micros = 0;
 };
 
 class SharedBufferPool;

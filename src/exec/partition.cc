@@ -36,6 +36,32 @@ void AppendQualifyingPairs(const Node& nr, const Node& ns, double expansion,
       });
 }
 
+// §4.4 split of a coarse task: one side of the pair has reached its data
+// nodes while `dir` (the other side's child node) is still a directory.
+// Instead of leaving one oversized window-query task, descend the
+// directory side alone: every entry `d` of `dir` whose (expansion-grown,
+// on the R side) rectangle intersects the data-node entry becomes its own
+// task. Lossless for the same reason the synchronized filter is — a result
+// below (d, leaf_entry) needs intersecting rectangles at every ancestor
+// level — and disjoint because the subtrees under distinct `d` are.
+void AppendWindowSplitTasks(const Node& dir, const Entry& leaf_entry,
+                            double expansion, bool dir_is_r,
+                            Statistics* stats,
+                            std::vector<PartitionTask>* out) {
+  const bool expand_dir = dir_is_r && expansion > 0.0;
+  const Rect leaf_rect = (!dir_is_r && expansion > 0.0)
+                             ? leaf_entry.rect.Expanded(expansion)
+                             : leaf_entry.rect;
+  for (const Entry& d : dir.entries) {
+    const Rect dir_rect =
+        expand_dir ? d.rect.Expanded(expansion) : d.rect;
+    if (dir_rect.IntersectsCounted(leaf_rect, &stats->join_comparisons)) {
+      out->push_back(dir_is_r ? PartitionTask{d, leaf_entry}
+                              : PartitionTask{leaf_entry, d});
+    }
+  }
+}
+
 // Counted read + decode of one page; published to `nodes` when present so
 // the workers inherit the decode.
 std::shared_ptr<const Node> FetchNode(const RTree& tree, PageId id,
@@ -80,12 +106,23 @@ PartitionPlan BuildPartitionPlan(const RTree& r, const RTree& s,
     for (const PartitionTask& task : frontier) {
       const auto child_r = FetchNode(r, task.er.ref, cache, stats, nodes);
       const auto child_s = FetchNode(s, task.es.ref, cache, stats, nodes);
-      if (child_r->is_leaf() || child_s->is_leaf()) {
+      if (child_r->is_leaf() && child_s->is_leaf()) {
         final_tasks.push_back(task);
         continue;
       }
       expanded_any = true;
-      AppendQualifyingPairs(*child_r, *child_s, expansion, stats, &next);
+      if (!child_r->is_leaf() && !child_s->is_leaf()) {
+        AppendQualifyingPairs(*child_r, *child_s, expansion, stats, &next);
+      } else if (child_s->is_leaf()) {
+        // Unequal heights (§4.4): keep splitting the still-directory side
+        // so a pair that reached the leaf level early does not stay one
+        // oversized window-query task.
+        AppendWindowSplitTasks(*child_r, task.es, expansion,
+                               /*dir_is_r=*/true, stats, &next);
+      } else {
+        AppendWindowSplitTasks(*child_s, task.er, expansion,
+                               /*dir_is_r=*/false, stats, &next);
+      }
     }
     frontier = std::move(next);
     if (!expanded_any) break;

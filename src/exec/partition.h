@@ -14,9 +14,12 @@
 // of descendants can only intersect if every pair of ancestors does) and
 // every descendant pair is generated under exactly one task.
 //
-// Descent stops early at subtree pairs where either side reaches its data
-// nodes: those tasks stay coarse and the engine's §4.4 window-query phase
-// handles the height difference inside the task.
+// Subtree pairs where *both* sides reach their data nodes are final. When
+// only one side hits a data node early (unequal tree heights), the
+// partitioner keeps descending the directory side alone, splitting the
+// §4.4 window-query phase into per-subtree tasks instead of leaving one
+// oversized coarse task per pair; the engine's window-query machinery
+// still handles the residual height difference inside each task.
 
 #ifndef RSJ_EXEC_PARTITION_H_
 #define RSJ_EXEC_PARTITION_H_

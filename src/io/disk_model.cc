@@ -1,0 +1,45 @@
+#include "io/disk_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rsj {
+
+SimulatedDiskArray::SimulatedDiskArray(const DiskModelOptions& options)
+    : options_(options) {
+  RSJ_CHECK_MSG(options.disk_count >= 1, "disk array needs >= 1 disk");
+  disks_.resize(options.disk_count);
+}
+
+uint64_t SimulatedDiskArray::TransferMicros(uint32_t page_size_bytes) const {
+  // Rounded up so a sub-KByte page still costs something.
+  return options_.transfer_micros_per_kbyte *
+         ((static_cast<uint64_t>(page_size_bytes) + 1023) / 1024);
+}
+
+uint64_t SimulatedDiskArray::Service(const PagedFile& file, PageId id,
+                                     uint32_t page_size_bytes,
+                                     uint64_t issue_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Disk& disk = disks_[DiskFor(id)];
+  const bool sequential =
+      options_.sequential_discount && disk.last_file == &file &&
+      (id == disk.last_id ||
+       id == disk.last_id + static_cast<PageId>(disks_.size()));
+  const uint64_t cost = TransferMicros(page_size_bytes) +
+                        (sequential ? 0 : options_.seek_micros);
+  const uint64_t start = std::max(issue_micros, disk.busy_until_micros);
+  disk.busy_until_micros = start + cost;
+  disk.last_file = &file;
+  disk.last_id = id;
+  return disk.busy_until_micros;
+}
+
+uint64_t SimulatedDiskArray::BusyUntil(unsigned disk) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RSJ_DCHECK(disk < disks_.size());
+  return disks_[disk].busy_until_micros;
+}
+
+}  // namespace rsj

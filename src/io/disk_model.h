@@ -1,0 +1,99 @@
+// Deterministic simulated disk array — the storage hardware of the paper's
+// experimental setting (§5 stripes both R-trees over a disk array).
+//
+// The substrate stays in-memory (`PagedFile` hands out bytes instantly);
+// this model supplies the *time* dimension on top: every page access is
+// converted into modeled service micros with the paper's HP 720 constants
+// (1.5e-2 s positioning, 5.0e-3 s per KByte transferred — the same numbers
+// as storage/cost_model.h, here per request instead of aggregated).
+//
+// Pages are striped round-robin over the disks per PagedFile: page id `p`
+// lives on disk `p % disk_count`, so consecutive pages of one file spread
+// over the whole array and a sorted read schedule keeps every arm busy.
+// Each disk keeps a busy-until timeline: a request arriving at modeled
+// time t starts at max(t, busy_until) and the disk remembers the last page
+// it served — reading the next stripe unit of the same file in sequence
+// (id == last_id + disk_count) skips the positioning cost, which is what
+// makes a good read schedule (§4.3) cheaper than a random one.
+//
+// The model is deterministic: service times depend only on the per-disk
+// arrival order. It is thread-safe so the I/O scheduler's background
+// workers and blocking consumers can share one array.
+
+#ifndef RSJ_IO_DISK_MODEL_H_
+#define RSJ_IO_DISK_MODEL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "storage/paged_file.h"
+
+namespace rsj {
+
+struct DiskModelOptions {
+  // Disks in the array (the bench sweeps 1/2/4/8, the paper's setting).
+  unsigned disk_count = 1;
+
+  // Disk-arm positioning cost per non-sequential request (seek +
+  // rotational latency). Default: the paper's 1.5e-2 s.
+  uint64_t seek_micros = 15000;
+
+  // Transfer cost per KByte moved. Default: the paper's 5.0e-3 s.
+  uint64_t transfer_micros_per_kbyte = 5000;
+
+  // Skip the positioning cost when a disk reads its next stripe unit of
+  // the same file in sequence (or re-reads the page it just served).
+  bool sequential_discount = true;
+};
+
+class SimulatedDiskArray {
+ public:
+  explicit SimulatedDiskArray(const DiskModelOptions& options);
+
+  SimulatedDiskArray(const SimulatedDiskArray&) = delete;
+  SimulatedDiskArray& operator=(const SimulatedDiskArray&) = delete;
+
+  unsigned disk_count() const { return static_cast<unsigned>(disks_.size()); }
+
+  // Round-robin striping: the disk holding page `id` of any file.
+  unsigned DiskFor(PageId id) const {
+    return id % static_cast<unsigned>(disks_.size());
+  }
+
+  // Pure transfer cost of one page (no positioning, no queueing).
+  uint64_t TransferMicros(uint32_t page_size_bytes) const;
+
+  // Positioning + transfer of one page (the cost of an isolated random
+  // read; what the synchronous no-prefetch path pays per miss).
+  uint64_t RandomReadMicros(uint32_t page_size_bytes) const {
+    return options_.seek_micros + TransferMicros(page_size_bytes);
+  }
+
+  // Services one read of page `id` of `file` arriving at modeled time
+  // `issue_micros` and returns its completion time. The request starts
+  // when both the issuer and the disk are ready and occupies the disk for
+  // its service time; sequential follow-ups skip the positioning cost.
+  uint64_t Service(const PagedFile& file, PageId id, uint32_t page_size_bytes,
+                   uint64_t issue_micros);
+
+  // Modeled time until which `disk` is busy (snapshot).
+  uint64_t BusyUntil(unsigned disk) const;
+
+  const DiskModelOptions& options() const { return options_; }
+
+ private:
+  struct Disk {
+    uint64_t busy_until_micros = 0;
+    const PagedFile* last_file = nullptr;
+    PageId last_id = kInvalidPageId;
+  };
+
+  DiskModelOptions options_;
+  mutable std::mutex mu_;
+  std::vector<Disk> disks_;
+};
+
+}  // namespace rsj
+
+#endif  // RSJ_IO_DISK_MODEL_H_

@@ -1,0 +1,190 @@
+#include "io/io_scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rsj {
+
+IoScheduler::IoScheduler(const Options& options)
+    : options_(options), disks_(options.disks) {
+  RSJ_CHECK_MSG(options_.max_batch >= 1, "io scheduler needs max_batch >= 1");
+  unsigned workers = options_.io_workers == 0 ? disks_.disk_count()
+                                              : options_.io_workers;
+  // A disk is owned by exactly one worker (worker = disk % workers), so
+  // more workers than disks would idle forever.
+  num_workers_ = std::min(workers, disks_.disk_count());
+  disk_queues_.resize(disks_.disk_count());
+  workers_.reserve(num_workers_);
+  for (unsigned w = 0; w < num_workers_; ++w) {
+    workers_.emplace_back([this, w]() { WorkerLoop(w); });
+  }
+}
+
+IoScheduler::~IoScheduler() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void IoScheduler::WorkerLoop(unsigned worker) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    // Find a non-empty queue among the disks this worker owns.
+    size_t disk = disk_queues_.size();
+    for (size_t d = worker; d < disk_queues_.size(); d += num_workers_) {
+      if (!disk_queues_[d].empty()) {
+        disk = d;
+        break;
+      }
+    }
+    if (disk == disk_queues_.size()) {
+      if (stop_) return;
+      work_cv_.wait(lock);
+      continue;
+    }
+    // Dequeue one batch. Service order within the batch is queue (FIFO)
+    // order and no other worker touches this disk, so per-disk service
+    // order is exactly the submission order — the model stays
+    // deterministic for a single consumer thread.
+    std::deque<Request>& queue = disk_queues_[disk];
+    std::vector<Request> batch;
+    while (!queue.empty() && batch.size() < options_.max_batch) {
+      batch.push_back(queue.front());
+      queue.pop_front();
+    }
+    ++io_batches_;
+    lock.unlock();
+    std::vector<uint64_t> completions;
+    completions.reserve(batch.size());
+    for (const Request& req : batch) {
+      completions.push_back(disks_.Service(*req.key.file, req.key.id,
+                                           req.page_size, req.issue_micros));
+    }
+    lock.lock();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      inflight_.erase(batch[i].key);
+      if (abandoned_.erase(batch[i].key) == 0) {
+        completed_[batch[i].key] = completions[i];
+      }
+    }
+    pending_async_ -= batch.size();
+    done_cv_.notify_all();
+  }
+}
+
+bool IoScheduler::SubmitAsync(const void* owner, const PagedFile& file,
+                              PageId id, uint32_t page_size) {
+  const RequestKey key{owner, &file, id};
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inflight_.contains(key)) {
+    abandoned_.erase(key);  // re-prefetch revives an abandoned request
+    return false;
+  }
+  if (completed_.contains(key)) {
+    return false;  // coalesced with the unconsumed completion
+  }
+  disk_queues_[disks_.DiskFor(id)].push_back(
+      Request{key, page_size, clock_micros_});
+  inflight_.insert(key);
+  ++pending_async_;
+  ++async_reads_;
+  work_cv_.notify_all();
+  return true;
+}
+
+void IoScheduler::JoinCompletionLocked(std::unique_lock<std::mutex>& lock,
+                                       const RequestKey& key,
+                                       Statistics* stats) {
+  done_cv_.wait(lock, [&]() {
+    return completed_.contains(key) || !inflight_.contains(key);
+  });
+  const auto it = completed_.find(key);
+  if (it == completed_.end()) return;  // consumed by a racing caller
+  const uint64_t completion = it->second;
+  completed_.erase(it);
+  if (completion > clock_micros_) {
+    if (stats != nullptr) {
+      stats->modeled_io_micros += completion - clock_micros_;
+    }
+    clock_micros_ = completion;
+  }
+}
+
+bool IoScheduler::BlockingRead(const void* owner, const PagedFile& file,
+                               PageId id, uint32_t page_size,
+                               Statistics* stats) {
+  const RequestKey key{owner, &file, id};
+  std::unique_lock<std::mutex> lock(mu_);
+  if (inflight_.contains(key) || completed_.contains(key)) {
+    // Revive an abandoned in-flight request: the disk is still going to
+    // service it, so this miss joins it (and pays its residual stall)
+    // instead of issuing a duplicate read.
+    abandoned_.erase(key);
+    JoinCompletionLocked(lock, key, stats);
+    return true;
+  }
+  const uint64_t issue = clock_micros_;
+  lock.unlock();
+  const uint64_t completion = disks_.Service(file, id, page_size, issue);
+  lock.lock();
+  if (completion > clock_micros_) {
+    if (stats != nullptr) {
+      stats->modeled_io_micros += completion - clock_micros_;
+    }
+    clock_micros_ = completion;
+  }
+  return false;
+}
+
+void IoScheduler::ConsumePrefetched(const void* owner, const PagedFile& file,
+                                    PageId id, Statistics* stats) {
+  const RequestKey key{owner, &file, id};
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!inflight_.contains(key) && !completed_.contains(key)) return;
+  JoinCompletionLocked(lock, key, stats);
+}
+
+void IoScheduler::AbandonPrefetched(const void* owner, const PagedFile& file,
+                                    PageId id) {
+  const RequestKey key{owner, &file, id};
+  std::lock_guard<std::mutex> lock(mu_);
+  if (completed_.erase(key) > 0) return;
+  if (inflight_.contains(key)) abandoned_.insert(key);
+}
+
+void IoScheduler::CpuAdvance(uint64_t micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_micros_ += micros;
+}
+
+void IoScheduler::ChargeCpuPerRead() {
+  if (options_.cpu_micros_per_read == 0) return;
+  CpuAdvance(options_.cpu_micros_per_read);
+}
+
+void IoScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this]() { return pending_async_ == 0; });
+}
+
+uint64_t IoScheduler::NowMicros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_micros_;
+}
+
+uint64_t IoScheduler::io_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return io_batches_;
+}
+
+uint64_t IoScheduler::async_reads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return async_reads_;
+}
+
+}  // namespace rsj

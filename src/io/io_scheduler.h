@@ -1,0 +1,187 @@
+// Asynchronous I/O scheduler over the simulated disk array.
+//
+// The scheduler is the junction between real concurrency and modeled time.
+// Real side: per-disk FIFO request queues drained by background I/O worker
+// threads (each disk is owned by exactly one worker, so per-disk service
+// order is the submission order), request batching (a worker dequeues up
+// to `max_batch` requests of one disk at a time), duplicate coalescing
+// (a page already queued or in flight is never submitted twice) and
+// completion waiting (`Drain`, and blocking joins of in-flight requests).
+//
+// Modeled side: one virtual clock. Consumers advance it —
+//   * a synchronous miss (`BlockingRead`) services the page at the current
+//     clock and moves the clock to its completion: one outstanding request
+//     at a time, the no-overlap baseline;
+//   * an async read (`SubmitAsync`, the prefetch path) is timestamped with
+//     the current clock but does NOT advance it — the disks work ahead in
+//     the background of the timeline;
+//   * the first consumer touch of a prefetched page (`ConsumePrefetched`)
+//     advances the clock to that request's completion, so only the part of
+//     the service time not hidden behind other work is paid as stall;
+//   * `CpuAdvance` charges modeled CPU work, which overlaps with whatever
+//     the disks are doing.
+// All stall micros are charged to the requesting actor's
+// `Statistics::modeled_io_micros`; the clock models a single consumer
+// timeline (parallel workers' charges serialize onto it).
+//
+// Page caches use the scheduler through `BufferPool::AttachIoScheduler`;
+// nothing in the join layer talks to it directly.
+
+#ifndef RSJ_IO_IO_SCHEDULER_H_
+#define RSJ_IO_IO_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "io/disk_model.h"
+#include "storage/page_cache.h"
+#include "storage/statistics.h"
+
+namespace rsj {
+
+class IoScheduler {
+ public:
+  struct Options {
+    DiskModelOptions disks;
+
+    // Background I/O worker threads; 0 = one per disk (each disk is always
+    // owned by exactly one worker).
+    unsigned io_workers = 0;
+
+    // Maximal requests one worker dequeues from a disk queue at once.
+    size_t max_batch = 8;
+
+    // Modeled CPU micros charged per consumer page request (the join work
+    // that follows a node fetch); this is the computation the prefetcher
+    // hides I/O behind. 0 disables CPU charging.
+    uint64_t cpu_micros_per_read = 0;
+  };
+
+  explicit IoScheduler(const Options& options);
+
+  // Joins the background workers; all outstanding requests are serviced
+  // first (the destructor drains).
+  ~IoScheduler();
+
+  IoScheduler(const IoScheduler&) = delete;
+  IoScheduler& operator=(const IoScheduler&) = delete;
+
+  // Request identity is scoped by `owner` (the page cache — or cache
+  // shard — issuing it): coalescing and completion joining never cross
+  // pool boundaries, so private per-worker pools keep paying their own
+  // misses, while the disks themselves stay shared hardware.
+
+  // Non-blocking async read of (file, id), issued at the current modeled
+  // clock. Returns false when the page is already queued, in flight, or
+  // serviced-but-unconsumed for this owner (coalesced — no second
+  // physical read; an abandoned in-flight request is revived).
+  bool SubmitAsync(const void* owner, const PagedFile& file, PageId id,
+                   uint32_t page_size);
+
+  // Synchronous read on a cache miss. When the owner has an async request
+  // outstanding for the page, joins it: waits for its completion, charges
+  // the residual stall and returns true (the physical read was already
+  // paid for by the prefetch). Otherwise services the page at the current
+  // clock, advances the clock to its completion, charges the full stall
+  // and returns false.
+  bool BlockingRead(const void* owner, const PagedFile& file, PageId id,
+                    uint32_t page_size, Statistics* stats);
+
+  // First consumer touch of a prefetched-and-landed page: advances the
+  // clock to the async request's completion and charges the residual stall
+  // (zero when the prefetch ran far enough ahead). No-op when the owner
+  // has no outstanding async completion for the page.
+  void ConsumePrefetched(const void* owner, const PagedFile& file, PageId id,
+                         Statistics* stats);
+
+  // The owner dropped a prefetched page before any consumer touched it
+  // (evicted or cleared): forget the completion so a later miss pays a
+  // genuine read instead of silently joining the stale prefetch.
+  void AbandonPrefetched(const void* owner, const PagedFile& file, PageId id);
+
+  // Charges modeled CPU work to the timeline.
+  void CpuAdvance(uint64_t micros);
+
+  // CpuAdvance(options.cpu_micros_per_read); called by the page caches on
+  // every consumer page request.
+  void ChargeCpuPerRead();
+
+  // Blocks (in real time) until every async request has been serviced.
+  void Drain();
+
+  // Current modeled clock.
+  uint64_t NowMicros() const;
+
+  // Request batches the background workers dequeued so far.
+  uint64_t io_batches() const;
+
+  // Async requests ever submitted (after coalescing).
+  uint64_t async_reads() const;
+
+  const SimulatedDiskArray& disks() const { return disks_; }
+  const Options& options() const { return options_; }
+
+ private:
+  // One async request's identity: (issuing cache, file, page).
+  struct RequestKey {
+    const void* owner = nullptr;
+    const PagedFile* file = nullptr;
+    PageId id = kInvalidPageId;
+
+    friend bool operator==(const RequestKey&, const RequestKey&) = default;
+  };
+
+  struct RequestKeyHash {
+    size_t operator()(const RequestKey& k) const {
+      const size_t h1 = std::hash<const void*>{}(k.owner);
+      const size_t h2 = PageKeyHash{}(PageKey{k.file, k.id});
+      return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+    }
+  };
+
+  struct Request {
+    RequestKey key;
+    uint32_t page_size = 0;
+    uint64_t issue_micros = 0;
+  };
+
+  void WorkerLoop(unsigned worker);
+
+  // Waits for an outstanding async request on `key` to complete, consumes
+  // its completion entry, advances the clock and charges the stall.
+  // Caller holds `mu_`.
+  void JoinCompletionLocked(std::unique_lock<std::mutex>& lock,
+                            const RequestKey& key, Statistics* stats);
+
+  Options options_;
+  SimulatedDiskArray disks_;
+  unsigned num_workers_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: queues non-empty / stop
+  std::condition_variable done_cv_;  // consumers: completions / drain
+  bool stop_ = false;
+  uint64_t clock_micros_ = 0;
+  uint64_t io_batches_ = 0;
+  uint64_t async_reads_ = 0;
+  size_t pending_async_ = 0;  // submitted, completion not yet recorded
+  std::vector<std::deque<Request>> disk_queues_;
+  // Requests queued or being serviced (coalescing set).
+  std::unordered_set<RequestKey, RequestKeyHash> inflight_;
+  // Serviced async requests awaiting their first consumer touch.
+  std::unordered_map<RequestKey, uint64_t, RequestKeyHash> completed_;
+  // In-flight requests whose page was dropped unconsumed: their
+  // completion is discarded instead of recorded.
+  std::unordered_set<RequestKey, RequestKeyHash> abandoned_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rsj
+
+#endif  // RSJ_IO_IO_SCHEDULER_H_

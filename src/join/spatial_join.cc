@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "geom/plane_sweep.h"
 #include "geom/zorder.h"
+#include "io/prefetcher.h"
 
 namespace rsj {
 
@@ -223,9 +224,42 @@ void SpatialJoinEngine::ProcessChildPair(const Entry& er, const Entry& es) {
 
 void SpatialJoinEngine::ExecuteDirectorySchedule(
     const Node& nr, const Node& ns, const std::vector<EntryPair>& pairs) {
+  // Rolling schedule-driven prefetch: the read schedule — sweep order for
+  // SJ3/SJ4, z-order for SJ5 — is streamed into the prefetcher a window
+  // ahead of the pair being processed, so the child pages are in flight
+  // in exactly the order the traversal will consume them while the
+  // in-flight footprint stays bounded by the window, not the schedule.
+  // The distance is recursion-aware: where the children are data nodes a
+  // pair is consumed immediately and a full window pays off; higher up
+  // each pair expands into a whole subtree join first, so reaching
+  // further ahead would only thrash the buffer before consumption.
+  size_t next_hint = 0;
+  const bool leaf_children = nr.level == 1 && ns.level == 1;
+  const size_t hint_window =
+      prefetcher_ == nullptr
+          ? 0
+          : (leaf_children
+                 ? std::max<size_t>(1, prefetcher_->options().max_ahead / 2)
+                 : 1);
+  const auto pump_hints = [&](size_t processed,
+                              const std::vector<bool>* done) {
+    if (prefetcher_ == nullptr) return;
+    const size_t limit = std::min(pairs.size(), processed + hint_window);
+    for (; next_hint < limit; ++next_hint) {
+      if (done != nullptr && (*done)[next_hint]) continue;  // drained early
+      prefetcher_->PrefetchPage(acc_r_.tree().file(),
+                                nr.entries[pairs[next_hint].first].ref,
+                                stats_);
+      prefetcher_->PrefetchPage(acc_s_.tree().file(),
+                                ns.entries[pairs[next_hint].second].ref,
+                                stats_);
+    }
+  };
+
   if (!UsesPinning(options_.algorithm)) {
-    for (const EntryPair& p : pairs) {
-      ProcessChildPair(nr.entries[p.first], ns.entries[p.second]);
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      pump_hints(k, nullptr);
+      ProcessChildPair(nr.entries[pairs[k].first], ns.entries[pairs[k].second]);
     }
     return;
   }
@@ -239,6 +273,11 @@ void SpatialJoinEngine::ExecuteDirectorySchedule(
   std::vector<bool> done(pairs.size(), false);
   for (size_t idx = 0; idx < pairs.size(); ++idx) {
     if (done[idx]) continue;
+    // The pin-and-drain order deviates from the schedule, but only by
+    // pulling same-page pairs forward; hinting in schedule order a window
+    // ahead of the drain cursor (skipping drained pairs) stays a sound
+    // approximation.
+    pump_hints(idx, &done);
 
     uint32_t degree_r = 0;
     uint32_t degree_s = 0;
@@ -277,6 +316,17 @@ void SpatialJoinEngine::WindowPhase(NodeAccessor* deep, const Node& dir_node,
                                     bool r_is_deep) {
   const std::vector<EntryPair> pairs =
       QualifyingPairs(dir_node, leaf_node, rect, /*first_is_r=*/r_is_deep);
+
+  if (prefetcher_ != nullptr && !pairs.empty()) {
+    // §4.4: the subtree root pages the window queries will descend into,
+    // in pair (schedule) order.
+    std::vector<PageId> pages;
+    pages.reserve(pairs.size());
+    for (const EntryPair& p : pairs) {
+      pages.push_back(dir_node.entries[p.first].ref);
+    }
+    prefetcher_->PrefetchSchedule(deep->tree().file(), pages, stats_);
+  }
 
   switch (options_.height_policy) {
     case HeightPolicy::kPerPairQueries: {

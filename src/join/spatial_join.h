@@ -40,6 +40,8 @@
 
 namespace rsj {
 
+class Prefetcher;
+
 class SpatialJoinEngine {
  public:
   // `cache` and `stats` must outlive the engine; both trees must use the
@@ -68,6 +70,14 @@ class SpatialJoinEngine {
   // caller flushes once per worker.
   void BeginPartitionedRun();
   void ProcessPartition(const Entry& er, const Entry& es, ResultSink* sink);
+
+  // Streams every computed read schedule (§4.3 sweep or z-order, and the
+  // §4.4 window-query subtree order) into `prefetcher` just before
+  // executing it, so the async I/O subsystem (src/io/) fetches the pages
+  // ahead of the traversal. nullptr (the default) disables prefetching.
+  void set_prefetcher(const Prefetcher* prefetcher) {
+    prefetcher_ = prefetcher;
+  }
 
  private:
   // A qualifying pair of entry slots (index in nr.entries, in ns.entries).
@@ -130,6 +140,7 @@ class SpatialJoinEngine {
   double expansion_ = 0.0;         // R-side growth for the predicate filter
   Rect universe_ = Rect::Empty();  // z-value reference frame
   ResultSink* sink_ = nullptr;     // output of the run in progress
+  const Prefetcher* prefetcher_ = nullptr;  // optional read-ahead (src/io/)
 };
 
 }  // namespace rsj

@@ -31,6 +31,9 @@
 #include "geom/rect.h"             // IWYU pragma: export
 #include "geom/segment.h"          // IWYU pragma: export
 #include "geom/zorder.h"           // IWYU pragma: export
+#include "io/disk_model.h"         // IWYU pragma: export
+#include "io/io_scheduler.h"       // IWYU pragma: export
+#include "io/prefetcher.h"         // IWYU pragma: export
 #include "join/join_options.h"     // IWYU pragma: export
 #include "join/join_runner.h"      // IWYU pragma: export
 #include "join/predicate.h"        // IWYU pragma: export

@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include "io/io_scheduler.h"
+
 namespace rsj {
 
 const char* EvictionPolicyName(EvictionPolicy policy) {
@@ -18,12 +20,22 @@ BufferPool::BufferPool(const Options& options, Statistics* stats)
     : frame_capacity_(options.page_size == 0
                           ? 0
                           : options.capacity_bytes / options.page_size),
+      page_size_(options.page_size),
       policy_(options.policy),
       stats_(stats) {
   RSJ_CHECK(stats != nullptr);
 }
 
+void BufferPool::ConsumePrefetchedFrame(const PageKey& key, Frame* frame,
+                                        Statistics* stats) {
+  frame->prefetched = false;
+  --prefetched_unconsumed_;
+  ++stats->prefetch_hits;
+  if (io_ != nullptr) io_->ConsumePrefetched(this, *key.file, key.id, stats);
+}
+
 bool BufferPool::Read(const PagedFile& file, PageId id, Statistics* stats) {
+  if (io_ != nullptr) io_->ChargeCpuPerRead();
   const PageKey key{&file, id};
   if (pinned_.contains(key)) {
     ++stats->buffer_hits;
@@ -32,6 +44,9 @@ bool BufferPool::Read(const PagedFile& file, PageId id, Statistics* stats) {
   auto it = frames_.find(key);
   if (it != frames_.end()) {
     ++stats->buffer_hits;
+    if (it->second.prefetched) {
+      ConsumePrefetchedFrame(key, &it->second, stats);
+    }
     switch (policy_) {
       case EvictionPolicy::kLru:
         order_.splice(order_.begin(), order_, it->second.position);
@@ -44,9 +59,41 @@ bool BufferPool::Read(const PagedFile& file, PageId id, Statistics* stats) {
     }
     return true;
   }
+  if (io_ != nullptr && io_->BlockingRead(this, file, id, page_size_, stats)) {
+    // The miss joined an in-flight async read of this pool (prefetched,
+    // evicted, and re-requested before the disk got to it): the physical
+    // read was already charged at prefetch issue, so this request is
+    // served without a new one.
+    ++stats->buffer_hits;
+    ++stats->prefetch_hits;
+    InsertNewest(key, stats);
+    return true;
+  }
   ++stats->disk_reads;
   InsertNewest(key, stats);
   return false;
+}
+
+bool BufferPool::Prefetch(const PagedFile& file, PageId id,
+                          Statistics* stats) {
+  if (frame_capacity_ == 0) return false;  // nowhere to land
+  const PageKey key{&file, id};
+  if (pinned_.contains(key) || frames_.contains(key)) {
+    return false;  // resident: duplicate prefetches coalesce
+  }
+  bool issued = true;
+  if (io_ != nullptr) {
+    // False when the page already has an outstanding async request (for
+    // example prefetched, evicted, prefetched again before the disk got
+    // to it): re-land the frame but charge no second physical read.
+    issued = io_->SubmitAsync(this, file, id, page_size_);
+  }
+  if (issued) {
+    ++stats->prefetch_issued;
+    ++stats->disk_reads;
+  }
+  InsertNewest(key, stats, /*prefetched=*/true);
+  return issued;
 }
 
 void BufferPool::Pin(const PagedFile& file, PageId id, Statistics* stats) {
@@ -60,8 +107,16 @@ void BufferPool::Pin(const PagedFile& file, PageId id, Statistics* stats) {
   auto frame_it = frames_.find(key);
   if (frame_it != frames_.end()) {
     // Promote from frame to pinned; frees the frame.
+    if (frame_it->second.prefetched) {
+      ConsumePrefetchedFrame(key, &frame_it->second, stats);
+    }
     order_.erase(frame_it->second.position);
     frames_.erase(frame_it);
+  } else if (io_ != nullptr &&
+             io_->BlockingRead(this, file, id, page_size_, stats)) {
+    // Joined an in-flight async read; no new physical read (see Read()).
+    ++stats->buffer_hits;
+    ++stats->prefetch_hits;
   } else {
     // Not resident: pinning implies reading the page first.
     ++stats->disk_reads;
@@ -86,11 +141,24 @@ bool BufferPool::Contains(const PagedFile& file, PageId id) const {
 
 void BufferPool::Clear() {
   RSJ_CHECK_MSG(pinned_.empty(), "Clear() with pinned pages outstanding");
+  if (io_ != nullptr) {
+    for (const auto& [key, frame] : frames_) {
+      if (frame.prefetched) io_->AbandonPrefetched(this, *key.file, key.id);
+    }
+  }
   order_.clear();
   frames_.clear();
+  prefetched_unconsumed_ = 0;
 }
 
 void BufferPool::EvictOne(Statistics* stats) {
+  // An unconsumed prefetched victim is wasted I/O; the scheduler also
+  // forgets its completion, so a later miss pays a genuine read.
+  const auto drop_prefetched = [&](const PageKey& key) {
+    --prefetched_unconsumed_;
+    ++stats->prefetch_wasted;
+    if (io_ != nullptr) io_->AbandonPrefetched(this, *key.file, key.id);
+  };
   if (policy_ == EvictionPolicy::kClock) {
     // Sweep from the oldest end, granting one second chance per bit.
     while (true) {
@@ -98,6 +166,7 @@ void BufferPool::EvictOne(Statistics* stats) {
       auto it = frames_.find(victim);
       RSJ_DCHECK(it != frames_.end());
       if (!it->second.referenced) {
+        if (it->second.prefetched) drop_prefetched(victim);
         order_.pop_back();
         frames_.erase(it);
         ++stats->buffer_evictions;
@@ -108,16 +177,22 @@ void BufferPool::EvictOne(Statistics* stats) {
     }
   }
   // LRU and FIFO both evict the back of the order list.
-  frames_.erase(order_.back());
+  const PageKey victim = order_.back();
+  auto it = frames_.find(victim);
+  RSJ_DCHECK(it != frames_.end());
+  if (it->second.prefetched) drop_prefetched(victim);
+  frames_.erase(it);
   order_.pop_back();
   ++stats->buffer_evictions;
 }
 
-void BufferPool::InsertNewest(const PageKey& key, Statistics* stats) {
+void BufferPool::InsertNewest(const PageKey& key, Statistics* stats,
+                              bool prefetched) {
   if (frame_capacity_ == 0) return;
   while (order_.size() >= frame_capacity_) EvictOne(stats);
   order_.push_front(key);
-  frames_[key] = Frame{order_.begin(), /*referenced=*/false};
+  frames_[key] = Frame{order_.begin(), /*referenced=*/false, prefetched};
+  if (prefetched) ++prefetched_unconsumed_;
 }
 
 }  // namespace rsj

@@ -16,6 +16,16 @@
 // page bytes; it is the *accounting* authority: `Read()` returns whether the
 // request was a disk access or a buffer hit and updates `Statistics`.
 //
+// The pool also implements the non-blocking `Prefetch` entry point of the
+// async I/O subsystem (src/io/): a prefetched page lands as an *evictable*
+// frame marked prefetched (never as a pin), duplicate prefetches of
+// resident or in-flight pages coalesce, and the first consumer touch turns
+// the mark into a `prefetch_hits`. Evicting a marked frame before any
+// consumer touched it counts `prefetch_wasted`. With an `IoScheduler`
+// attached, misses are additionally serviced in modeled disk-array time
+// and prefetches become asynchronous reads whose service time overlaps
+// the consumer's timeline.
+//
 // `BufferPool` is single-owner (not thread-safe) and implements the
 // `PageCache` interface; the thread-safe shared variant lives in
 // storage/shared_buffer_pool.h.
@@ -32,6 +42,8 @@
 #include "storage/statistics.h"
 
 namespace rsj {
+
+class IoScheduler;
 
 enum class EvictionPolicy {
   kLru,    // least recently used (the paper's buffer)
@@ -67,7 +79,15 @@ class BufferPool : public PageCache {
   bool Read(const PagedFile& file, PageId id, Statistics* stats) override;
   void Pin(const PagedFile& file, PageId id, Statistics* stats) override;
   void Unpin(const PagedFile& file, PageId id, Statistics* stats) override;
+  bool Prefetch(const PagedFile& file, PageId id, Statistics* stats) override;
   bool Contains(const PagedFile& file, PageId id) const override;
+
+  // Attaches the modeled-time layer (src/io/io_scheduler.h): misses are
+  // then serviced in simulated disk-array time and prefetches become
+  // genuinely asynchronous reads. nullptr detaches; not owned. Without a
+  // scheduler the pool's behaviour (and all pre-existing counters) are
+  // unchanged and Prefetch degrades to zero-latency accounting.
+  void AttachIoScheduler(IoScheduler* io) { io_ = io; }
 
   // Drops all cached pages (pins must have been released).
   void Clear();
@@ -80,23 +100,36 @@ class BufferPool : public PageCache {
 
   size_t pinned_pages() const { return pinned_.size(); }
 
+  // Frames holding a prefetched page no consumer has touched yet.
+  size_t prefetched_unconsumed() const { return prefetched_unconsumed_; }
+
   EvictionPolicy policy() const { return policy_; }
 
  private:
   struct Frame {
     std::list<PageKey>::iterator position;  // place in the order list
     bool referenced = false;                // CLOCK reference bit
+    bool prefetched = false;                // landed by Prefetch, untouched
   };
 
   // Inserts the key as the newest frame, evicting per policy if needed.
-  void InsertNewest(const PageKey& key, Statistics* stats);
+  void InsertNewest(const PageKey& key, Statistics* stats,
+                    bool prefetched = false);
 
   // Frees one frame according to the eviction policy.
   void EvictOne(Statistics* stats);
 
+  // Clears a consumed frame's prefetch mark and settles the modeled
+  // timeline against the async completion.
+  void ConsumePrefetchedFrame(const PageKey& key, Frame* frame,
+                              Statistics* stats);
+
   size_t frame_capacity_;
+  uint32_t page_size_;
   EvictionPolicy policy_;
   Statistics* stats_;
+  IoScheduler* io_ = nullptr;  // optional modeled-time layer
+  size_t prefetched_unconsumed_ = 0;
 
   // Order list: front = newest (LRU: most recently used; FIFO/CLOCK:
   // most recently inserted). Back is the eviction candidate.

@@ -54,6 +54,16 @@ class PageCache {
   // the frames as the newest page (or is dropped with zero frames).
   virtual void Unpin(const PagedFile& file, PageId id, Statistics* stats) = 0;
 
+  // Non-blocking read-ahead (src/io/prefetcher.h): when the page is not
+  // resident, charges the physical read and lands the page as an
+  // *evictable* frame marked prefetched — never as a pin — and returns
+  // true. Resident or already in-flight pages coalesce to a no-op (false).
+  // With an attached IoScheduler the read is issued asynchronously and the
+  // consumer only pays the part of its service time that the prefetch
+  // distance did not hide.
+  virtual bool Prefetch(const PagedFile& file, PageId id,
+                        Statistics* stats) = 0;
+
   // True when the page is resident (in a frame or pinned).
   virtual bool Contains(const PagedFile& file, PageId id) const = 0;
 };

@@ -48,6 +48,20 @@ void SharedBufferPool::Unpin(const PagedFile& file, PageId id,
   shard.pool.Unpin(file, id, stats);
 }
 
+bool SharedBufferPool::Prefetch(const PagedFile& file, PageId id,
+                                Statistics* stats) {
+  Shard& shard = ShardFor(PageKey{&file, id});
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.pool.Prefetch(file, id, stats);
+}
+
+void SharedBufferPool::AttachIoScheduler(IoScheduler* io) {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->pool.AttachIoScheduler(io);
+  }
+}
+
 bool SharedBufferPool::Contains(const PagedFile& file, PageId id) const {
   const Shard& shard = ShardFor(PageKey{&file, id});
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -75,6 +89,15 @@ size_t SharedBufferPool::pinned_pages() const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     total += shard->pool.pinned_pages();
+  }
+  return total;
+}
+
+size_t SharedBufferPool::prefetched_unconsumed() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->pool.prefetched_unconsumed();
   }
   return total;
 }

@@ -44,7 +44,13 @@ class SharedBufferPool : public PageCache {
   bool Read(const PagedFile& file, PageId id, Statistics* stats) override;
   void Pin(const PagedFile& file, PageId id, Statistics* stats) override;
   void Unpin(const PagedFile& file, PageId id, Statistics* stats) override;
+  bool Prefetch(const PagedFile& file, PageId id, Statistics* stats) override;
   bool Contains(const PagedFile& file, PageId id) const override;
+
+  // Attaches the modeled-time layer to every shard (see
+  // BufferPool::AttachIoScheduler). The scheduler is thread-safe; each
+  // shard calls into it under its own lock.
+  void AttachIoScheduler(IoScheduler* io);
 
   // Drops all cached pages (no pins may be outstanding).
   void Clear();
@@ -57,6 +63,7 @@ class SharedBufferPool : public PageCache {
   // Snapshot counts; exact only while no worker is active.
   size_t frames_in_use() const;
   size_t pinned_pages() const;
+  size_t prefetched_unconsumed() const;
 
   EvictionPolicy policy() const { return policy_; }
 

@@ -12,6 +12,11 @@ void Statistics::MergeFrom(const Statistics& other) {
   pin_count += other.pin_count;
   node_decodes += other.node_decodes;
   node_cache_hits += other.node_cache_hits;
+  prefetch_issued += other.prefetch_issued;
+  prefetch_hits += other.prefetch_hits;
+  prefetch_wasted += other.prefetch_wasted;
+  io_batches += other.io_batches;
+  modeled_io_micros += other.modeled_io_micros;
   join_comparisons.Add(other.join_comparisons.count());
   sort_comparisons.Add(other.sort_comparisons.count());
   schedule_comparisons.Add(other.schedule_comparisons.count());
@@ -21,7 +26,7 @@ void Statistics::MergeFrom(const Statistics& other) {
 }
 
 std::string Statistics::ToString() const {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "disk reads:        %llu\n"
@@ -30,6 +35,11 @@ std::string Statistics::ToString() const {
       "pins:              %llu\n"
       "node decodes:      %llu\n"
       "node cache hits:   %llu\n"
+      "prefetch issued:   %llu\n"
+      "prefetch hits:     %llu\n"
+      "prefetch wasted:   %llu\n"
+      "io batches:        %llu\n"
+      "modeled io stall:  %llu us\n"
       "join comparisons:  %llu\n"
       "sort comparisons:  %llu\n"
       "sched comparisons: %llu\n"
@@ -42,6 +52,11 @@ std::string Statistics::ToString() const {
       static_cast<unsigned long long>(pin_count),
       static_cast<unsigned long long>(node_decodes),
       static_cast<unsigned long long>(node_cache_hits),
+      static_cast<unsigned long long>(prefetch_issued),
+      static_cast<unsigned long long>(prefetch_hits),
+      static_cast<unsigned long long>(prefetch_wasted),
+      static_cast<unsigned long long>(io_batches),
+      static_cast<unsigned long long>(modeled_io_micros),
       static_cast<unsigned long long>(join_comparisons.count()),
       static_cast<unsigned long long>(sort_comparisons.count()),
       static_cast<unsigned long long>(schedule_comparisons.count()),

@@ -29,6 +29,13 @@ struct Statistics {
   uint64_t node_decodes = 0;     // page payloads decoded into Nodes
   uint64_t node_cache_hits = 0;  // decodes avoided by the shared node cache
 
+  // --- simulated asynchronous I/O (src/io/) ---
+  uint64_t prefetch_issued = 0;    // async read-aheads actually issued
+  uint64_t prefetch_hits = 0;      // consumer requests served by a prefetch
+  uint64_t prefetch_wasted = 0;    // prefetched frames evicted unconsumed
+  uint64_t io_batches = 0;         // request batches the I/O workers took
+  uint64_t modeled_io_micros = 0;  // modeled stall waiting for the disks
+
   // --- CPU (floating point comparisons, the paper's metric) ---
   ComparisonCounter join_comparisons;      // join-condition tests + marking
   ComparisonCounter sort_comparisons;      // sorting node entries by xl

@@ -89,11 +89,17 @@ TEST(StatisticsTest, MergeFromAddsEveryCounter) {
   a.buffer_hits = 5;
   a.output_pairs = 7;
   a.join_comparisons.Add(11);
+  a.prefetch_issued = 2;
   Statistics b;
   b.disk_reads = 13;
   b.buffer_evictions = 17;
   b.sort_comparisons.Add(19);
   b.window_queries = 23;
+  b.prefetch_issued = 29;
+  b.prefetch_hits = 31;
+  b.prefetch_wasted = 37;
+  b.io_batches = 41;
+  b.modeled_io_micros = 43;
   a.MergeFrom(b);
   EXPECT_EQ(a.disk_reads, 16u);
   EXPECT_EQ(a.buffer_hits, 5u);
@@ -102,6 +108,11 @@ TEST(StatisticsTest, MergeFromAddsEveryCounter) {
   EXPECT_EQ(a.join_comparisons.count(), 11u);
   EXPECT_EQ(a.sort_comparisons.count(), 19u);
   EXPECT_EQ(a.window_queries, 23u);
+  EXPECT_EQ(a.prefetch_issued, 31u);
+  EXPECT_EQ(a.prefetch_hits, 31u);
+  EXPECT_EQ(a.prefetch_wasted, 37u);
+  EXPECT_EQ(a.io_batches, 41u);
+  EXPECT_EQ(a.modeled_io_micros, 43u);
 }
 
 // --- shared buffer pool ----------------------------------------------------
@@ -448,6 +459,83 @@ TEST_F(ParallelExecutorTest, RootLeafFallbackBothOrientations) {
   EXPECT_EQ(testutil::Canonical(std::move(par_s.pairs)),
             testutil::Canonical(seq_s.pairs));
   EXPECT_EQ(par_s.task_count, 1u);
+}
+
+TEST_F(ParallelExecutorTest, UnequalHeightsSplitIntoWindowPhaseTasks) {
+  // A tall R against a height-2 S: the synchronized descent hits S's data
+  // nodes after one level, so without the §4.4 split every (R subtree,
+  // S leaf) pair would stay one oversized coarse task. The partitioner
+  // keeps descending the R side alone.
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation tall(testutil::ClusteredRects(4000, 963), topt);
+  IndexedRelation flat(testutil::RandomRects(60, 964, 0.2), topt);
+  ASSERT_GE(tall.tree().height(), 3);
+  ASSERT_EQ(flat.tree().height(), 2);
+  JoinOptions jopt;
+  jopt.algorithm = JoinAlgorithm::kSJ4;
+
+  Statistics stats;
+  BufferPool pool(BufferPool::Options{128 * 1024, kPageSize1K}, &stats);
+  const PartitionPlan coarse =
+      BuildPartitionPlan(tall.tree(), flat.tree(), jopt, 1, &pool, &stats);
+  const PartitionPlan split =
+      BuildPartitionPlan(tall.tree(), flat.tree(), jopt, 64, &pool, &stats);
+  EXPECT_FALSE(split.degenerate);
+  // Descending below the (dir, leaf) boundary is only possible by
+  // splitting the window-query phase.
+  EXPECT_GE(split.depth, 1);
+  EXPECT_GT(split.tasks.size(), coarse.tasks.size());
+
+  // Execution equivalence, both orientations, all three height policies.
+  for (const HeightPolicy policy :
+       {HeightPolicy::kPerPairQueries, HeightPolicy::kBatchedSubtree,
+        HeightPolicy::kPinnedQueries}) {
+    jopt.height_policy = policy;
+    ParallelExecutorOptions exec;
+    exec.num_threads = 4;
+    exec.partition_multiplier = 16;
+    exec.collect_pairs = true;
+    const auto seq_rs = RunSpatialJoin(tall.tree(), flat.tree(), jopt, true);
+    auto par_rs = RunParallelSpatialJoin(tall.tree(), flat.tree(), jopt, exec);
+    EXPECT_EQ(testutil::Canonical(std::move(par_rs.pairs)),
+              testutil::Canonical(seq_rs.pairs))
+        << "R tall, policy " << HeightPolicyName(policy);
+    const auto seq_sr = RunSpatialJoin(flat.tree(), tall.tree(), jopt, true);
+    auto par_sr = RunParallelSpatialJoin(flat.tree(), tall.tree(), jopt, exec);
+    EXPECT_EQ(testutil::Canonical(std::move(par_sr.pairs)),
+              testutil::Canonical(seq_sr.pairs))
+        << "S tall, policy " << HeightPolicyName(policy);
+  }
+}
+
+TEST_F(ParallelExecutorTest, WindowSplitMatchesForExpandingPredicates) {
+  // The split's qualifying filter must carry the predicate expansion on
+  // the R side exactly like the engine's; within-distance is the case
+  // that regresses if it does not.
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation tall(testutil::ClusteredRects(4000, 965), topt);
+  IndexedRelation flat(testutil::RandomRects(60, 966, 0.2), topt);
+  ASSERT_GE(tall.tree().height(), 3);
+  ASSERT_EQ(flat.tree().height(), 2);
+  JoinOptions jopt;
+  jopt.algorithm = JoinAlgorithm::kSJ4;
+  jopt.predicate = JoinPredicate::kWithinDistance;
+  jopt.epsilon = 0.02;
+  ParallelExecutorOptions exec;
+  exec.num_threads = 4;
+  exec.partition_multiplier = 16;
+  exec.collect_pairs = true;
+  for (const bool tall_is_r : {true, false}) {
+    const RTree& r = tall_is_r ? tall.tree() : flat.tree();
+    const RTree& s = tall_is_r ? flat.tree() : tall.tree();
+    const auto sequential = RunSpatialJoin(r, s, jopt, true);
+    auto parallel = RunParallelSpatialJoin(r, s, jopt, exec);
+    EXPECT_EQ(testutil::Canonical(std::move(parallel.pairs)),
+              testutil::Canonical(sequential.pairs))
+        << "tall_is_r=" << tall_is_r;
+  }
 }
 
 TEST_F(ParallelExecutorTest, SharedPoolAvoidsPerWorkerReReads) {
