@@ -1,16 +1,25 @@
-// Parallel multi-way chain join scaling with the shared decoded-node
-// cache — the follow-up experiment to bench_parallel_scaling.
+// Parallel multi-way chain join scaling: streaming pipeline vs
+// materialized baseline, with the shared decoded-node cache — the
+// follow-up experiment to bench_parallel_scaling.
 //
 // Runs the 3-way chain streets ⋈ rivers&railways ⋈ streets (2nd map) on
-// SJ4 (4 KByte pages, 128 KByte shared buffer) with 1..8 workers, A/B-ing
-// the shared NodeCache against the no-cache baseline on the identical
-// workload. Reports wall clock, tuple counts, the decode counters
-// (`node_decodes` / `node_cache_hits` and the decode saving of the cache),
-// aggregate disk reads, and the executor's probe telemetry (chunks per
-// phase, per-worker chunk spread).
+// SJ4 (4 KByte pages, 128 KByte shared buffer) with 2..8 workers over a
+// simulated 4-disk array, A/B-ing three configurations on the identical
+// workload:
+//   * no_cache      — materialized frontiers, no decode cache (baseline),
+//   * materialized  — materialized frontiers + shared NodeCache (PR 2),
+//   * pipelined     — streaming chunk pipeline + shared NodeCache (the
+//                     default formulation).
+// Reports wall clock, tuple counts, decode counters, aggregate disk
+// reads, the executor's probe telemetry, `frontier_peak_tuples` (the peak
+// live intermediate tuple count) and the modeled elapsed time over the
+// disk array.
 //
 // Each row is also emitted as a JSON line (prefix "JSON ") so the bench
-// trajectory can be scraped by tooling.
+// trajectory can be scraped by tooling. The process exits non-zero when
+// any tuple count diverges, or when — at scale >= 0.05 — the pipeline's
+// peak frontier is not strictly below the materialized baseline's, so CI
+// smoke runs enforce the streaming-pipeline acceptance criteria.
 
 #include <chrono>
 #include <cstdio>
@@ -46,11 +55,24 @@ struct Measured {
 };
 
 Measured Measure(const std::vector<JoinRelation>& chain,
-                 const JoinOptions& jopt, unsigned workers,
-                 bool node_cache) {
+                 const JoinOptions& jopt, unsigned workers, bool node_cache,
+                 bool pipelined) {
+  // A fresh simulated disk array per run keeps the modeled clocks
+  // comparable: modeled elapsed then measures this run alone.
+  IoScheduler::Options sopt;
+  sopt.disks.disk_count = 4;
+  sopt.cpu_micros_per_read = 1000;
+  IoScheduler io(sopt);
   ParallelExecutorOptions exec;
   exec.num_threads = workers;
   exec.node_cache = node_cache;
+  exec.pipelined = pipelined;
+  exec.io_scheduler = &io;
+  // Small chunks keep the pipeline's structural frontier ceiling —
+  // phases × (channel_bound + 2 × workers) × chunk_capacity — below
+  // every materialized frontier from the CI smoke scale (0.05) upward.
+  exec.chunk_capacity = 8;
+  exec.channel_bound = 2;
   Measured m;
   const auto t0 = Clock::now();
   m.result = RunParallelChainSpatialJoin(chain, jopt, exec);
@@ -70,14 +92,29 @@ void EmitJson(const char* mode, unsigned workers, const Measured& m,
               double seq_seconds, uint64_t baseline_decodes) {
   uint64_t chunks = 0;
   for (const size_t c : m.result.probe_chunk_counts) chunks += c;
+  // The pipelined formulation runs `workers` threads PER STAGE (pairwise
+  // + one team per probe phase), the materialized one `workers` total;
+  // threads_total records the difference so wall-clock rows are read as
+  // the unequal-resource comparison they are. (On a single-core host the
+  // counted metrics and modeled times are the meaningful columns either
+  // way — see ROADMAP.)
+  const unsigned threads_total =
+      m.result.used_pipeline
+          ? workers * (1 + static_cast<unsigned>(
+                               m.result.probe_chunk_counts.size()))
+          : workers;
   std::printf(
       "JSON {\"bench\":\"multiway_scaling\",\"mode\":\"%s\","
-      "\"workers\":%u,\"tuples\":%llu,\"seconds\":%.6f,\"speedup\":%.3f,"
+      "\"workers\":%u,\"threads_total\":%u,\"pipelined\":%s,"
+      "\"tuples\":%llu,\"seconds\":%.6f,"
+      "\"speedup\":%.3f,"
       "\"node_decodes\":%llu,\"node_cache_hits\":%llu,"
       "\"decode_saving\":%.4f,\"hit_rate\":%.4f,"
       "\"pair_tasks\":%zu,\"probe_chunks\":%llu,"
-      "\"max_worker_chunks\":%llu,%s}\n",
-      mode, workers,
+      "\"max_worker_chunks\":%llu,"
+      "\"frontier_peak_tuples\":%llu,\"modeled_elapsed_micros\":%llu,%s}\n",
+      mode, workers, threads_total,
+      m.result.used_pipeline ? "true" : "false",
       static_cast<unsigned long long>(m.result.tuple_count), m.seconds,
       seq_seconds / std::max(1e-9, m.seconds),
       static_cast<unsigned long long>(m.result.total_stats.node_decodes),
@@ -89,6 +126,9 @@ void EmitJson(const char* mode, unsigned workers, const Measured& m,
       m.result.total_stats.HitRate(), m.result.pairwise_task_count,
       static_cast<unsigned long long>(chunks),
       static_cast<unsigned long long>(MaxChunks(m.result)),
+      static_cast<unsigned long long>(
+          m.result.total_stats.frontier_peak_tuples),
+      static_cast<unsigned long long>(m.result.modeled_elapsed_micros),
       IoCountersJson(m.result.total_stats).c_str());
 }
 
@@ -96,7 +136,8 @@ int Main(int argc, char** argv) {
   const double scale = ParseScale(argc, argv);
   PrintBanner(
       "Parallel 3-way chain join scaling (SJ4, 4 KByte pages, 128 KByte "
-      "shared buffer; shared NodeCache vs no-cache baseline)",
+      "shared buffer, 4 simulated disks; streaming pipeline vs "
+      "materialized baseline, shared NodeCache vs no-cache)",
       "Section 2.1 multi-way joins x Section 6 parallel future work",
       scale);
 
@@ -118,43 +159,82 @@ int Main(int argc, char** argv) {
   const double seq_seconds =
       std::chrono::duration<double>(Clock::now() - t0).count();
   std::printf("sequential chain: %llu tuples in %.3f s (%llu decodes, "
-              "%llu decode hits)\n",
+              "%llu decode hits, frontier peak %llu tuples)\n",
               static_cast<unsigned long long>(sequential.tuple_count),
               seq_seconds,
               static_cast<unsigned long long>(sequential.stats.node_decodes),
               static_cast<unsigned long long>(
-                  sequential.stats.node_cache_hits));
+                  sequential.stats.node_cache_hits),
+              static_cast<unsigned long long>(
+                  sequential.stats.frontier_peak_tuples));
 
-  PrintRow("workers / cache", {"tuples", "wall (s)", "speedup", "decodes",
-                               "decode hits", "disk reads"});
+  PrintRow("workers / mode",
+           {"tuples", "wall (s)", "speedup", "decodes", "disk reads",
+            "peak frontier", "modeled (ms)"});
+  bool ok = true;
   // 1 worker falls back to the sequential chain join (which always runs
   // over its own decode cache), so the A/B starts at 2 workers.
   for (const unsigned workers : {2u, 4u, 8u}) {
-    const Measured plain = Measure(chain, jopt, workers, false);
-    const Measured cached = Measure(chain, jopt, workers, true);
+    const Measured plain = Measure(chain, jopt, workers,
+                                   /*node_cache=*/false,
+                                   /*pipelined=*/false);
+    const Measured mat = Measure(chain, jopt, workers, /*node_cache=*/true,
+                                 /*pipelined=*/false);
+    const Measured piped = Measure(chain, jopt, workers, /*node_cache=*/true,
+                                   /*pipelined=*/true);
     const uint64_t baseline = plain.result.total_stats.node_decodes;
-    for (const Measured* m : {&plain, &cached}) {
-      const bool is_cached = m == &cached;
+    const struct {
+      const char* mode;
+      const Measured* m;
+    } rows[] = {{"no_cache", &plain},
+                {"materialized", &mat},
+                {"pipelined", &piped}};
+    for (const auto& row : rows) {
       char label[32];
-      std::snprintf(label, sizeof(label), "%u / %s", workers,
-                    is_cached ? "node cache" : "no cache");
-      PrintRow(label,
-               {Num(m->result.tuple_count), Dbl(m->seconds, 3),
-                Dbl(seq_seconds / std::max(1e-9, m->seconds)),
-                Num(m->result.total_stats.node_decodes),
-                Num(m->result.total_stats.node_cache_hits),
-                Num(m->result.total_stats.disk_reads)});
-      EmitJson(is_cached ? "node_cache" : "no_cache", workers, *m,
-               seq_seconds, baseline);
+      std::snprintf(label, sizeof(label), "%u / %s", workers, row.mode);
+      PrintRow(
+          label,
+          {Num(row.m->result.tuple_count), Dbl(row.m->seconds, 3),
+           Dbl(seq_seconds / std::max(1e-9, row.m->seconds)),
+           Num(row.m->result.total_stats.node_decodes),
+           Num(row.m->result.total_stats.disk_reads),
+           Num(row.m->result.total_stats.frontier_peak_tuples),
+           Dbl(row.m->result.modeled_elapsed_micros / 1000.0, 1)});
+      EmitJson(row.mode, workers, *row.m, seq_seconds, baseline);
+    }
+    if (mat.result.tuple_count != sequential.tuple_count ||
+        piped.result.tuple_count != sequential.tuple_count ||
+        plain.result.tuple_count != sequential.tuple_count) {
+      std::printf("FAIL: tuple count diverges at %u workers\n", workers);
+      ok = false;
+    }
+    // The pipeline's reason to exist: bounded frontier memory. Tiny
+    // smoke scales can make whole frontiers smaller than one chunk
+    // window, so the gate arms at the CI smoke scale and above.
+    if (scale >= 0.05 && piped.result.total_stats.frontier_peak_tuples >=
+                             mat.result.total_stats.frontier_peak_tuples) {
+      std::printf(
+          "FAIL: pipelined peak frontier (%llu tuples) is not strictly "
+          "below the materialized baseline (%llu tuples) at %u workers\n",
+          static_cast<unsigned long long>(
+              piped.result.total_stats.frontier_peak_tuples),
+          static_cast<unsigned long long>(
+              mat.result.total_stats.frontier_peak_tuples),
+          workers);
+      ok = false;
     }
   }
 
   std::printf(
-      "\nIdentical tuple multisets in every configuration. The shared\n"
-      "NodeCache decodes each resident page once system-wide; the\n"
-      "no-cache baseline re-decodes on every probe visit, which shows up\n"
-      "as the decode gap above (I/O counters are identical by design).\n");
-  return 0;
+      "\nIdentical tuple multisets in every configuration. The pipeline\n"
+      "streams frontier chunks between probe phases through bounded\n"
+      "channels, so its peak frontier stays at O(chunks-in-flight x\n"
+      "chunk size) while the materialized baseline holds whole frontiers;\n"
+      "the shared NodeCache decodes each resident page once system-wide\n"
+      "(the decode gap against no_cache). Note the pipelined rows run\n"
+      "`workers` threads per stage (see threads_total in the JSON), so\n"
+      "wall-clock columns compare unequal thread budgets.\n");
+  return ok ? 0 : 1;
 }
 
 }  // namespace

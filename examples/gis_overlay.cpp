@@ -76,7 +76,8 @@ int main() {
   std::vector<bool> near(cities.size(), false);
   for (const uint32_t id : nearby_cities) near[id] = true;
   uint64_t near_pairs = 0;
-  for (const auto& [forest, city] : all.pairs) near_pairs += near[city];
+  all.chunks.ForEachPair(
+      [&](const ResultPair& p) { near_pairs += near[p.s]; });
   std::printf("\nforests overlapping a city near Munich: %llu of %llu pairs\n",
               static_cast<unsigned long long>(near_pairs),
               static_cast<unsigned long long>(all.pair_count));

@@ -50,11 +50,18 @@ int main() {
       RunSpatialJoin(parcels_tree, zones_tree, join_options,
                      /*collect_pairs=*/true);
 
-  std::printf("join produced %llu (parcel, zone) pairs\n",
-              static_cast<unsigned long long>(result.pair_count));
-  for (size_t i = 0; i < std::min<size_t>(5, result.pairs.size()); ++i) {
-    std::printf("  parcel %u  x  zone %u\n", result.pairs[i].first,
-                result.pairs[i].second);
+  std::printf("join produced %llu (parcel, zone) pairs in %zu chunks\n",
+              static_cast<unsigned long long>(result.pair_count),
+              result.chunks.chunk_count());
+  // Results arrive as contiguous chunks (zero-copy from the engine);
+  // peek at the first few pairs of the first chunk.
+  size_t shown = 0;
+  for (const ChunkPtr& chunk : result.chunks) {
+    for (const ResultPair& p : chunk->pairs()) {
+      if (shown++ == 5) break;
+      std::printf("  parcel %u  x  zone %u\n", p.r, p.s);
+    }
+    if (shown > 5) break;
   }
 
   // 4. The counters the paper measures, and its cost model.

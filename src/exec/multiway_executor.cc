@@ -1,9 +1,13 @@
 #include "exec/multiway_executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
+#include <span>
+#include <thread>
 
 #include "common/logging.h"
+#include "exec/frontier_channel.h"
 #include "exec/task_scheduler.h"
 #include "io/io_scheduler.h"
 #include "io/prefetcher.h"
@@ -15,16 +19,131 @@ namespace rsj {
 
 namespace {
 
-// Everything one probe worker owns. Only the owning worker thread touches
-// a context while the scheduler runs (work stealing moves chunk indices,
-// not contexts).
-struct ProbeWorker {
-  Statistics stats;
-  std::unique_ptr<BufferPool> private_pool;    // null in shared-pool mode
-  std::vector<std::vector<uint32_t>> out;      // extended tuples, this phase
-  std::vector<uint32_t> matches;               // per-probe scratch
-  uint64_t chunks = 0;
+// High-water mark of live intermediate tuples: counted from the moment a
+// tuple enters a producer's chunk (partially filled writer chunks
+// included — only the workers' constant preallocated staging batches are
+// outside the gauge) until the consumer finished extending every tuple of
+// the chunk. This is the quantity frontier_peak_tuples reports — the
+// proof that the pipeline's frontier memory stays bounded.
+struct FrontierGauge {
+  std::atomic<uint64_t> live{0};
+  std::atomic<uint64_t> peak{0};
+
+  void Add(uint64_t n) {
+    const uint64_t now = live.fetch_add(n, std::memory_order_relaxed) + n;
+    uint64_t seen = peak.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !peak.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+    }
+  }
+  void Sub(uint64_t n) { live.fetch_sub(n, std::memory_order_relaxed); }
 };
+
+// Accumulates same-arity tuples into fixed-capacity FrontierChunks and
+// pushes each one downstream as it fills (single producer thread).
+class FrontierWriter {
+ public:
+  FrontierWriter(uint32_t arity, size_t capacity_tuples,
+                 FrontierChannel* channel, FrontierGauge* gauge)
+      : arity_(arity),
+        capacity_tuples_(capacity_tuples),
+        channel_(channel),
+        gauge_(gauge) {
+    RSJ_DCHECK(channel != nullptr);
+    Reset();
+  }
+
+  // Appends a whole batch of 2-tuples — the pairwise phase's output.
+  // Bulk-inserts chunk-sized segments so the staging-batch → chunk hop
+  // is one contiguous copy per segment, not a call per pair.
+  void AppendPairBatch(std::span<const ResultPair> batch) {
+    RSJ_DCHECK(arity_ == 2);
+    static_assert(sizeof(ResultPair) == 2 * sizeof(uint32_t),
+                  "ResultPair must be layout-identical to flat [r, s]");
+    size_t offset = 0;
+    while (offset < batch.size()) {
+      const size_t space = capacity_tuples_ - current_.tuple_count();
+      const size_t take = std::min(space, batch.size() - offset);
+      const uint32_t* raw =
+          reinterpret_cast<const uint32_t*>(batch.data() + offset);
+      current_.flat.insert(current_.flat.end(), raw, raw + 2 * take);
+      gauge_->Add(take);
+      offset += take;
+      MaybePush();
+    }
+  }
+
+  // Appends prefix ++ [id] — a probe phase's extended tuple.
+  void AppendExtended(const uint32_t* prefix, uint32_t prefix_len,
+                      uint32_t id) {
+    RSJ_DCHECK(prefix_len + 1 == arity_);
+    current_.flat.insert(current_.flat.end(), prefix, prefix + prefix_len);
+    current_.flat.push_back(id);
+    gauge_->Add(1);
+    MaybePush();
+  }
+
+  // Pushes the final partial chunk, if any.
+  void Flush() {
+    if (!current_.flat.empty()) Push();
+  }
+
+ private:
+  void MaybePush() {
+    if (current_.tuple_count() >= capacity_tuples_) Push();
+  }
+
+  void Push() {
+    // The tuples were gauged as they entered the chunk; the consumer
+    // un-gauges the whole chunk after processing it.
+    channel_->Push(std::move(current_));
+    Reset();
+  }
+
+  void Reset() {
+    current_.arity = arity_;
+    current_.flat.clear();
+    current_.flat.reserve(arity_ * capacity_tuples_);
+  }
+
+  uint32_t arity_;
+  size_t capacity_tuples_;
+  FrontierChannel* channel_;
+  FrontierGauge* gauge_;
+  FrontierChunk current_;
+};
+
+// Reads `tree`'s root through the worker's cache and hints its children
+// into `prefetcher`'s pool: every frontier tuple descends from this root,
+// so its children are the phase's shared read frontier. The root itself is
+// read synchronously right here to learn them — prefetching it too would
+// only be consumed on the next statement with its full stall. Works for
+// shared pools (one coordinator-side call) and private pools (one call per
+// worker, hints scoped to that worker's own pool — the same owner-scoping
+// the IoScheduler coalesces by).
+void HintProbeRoot(const RTree& tree, PageCache* pages, NodeCache* nodes,
+                   const Prefetcher* prefetcher, Statistics* stats) {
+  if (prefetcher == nullptr) return;
+  const PagedFile& file = tree.file();
+  const PageId root = tree.root_page();
+  std::shared_ptr<const Node> cached;
+  Node local;
+  const Node* node;
+  if (nodes != nullptr) {
+    cached = nodes->Fetch(file, root, stats).node;
+    node = cached.get();
+  } else {
+    pages->Read(file, root, stats);
+    ++stats->node_decodes;
+    local = Node::Load(file, root);
+    node = &local;
+  }
+  if (node->is_leaf()) return;
+  std::vector<PageId> children;
+  children.reserve(node->entries.size());
+  for (const Entry& e : node->entries) children.push_back(e.ref);
+  prefetcher->PrefetchSchedule(file, children, stats);
+}
 
 ParallelChainJoinResult SequentialChainFallback(
     const std::vector<JoinRelation>& relations, const JoinOptions& options,
@@ -45,22 +164,76 @@ ParallelChainJoinResult SequentialChainFallback(
   return result;
 }
 
-}  // namespace
+// Everything one probe worker of the MATERIALIZED formulation owns. Only
+// the owning worker thread touches a context while the scheduler runs
+// (work stealing moves chunk indices, not contexts).
+struct ProbeWorker {
+  Statistics stats;
+  std::unique_ptr<BufferPool> private_pool;    // null in shared-pool mode
+  std::unique_ptr<Prefetcher> private_prefetcher;  // over the private pool
+  std::vector<std::vector<uint32_t>> out;      // extended tuples, this phase
+  std::vector<uint32_t> matches;               // per-probe scratch
+  uint64_t chunks = 0;
+  size_t hinted_through_phase = 1;  // probe roots hinted up to this phase
+};
 
-ParallelChainJoinResult RunParallelChainSpatialJoin(
+// One worker of a pipelined probe team: a dedicated thread that pops
+// frontier chunks from its phase's input channel as they arrive.
+struct PipelineProbeWorker {
+  Statistics stats;
+  std::unique_ptr<BufferPool> private_pool;    // null in shared-pool mode
+  std::unique_ptr<Prefetcher> private_prefetcher;  // over the private pool
+  uint64_t chunks = 0;
+  uint64_t final_tuples = 0;                   // last phase: tuples emitted
+  std::vector<std::vector<uint32_t>> tuples;   // last phase, when collected
+  std::thread thread;
+};
+
+// One buffer, one decode cache and one prefetcher for a whole chain run
+// (shared-pool mode), plus the modeled-clock snapshots. Built by one
+// helper for both formulations, so the A/B pair is configured identically
+// by construction.
+struct ChainContext {
+  std::unique_ptr<SharedBufferPool> shared;
+  std::unique_ptr<NodeCache> shared_nodes;
+  std::unique_ptr<Prefetcher> prefetcher;  // shared-pool mode only
+  IoScheduler* io = nullptr;
+  uint64_t io_clock_before = 0;
+  uint64_t io_batches_before = 0;
+};
+
+ChainContext MakeChainContext(const JoinOptions& options,
+                              const ParallelExecutorOptions& exec_options,
+                              uint32_t page_size) {
+  ChainContext ctx;
+  ctx.io = exec_options.io_scheduler;
+  ctx.io_clock_before = ctx.io != nullptr ? ctx.io->NowMicros() : 0;
+  ctx.io_batches_before = ctx.io != nullptr ? ctx.io->io_batches() : 0;
+  if (exec_options.shared_pool) {
+    ctx.shared = std::make_unique<SharedBufferPool>(SharedBufferPool::Options{
+        options.buffer_bytes, page_size, options.eviction_policy,
+        exec_options.pool_shards});
+    if (ctx.io != nullptr) ctx.shared->AttachIoScheduler(ctx.io);
+    if (exec_options.node_cache) {
+      ctx.shared_nodes = std::make_unique<NodeCache>(
+          ctx.shared.get(),
+          NodeCache::Options{exec_options.node_cache_capacity,
+                             exec_options.pool_shards});
+    }
+    if (exec_options.prefetch) {
+      ctx.prefetcher = std::make_unique<Prefetcher>(
+          ctx.shared.get(), Prefetcher::Options{exec_options.prefetch_ahead});
+    }
+  }
+  return ctx;
+}
+
+// The PR 2 formulation, kept as the A/B baseline: every probe phase
+// barriers on the whole frontier of its predecessor, so
+// frontier_peak_tuples is the largest intermediate result.
+ParallelChainJoinResult RunMaterializedChain(
     const std::vector<JoinRelation>& relations, const JoinOptions& options,
     const ParallelExecutorOptions& exec_options, bool collect_tuples) {
-  RSJ_CHECK_MSG(relations.size() >= 2, "chain join needs >= 2 relations");
-  for (const JoinRelation& rel : relations) {
-    RSJ_CHECK(rel.tree != nullptr && rel.rects != nullptr);
-    RSJ_CHECK_MSG(rel.tree->options().page_size ==
-                      relations[0].tree->options().page_size,
-                  "all relations must share one page size");
-  }
-  if (exec_options.num_threads <= 1) {
-    return SequentialChainFallback(relations, options, collect_tuples);
-  }
-
   const unsigned num_threads = exec_options.num_threads;
   const uint32_t page_size = relations[0].tree->options().page_size;
   ParallelChainJoinResult result;
@@ -70,26 +243,12 @@ ParallelChainJoinResult RunParallelChainSpatialJoin(
   // One buffer and one decode cache for the whole chain: the pairwise
   // phase warms both, the probe phases keep hitting the same directory
   // pages for every frontier tuple.
-  std::unique_ptr<SharedBufferPool> shared;
-  std::unique_ptr<NodeCache> shared_nodes;
-  std::unique_ptr<Prefetcher> prefetcher;  // shared-pool mode only
-  IoScheduler* const io = exec_options.io_scheduler;
-  const uint64_t io_clock_before = io != nullptr ? io->NowMicros() : 0;
-  if (exec_options.shared_pool) {
-    shared = std::make_unique<SharedBufferPool>(SharedBufferPool::Options{
-        options.buffer_bytes, page_size, options.eviction_policy,
-        exec_options.pool_shards});
-    if (io != nullptr) shared->AttachIoScheduler(io);
-    if (exec_options.node_cache) {
-      shared_nodes = std::make_unique<NodeCache>(
-          shared.get(), NodeCache::Options{exec_options.node_cache_capacity,
-                                           exec_options.pool_shards});
-    }
-    if (exec_options.prefetch) {
-      prefetcher = std::make_unique<Prefetcher>(
-          shared.get(), Prefetcher::Options{exec_options.prefetch_ahead});
-    }
-  }
+  ChainContext ctx = MakeChainContext(options, exec_options, page_size);
+  SharedBufferPool* const shared = ctx.shared.get();
+  NodeCache* const shared_nodes = ctx.shared_nodes.get();
+  Prefetcher* const prefetcher = ctx.prefetcher.get();
+  IoScheduler* const io = ctx.io;
+  const uint64_t io_clock_before = ctx.io_clock_before;
   result.used_node_cache = shared_nodes != nullptr;
   Statistics chain_coordinator;  // probe-phase prefetch hints
 
@@ -98,8 +257,8 @@ ParallelChainJoinResult RunParallelChainSpatialJoin(
   ParallelExecutorOptions pair_exec = exec_options;
   pair_exec.collect_pairs = true;
   ParallelJoinResult pairwise = RunParallelSpatialJoinWith(
-      *relations[0].tree, *relations[1].tree, options, pair_exec,
-      shared.get(), shared_nodes.get());
+      *relations[0].tree, *relations[1].tree, options, pair_exec, shared,
+      shared_nodes);
   // The pairwise executor already accounted its own I/O batches; the chain
   // only adds the delta of the probe phases below.
   const uint64_t io_batches_mid = io != nullptr ? io->io_batches() : 0;
@@ -111,11 +270,11 @@ ParallelChainJoinResult RunParallelChainSpatialJoin(
   }
 
   std::vector<std::vector<uint32_t>> frontier;
-  frontier.reserve(pairwise.pairs.size());
-  for (const auto& [r_id, s_id] : pairwise.pairs) {
-    frontier.push_back({r_id, s_id});
-  }
-  pairwise.pairs.clear();
+  frontier.reserve(pairwise.chunks.pair_count());
+  pairwise.chunks.ForEachPair([&frontier](const ResultPair& p) {
+    frontier.push_back({p.r, p.s});
+  });
+  pairwise.chunks.clear();
 
   // Probe workers, reused across phases so private pools and decode
   // caches stay warm from phase to phase.
@@ -126,15 +285,23 @@ ParallelChainJoinResult RunParallelChainSpatialJoin(
     if (!exec_options.shared_pool) {
       // Private-pool mode is the seed's A/B baseline: per-worker buffers
       // and no decode cache (matching the pairwise executor), so every
-      // probe visit pays its decode.
+      // probe visit pays its decode. Prefetch hints stay worker-scoped:
+      // each pool consumes its own.
       worker->private_pool = std::make_unique<BufferPool>(
           BufferPool::Options{options.buffer_bytes, page_size,
                               options.eviction_policy},
           &worker->stats);
       if (io != nullptr) worker->private_pool->AttachIoScheduler(io);
+      if (exec_options.prefetch) {
+        worker->private_prefetcher = std::make_unique<Prefetcher>(
+            worker->private_pool.get(),
+            Prefetcher::Options{exec_options.prefetch_ahead});
+      }
     }
     workers.push_back(std::move(worker));
   }
+
+  uint64_t frontier_peak = 0;
 
   // Phase 2..n-1: fan the frontier out in contiguous chunks; every chunk
   // is one schedulable unit, sized so that partition_multiplier × threads
@@ -142,41 +309,29 @@ ParallelChainJoinResult RunParallelChainSpatialJoin(
   for (size_t next = 2; next < relations.size(); ++next) {
     const JoinRelation& rel = relations[next];
     const std::vector<Rect>& prev_rects = *relations[next - 1].rects;
+    frontier_peak = std::max<uint64_t>(frontier_peak, frontier.size());
     if (frontier.empty()) {
       result.probe_chunk_counts.push_back(0);
       continue;
     }
-    const size_t target_chunks =
-        static_cast<size_t>(exec_options.partition_multiplier) * num_threads;
+    // A zero partition_multiplier must not zero the divisor, and the
+    // ceiling division is computed overflow-safely (a huge frontier with
+    // `size + target - 1` would wrap before dividing).
+    const size_t target_chunks = std::max<size_t>(
+        1, static_cast<size_t>(exec_options.partition_multiplier) *
+               num_threads);
     const size_t chunk_size = std::max<size_t>(
-        1, (frontier.size() + target_chunks - 1) / target_chunks);
-    const size_t num_chunks = (frontier.size() + chunk_size - 1) / chunk_size;
+        1, frontier.size() / target_chunks +
+               (frontier.size() % target_chunks != 0 ? 1 : 0));
+    const size_t num_chunks =
+        frontier.size() / chunk_size + (frontier.size() % chunk_size != 0);
     result.probe_chunk_counts.push_back(num_chunks);
 
     if (prefetcher != nullptr) {
-      // Hint the probe tree's hot top before the fan-out: every frontier
-      // tuple descends from this root, so its children are the phase's
-      // shared read frontier. The root itself is read synchronously right
-      // here to learn them — prefetching it too would only be consumed on
-      // the next statement with its full stall.
-      const PagedFile& probe_file = rel.tree->file();
-      const PageId root = rel.tree->root_page();
-      const auto root_node =
-          shared_nodes != nullptr
-              ? shared_nodes->Fetch(probe_file, root, &chain_coordinator).node
-              : [&]() {
-                  shared->Read(probe_file, root, &chain_coordinator);
-                  ++chain_coordinator.node_decodes;
-                  return std::make_shared<const Node>(
-                      Node::Load(probe_file, root));
-                }();
-      if (!root_node->is_leaf()) {
-        std::vector<PageId> children;
-        children.reserve(root_node->entries.size());
-        for (const Entry& e : root_node->entries) children.push_back(e.ref);
-        prefetcher->PrefetchSchedule(probe_file, children,
-                                     &chain_coordinator);
-      }
+      // Shared pool: one coordinator-side hint of the probe tree's hot top
+      // serves every worker.
+      HintProbeRoot(*rel.tree, shared, shared_nodes, prefetcher,
+                    &chain_coordinator);
     }
 
     const unsigned phase_workers =
@@ -185,12 +340,20 @@ ParallelChainJoinResult RunParallelChainSpatialJoin(
     scheduler.Run([&](unsigned w, size_t chunk) {
       ProbeWorker& worker = *workers[w];
       ++worker.chunks;
+      if (worker.private_prefetcher != nullptr &&
+          worker.hinted_through_phase < next) {
+        // Private pool: this worker's first chunk of the phase hints the
+        // probe root's children into its own pool.
+        HintProbeRoot(*rel.tree, worker.private_pool.get(), nullptr,
+                      worker.private_prefetcher.get(), &worker.stats);
+        worker.hinted_through_phase = next;
+      }
       const size_t begin = chunk * chunk_size;
       const size_t end = std::min(frontier.size(), begin + chunk_size);
       PageCache* pages = exec_options.shared_pool
-                             ? static_cast<PageCache*>(shared.get())
+                             ? static_cast<PageCache*>(shared)
                              : worker.private_pool.get();
-      NodeCache* nodes = shared_nodes.get();
+      NodeCache* nodes = shared_nodes;
       for (size_t t = begin; t < end; ++t) {
         const std::vector<uint32_t>& tuple = frontier[t];
         RSJ_DCHECK(tuple.back() < prev_rects.size());
@@ -221,7 +384,7 @@ ParallelChainJoinResult RunParallelChainSpatialJoin(
   if (io != nullptr) {
     io->Drain();
     chain_coordinator.io_batches += io->io_batches() - io_batches_mid;
-    result.modeled_elapsed_micros = io->NowMicros() - io_clock_before;
+    result.modeled_elapsed_micros = io->SynchronizeClocks() - io_clock_before;
   }
   result.total_stats.MergeFrom(chain_coordinator);
 
@@ -231,10 +394,245 @@ ParallelChainJoinResult RunParallelChainSpatialJoin(
     result.worker_stats[w].MergeFrom(workers[w]->stats);
     result.total_stats.MergeFrom(workers[w]->stats);
   }
+  result.total_stats.frontier_peak_tuples =
+      std::max(result.total_stats.frontier_peak_tuples, frontier_peak);
 
   result.tuple_count = frontier.size();
   if (collect_tuples) result.tuples = std::move(frontier);
   return result;
+}
+
+// The streaming formulation: one bounded channel per phase boundary, one
+// dedicated worker team per probe phase, chunks handed downstream as they
+// fill. No phase ever sees its predecessor's whole frontier.
+ParallelChainJoinResult RunPipelinedChain(
+    const std::vector<JoinRelation>& relations, const JoinOptions& options,
+    const ParallelExecutorOptions& exec_options, bool collect_tuples) {
+  const unsigned num_threads = exec_options.num_threads;
+  const uint32_t page_size = relations[0].tree->options().page_size;
+  const size_t num_probe_phases = relations.size() - 2;
+  ParallelChainJoinResult result;
+  result.used_shared_pool = exec_options.shared_pool;
+  result.used_pipeline = true;
+  result.worker_stats.resize(num_threads);
+
+  ChainContext ctx = MakeChainContext(options, exec_options, page_size);
+  SharedBufferPool* const shared = ctx.shared.get();
+  NodeCache* const shared_nodes = ctx.shared_nodes.get();
+  Prefetcher* const prefetcher = ctx.prefetcher.get();
+  IoScheduler* const io = ctx.io;
+  const uint64_t io_clock_before = ctx.io_clock_before;
+  const uint64_t io_batches_before = ctx.io_batches_before;
+  result.used_node_cache = shared_nodes != nullptr;
+  Statistics chain_coordinator;
+
+  // Shared pool: every probe phase is live from the first pushed chunk,
+  // so all probe-root children are hinted upfront.
+  if (prefetcher != nullptr) {
+    for (size_t next = 2; next < relations.size(); ++next) {
+      HintProbeRoot(*relations[next].tree, shared, shared_nodes,
+                    prefetcher, &chain_coordinator);
+    }
+  }
+
+  FrontierGauge gauge;
+  // channels[k] feeds probe phase k (probing relations[k + 2]). Producers:
+  // the pairwise workers for k = 0, team k-1's workers otherwise.
+  std::vector<std::unique_ptr<FrontierChannel>> channels;
+  channels.reserve(num_probe_phases);
+  for (size_t k = 0; k < num_probe_phases; ++k) {
+    channels.push_back(std::make_unique<FrontierChannel>(
+        exec_options.channel_bound, num_threads));
+  }
+
+  // Probe teams: phase k's workers pop from channels[k] as chunks arrive
+  // and push extended tuples towards phase k+1 (or collect final tuples).
+  // No unwind teardown (retire + join) guards the spawn loop: the library
+  // is exception-free by policy (common/logging.h — invariant failures
+  // abort), so any exception escaping here is already fatal.
+  std::vector<std::vector<std::unique_ptr<PipelineProbeWorker>>> teams(
+      num_probe_phases);
+  for (size_t k = 0; k < num_probe_phases; ++k) {
+    // Captured as pointers: the loop variables die before the threads do.
+    const RTree* const probe_tree = relations[k + 2].tree;
+    const std::vector<Rect>* const prev_rects = relations[k + 1].rects;
+    const bool last_phase = k + 1 == num_probe_phases;
+    FrontierChannel* const input = channels[k].get();
+    FrontierChannel* const output =
+        last_phase ? nullptr : channels[k + 1].get();
+    const uint32_t out_arity = static_cast<uint32_t>(k + 3);
+    teams[k].reserve(num_threads);
+    for (unsigned w = 0; w < num_threads; ++w) {
+      auto worker = std::make_unique<PipelineProbeWorker>();
+      if (!exec_options.shared_pool) {
+        worker->private_pool = std::make_unique<BufferPool>(
+            BufferPool::Options{options.buffer_bytes, page_size,
+                                options.eviction_policy},
+            &worker->stats);
+        if (io != nullptr) worker->private_pool->AttachIoScheduler(io);
+        if (exec_options.prefetch) {
+          worker->private_prefetcher = std::make_unique<Prefetcher>(
+              worker->private_pool.get(),
+              Prefetcher::Options{exec_options.prefetch_ahead});
+        }
+      }
+      PipelineProbeWorker* const self = worker.get();
+      worker->thread = std::thread([&, self, probe_tree, prev_rects, input,
+                                    output, out_arity, last_phase]() {
+        PageCache* const pages =
+            exec_options.shared_pool
+                ? static_cast<PageCache*>(shared)
+                : self->private_pool.get();
+        NodeCache* const nodes = shared_nodes;
+        if (self->private_prefetcher != nullptr) {
+          // Private pool: hints scoped to this worker's own pool.
+          HintProbeRoot(*probe_tree, pages, nullptr,
+                        self->private_prefetcher.get(), &self->stats);
+        }
+        std::unique_ptr<FrontierWriter> writer;
+        if (output != nullptr) {
+          writer = std::make_unique<FrontierWriter>(
+              out_arity, exec_options.chunk_capacity, output, &gauge);
+        }
+        std::vector<uint32_t> matches;
+        FrontierChunk chunk;
+        while (input->Pop(&chunk)) {
+          ++self->chunks;
+          const size_t tuples = chunk.tuple_count();
+          for (size_t t = 0; t < tuples; ++t) {
+            const uint32_t* tuple = chunk.tuple(t);
+            const uint32_t last = tuple[chunk.arity - 1];
+            RSJ_DCHECK(last < prev_rects->size());
+            matches.clear();
+            ProbeChainWindow(*probe_tree, pages, nodes, options,
+                             (*prev_rects)[last], &self->stats, &matches);
+            for (const uint32_t id : matches) {
+              if (last_phase) {
+                ++self->final_tuples;
+                if (collect_tuples) {
+                  std::vector<uint32_t> full(tuple, tuple + chunk.arity);
+                  full.push_back(id);
+                  self->tuples.push_back(std::move(full));
+                }
+              } else {
+                writer->AppendExtended(tuple, chunk.arity, id);
+              }
+            }
+          }
+          gauge.Sub(tuples);
+        }
+        if (writer != nullptr) writer->Flush();
+        if (output != nullptr) output->RetireProducer();
+      });
+      teams[k].push_back(std::move(worker));
+    }
+  }
+
+  // Phase 1: the partitioned pairwise executor, each worker's sink
+  // converting completed pair batches into frontier chunks pushed into
+  // channel 0 — blocking when the probes lag (backpressure), so the
+  // pairwise phase can never run away from its consumers.
+  std::vector<std::unique_ptr<FrontierWriter>> pair_writers;
+  std::vector<std::unique_ptr<BatchedCallbackSink>> pair_sinks;
+  pair_writers.reserve(num_threads);
+  pair_sinks.reserve(num_threads);
+  for (unsigned w = 0; w < num_threads; ++w) {
+    pair_writers.push_back(std::make_unique<FrontierWriter>(
+        /*arity=*/2, exec_options.chunk_capacity, channels[0].get(),
+        &gauge));
+    FrontierWriter* const writer = pair_writers.back().get();
+    pair_sinks.push_back(std::make_unique<BatchedCallbackSink>(
+        [writer](std::span<const ResultPair> batch) {
+          writer->AppendPairBatch(batch);
+        }));
+  }
+  ParallelJoinResult pairwise = RunParallelSpatialJoinInto(
+      *relations[0].tree, *relations[1].tree, options, exec_options, shared,
+      shared_nodes,
+      [&pair_sinks](unsigned w) { return pair_sinks[w].get(); });
+  result.pairwise_task_count = pairwise.task_count;
+  result.partition_depth = pairwise.partition_depth;
+  result.total_stats.MergeFrom(pairwise.total_stats);
+  for (size_t w = 0; w < pairwise.worker_stats.size(); ++w) {
+    result.worker_stats[w % num_threads].MergeFrom(pairwise.worker_stats[w]);
+  }
+
+  // The pairwise phase is done: flush the partial chunks and retire the
+  // producers — closure then cascades phase by phase as each channel
+  // drains, and joining the teams in order rides the cascade down.
+  for (unsigned w = 0; w < num_threads; ++w) {
+    pair_writers[w]->Flush();
+    channels[0]->RetireProducer();
+  }
+  for (auto& team : teams) {
+    for (auto& worker : team) worker->thread.join();
+  }
+
+  if (io != nullptr) {
+    io->Drain();
+    // The nested pairwise run did not own the I/O lifecycle (see
+    // RunParallelSpatialJoinInto), so the whole pipeline's batch delta is
+    // accounted here, once.
+    chain_coordinator.io_batches += io->io_batches() - io_batches_before;
+    result.modeled_elapsed_micros = io->SynchronizeClocks() - io_clock_before;
+  }
+  result.total_stats.MergeFrom(chain_coordinator);
+
+  result.worker_probe_chunks.assign(num_threads, 0);
+  for (size_t k = 0; k < num_probe_phases; ++k) {
+    result.probe_chunk_counts.push_back(
+        static_cast<size_t>(channels[k]->chunks_pushed()));
+    for (unsigned w = 0; w < num_threads; ++w) {
+      PipelineProbeWorker& worker = *teams[k][w];
+      result.worker_probe_chunks[w] += worker.chunks;
+      result.worker_stats[w].MergeFrom(worker.stats);
+      result.total_stats.MergeFrom(worker.stats);
+      result.tuple_count += worker.final_tuples;
+      if (collect_tuples && !worker.tuples.empty()) {
+        if (result.tuples.empty()) {
+          result.tuples = std::move(worker.tuples);
+        } else {
+          result.tuples.reserve(result.tuples.size() + worker.tuples.size());
+          for (auto& tuple : worker.tuples) {
+            result.tuples.push_back(std::move(tuple));
+          }
+        }
+      }
+    }
+  }
+  result.total_stats.frontier_peak_tuples =
+      std::max(result.total_stats.frontier_peak_tuples,
+               gauge.peak.load(std::memory_order_relaxed));
+  return result;
+}
+
+}  // namespace
+
+ParallelChainJoinResult RunParallelChainSpatialJoin(
+    const std::vector<JoinRelation>& relations, const JoinOptions& options,
+    const ParallelExecutorOptions& exec_options, bool collect_tuples) {
+  RSJ_CHECK_MSG(relations.size() >= 2, "chain join needs >= 2 relations");
+  RSJ_CHECK_MSG(exec_options.chunk_capacity >= 1,
+                "executor needs chunk_capacity >= 1");
+  RSJ_CHECK_MSG(exec_options.channel_bound >= 1,
+                "executor needs channel_bound >= 1");
+  for (const JoinRelation& rel : relations) {
+    RSJ_CHECK(rel.tree != nullptr && rel.rects != nullptr);
+    RSJ_CHECK_MSG(rel.tree->options().page_size ==
+                      relations[0].tree->options().page_size,
+                  "all relations must share one page size");
+  }
+  if (exec_options.num_threads <= 1) {
+    return SequentialChainFallback(relations, options, collect_tuples);
+  }
+  // A 2-relation chain has no probe phases — nothing to pipeline; both
+  // formulations reduce to the pairwise executor.
+  if (exec_options.pipelined && relations.size() > 2) {
+    return RunPipelinedChain(relations, options, exec_options,
+                             collect_tuples);
+  }
+  return RunMaterializedChain(relations, options, exec_options,
+                              collect_tuples);
 }
 
 }  // namespace rsj

@@ -1,22 +1,34 @@
 // Parallel multi-way chain join on the execution subsystem.
 //
-// PR 1 parallelized only the pairwise join; the chain join's probe phases
-// (join/multiway_join.h) stayed single-threaded even though they are
-// embarrassingly parallel over the frontier of partial tuples. This
-// executor runs the whole chain on the exec machinery:
+// PR 2 parallelized the chain join but materialized the entire tuple
+// frontier between probe phases, so peak memory scaled with the largest
+// intermediate result. The default formulation here is a streaming
+// pipeline instead:
 //
-//   1. phase 1 (relations 0 ⋈ 1) reuses the partitioned pairwise executor
-//      — depth-adaptive plan, work-stealing scheduler, per-worker sinks —
-//      with pairs materialized into the tuple frontier,
-//   2. every probe phase chunks the frontier into
-//      partition_multiplier × num_threads contiguous chunks and fans them
-//      out over the TaskScheduler; each worker probes with
-//      ProbeChainWindow into a worker-private output vector,
+//   1. phase 1 (relations 0 ⋈ 1) runs the partitioned pairwise executor —
+//      depth-adaptive plan, work-stealing scheduler — with every worker's
+//      sink converting completed pair batches into FrontierChunks that are
+//      pushed straight into the first probe phase's bounded channel,
+//   2. every probe phase k has a dedicated worker team popping chunks from
+//      its input channel as they arrive, probing with ProbeChainWindow,
+//      and pushing its own completed chunks into phase k+1's channel —
+//      per-chunk handoff, no inter-phase barrier; the channel bound gives
+//      backpressure, so peak frontier memory is capped at
+//      O(chunks-in-flight × chunk_capacity) instead of O(|frontier|),
+//      which `Statistics::frontier_peak_tuples` proves per run,
 //   3. in shared-pool mode one SharedBufferPool and one NodeCache span all
-//      phases and workers: directory nodes decoded during partitioning or
-//      by any probe are decoded exactly once system-wide,
+//      phases and workers; in private-pool mode every worker (pairwise and
+//      probe) owns a pool, and with prefetch enabled each probe worker
+//      hints its phase's probe-root children into its own pool (hint
+//      ownership is the pool, exactly the owner-scoping the IoScheduler
+//      coalesces by),
 //   4. per-worker Statistics and outputs are merged exactly like
 //      RunParallelSpatialJoin's.
+//
+// `exec_options.pipelined = false` selects the PR 2 materialized
+// formulation (whole-frontier barrier between phases), kept as the A/B
+// baseline: bench_multiway_scaling asserts the pipeline's peak frontier is
+// strictly below the materialized one on identical results.
 //
 // Tuples are disjoint work units and every tuple is probed exactly once,
 // so the union of the workers' outputs is the sequential chain result as
@@ -39,6 +51,9 @@ struct ParallelChainJoinResult {
   // equals the sequential result; the order is scheduling-dependent.
   std::vector<std::vector<uint32_t>> tuples;
   // Aggregated counters (coordinator + all workers, all phases).
+  // total_stats.frontier_peak_tuples is the run's peak live intermediate
+  // tuple count: whole frontiers when materialized, chunks in flight when
+  // pipelined.
   Statistics total_stats;
   // Per-worker counters, merged across phases (index = worker slot).
   std::vector<Statistics> worker_stats;
@@ -47,24 +62,27 @@ struct ParallelChainJoinResult {
   // Subtree-pair tasks of the pairwise phase and its descent depth.
   size_t pairwise_task_count = 0;
   int partition_depth = 0;
-  // Frontier chunks scheduled per probe phase (one entry per phase >= 2).
+  // Frontier chunks per probe phase (one entry per phase >= 2): chunks
+  // pushed through the phase's channel when pipelined, chunks scheduled
+  // when materialized.
   std::vector<size_t> probe_chunk_counts;
-  // Probe chunks each worker executed, summed over all probe phases
-  // (work stealing balances these).
+  // Probe chunks each worker slot executed, summed over all probe phases
+  // (work stealing / channel scheduling balances these).
   std::vector<uint64_t> worker_probe_chunks;
   bool used_shared_pool = false;
   bool used_node_cache = false;
+  bool used_pipeline = false;
   // Advance of the modeled I/O clock across the whole chain (0 without an
   // exec_options.io_scheduler).
   uint64_t modeled_elapsed_micros = 0;
 };
 
 // Runs the chain join over `relations` (>= 2, one shared page size) with
-// `exec_options.num_threads` workers. Falls back to the sequential
-// RunChainSpatialJoin when num_threads <= 1 — that path always runs over
-// a private buffer and its own decode cache regardless of the pool/cache
-// options, and the result's used_* flags report what actually ran. The
-// tuple multiset is identical to RunChainSpatialJoin's for every
+// `exec_options.num_threads` workers per stage. Falls back to the
+// sequential RunChainSpatialJoin when num_threads <= 1 — that path always
+// runs over a private buffer and its own decode cache regardless of the
+// pool/cache options, and the result's used_* flags report what actually
+// ran. The tuple multiset is identical to RunChainSpatialJoin's for every
 // configuration.
 ParallelChainJoinResult RunParallelChainSpatialJoin(
     const std::vector<JoinRelation>& relations, const JoinOptions& options,

@@ -1,7 +1,6 @@
 #include "exec/parallel_executor.h"
 
 #include <algorithm>
-#include <iterator>
 #include <memory>
 
 #include "common/logging.h"
@@ -29,43 +28,88 @@ struct WorkerContext {
   std::unique_ptr<Prefetcher> private_prefetcher;  // over the private pool
   const Prefetcher* prefetcher = nullptr;  // private or the shared one
   std::unique_ptr<SpatialJoinEngine> engine;
-  std::unique_ptr<ResultSink> sink;
+  std::unique_ptr<ResultSink> owned_sink;  // null with a sink factory
+  ResultSink* sink = nullptr;
+  uint64_t sink_count_before = 0;  // factory sinks may carry prior pairs
   bool prepared = false;  // BeginPartitionedRun done (lazily, on its thread)
 };
 
 // Degenerate shapes (leaf roots, single thread): one sequential partition.
+// With a sink factory the results stream into the caller's sink 0. When
+// `cache` is given (the degenerate-plan path, where the pool stack is
+// already built), the run goes through it — so the shared pool, the node
+// cache and the attached I/O model keep accounting; nullptr (the
+// num_threads <= 1 early fallback) runs over a fresh private buffer like
+// RunSpatialJoin always did.
 ParallelJoinResult SequentialFallback(const RTree& r, const RTree& s,
                                       const JoinOptions& options,
-                                      bool collect_pairs) {
+                                      bool collect_pairs,
+                                      const ChunkArena& arena,
+                                      const SinkFactory* sink_factory,
+                                      PageCache* cache = nullptr,
+                                      NodeCache* nodes = nullptr) {
   ParallelJoinResult result;
-  JoinRunResult sequential = RunSpatialJoin(r, s, options, collect_pairs);
-  result.pair_count = sequential.pair_count;
-  result.pairs = std::move(sequential.pairs);
-  result.worker_stats.push_back(sequential.stats);
   result.worker_task_counts.push_back(1);
   result.task_count = 1;
-  result.total_stats.MergeFrom(sequential.stats);
+  Statistics stats;
+  const auto run = [&](ResultSink* sink) {
+    if (cache != nullptr) {
+      SpatialJoinEngine engine(r, s, options, cache, &stats, nodes);
+      engine.Run(sink);
+    } else {
+      RunSpatialJoin(r, s, options, sink, &stats);
+    }
+  };
+  if (sink_factory != nullptr) {
+    ResultSink* sink = (*sink_factory)(0);
+    const uint64_t before = sink->count();
+    run(sink);
+    result.pair_count = sink->count() - before;
+  } else if (collect_pairs) {
+    MaterializingSink sink{arena};
+    run(&sink);
+    result.pair_count = sink.count();
+    result.chunks = sink.TakeChunks();
+  } else {
+    CountingSink sink;
+    run(&sink);
+    result.pair_count = sink.count();
+  }
+  result.worker_stats.push_back(stats);
+  result.total_stats.MergeFrom(stats);
   return result;
 }
 
-}  // namespace
-
-ParallelJoinResult RunParallelSpatialJoinWith(
+ParallelJoinResult RunParallelSpatialJoinImpl(
     const RTree& r, const RTree& s, const JoinOptions& options,
     const ParallelExecutorOptions& exec_options, SharedBufferPool* shared_pool,
-    NodeCache* node_cache) {
+    NodeCache* node_cache, const SinkFactory* sink_factory) {
   RSJ_CHECK_MSG(r.options().page_size == s.options().page_size,
                 "joined trees must share one page size");
+  RSJ_CHECK_MSG(exec_options.chunk_capacity >= 1,
+                "executor needs chunk_capacity >= 1");
+  // One arena recycles chunk blocks across all worker sinks (and, when the
+  // caller passed one, across runs). The handle is copied into each sink;
+  // the blocks of the returned chunk list stay alive either way.
+  const ChunkArena arena =
+      exec_options.chunk_arena != nullptr
+          ? *exec_options.chunk_arena
+          : ChunkArena(ChunkArena::Options{exec_options.chunk_capacity,
+                                           /*max_free_chunks=*/1024});
   if (exec_options.num_threads <= 1) {
-    return SequentialFallback(r, s, options, exec_options.collect_pairs);
+    return SequentialFallback(r, s, options, exec_options.collect_pairs,
+                              arena, sink_factory);
   }
 
   ParallelJoinResult result;
   result.used_shared_pool = exec_options.shared_pool;
   Statistics coordinator;
   IoScheduler* const io = exec_options.io_scheduler;
-  const uint64_t io_clock_before = io != nullptr ? io->NowMicros() : 0;
-  const uint64_t io_batches_before = io != nullptr ? io->io_batches() : 0;
+  // With a sink factory the executor is one stage of an enclosing pipeline
+  // whose coordinator owns the I/O lifecycle: no drain, no clock merge.
+  const bool owns_io = io != nullptr && sink_factory == nullptr;
+  const uint64_t io_clock_before = owns_io ? io->NowMicros() : 0;
+  const uint64_t io_batches_before = owns_io ? io->io_batches() : 0;
 
   // The shared pool (and the decode cache over it) is created before
   // partitioning so the coordinator's directory reads and decodes warm it
@@ -118,25 +162,41 @@ ParallelJoinResult RunParallelSpatialJoinWith(
   }
 
   const size_t target_tasks =
-      static_cast<size_t>(exec_options.partition_multiplier) *
-      exec_options.num_threads;
+      std::max<size_t>(1, static_cast<size_t>(
+                              exec_options.partition_multiplier) *
+                              exec_options.num_threads);
   const PartitionPlan plan = BuildPartitionPlan(
       r, s, options, target_tasks, coordinator_cache, &coordinator, nodes);
   if (plan.degenerate) {
-    // The sequential run replaces the partitioned one, but the
-    // coordinator's root reads/decodes happened and stay counted, and the
-    // mode flags keep describing what was actually set up.
+    // The sequential run replaces the partitioned one over the
+    // already-built cache stack (shared pool / node cache / modeled I/O
+    // stay in the loop); the coordinator's root reads/decodes happened
+    // and stay counted, and the mode flags keep describing what was
+    // actually set up.
     ParallelJoinResult fallback =
-        SequentialFallback(r, s, options, exec_options.collect_pairs);
+        SequentialFallback(r, s, options, exec_options.collect_pairs, arena,
+                           sink_factory, coordinator_cache, nodes);
     fallback.total_stats.MergeFrom(coordinator);
     fallback.used_shared_pool = result.used_shared_pool;
     fallback.used_node_cache = result.used_node_cache;
+    if (owns_io) {
+      io->Drain();
+      fallback.total_stats.io_batches += io->io_batches() - io_batches_before;
+      fallback.modeled_elapsed_micros =
+          io->SynchronizeClocks() - io_clock_before;
+    }
     return fallback;
   }
   result.task_count = plan.tasks.size();
   result.partition_depth = plan.depth;
   if (plan.tasks.empty()) {
     result.total_stats.MergeFrom(coordinator);
+    if (owns_io) {
+      io->Drain();
+      result.total_stats.io_batches += io->io_batches() - io_batches_before;
+      result.modeled_elapsed_micros =
+          io->SynchronizeClocks() - io_clock_before;
+    }
     return result;
   }
 
@@ -184,10 +244,16 @@ ParallelJoinResult RunParallelSpatialJoinWith(
     ctx->engine = std::make_unique<SpatialJoinEngine>(r, s, options, cache,
                                                       &ctx->stats, nodes);
     ctx->engine->set_prefetcher(ctx->prefetcher);
-    if (exec_options.collect_pairs) {
-      ctx->sink = std::make_unique<MaterializingSink>();
+    if (sink_factory != nullptr) {
+      ctx->sink = (*sink_factory)(w);
+      ctx->sink_count_before = ctx->sink->count();
     } else {
-      ctx->sink = std::make_unique<CountingSink>();
+      if (exec_options.collect_pairs) {
+        ctx->owned_sink = std::make_unique<MaterializingSink>(arena);
+      } else {
+        ctx->owned_sink = std::make_unique<CountingSink>();
+      }
+      ctx->sink = ctx->owned_sink.get();
     }
     contexts.push_back(std::move(ctx));
   }
@@ -209,41 +275,50 @@ ParallelJoinResult RunParallelSpatialJoinWith(
           ctx.prefetcher->PrefetchPage(r.file(), task.er.ref, &ctx.stats);
           ctx.prefetcher->PrefetchPage(s.file(), task.es.ref, &ctx.stats);
         }
-        ctx.engine->ProcessPartition(task.er, task.es, ctx.sink.get());
+        ctx.engine->ProcessPartition(task.er, task.es, ctx.sink);
       });
 
-  if (io != nullptr) {
+  if (owns_io) {
     io->Drain();
     coordinator.io_batches += io->io_batches() - io_batches_before;
-    result.modeled_elapsed_micros = io->NowMicros() - io_clock_before;
+    // Parallel workers advanced per-actor clocks; their merge (max) is the
+    // run's modeled elapsed time — CPU in parallel, I/O overlapped.
+    result.modeled_elapsed_micros = io->SynchronizeClocks() - io_clock_before;
   }
 
   result.total_stats.MergeFrom(coordinator);
   for (unsigned w = 0; w < workers; ++w) contexts[w]->sink->Flush();
-  if (exec_options.collect_pairs) {
-    // One exact reservation, then per-worker chunks moved in: the merge is
-    // O(pairs) moves with no reallocation, instead of repeated copying
-    // growth while appending worker after worker.
-    size_t total_pairs = 0;
-    for (unsigned w = 0; w < workers; ++w) {
-      total_pairs += contexts[w]->sink->count();
-    }
-    result.pairs.reserve(total_pairs);
-  }
   for (unsigned w = 0; w < workers; ++w) {
     WorkerContext& ctx = *contexts[w];
-    result.pair_count += ctx.sink->count();
-    if (exec_options.collect_pairs) {
-      auto pairs =
-          static_cast<MaterializingSink*>(ctx.sink.get())->TakePairs();
-      result.pairs.insert(result.pairs.end(),
-                          std::make_move_iterator(pairs.begin()),
-                          std::make_move_iterator(pairs.end()));
+    result.pair_count += ctx.sink->count() - ctx.sink_count_before;
+    if (sink_factory == nullptr && exec_options.collect_pairs) {
+      // The merge is chunk-list splicing: every pair stays in the block
+      // its producing worker wrote it into, and only chunk pointers move.
+      result.chunks.Splice(
+          static_cast<MaterializingSink*>(ctx.sink)->TakeChunks());
     }
     result.worker_stats.push_back(ctx.stats);
     result.total_stats.MergeFrom(ctx.stats);
   }
   return result;
+}
+
+}  // namespace
+
+ParallelJoinResult RunParallelSpatialJoinWith(
+    const RTree& r, const RTree& s, const JoinOptions& options,
+    const ParallelExecutorOptions& exec_options, SharedBufferPool* shared_pool,
+    NodeCache* node_cache) {
+  return RunParallelSpatialJoinImpl(r, s, options, exec_options, shared_pool,
+                                    node_cache, /*sink_factory=*/nullptr);
+}
+
+ParallelJoinResult RunParallelSpatialJoinInto(
+    const RTree& r, const RTree& s, const JoinOptions& options,
+    const ParallelExecutorOptions& exec_options, SharedBufferPool* shared_pool,
+    NodeCache* node_cache, const SinkFactory& sink_factory) {
+  return RunParallelSpatialJoinImpl(r, s, options, exec_options, shared_pool,
+                                    node_cache, &sink_factory);
 }
 
 ParallelJoinResult RunParallelSpatialJoin(

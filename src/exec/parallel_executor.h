@@ -20,9 +20,11 @@
 #define RSJ_EXEC_PARALLEL_EXECUTOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
+#include "exec/result_sink.h"
 #include "join/join_options.h"
 #include "rtree/rtree.h"
 #include "storage/statistics.h"
@@ -59,6 +61,31 @@ struct ParallelExecutorOptions {
   // Materialize the result pairs (otherwise only counts are kept).
   bool collect_pairs = false;
 
+  // --- chunked result path (exec/result_sink.h) ---
+
+  // Pairs per result chunk (and, for the multiway pipeline, tuples per
+  // frontier chunk). Must be >= 1.
+  size_t chunk_capacity = 1024;
+
+  // Optional external chunk arena: pass one to recycle chunk blocks
+  // across runs (steady-state runs then allocate nothing). nullptr: the
+  // executor uses a private arena whose blocks the returned chunk list
+  // keeps alive.
+  ChunkArena* chunk_arena = nullptr;
+
+  // --- multiway streaming pipeline (exec/multiway_executor.h) ---
+
+  // true: probe phases consume the previous phase's chunks through
+  // bounded channels as they are produced (no inter-phase barrier; peak
+  // frontier memory capped at O(chunks in flight × chunk_capacity)).
+  // false: the materialized A/B baseline — every phase barriers on the
+  // full frontier of its predecessor.
+  bool pipelined = true;
+
+  // Chunks buffered per phase boundary before producers block
+  // (backpressure). Must be >= 1.
+  size_t channel_bound = 16;
+
   // --- simulated asynchronous I/O (src/io/) ---
 
   // When non-null, every pool (shared or per-worker private) services its
@@ -80,7 +107,10 @@ struct ParallelExecutorOptions {
 
 struct ParallelJoinResult {
   uint64_t pair_count = 0;
-  std::vector<std::pair<uint32_t, uint32_t>> pairs;  // when collected
+  // When collected: the merged result, assembled by splicing the workers'
+  // chunk lists — pointer moves only, zero pair copies after the worker
+  // that produced a pair wrote it.
+  ResultChunkList chunks;
   // Aggregated counters (coordinator + all workers).
   Statistics total_stats;
   // Per-worker counters, for skew analysis.
@@ -119,6 +149,22 @@ ParallelJoinResult RunParallelSpatialJoinWith(
     const RTree& r, const RTree& s, const JoinOptions& options,
     const ParallelExecutorOptions& exec_options, SharedBufferPool* shared_pool,
     NodeCache* node_cache);
+
+// Supplies worker `w`'s output sink; the sink is caller-owned and must
+// outlive the run. Used by streaming consumers (the multiway pipeline)
+// whose sinks push chunks into a downstream stage while the join runs.
+using SinkFactory = std::function<ResultSink*(unsigned worker)>;
+
+// Like RunParallelSpatialJoinWith, but results stream into caller-provided
+// sinks (collect_pairs is ignored; every sink is flushed before return and
+// pair_count sums the sinks' counts). The executor does NOT drain or
+// synchronize exec_options.io_scheduler in this form — the caller owns the
+// I/O lifecycle of the enclosing pipeline, so modeled_elapsed_micros stays
+// 0 in the returned result.
+ParallelJoinResult RunParallelSpatialJoinInto(
+    const RTree& r, const RTree& s, const JoinOptions& options,
+    const ParallelExecutorOptions& exec_options, SharedBufferPool* shared_pool,
+    NodeCache* node_cache, const SinkFactory& sink_factory);
 
 }  // namespace rsj
 

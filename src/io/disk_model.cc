@@ -18,22 +18,49 @@ uint64_t SimulatedDiskArray::TransferMicros(uint32_t page_size_bytes) const {
          ((static_cast<uint64_t>(page_size_bytes) + 1023) / 1024);
 }
 
-uint64_t SimulatedDiskArray::Service(const PagedFile& file, PageId id,
-                                     uint32_t page_size_bytes,
-                                     uint64_t issue_micros) {
-  std::lock_guard<std::mutex> lock(mu_);
+uint64_t SimulatedDiskArray::ServiceLocked(const PagedFile& file, PageId id,
+                                           uint32_t page_size_bytes,
+                                           uint64_t issue_micros,
+                                           uint64_t extra_micros) {
   Disk& disk = disks_[DiskFor(id)];
   const bool sequential =
       options_.sequential_discount && disk.last_file == &file &&
       (id == disk.last_id ||
        id == disk.last_id + static_cast<PageId>(disks_.size()));
-  const uint64_t cost = TransferMicros(page_size_bytes) +
+  const uint64_t cost = TransferMicros(page_size_bytes) + extra_micros +
                         (sequential ? 0 : options_.seek_micros);
   const uint64_t start = std::max(issue_micros, disk.busy_until_micros);
   disk.busy_until_micros = start + cost;
   disk.last_file = &file;
   disk.last_id = id;
   return disk.busy_until_micros;
+}
+
+uint64_t SimulatedDiskArray::Service(const PagedFile& file, PageId id,
+                                     uint32_t page_size_bytes,
+                                     uint64_t issue_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++reads_serviced_;
+  return ServiceLocked(file, id, page_size_bytes, issue_micros, 0);
+}
+
+uint64_t SimulatedDiskArray::ServiceWrite(const PagedFile& file, PageId id,
+                                          uint32_t page_size_bytes,
+                                          uint64_t issue_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++writes_serviced_;
+  return ServiceLocked(file, id, page_size_bytes, issue_micros,
+                       options_.write_settle_micros);
+}
+
+uint64_t SimulatedDiskArray::reads_serviced() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reads_serviced_;
+}
+
+uint64_t SimulatedDiskArray::writes_serviced() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writes_serviced_;
 }
 
 uint64_t SimulatedDiskArray::BusyUntil(unsigned disk) const {

@@ -45,6 +45,12 @@ struct DiskModelOptions {
   // Skip the positioning cost when a disk reads its next stripe unit of
   // the same file in sequence (or re-reads the page it just served).
   bool sequential_discount = true;
+
+  // Extra arm-settle micros per write on top of positioning + transfer
+  // (the paper's constants do not distinguish reads from writes; a head
+  // settle penalty is the conventional difference). 0 = writes cost
+  // exactly like reads.
+  uint64_t write_settle_micros = 0;
 };
 
 class SimulatedDiskArray {
@@ -70,6 +76,11 @@ class SimulatedDiskArray {
     return options_.seek_micros + TransferMicros(page_size_bytes);
   }
 
+  // Positioning + transfer + settle of one isolated write.
+  uint64_t RandomWriteMicros(uint32_t page_size_bytes) const {
+    return RandomReadMicros(page_size_bytes) + options_.write_settle_micros;
+  }
+
   // Services one read of page `id` of `file` arriving at modeled time
   // `issue_micros` and returns its completion time. The request starts
   // when both the issuer and the disk are ready and occupies the disk for
@@ -77,8 +88,17 @@ class SimulatedDiskArray {
   uint64_t Service(const PagedFile& file, PageId id, uint32_t page_size_bytes,
                    uint64_t issue_micros);
 
+  // Services one write: identical queueing and sequential-discount rules
+  // (the arm moves the same way), plus write_settle_micros.
+  uint64_t ServiceWrite(const PagedFile& file, PageId id,
+                        uint32_t page_size_bytes, uint64_t issue_micros);
+
   // Modeled time until which `disk` is busy (snapshot).
   uint64_t BusyUntil(unsigned disk) const;
+
+  // Requests serviced so far, by kind.
+  uint64_t reads_serviced() const;
+  uint64_t writes_serviced() const;
 
   const DiskModelOptions& options() const { return options_; }
 
@@ -89,9 +109,16 @@ class SimulatedDiskArray {
     PageId last_id = kInvalidPageId;
   };
 
+  // Shared queueing/discount math of reads and writes.
+  uint64_t ServiceLocked(const PagedFile& file, PageId id,
+                         uint32_t page_size_bytes, uint64_t issue_micros,
+                         uint64_t extra_micros);
+
   DiskModelOptions options_;
   mutable std::mutex mu_;
   std::vector<Disk> disks_;
+  uint64_t reads_serviced_ = 0;
+  uint64_t writes_serviced_ = 0;
 };
 
 }  // namespace rsj

@@ -77,8 +77,20 @@ void IoScheduler::WorkerLoop(unsigned worker) {
   }
 }
 
+uint64_t IoScheduler::ActorClockLocked(const void* actor) const {
+  const auto it = actor_clocks_.find(actor);
+  return it == actor_clocks_.end() ? floor_micros_
+                                   : std::max(floor_micros_, it->second);
+}
+
+void IoScheduler::AdvanceActorLocked(const void* actor, uint64_t to) {
+  uint64_t& clock = actor_clocks_[actor];
+  clock = std::max({clock, floor_micros_, to});
+}
+
 bool IoScheduler::SubmitAsync(const void* owner, const PagedFile& file,
-                              PageId id, uint32_t page_size) {
+                              PageId id, uint32_t page_size,
+                              const void* actor) {
   const RequestKey key{owner, &file, id};
   std::lock_guard<std::mutex> lock(mu_);
   if (inflight_.contains(key)) {
@@ -89,7 +101,7 @@ bool IoScheduler::SubmitAsync(const void* owner, const PagedFile& file,
     return false;  // coalesced with the unconsumed completion
   }
   disk_queues_[disks_.DiskFor(id)].push_back(
-      Request{key, page_size, clock_micros_});
+      Request{key, page_size, ActorClockLocked(actor)});
   inflight_.insert(key);
   ++pending_async_;
   ++async_reads_;
@@ -99,7 +111,7 @@ bool IoScheduler::SubmitAsync(const void* owner, const PagedFile& file,
 
 void IoScheduler::JoinCompletionLocked(std::unique_lock<std::mutex>& lock,
                                        const RequestKey& key,
-                                       Statistics* stats) {
+                                       const void* actor, Statistics* stats) {
   done_cv_.wait(lock, [&]() {
     return completed_.contains(key) || !inflight_.contains(key);
   });
@@ -107,11 +119,12 @@ void IoScheduler::JoinCompletionLocked(std::unique_lock<std::mutex>& lock,
   if (it == completed_.end()) return;  // consumed by a racing caller
   const uint64_t completion = it->second;
   completed_.erase(it);
-  if (completion > clock_micros_) {
+  const uint64_t now = ActorClockLocked(actor);
+  if (completion > now) {
     if (stats != nullptr) {
-      stats->modeled_io_micros += completion - clock_micros_;
+      stats->modeled_io_micros += completion - now;
     }
-    clock_micros_ = completion;
+    AdvanceActorLocked(actor, completion);
   }
 }
 
@@ -125,20 +138,40 @@ bool IoScheduler::BlockingRead(const void* owner, const PagedFile& file,
     // service it, so this miss joins it (and pays its residual stall)
     // instead of issuing a duplicate read.
     abandoned_.erase(key);
-    JoinCompletionLocked(lock, key, stats);
+    JoinCompletionLocked(lock, key, stats, stats);
     return true;
   }
-  const uint64_t issue = clock_micros_;
+  const uint64_t issue = ActorClockLocked(stats);
   lock.unlock();
   const uint64_t completion = disks_.Service(file, id, page_size, issue);
   lock.lock();
-  if (completion > clock_micros_) {
+  const uint64_t now = ActorClockLocked(stats);
+  if (completion > now) {
     if (stats != nullptr) {
-      stats->modeled_io_micros += completion - clock_micros_;
+      stats->modeled_io_micros += completion - now;
     }
-    clock_micros_ = completion;
+    AdvanceActorLocked(stats, completion);
   }
   return false;
+}
+
+void IoScheduler::Write(const void* owner, const PagedFile& file, PageId id,
+                        uint32_t page_size, Statistics* stats) {
+  (void)owner;  // writes are never coalesced; the scope is for symmetry
+  std::unique_lock<std::mutex> lock(mu_);
+  ++disk_writes_;
+  const uint64_t issue = ActorClockLocked(stats);
+  lock.unlock();
+  const uint64_t completion = disks_.ServiceWrite(file, id, page_size, issue);
+  lock.lock();
+  if (stats != nullptr) ++stats->disk_writes;
+  const uint64_t now = ActorClockLocked(stats);
+  if (completion > now) {
+    if (stats != nullptr) {
+      stats->modeled_io_micros += completion - now;
+    }
+    AdvanceActorLocked(stats, completion);
+  }
 }
 
 void IoScheduler::ConsumePrefetched(const void* owner, const PagedFile& file,
@@ -146,7 +179,7 @@ void IoScheduler::ConsumePrefetched(const void* owner, const PagedFile& file,
   const RequestKey key{owner, &file, id};
   std::unique_lock<std::mutex> lock(mu_);
   if (!inflight_.contains(key) && !completed_.contains(key)) return;
-  JoinCompletionLocked(lock, key, stats);
+  JoinCompletionLocked(lock, key, stats, stats);
 }
 
 void IoScheduler::AbandonPrefetched(const void* owner, const PagedFile& file,
@@ -157,14 +190,14 @@ void IoScheduler::AbandonPrefetched(const void* owner, const PagedFile& file,
   if (inflight_.contains(key)) abandoned_.insert(key);
 }
 
-void IoScheduler::CpuAdvance(uint64_t micros) {
+void IoScheduler::CpuAdvance(const void* actor, uint64_t micros) {
   std::lock_guard<std::mutex> lock(mu_);
-  clock_micros_ += micros;
+  AdvanceActorLocked(actor, ActorClockLocked(actor) + micros);
 }
 
-void IoScheduler::ChargeCpuPerRead() {
+void IoScheduler::ChargeCpuPerRead(const void* actor) {
   if (options_.cpu_micros_per_read == 0) return;
-  CpuAdvance(options_.cpu_micros_per_read);
+  CpuAdvance(actor, options_.cpu_micros_per_read);
 }
 
 void IoScheduler::Drain() {
@@ -172,9 +205,22 @@ void IoScheduler::Drain() {
   done_cv_.wait(lock, [this]() { return pending_async_ == 0; });
 }
 
+uint64_t IoScheduler::SynchronizeClocks() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [actor, clock] : actor_clocks_) {
+    floor_micros_ = std::max(floor_micros_, clock);
+  }
+  actor_clocks_.clear();
+  return floor_micros_;
+}
+
 uint64_t IoScheduler::NowMicros() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return clock_micros_;
+  uint64_t now = floor_micros_;
+  for (const auto& [actor, clock] : actor_clocks_) {
+    now = std::max(now, clock);
+  }
+  return now;
 }
 
 uint64_t IoScheduler::io_batches() const {
@@ -185,6 +231,11 @@ uint64_t IoScheduler::io_batches() const {
 uint64_t IoScheduler::async_reads() const {
   std::lock_guard<std::mutex> lock(mu_);
   return async_reads_;
+}
+
+uint64_t IoScheduler::disk_writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_writes_;
 }
 
 }  // namespace rsj

@@ -8,24 +8,36 @@
 // (a page already queued or in flight is never submitted twice) and
 // completion waiting (`Drain`, and blocking joins of in-flight requests).
 //
-// Modeled side: one virtual clock. Consumers advance it —
-//   * a synchronous miss (`BlockingRead`) services the page at the current
-//     clock and moves the clock to its completion: one outstanding request
-//     at a time, the no-overlap baseline;
+// Modeled side: one virtual clock PER ACTOR. An actor is a consumer
+// timeline — in practice the `Statistics*` of the requesting worker, which
+// is the per-worker identity everywhere in this codebase. Each actor
+// advances its own clock:
+//   * a synchronous miss (`BlockingRead`) services the page at the actor's
+//     clock and moves that clock to the completion — one outstanding
+//     request per actor, the no-overlap baseline;
+//   * a synchronous `Write` is the same, with write service costing;
 //   * an async read (`SubmitAsync`, the prefetch path) is timestamped with
-//     the current clock but does NOT advance it — the disks work ahead in
-//     the background of the timeline;
+//     the submitting actor's clock but advances nothing — the disks work
+//     ahead in the background of every timeline;
 //   * the first consumer touch of a prefetched page (`ConsumePrefetched`)
-//     advances the clock to that request's completion, so only the part of
-//     the service time not hidden behind other work is paid as stall;
-//   * `CpuAdvance` charges modeled CPU work, which overlaps with whatever
-//     the disks are doing.
-// All stall micros are charged to the requesting actor's
-// `Statistics::modeled_io_micros`; the clock models a single consumer
-// timeline (parallel workers' charges serialize onto it).
+//     advances the touching actor's clock to the request's completion, so
+//     only the service time not hidden behind that actor's other work is
+//     paid as stall;
+//   * `CpuAdvance` charges modeled CPU work to one actor, overlapping
+//     with the disks and with every other actor.
+// The disks themselves stay shared hardware: per-disk busy-until
+// timelines serialize contending requests of all actors physically.
 //
-// Page caches use the scheduler through `BufferPool::AttachIoScheduler`;
-// nothing in the join layer talks to it directly.
+// At a join point (the end of a parallel region) the executor calls
+// `SynchronizeClocks()`: the actor clocks merge by MAX into the floor —
+// concurrent work counts once, not summed — and the actor table resets,
+// so the merged value is the modeled elapsed time of the region and later
+// actors (whose Statistics may reuse freed addresses) start clean.
+//
+// All stall micros are charged to the requesting actor's
+// `Statistics::modeled_io_micros`. Page caches use the scheduler through
+// `BufferPool::AttachIoScheduler`; nothing in the join layer talks to it
+// directly.
 
 #ifndef RSJ_IO_IO_SCHEDULER_H_
 #define RSJ_IO_IO_SCHEDULER_H_
@@ -75,28 +87,40 @@ class IoScheduler {
   // Request identity is scoped by `owner` (the page cache — or cache
   // shard — issuing it): coalescing and completion joining never cross
   // pool boundaries, so private per-worker pools keep paying their own
-  // misses, while the disks themselves stay shared hardware.
+  // misses, while the disks themselves stay shared hardware. The clock
+  // identity is separate: `actor` (or the `stats` pointer) names the
+  // consumer timeline the request is charged against.
 
-  // Non-blocking async read of (file, id), issued at the current modeled
-  // clock. Returns false when the page is already queued, in flight, or
-  // serviced-but-unconsumed for this owner (coalesced — no second
-  // physical read; an abandoned in-flight request is revived).
+  // Non-blocking async read of (file, id), issued at `actor`'s modeled
+  // clock (nullptr: the anonymous actor). Returns false when the page is
+  // already queued, in flight, or serviced-but-unconsumed for this owner
+  // (coalesced — no second physical read; an abandoned in-flight request
+  // is revived).
   bool SubmitAsync(const void* owner, const PagedFile& file, PageId id,
-                   uint32_t page_size);
+                   uint32_t page_size, const void* actor = nullptr);
 
-  // Synchronous read on a cache miss. When the owner has an async request
-  // outstanding for the page, joins it: waits for its completion, charges
-  // the residual stall and returns true (the physical read was already
-  // paid for by the prefetch). Otherwise services the page at the current
-  // clock, advances the clock to its completion, charges the full stall
-  // and returns false.
+  // Synchronous read on a cache miss; the actor is `stats`. When the owner
+  // has an async request outstanding for the page, joins it: waits for its
+  // completion, charges the residual stall and returns true (the physical
+  // read was already paid for by the prefetch). Otherwise services the
+  // page at the actor's clock, advances that clock to the completion,
+  // charges the full stall and returns false.
   bool BlockingRead(const void* owner, const PagedFile& file, PageId id,
                     uint32_t page_size, Statistics* stats);
 
+  // Synchronous timed write of one page; the actor is `stats`. Services
+  // the write at the actor's clock (write costing, see
+  // SimulatedDiskArray::ServiceWrite), advances that clock to the
+  // completion, and counts `stats->disk_writes` plus the stall — the
+  // write path future spill/persist operators meter themselves with.
+  void Write(const void* owner, const PagedFile& file, PageId id,
+             uint32_t page_size, Statistics* stats);
+
   // First consumer touch of a prefetched-and-landed page: advances the
-  // clock to the async request's completion and charges the residual stall
-  // (zero when the prefetch ran far enough ahead). No-op when the owner
-  // has no outstanding async completion for the page.
+  // actor's (`stats`) clock to the async request's completion and charges
+  // the residual stall (zero when the prefetch ran far enough ahead of
+  // this actor). No-op when the owner has no outstanding async completion
+  // for the page.
   void ConsumePrefetched(const void* owner, const PagedFile& file, PageId id,
                          Statistics* stats);
 
@@ -105,17 +129,23 @@ class IoScheduler {
   // genuine read instead of silently joining the stale prefetch.
   void AbandonPrefetched(const void* owner, const PagedFile& file, PageId id);
 
-  // Charges modeled CPU work to the timeline.
-  void CpuAdvance(uint64_t micros);
+  // Charges modeled CPU work to `actor`'s timeline.
+  void CpuAdvance(const void* actor, uint64_t micros);
 
-  // CpuAdvance(options.cpu_micros_per_read); called by the page caches on
-  // every consumer page request.
-  void ChargeCpuPerRead();
+  // CpuAdvance(actor, options.cpu_micros_per_read); called by the page
+  // caches on every consumer page request.
+  void ChargeCpuPerRead(const void* actor);
 
   // Blocks (in real time) until every async request has been serviced.
   void Drain();
 
-  // Current modeled clock.
+  // Join point: merges every actor clock into the floor by MAX, resets
+  // the actor table, and returns the merged clock. Executors call this at
+  // the end of a (parallel) run; the delta against the clock before the
+  // run is the run's modeled elapsed time.
+  uint64_t SynchronizeClocks();
+
+  // Current merged modeled clock: max over the floor and all live actors.
   uint64_t NowMicros() const;
 
   // Request batches the background workers dequeued so far.
@@ -123,6 +153,9 @@ class IoScheduler {
 
   // Async requests ever submitted (after coalescing).
   uint64_t async_reads() const;
+
+  // Timed writes serviced through Write().
+  uint64_t disk_writes() const;
 
   const SimulatedDiskArray& disks() const { return disks_; }
   const Options& options() const { return options_; }
@@ -153,11 +186,18 @@ class IoScheduler {
 
   void WorkerLoop(unsigned worker);
 
+  // The actor's current clock (>= floor). Caller holds `mu_`.
+  uint64_t ActorClockLocked(const void* actor) const;
+
+  // Raises the actor's clock to at least `to`. Caller holds `mu_`.
+  void AdvanceActorLocked(const void* actor, uint64_t to);
+
   // Waits for an outstanding async request on `key` to complete, consumes
-  // its completion entry, advances the clock and charges the stall.
-  // Caller holds `mu_`.
+  // its completion entry, advances the actor's clock and charges the
+  // stall. Caller holds `mu_`.
   void JoinCompletionLocked(std::unique_lock<std::mutex>& lock,
-                            const RequestKey& key, Statistics* stats);
+                            const RequestKey& key, const void* actor,
+                            Statistics* stats);
 
   Options options_;
   SimulatedDiskArray disks_;
@@ -167,9 +207,13 @@ class IoScheduler {
   std::condition_variable work_cv_;  // workers: queues non-empty / stop
   std::condition_variable done_cv_;  // consumers: completions / drain
   bool stop_ = false;
-  uint64_t clock_micros_ = 0;
+  // Merged clock of synchronized (completed) regions; every actor clock
+  // is implicitly >= the floor.
+  uint64_t floor_micros_ = 0;
+  std::unordered_map<const void*, uint64_t> actor_clocks_;
   uint64_t io_batches_ = 0;
   uint64_t async_reads_ = 0;
+  uint64_t disk_writes_ = 0;
   size_t pending_async_ = 0;  // submitted, completion not yet recorded
   std::vector<std::deque<Request>> disk_queues_;
   // Requests queued or being serviced (coalescing set).

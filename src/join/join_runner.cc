@@ -46,7 +46,7 @@ JoinRunResult RunSpatialJoinWithIo(const RTree& r, const RTree& s,
     if (collect_pairs) {
       MaterializingSink sink;
       engine.Run(&sink);
-      result.pairs = sink.TakePairs();
+      result.chunks = sink.TakeChunks();
       result.pair_count = sink.count();
     } else {
       CountingSink sink;
@@ -56,8 +56,11 @@ JoinRunResult RunSpatialJoinWithIo(const RTree& r, const RTree& s,
   }
   io->Drain();
   result.stats.io_batches += io->io_batches() - batches_before;
+  // Merge the run's actor clocks (one actor here, but callers may have
+  // left others behind) and retire them, so the next run starts clean.
+  const uint64_t merged = io->SynchronizeClocks();
   if (modeled_elapsed_micros != nullptr) {
-    *modeled_elapsed_micros = io->NowMicros() - clock_before;
+    *modeled_elapsed_micros = merged - clock_before;
   }
   return result;
 }
@@ -68,7 +71,7 @@ JoinRunResult RunSpatialJoin(const RTree& r, const RTree& s,
   if (collect_pairs) {
     MaterializingSink sink;
     RunSpatialJoin(r, s, options, &sink, &result.stats);
-    result.pairs = sink.TakePairs();
+    result.chunks = sink.TakeChunks();
     result.pair_count = sink.count();
   } else {
     CountingSink sink;

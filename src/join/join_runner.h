@@ -22,8 +22,11 @@ RTree BuildRTree(PagedFile* file, std::span<const Rect> rects,
 struct JoinRunResult {
   uint64_t pair_count = 0;
   Statistics stats;
-  // Filled only when `collect_pairs` was requested.
-  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  // Filled only when `collect_pairs` was requested: the result as a list
+  // of contiguous pair chunks (exec/result_sink.h), handed out exactly as
+  // the engine produced them — iterate chunk-wise, or CopyPairs() at API
+  // edges that need a flat vector.
+  ResultChunkList chunks;
 };
 
 // Runs the MBR-spatial-join of two already built trees under `options`,

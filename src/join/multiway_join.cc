@@ -1,5 +1,7 @@
 #include "join/multiway_join.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace rsj {
@@ -86,6 +88,11 @@ MultiwayJoinResult RunChainSpatialJoin(
   for (size_t next = 2; next < relations.size(); ++next) {
     const JoinRelation& rel = relations[next];
     const std::vector<Rect>& prev_rects = *relations[next - 1].rects;
+    // Every frontier entering a probe phase is live intermediate state;
+    // the materialized formulation's peak is the largest of them (the
+    // number the streaming pipeline exists to beat).
+    result.stats.frontier_peak_tuples = std::max<uint64_t>(
+        result.stats.frontier_peak_tuples, frontier.size());
     std::vector<std::vector<uint32_t>> extended;
     std::vector<uint32_t> matches;
     for (const std::vector<uint32_t>& tuple : frontier) {

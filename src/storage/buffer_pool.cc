@@ -35,7 +35,7 @@ void BufferPool::ConsumePrefetchedFrame(const PageKey& key, Frame* frame,
 }
 
 bool BufferPool::Read(const PagedFile& file, PageId id, Statistics* stats) {
-  if (io_ != nullptr) io_->ChargeCpuPerRead();
+  if (io_ != nullptr) io_->ChargeCpuPerRead(stats);
   const PageKey key{&file, id};
   if (pinned_.contains(key)) {
     ++stats->buffer_hits;
@@ -85,8 +85,9 @@ bool BufferPool::Prefetch(const PagedFile& file, PageId id,
   if (io_ != nullptr) {
     // False when the page already has an outstanding async request (for
     // example prefetched, evicted, prefetched again before the disk got
-    // to it): re-land the frame but charge no second physical read.
-    issued = io_->SubmitAsync(this, file, id, page_size_);
+    // to it): re-land the frame but charge no second physical read. The
+    // hinting actor's clock stamps the issue time.
+    issued = io_->SubmitAsync(this, file, id, page_size_, stats);
   }
   if (issued) {
     ++stats->prefetch_issued;

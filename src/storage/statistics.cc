@@ -1,5 +1,6 @@
 #include "storage/statistics.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace rsj {
@@ -23,6 +24,10 @@ void Statistics::MergeFrom(const Statistics& other) {
   output_pairs += other.output_pairs;
   node_pairs += other.node_pairs;
   window_queries += other.window_queries;
+  // A high-water mark: concurrent actors share one peak, so merging takes
+  // the maximum instead of summing.
+  frontier_peak_tuples = std::max(frontier_peak_tuples,
+                                  other.frontier_peak_tuples);
 }
 
 std::string Statistics::ToString() const {
@@ -45,7 +50,8 @@ std::string Statistics::ToString() const {
       "sched comparisons: %llu\n"
       "node pairs:        %llu\n"
       "window queries:    %llu\n"
-      "output pairs:      %llu\n",
+      "output pairs:      %llu\n"
+      "frontier peak:     %llu tuples\n",
       static_cast<unsigned long long>(disk_reads),
       static_cast<unsigned long long>(buffer_hits), HitRate() * 100.0,
       static_cast<unsigned long long>(buffer_evictions),
@@ -62,7 +68,8 @@ std::string Statistics::ToString() const {
       static_cast<unsigned long long>(schedule_comparisons.count()),
       static_cast<unsigned long long>(node_pairs),
       static_cast<unsigned long long>(window_queries),
-      static_cast<unsigned long long>(output_pairs));
+      static_cast<unsigned long long>(output_pairs),
+      static_cast<unsigned long long>(frontier_peak_tuples));
   return std::string(buf);
 }
 

@@ -46,6 +46,12 @@ struct Statistics {
   uint64_t node_pairs = 0;      // node pairs processed by the recursion
   uint64_t window_queries = 0;  // window queries issued (different heights)
 
+  // Peak live intermediate tuples of a multi-way chain join: materialized
+  // executions count whole frontiers, the streaming pipeline counts
+  // chunks in flight — the counter that proves the pipeline caps frontier
+  // memory. Merged by MAX (it is a high-water mark, not a volume).
+  uint64_t frontier_peak_tuples = 0;
+
   // Total comparisons across all three counters.
   uint64_t TotalComparisons() const {
     return join_comparisons.count() + sort_comparisons.count() +

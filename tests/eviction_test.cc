@@ -106,8 +106,8 @@ TEST_P(PolicyJoinTest, ResultIndependentOfPolicy) {
   JoinOptions reference = jopt;
   reference.eviction_policy = EvictionPolicy::kLru;
   const auto expected = RunSpatialJoin(r.tree(), s.tree(), reference, true);
-  EXPECT_EQ(testutil::Canonical(result.pairs),
-            testutil::Canonical(expected.pairs));
+  EXPECT_EQ(testutil::Canonical(result.chunks),
+            testutil::Canonical(expected.chunks));
   EXPECT_GT(result.stats.disk_reads, 0u);
 }
 

@@ -41,11 +41,77 @@ TEST(ResultSinkTest, MaterializingSinkPreservesInsertionOrder) {
   for (size_t i = 0; i < n; ++i) {
     sink.Add(static_cast<uint32_t>(i), static_cast<uint32_t>(2 * i));
   }
-  const auto pairs = sink.TakePairs();
+  const ResultChunkList chunks = sink.TakeChunks();
+  EXPECT_EQ(chunks.pair_count(), n);
+  const auto pairs = chunks.CopyPairs();
   ASSERT_EQ(pairs.size(), n);
   for (size_t i = 0; i < n; ++i) {
     EXPECT_EQ(pairs[i].first, i);
     EXPECT_EQ(pairs[i].second, 2 * i);
+  }
+}
+
+TEST(ResultSinkTest, MaterializingSinkEmitsFullThenPartialChunks) {
+  ChunkArena arena(ChunkArena::Options{/*chunk_capacity=*/64});
+  MaterializingSink sink{arena};
+  const size_t n = 3 * 64 + 7;
+  for (size_t i = 0; i < n; ++i) {
+    sink.Add(static_cast<uint32_t>(i), static_cast<uint32_t>(i));
+  }
+  const ResultChunkList chunks = sink.TakeChunks();
+  ASSERT_EQ(chunks.chunk_count(), 4u);
+  size_t expected = 0;
+  for (const ChunkPtr& chunk : chunks) {
+    EXPECT_LE(chunk->size(), chunk->capacity());
+    for (const ResultPair& p : chunk->pairs()) {
+      EXPECT_EQ(p.r, expected);
+      ++expected;
+    }
+  }
+  EXPECT_EQ(expected, n);
+}
+
+TEST(ResultSinkTest, ChunkArenaRecyclesBlocksAcrossRuns) {
+  ChunkArena arena(ChunkArena::Options{/*chunk_capacity=*/32});
+  uint64_t allocated_after_first = 0;
+  for (int run = 0; run < 3; ++run) {
+    MaterializingSink sink{arena};
+    for (uint32_t i = 0; i < 500; ++i) sink.Add(i, i);
+    ResultChunkList chunks = sink.TakeChunks();
+    EXPECT_EQ(chunks.pair_count(), 500u);
+    chunks.clear();  // releases every block back to the free list
+    if (run == 0) {
+      allocated_after_first = arena.chunks_allocated();
+      EXPECT_GT(allocated_after_first, 0u);
+    } else {
+      // Steady state: later runs draw entirely from the free list.
+      EXPECT_EQ(arena.chunks_allocated(), allocated_after_first)
+          << "run " << run;
+    }
+  }
+  EXPECT_GT(arena.free_chunks(), 0u);
+}
+
+TEST(ResultSinkTest, ChunkListSpliceMovesChunksWithoutCopying) {
+  ChunkArena arena(ChunkArena::Options{/*chunk_capacity=*/16});
+  MaterializingSink a{arena};
+  MaterializingSink b{arena};
+  for (uint32_t i = 0; i < 40; ++i) a.Add(i, i);
+  for (uint32_t i = 100; i < 130; ++i) b.Add(i, i);
+  ResultChunkList list_a = a.TakeChunks();
+  ResultChunkList list_b = b.TakeChunks();
+  // Identity of the spliced chunks proves the merge moved pointers: the
+  // blocks in the merged list ARE the producers' blocks.
+  std::vector<const ResultChunk*> produced;
+  for (const ChunkPtr& c : list_a) produced.push_back(c.get());
+  for (const ChunkPtr& c : list_b) produced.push_back(c.get());
+  ResultChunkList merged = std::move(list_a);
+  merged.Splice(std::move(list_b));
+  EXPECT_EQ(merged.pair_count(), 70u);
+  ASSERT_EQ(merged.chunk_count(), produced.size());
+  size_t i = 0;
+  for (const ChunkPtr& c : merged) {
+    EXPECT_EQ(c.get(), produced[i++]);
   }
 }
 
@@ -100,6 +166,8 @@ TEST(StatisticsTest, MergeFromAddsEveryCounter) {
   b.prefetch_wasted = 37;
   b.io_batches = 41;
   b.modeled_io_micros = 43;
+  a.frontier_peak_tuples = 50;
+  b.frontier_peak_tuples = 47;
   a.MergeFrom(b);
   EXPECT_EQ(a.disk_reads, 16u);
   EXPECT_EQ(a.buffer_hits, 5u);
@@ -113,6 +181,8 @@ TEST(StatisticsTest, MergeFromAddsEveryCounter) {
   EXPECT_EQ(a.prefetch_wasted, 37u);
   EXPECT_EQ(a.io_batches, 41u);
   EXPECT_EQ(a.modeled_io_micros, 43u);
+  // High-water mark: merged by max, not summed.
+  EXPECT_EQ(a.frontier_peak_tuples, 50u);
 }
 
 // --- shared buffer pool ----------------------------------------------------
@@ -349,7 +419,7 @@ TEST_F(ParallelExecutorTest, MatchesSequentialForAllAlgorithmsAndModes) {
     jopt.buffer_bytes = 32 * 1024;
     const auto sequential =
         RunSpatialJoin(r_->tree(), s_->tree(), jopt, true);
-    const auto expected = testutil::Canonical(sequential.pairs);
+    const auto expected = testutil::Canonical(sequential.chunks);
     for (const unsigned threads : {1u, 2u, 4u, 8u}) {
       for (const bool shared : {true, false}) {
         ParallelExecutorOptions exec;
@@ -361,13 +431,56 @@ TEST_F(ParallelExecutorTest, MatchesSequentialForAllAlgorithmsAndModes) {
         EXPECT_EQ(parallel.pair_count, sequential.pair_count)
             << JoinAlgorithmName(alg) << " threads=" << threads
             << " shared=" << shared;
-        EXPECT_EQ(testutil::Canonical(std::move(parallel.pairs)), expected)
+        EXPECT_EQ(testutil::Canonical(parallel.chunks), expected)
             << JoinAlgorithmName(alg) << " threads=" << threads
             << " shared=" << shared;
         EXPECT_EQ(parallel.total_stats.output_pairs, parallel.pair_count);
       }
     }
   }
+}
+
+TEST_F(ParallelExecutorTest, ParallelMergeSplicesWorkerChunksWithoutCopies) {
+  JoinOptions jopt;
+  jopt.algorithm = JoinAlgorithm::kSJ4;
+  ChunkArena arena(ChunkArena::Options{/*chunk_capacity=*/64});
+  ParallelExecutorOptions exec;
+  exec.num_threads = 4;
+  exec.collect_pairs = true;
+  exec.chunk_arena = &arena;
+  auto first = RunParallelSpatialJoin(r_->tree(), s_->tree(), jopt, exec);
+  EXPECT_EQ(first.chunks.pair_count(), first.pair_count);
+  EXPECT_GT(first.chunks.chunk_count(), size_t{exec.num_threads});
+  // Zero-copy merge, enforced: every block ever allocated is either in
+  // the merged result or is a worker's released staging block. A copying
+  // merge would have needed roughly twice as many blocks.
+  EXPECT_LE(arena.chunks_allocated(),
+            first.chunks.chunk_count() + exec.num_threads + 1);
+  // And the result (sans order) equals the sequential join's.
+  const auto sequential = RunSpatialJoin(r_->tree(), s_->tree(), jopt, true);
+  EXPECT_EQ(testutil::Canonical(first.chunks),
+            testutil::Canonical(sequential.chunks));
+
+  // Arena reuse across runs: releasing the first result returns every
+  // block to the free list, so a second identical run draws from it
+  // instead of allocating. Work stealing varies how many partial chunks
+  // each worker flushes, so allow up to one extra staging block per
+  // worker — but never per-pair growth.
+  const uint64_t allocated_after_first = arena.chunks_allocated();
+  first.chunks.clear();
+  auto second = RunParallelSpatialJoin(r_->tree(), s_->tree(), jopt, exec);
+  EXPECT_EQ(second.pair_count, first.pair_count);
+  EXPECT_LE(arena.chunks_allocated(),
+            allocated_after_first + exec.num_threads);
+}
+
+TEST_F(ParallelExecutorTest, RejectsZeroChunkCapacity) {
+  JoinOptions jopt;
+  ParallelExecutorOptions exec;
+  exec.num_threads = 2;
+  exec.chunk_capacity = 0;
+  EXPECT_DEATH(RunParallelSpatialJoin(r_->tree(), s_->tree(), jopt, exec),
+               "chunk_capacity >= 1");
 }
 
 TEST_F(ParallelExecutorTest, EvictionPolicyAblationsParallelize) {
@@ -381,8 +494,8 @@ TEST_F(ParallelExecutorTest, EvictionPolicyAblationsParallelize) {
     exec.num_threads = 4;
     exec.collect_pairs = true;
     auto parallel = RunParallelSpatialJoin(r_->tree(), s_->tree(), jopt, exec);
-    EXPECT_EQ(testutil::Canonical(std::move(parallel.pairs)),
-              testutil::Canonical(sequential.pairs))
+    EXPECT_EQ(testutil::Canonical(parallel.chunks),
+              testutil::Canonical(sequential.chunks))
         << EvictionPolicyName(policy);
   }
 }
@@ -449,15 +562,15 @@ TEST_F(ParallelExecutorTest, RootLeafFallbackBothOrientations) {
   // Leaf root on the R side.
   const auto seq_r = RunSpatialJoin(tiny.tree(), s_->tree(), jopt, true);
   auto par_r = RunParallelSpatialJoin(tiny.tree(), s_->tree(), jopt, exec);
-  EXPECT_EQ(testutil::Canonical(std::move(par_r.pairs)),
-            testutil::Canonical(seq_r.pairs));
+  EXPECT_EQ(testutil::Canonical(par_r.chunks),
+            testutil::Canonical(seq_r.chunks));
   EXPECT_EQ(par_r.task_count, 1u);
 
   // Leaf root on the S side.
   const auto seq_s = RunSpatialJoin(r_->tree(), tiny.tree(), jopt, true);
   auto par_s = RunParallelSpatialJoin(r_->tree(), tiny.tree(), jopt, exec);
-  EXPECT_EQ(testutil::Canonical(std::move(par_s.pairs)),
-            testutil::Canonical(seq_s.pairs));
+  EXPECT_EQ(testutil::Canonical(par_s.chunks),
+            testutil::Canonical(seq_s.chunks));
   EXPECT_EQ(par_s.task_count, 1u);
 }
 
@@ -498,13 +611,13 @@ TEST_F(ParallelExecutorTest, UnequalHeightsSplitIntoWindowPhaseTasks) {
     exec.collect_pairs = true;
     const auto seq_rs = RunSpatialJoin(tall.tree(), flat.tree(), jopt, true);
     auto par_rs = RunParallelSpatialJoin(tall.tree(), flat.tree(), jopt, exec);
-    EXPECT_EQ(testutil::Canonical(std::move(par_rs.pairs)),
-              testutil::Canonical(seq_rs.pairs))
+    EXPECT_EQ(testutil::Canonical(par_rs.chunks),
+              testutil::Canonical(seq_rs.chunks))
         << "R tall, policy " << HeightPolicyName(policy);
     const auto seq_sr = RunSpatialJoin(flat.tree(), tall.tree(), jopt, true);
     auto par_sr = RunParallelSpatialJoin(flat.tree(), tall.tree(), jopt, exec);
-    EXPECT_EQ(testutil::Canonical(std::move(par_sr.pairs)),
-              testutil::Canonical(seq_sr.pairs))
+    EXPECT_EQ(testutil::Canonical(par_sr.chunks),
+              testutil::Canonical(seq_sr.chunks))
         << "S tall, policy " << HeightPolicyName(policy);
   }
 }
@@ -532,8 +645,8 @@ TEST_F(ParallelExecutorTest, WindowSplitMatchesForExpandingPredicates) {
     const RTree& s = tall_is_r ? flat.tree() : tall.tree();
     const auto sequential = RunSpatialJoin(r, s, jopt, true);
     auto parallel = RunParallelSpatialJoin(r, s, jopt, exec);
-    EXPECT_EQ(testutil::Canonical(std::move(parallel.pairs)),
-              testutil::Canonical(sequential.pairs))
+    EXPECT_EQ(testutil::Canonical(parallel.chunks),
+              testutil::Canonical(sequential.chunks))
         << "tall_is_r=" << tall_is_r;
   }
 }

@@ -64,7 +64,7 @@ TEST(IntegrationTest, PairSetsIdenticalAcrossPageSizes) {
     JoinOptions jopt;
     jopt.algorithm = JoinAlgorithm::kSJ4;
     auto result = RunSpatialJoin(r.tree(), s.tree(), jopt, true);
-    auto pairs = testutil::Canonical(std::move(result.pairs));
+    auto pairs = testutil::Canonical(result.chunks);
     if (first) {
       reference = std::move(pairs);
       first = false;
@@ -157,8 +157,8 @@ TEST(IntegrationTest, BulkLoadedTreesJoinIdentically) {
   jopt.algorithm = JoinAlgorithm::kSJ4;
   auto a = RunSpatialJoin(r_inserted.tree(), s.tree(), jopt, true);
   auto b = RunSpatialJoin(r_str, s.tree(), jopt, true);
-  EXPECT_EQ(testutil::Canonical(std::move(a.pairs)),
-            testutil::Canonical(std::move(b.pairs)));
+  EXPECT_EQ(testutil::Canonical(a.chunks),
+            testutil::Canonical(b.chunks));
 }
 
 TEST(IntegrationTest, WindowQueryThenJoinScenario) {
@@ -181,17 +181,17 @@ TEST(IntegrationTest, WindowQueryThenJoinScenario) {
   jopt.algorithm = JoinAlgorithm::kSJ4;
   const auto result = RunSpatialJoin(r.tree(), s.tree(), jopt, true);
   uint64_t filtered = 0;
-  for (const auto& p : result.pairs) {
-    if (mbrs_r[p.first].Intersects(window)) ++filtered;
-  }
+  result.chunks.ForEachPair([&](const ResultPair& p) {
+    if (mbrs_r[p.r].Intersects(window)) ++filtered;
+  });
   // Consistency: every pair with an R-side object in the window has that
   // object in the window query result.
   std::vector<bool> in_window_flag(mbrs_r.size(), false);
   for (const uint32_t id : in_window) in_window_flag[id] = true;
   uint64_t cross_check = 0;
-  for (const auto& p : result.pairs) {
-    if (in_window_flag[p.first]) ++cross_check;
-  }
+  result.chunks.ForEachPair([&](const ResultPair& p) {
+    if (in_window_flag[p.r]) ++cross_check;
+  });
   EXPECT_EQ(filtered, cross_check);
 }
 

@@ -154,16 +154,102 @@ TEST(IoSchedulerTest, CpuAdvanceOverlapsWithAsyncService) {
   IoScheduler io(options);
   PagedFile file(kPageSize1K);
   const PageId a = file.Allocate();
-  EXPECT_TRUE(io.SubmitAsync(&io, file, a, kPageSize1K));
-  io.CpuAdvance(5000);
-  io.ChargeCpuPerRead();
+  Statistics stats;  // the consumer timeline (actor) of this test
+  EXPECT_TRUE(io.SubmitAsync(&io, file, a, kPageSize1K, &stats));
+  io.CpuAdvance(&stats, 5000);
+  io.ChargeCpuPerRead(&stats);
   EXPECT_EQ(io.NowMicros(), 5700u);
-  Statistics stats;
   io.ConsumePrefetched(&io, file, a, &stats);
   // Service started at 0 and finished at kRandom1K; 5700 us of CPU ran in
   // parallel, so only the residual stall is charged.
   EXPECT_EQ(io.NowMicros(), kRandom1K);
   EXPECT_EQ(stats.modeled_io_micros, kRandom1K - 5700);
+}
+
+TEST(IoSchedulerTest, PerActorClocksOverlapAndMergeByMax) {
+  // Two workers (actors) each pay one synchronous random read on disks of
+  // their own: the modeled elapsed time of the pair is ONE service time
+  // (they ran in parallel), not two — the per-worker-clock semantics the
+  // parallel executors report through SynchronizeClocks().
+  IoScheduler io(IoScheduler::Options{.disks = {.disk_count = 2}});
+  PagedFile file(kPageSize1K);
+  const PageId a = file.Allocate();  // disk 0
+  const PageId b = file.Allocate();  // disk 1
+  Statistics worker_a;
+  Statistics worker_b;
+  EXPECT_FALSE(io.BlockingRead(&io, file, a, kPageSize1K, &worker_a));
+  EXPECT_FALSE(io.BlockingRead(&io, file, b, kPageSize1K, &worker_b));
+  EXPECT_EQ(worker_a.modeled_io_micros, kRandom1K);
+  EXPECT_EQ(worker_b.modeled_io_micros, kRandom1K);
+  EXPECT_EQ(io.NowMicros(), kRandom1K);  // max, not sum
+  EXPECT_EQ(io.SynchronizeClocks(), kRandom1K);
+  // After the join point every new actor starts at the merged floor.
+  Statistics worker_c;
+  io.CpuAdvance(&worker_c, 100);
+  EXPECT_EQ(io.NowMicros(), kRandom1K + 100);
+}
+
+TEST(IoSchedulerTest, SameActorSerializesItsOwnReads) {
+  // One actor issuing two misses on different disks pays them back to
+  // back: a single consumer timeline cannot overlap with itself.
+  IoScheduler io(IoScheduler::Options{.disks = {.disk_count = 2}});
+  PagedFile file(kPageSize1K);
+  const PageId a = file.Allocate();
+  const PageId b = file.Allocate();
+  Statistics stats;
+  io.BlockingRead(&io, file, a, kPageSize1K, &stats);
+  io.BlockingRead(&io, file, b, kPageSize1K, &stats);
+  EXPECT_EQ(stats.modeled_io_micros, 2 * kRandom1K);
+  EXPECT_EQ(io.NowMicros(), 2 * kRandom1K);
+}
+
+// --- timed write path ------------------------------------------------------
+
+TEST(DiskModelTest, WriteCostsLikeAReadPlusSettle) {
+  DiskModelOptions options;
+  options.disk_count = 1;
+  options.write_settle_micros = 2000;
+  SimulatedDiskArray disks(options);
+  PagedFile file(kPageSize1K);
+  const PageId a = file.Allocate();
+  EXPECT_EQ(disks.RandomWriteMicros(kPageSize1K), kRandom1K + 2000);
+  EXPECT_EQ(disks.ServiceWrite(file, a, kPageSize1K, 0), kRandom1K + 2000);
+  EXPECT_EQ(disks.writes_serviced(), 1u);
+  EXPECT_EQ(disks.reads_serviced(), 0u);
+  // Writes hold the arm like reads: a follow-up read queues behind and
+  // rides the sequential discount (same page the arm sits on).
+  EXPECT_EQ(disks.Service(file, a, kPageSize1K, 0),
+            kRandom1K + 2000 + kTransfer1K);
+  EXPECT_EQ(disks.reads_serviced(), 1u);
+}
+
+TEST(IoSchedulerTest, WriteAdvancesActorClockAndCountsDiskWrites) {
+  IoScheduler io(IoScheduler::Options{.disks = {.disk_count = 1}});
+  PagedFile file(kPageSize1K);
+  const PageId a = file.Allocate();
+  Statistics stats;
+  io.Write(&io, file, a, kPageSize1K, &stats);
+  EXPECT_EQ(stats.disk_writes, 1u);
+  EXPECT_EQ(stats.modeled_io_micros, kRandom1K);
+  EXPECT_EQ(io.NowMicros(), kRandom1K);
+  EXPECT_EQ(io.disk_writes(), 1u);
+  // A second write of the page the arm sits on is seek-free.
+  io.Write(&io, file, a, kPageSize1K, &stats);
+  EXPECT_EQ(stats.disk_writes, 2u);
+  EXPECT_EQ(io.NowMicros(), kRandom1K + kTransfer1K);
+}
+
+TEST(IoSchedulerTest, WritesOfDistinctActorsOverlapAcrossDisks) {
+  IoScheduler io(IoScheduler::Options{.disks = {.disk_count = 2}});
+  PagedFile file(kPageSize1K);
+  const PageId a = file.Allocate();  // disk 0
+  const PageId b = file.Allocate();  // disk 1
+  Statistics worker_a;
+  Statistics worker_b;
+  io.Write(&io, file, a, kPageSize1K, &worker_a);
+  io.Write(&io, file, b, kPageSize1K, &worker_b);
+  EXPECT_EQ(io.disk_writes(), 2u);
+  EXPECT_EQ(io.SynchronizeClocks(), kRandom1K);  // parallel, max-merged
 }
 
 TEST(IoSchedulerTest, CoalescingIsScopedPerOwner) {
@@ -258,8 +344,8 @@ TEST(IoSchedulerTest, PrefetchedJoinWinsModeledTimeOnTwoDisks) {
     on = RunSpatialJoinWithIo(r.tree(), s.tree(), jopt, &io,
                               /*prefetch=*/true, 16, true, &elapsed_on);
   }
-  EXPECT_EQ(testutil::Canonical(std::move(on.pairs)),
-            testutil::Canonical(std::move(off.pairs)));
+  EXPECT_EQ(testutil::Canonical(on.chunks),
+            testutil::Canonical(off.chunks));
   EXPECT_GT(on.stats.prefetch_issued, 0u);
   EXPECT_GT(on.stats.prefetch_hits, 0u);
   EXPECT_GT(elapsed_off, 0u);

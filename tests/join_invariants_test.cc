@@ -136,8 +136,8 @@ TEST_F(JoinInvariantsTest, SweepOutputIsPermutationOfNestedLoopOutput) {
   sweep.algorithm = JoinAlgorithm::kSJ3;
   auto a = RunSpatialJoin(r_->tree(), s_->tree(), nested, true);
   auto b = RunSpatialJoin(r_->tree(), s_->tree(), sweep, true);
-  EXPECT_EQ(testutil::Canonical(std::move(a.pairs)),
-            testutil::Canonical(std::move(b.pairs)));
+  EXPECT_EQ(testutil::Canonical(a.chunks),
+            testutil::Canonical(b.chunks));
 }
 
 TEST_F(JoinInvariantsTest, OutputPairsMatchesEmittedCount) {
@@ -145,7 +145,7 @@ TEST_F(JoinInvariantsTest, OutputPairsMatchesEmittedCount) {
     JoinOptions jopt;
     jopt.algorithm = alg;
     const auto result = RunSpatialJoin(r_->tree(), s_->tree(), jopt, true);
-    EXPECT_EQ(result.stats.output_pairs, result.pairs.size())
+    EXPECT_EQ(result.stats.output_pairs, result.chunks.pair_count())
         << JoinAlgorithmName(alg);
   }
 }
@@ -156,9 +156,10 @@ TEST_F(JoinInvariantsTest, JoinIsSymmetricUpToPairOrientation) {
   auto forward = RunSpatialJoin(r_->tree(), s_->tree(), jopt, true);
   auto backward = RunSpatialJoin(s_->tree(), r_->tree(), jopt, true);
   ASSERT_EQ(forward.pair_count, backward.pair_count);
-  for (auto& p : backward.pairs) std::swap(p.first, p.second);
-  EXPECT_EQ(testutil::Canonical(std::move(forward.pairs)),
-            testutil::Canonical(std::move(backward.pairs)));
+  auto swapped = backward.chunks.CopyPairs();
+  for (auto& p : swapped) std::swap(p.first, p.second);
+  EXPECT_EQ(testutil::Canonical(forward.chunks),
+            testutil::Canonical(std::move(swapped)));
 }
 
 }  // namespace

@@ -62,8 +62,8 @@ TEST_P(JoinCorrectnessTest, MatchesBruteForce) {
   jopt.buffer_bytes = c.buffer_bytes;
   const JoinRunResult result =
       RunSpatialJoin(r.tree(), s.tree(), jopt, /*collect_pairs=*/true);
-  EXPECT_EQ(testutil::Canonical(result.pairs), Oracle(rects_r, rects_s));
-  EXPECT_EQ(result.pair_count, result.pairs.size());
+  EXPECT_EQ(testutil::Canonical(result.chunks), Oracle(rects_r, rects_s));
+  EXPECT_EQ(result.pair_count, result.chunks.pair_count());
   EXPECT_EQ(result.stats.output_pairs, result.pair_count);
 }
 
@@ -162,9 +162,10 @@ TEST(JoinEdgeTest, SelfJoinOfIdenticalTreesContainsDiagonal) {
   jopt.algorithm = JoinAlgorithm::kSJ4;
   const auto result = RunSpatialJoin(r.tree(), s.tree(), jopt, true);
   size_t diagonal = 0;
-  for (const auto& p : result.pairs) diagonal += p.first == p.second;
+  result.chunks.ForEachPair(
+      [&](const ResultPair& p) { diagonal += p.r == p.s; });
   EXPECT_EQ(diagonal, rects.size());
-  EXPECT_EQ(testutil::Canonical(result.pairs), Oracle(rects, rects));
+  EXPECT_EQ(testutil::Canonical(result.chunks), Oracle(rects, rects));
 }
 
 TEST(JoinEdgeTest, DegenerateRectangles) {
@@ -187,7 +188,7 @@ TEST(JoinEdgeTest, DegenerateRectangles) {
     JoinOptions jopt;
     jopt.algorithm = alg;
     const auto result = RunSpatialJoin(rr.tree(), ss.tree(), jopt, true);
-    EXPECT_EQ(testutil::Canonical(result.pairs), Oracle(r, s));
+    EXPECT_EQ(testutil::Canonical(result.chunks), Oracle(r, s));
   }
 }
 
@@ -346,12 +347,12 @@ TEST_P(HeightPolicyTest, MatchesBruteForceWithHeightGap) {
   jopt.height_policy = c.policy;
   jopt.buffer_bytes = c.buffer_bytes;
   const auto result = RunSpatialJoin(r.tree(), s.tree(), jopt, true);
-  EXPECT_EQ(testutil::Canonical(result.pairs), Oracle(rects_r, rects_s));
+  EXPECT_EQ(testutil::Canonical(result.chunks), Oracle(rects_r, rects_s));
   EXPECT_GT(result.stats.window_queries, 0u);
 
   // Swapped operands: S deeper than R.
   const auto swapped = RunSpatialJoin(s.tree(), r.tree(), jopt, true);
-  EXPECT_EQ(testutil::Canonical(swapped.pairs), Oracle(rects_s, rects_r));
+  EXPECT_EQ(testutil::Canonical(swapped.chunks), Oracle(rects_s, rects_r));
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,14 +1,19 @@
 // Tests for the parallel multi-way chain executor: exact tuple-multiset
 // equivalence with the sequential chain join across chain lengths, thread
-// counts, predicates and pool modes, plus the decode savings of the
-// shared node cache.
+// counts, predicates, pool modes and both formulations (streaming
+// pipeline vs materialized baseline), the decode savings of the shared
+// node cache, the bounded-channel backpressure, and the pipeline's
+// frontier-memory ceiling (frontier_peak_tuples).
 
 #include "exec/multiway_executor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include <gtest/gtest.h>
 
+#include "exec/frontier_channel.h"
 #include "tests/test_util.h"
 
 namespace rsj {
@@ -65,18 +70,24 @@ TEST_F(MultiwayExecTest, MatchesSequentialAcrossThreadsAndPredicates) {
       jopt.epsilon = predicate == JoinPredicate::kWithinDistance ? 0.01 : 0.0;
       auto sequential = RunChainSpatialJoin(chain, jopt, true);
       std::sort(sequential.tuples.begin(), sequential.tuples.end());
-      for (const unsigned threads : {1u, 2u, 4u, 8u}) {
-        ParallelExecutorOptions exec;
-        exec.num_threads = threads;
-        auto parallel =
-            RunParallelChainSpatialJoin(chain, jopt, exec, true);
-        EXPECT_EQ(parallel.tuple_count, sequential.tuple_count)
-            << "chain=" << chain_len << " threads=" << threads << " "
-            << JoinPredicateName(predicate);
-        std::sort(parallel.tuples.begin(), parallel.tuples.end());
-        EXPECT_EQ(parallel.tuples, sequential.tuples)
-            << "chain=" << chain_len << " threads=" << threads << " "
-            << JoinPredicateName(predicate);
+      for (const bool pipelined : {true, false}) {
+        for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+          ParallelExecutorOptions exec;
+          exec.num_threads = threads;
+          exec.pipelined = pipelined;
+          auto parallel =
+              RunParallelChainSpatialJoin(chain, jopt, exec, true);
+          EXPECT_EQ(parallel.tuple_count, sequential.tuple_count)
+              << "chain=" << chain_len << " threads=" << threads
+              << " pipelined=" << pipelined << " "
+              << JoinPredicateName(predicate);
+          EXPECT_EQ(parallel.used_pipeline, pipelined && threads > 1);
+          std::sort(parallel.tuples.begin(), parallel.tuples.end());
+          EXPECT_EQ(parallel.tuples, sequential.tuples)
+              << "chain=" << chain_len << " threads=" << threads
+              << " pipelined=" << pipelined << " "
+              << JoinPredicateName(predicate);
+        }
       }
     }
   }
@@ -88,14 +99,138 @@ TEST_F(MultiwayExecTest, PrivatePoolModeMatchesToo) {
   jopt.algorithm = JoinAlgorithm::kSJ4;
   auto sequential = RunChainSpatialJoin(chain, jopt, true);
   std::sort(sequential.tuples.begin(), sequential.tuples.end());
+  for (const bool pipelined : {true, false}) {
+    ParallelExecutorOptions exec;
+    exec.num_threads = 4;
+    exec.shared_pool = false;
+    exec.pipelined = pipelined;
+    auto parallel = RunParallelChainSpatialJoin(chain, jopt, exec, true);
+    EXPECT_FALSE(parallel.used_shared_pool);
+    EXPECT_FALSE(parallel.used_node_cache);
+    std::sort(parallel.tuples.begin(), parallel.tuples.end());
+    EXPECT_EQ(parallel.tuples, sequential.tuples)
+        << "pipelined=" << pipelined;
+  }
+}
+
+TEST_F(MultiwayExecTest, PipelinePeakFrontierIsBoundedByChunksInFlight) {
+  // Tiny chunks + a tight channel bound force many in-flight handoffs;
+  // the gauge must stay below the structural ceiling
+  //   phases × (channel_bound + 2 × workers) × chunk_capacity
+  // (queued chunks + one in-process chunk per consumer + one partial
+  // chunk per producer) and strictly below the materialized
+  // formulation's whole-frontier peak — on identical tuple multisets.
+  for (const size_t chain_len : {size_t{3}, size_t{4}}) {
+    const auto chain = Chain(chain_len);
+    JoinOptions jopt;
+    jopt.algorithm = JoinAlgorithm::kSJ4;
+    ParallelExecutorOptions exec;
+    exec.num_threads = 4;
+    exec.chunk_capacity = 8;
+    exec.channel_bound = 2;
+    exec.pipelined = true;
+    auto piped = RunParallelChainSpatialJoin(chain, jopt, exec, true);
+    exec.pipelined = false;
+    auto materialized = RunParallelChainSpatialJoin(chain, jopt, exec, true);
+
+    std::sort(piped.tuples.begin(), piped.tuples.end());
+    std::sort(materialized.tuples.begin(), materialized.tuples.end());
+    EXPECT_EQ(piped.tuples, materialized.tuples) << "chain=" << chain_len;
+
+    const uint64_t phases = chain_len - 2;
+    const uint64_t ceiling =
+        phases * (exec.channel_bound + 2 * exec.num_threads) *
+        exec.chunk_capacity;
+    EXPECT_GT(piped.total_stats.frontier_peak_tuples, 0u)
+        << "chain=" << chain_len;
+    EXPECT_LE(piped.total_stats.frontier_peak_tuples, ceiling)
+        << "chain=" << chain_len;
+    // The materialized peak is the largest whole frontier — identical to
+    // the sequential accounting — and the pipeline stays strictly below.
+    const auto sequential = RunChainSpatialJoin(chain, jopt, false);
+    EXPECT_EQ(materialized.total_stats.frontier_peak_tuples,
+              sequential.stats.frontier_peak_tuples);
+    EXPECT_LT(piped.total_stats.frontier_peak_tuples,
+              materialized.total_stats.frontier_peak_tuples)
+        << "chain=" << chain_len;
+  }
+}
+
+TEST(FrontierChannelTest, BoundedPushBlocksUntilASlowConsumerPops) {
+  FrontierChannel channel(/*bound=*/2, /*producers=*/1);
+  auto make_chunk = [](uint32_t v) {
+    FrontierChunk chunk;
+    chunk.arity = 2;
+    chunk.flat = {v, v};
+    return chunk;
+  };
+  channel.Push(make_chunk(0));
+  channel.Push(make_chunk(1));
+  EXPECT_EQ(channel.size(), 2u);
+  // The channel is full: the third push must block until a pop frees a
+  // slot (backpressure under a slow consumer).
+  std::thread producer([&]() {
+    channel.Push(make_chunk(2));
+    channel.RetireProducer();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(channel.chunks_pushed(), 2u);  // still blocked
+  EXPECT_EQ(channel.size(), 2u);
+  FrontierChunk out;
+  ASSERT_TRUE(channel.Pop(&out));
+  EXPECT_EQ(out.flat[0], 0u);  // FIFO
+  producer.join();
+  EXPECT_EQ(channel.chunks_pushed(), 3u);
+  EXPECT_LE(channel.peak_size(), channel.bound());
+  ASSERT_TRUE(channel.Pop(&out));
+  ASSERT_TRUE(channel.Pop(&out));
+  EXPECT_EQ(out.flat[0], 2u);
+  // Drained and the only producer retired: Pop reports closure.
+  EXPECT_FALSE(channel.Pop(&out));
+}
+
+TEST(FrontierChannelTest, PopBlocksUntilProducersRetire) {
+  FrontierChannel channel(/*bound=*/4, /*producers=*/2);
+  std::thread consumer([&]() {
+    FrontierChunk out;
+    EXPECT_FALSE(channel.Pop(&out));  // wakes only on full retirement
+  });
+  channel.RetireProducer();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  channel.RetireProducer();
+  consumer.join();
+}
+
+TEST_F(MultiwayExecTest, RejectsZeroChunkCapacityAndChannelBound) {
+  const auto chain = Chain(3);
+  JoinOptions jopt;
   ParallelExecutorOptions exec;
   exec.num_threads = 4;
-  exec.shared_pool = false;
-  auto parallel = RunParallelChainSpatialJoin(chain, jopt, exec, true);
-  EXPECT_FALSE(parallel.used_shared_pool);
-  EXPECT_FALSE(parallel.used_node_cache);
-  std::sort(parallel.tuples.begin(), parallel.tuples.end());
-  EXPECT_EQ(parallel.tuples, sequential.tuples);
+  exec.chunk_capacity = 0;
+  EXPECT_DEATH(RunParallelChainSpatialJoin(chain, jopt, exec),
+               "chunk_capacity >= 1");
+  exec.chunk_capacity = 1024;
+  exec.channel_bound = 0;
+  EXPECT_DEATH(RunParallelChainSpatialJoin(chain, jopt, exec),
+               "channel_bound >= 1");
+}
+
+TEST_F(MultiwayExecTest, ZeroPartitionMultiplierStillProbesEveryTuple) {
+  // Regression for the probe-chunk sizing: a zero multiplier used to zero
+  // the target_chunks divisor.
+  const auto chain = Chain(3);
+  JoinOptions jopt;
+  jopt.algorithm = JoinAlgorithm::kSJ4;
+  auto sequential = RunChainSpatialJoin(chain, jopt, false);
+  for (const bool pipelined : {true, false}) {
+    ParallelExecutorOptions exec;
+    exec.num_threads = 2;
+    exec.partition_multiplier = 0;
+    exec.pipelined = pipelined;
+    const auto parallel = RunParallelChainSpatialJoin(chain, jopt, exec);
+    EXPECT_EQ(parallel.tuple_count, sequential.tuple_count)
+        << "pipelined=" << pipelined;
+  }
 }
 
 TEST_F(MultiwayExecTest, ReportsProbeTelemetryAndWorkerStats) {

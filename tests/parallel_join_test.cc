@@ -48,13 +48,13 @@ TEST_F(ParallelJoinTest, MatchesSequentialAcrossThreadCounts) {
   jopt.algorithm = JoinAlgorithm::kSJ4;
   jopt.buffer_bytes = 32 * 1024;
   const auto sequential = RunSpatialJoin(r_->tree(), s_->tree(), jopt, true);
-  const auto expected = testutil::Canonical(sequential.pairs);
+  const auto expected = testutil::Canonical(sequential.chunks);
   for (const unsigned threads : {1u, 2u, 3u, 4u, 8u, 64u}) {
     auto parallel = RunParallelSpatialJoin(r_->tree(), s_->tree(), jopt,
                                            threads, /*collect_pairs=*/true);
     EXPECT_EQ(parallel.pair_count, sequential.pair_count)
         << threads << " threads";
-    EXPECT_EQ(testutil::Canonical(std::move(parallel.pairs)), expected)
+    EXPECT_EQ(testutil::Canonical(parallel.chunks), expected)
         << threads << " threads";
   }
 }
@@ -108,8 +108,8 @@ TEST(ParallelJoinEdgeTest, LeafRootFallsBackToSequential) {
   auto parallel = RunParallelSpatialJoin(tiny.tree(), big.tree(), jopt, 8,
                                          /*collect_pairs=*/true);
   EXPECT_EQ(parallel.pair_count, sequential.pair_count);
-  EXPECT_EQ(testutil::Canonical(std::move(parallel.pairs)),
-            testutil::Canonical(sequential.pairs));
+  EXPECT_EQ(testutil::Canonical(parallel.chunks),
+            testutil::Canonical(sequential.chunks));
 }
 
 TEST(ParallelJoinEdgeTest, EmptyTrees) {
@@ -137,8 +137,8 @@ TEST(ParallelJoinEdgeTest, DistanceJoinParallelizes) {
   const auto sequential = RunSpatialJoin(r.tree(), s.tree(), jopt, true);
   auto parallel =
       RunParallelSpatialJoin(r.tree(), s.tree(), jopt, 6, true);
-  EXPECT_EQ(testutil::Canonical(std::move(parallel.pairs)),
-            testutil::Canonical(sequential.pairs));
+  EXPECT_EQ(testutil::Canonical(parallel.chunks),
+            testutil::Canonical(sequential.chunks));
 }
 
 }  // namespace

@@ -106,8 +106,8 @@ TEST_F(PersistenceTest, JoinOnLoadedTrees) {
   ASSERT_TRUE(loaded_s.has_value());
   const auto after =
       RunSpatialJoin(*loaded_r->tree, *loaded_s->tree, jopt, true);
-  EXPECT_EQ(testutil::Canonical(after.pairs),
-            testutil::Canonical(before.pairs));
+  EXPECT_EQ(testutil::Canonical(after.chunks),
+            testutil::Canonical(before.chunks));
   std::filesystem::remove(path_s);
 }
 

@@ -132,7 +132,7 @@ TEST_P(PredicateJoinTest, MatchesBruteForce) {
   jopt.epsilon = c.epsilon;
   jopt.buffer_bytes = 16 * 1024;
   const auto result = RunSpatialJoin(r.tree(), s.tree(), jopt, true);
-  EXPECT_EQ(testutil::Canonical(result.pairs),
+  EXPECT_EQ(testutil::Canonical(result.chunks),
             testutil::Canonical(
                 Oracle(rects_r, rects_s, c.predicate, c.epsilon)));
 }
@@ -180,14 +180,14 @@ TEST(PredicateJoinHeightTest, DistanceJoinAcrossHeightGap) {
     jopt.epsilon = 0.02;
     jopt.height_policy = policy;
     const auto result = RunSpatialJoin(r.tree(), s.tree(), jopt, true);
-    EXPECT_EQ(testutil::Canonical(result.pairs),
+    EXPECT_EQ(testutil::Canonical(result.chunks),
               testutil::Canonical(Oracle(rects_r, rects_s,
                                          JoinPredicate::kWithinDistance,
                                          0.02)))
         << "policy " << HeightPolicyName(policy);
     // Swapped operands (S deeper side carries no expansion).
     const auto swapped = RunSpatialJoin(s.tree(), r.tree(), jopt, true);
-    EXPECT_EQ(testutil::Canonical(swapped.pairs),
+    EXPECT_EQ(testutil::Canonical(swapped.chunks),
               testutil::Canonical(Oracle(rects_s, rects_r,
                                          JoinPredicate::kWithinDistance,
                                          0.02)));
@@ -207,7 +207,7 @@ TEST(PredicateJoinHeightTest, ContainsAcrossHeightGap) {
   jopt.algorithm = JoinAlgorithm::kSJ4;
   jopt.predicate = JoinPredicate::kContains;
   const auto result = RunSpatialJoin(r.tree(), s.tree(), jopt, true);
-  EXPECT_EQ(testutil::Canonical(result.pairs),
+  EXPECT_EQ(testutil::Canonical(result.chunks),
             testutil::Canonical(
                 Oracle(rects_r, rects_s, JoinPredicate::kContains, 0)));
 }
@@ -243,7 +243,7 @@ TEST(PredicateJoinTest, ContainsSubsetOfIntersects) {
     jopt.algorithm = JoinAlgorithm::kSJ4;
     jopt.predicate = pred;
     auto res = RunSpatialJoin(r.tree(), s.tree(), jopt, true);
-    return testutil::Canonical(std::move(res.pairs));
+    return testutil::Canonical(res.chunks);
   };
   const auto contains = run(JoinPredicate::kContains);
   const auto intersects = run(JoinPredicate::kIntersects);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "datagen/rng.h"
+#include "exec/result_sink.h"
 #include "geom/rect.h"
 
 namespace rsj {
@@ -62,6 +63,13 @@ inline std::vector<std::pair<uint32_t, uint32_t>> Canonical(
     std::vector<std::pair<uint32_t, uint32_t>> pairs) {
   std::sort(pairs.begin(), pairs.end());
   return pairs;
+}
+
+// Flattens a chunked result (the engines' native output representation)
+// and sorts it, so chunked and flat results compare as sets.
+inline std::vector<std::pair<uint32_t, uint32_t>> Canonical(
+    const ResultChunkList& chunks) {
+  return Canonical(chunks.CopyPairs());
 }
 
 }  // namespace testutil
