@@ -17,6 +17,19 @@
 // cascades shutdown down the pipeline. The phase topology is a DAG
 // (phase k only ever pushes to phase k+1), so blocking pushes cannot
 // deadlock: the dedicated downstream consumers never push upstream.
+//
+// Ownership & threading contracts:
+//   * The channel is thread-safe: any number of producer and consumer
+//     threads may call Push/Pop concurrently; accessors are snapshots.
+//   * The executor that builds the pipeline owns the channel and must
+//     keep it alive until every producer has retired and every consumer
+//     has seen Pop() == false — in practice, until the phase teams are
+//     joined.
+//   * Exactly `producers` threads must each call RetireProducer() once;
+//     pushing after retiring (or by an unregistered thread) is a
+//     contract violation.
+//   * A popped FrontierChunk is owned by the consumer; its flat storage
+//     is one allocation that moves through the channel without copying.
 
 #ifndef RSJ_EXEC_FRONTIER_CHANNEL_H_
 #define RSJ_EXEC_FRONTIER_CHANNEL_H_

@@ -186,6 +186,9 @@ struct PipelineProbeWorker {
   uint64_t chunks = 0;
   uint64_t final_tuples = 0;                   // last phase: tuples emitted
   std::vector<std::vector<uint32_t>> tuples;   // last phase, when collected
+  std::unique_ptr<TupleSpiller> spiller;       // last phase, when spilling
+  SpilledTupleSet spilled;                     // the spiller's share, taken
+                                               // on the worker's own thread
   std::thread thread;
 };
 
@@ -398,7 +401,14 @@ ParallelChainJoinResult RunMaterializedChain(
       std::max(result.total_stats.frontier_peak_tuples, frontier_peak);
 
   result.tuple_count = frontier.size();
-  if (collect_tuples) result.tuples = std::move(frontier);
+  if (collect_tuples) {
+    result.tuples = std::move(frontier);
+    // The materialized formulation holds its whole collected output;
+    // report it in chunk-capacity units (see result_peak_chunks_resident).
+    const uint64_t cap = exec_options.chunk_capacity;
+    result.total_stats.NoteResultChunksResident(
+        (result.tuple_count + cap - 1) / cap);
+  }
   return result;
 }
 
@@ -433,6 +443,18 @@ ParallelChainJoinResult RunPipelinedChain(
       HintProbeRoot(*relations[next].tree, shared, shared_nodes,
                     prefetcher, &chain_coordinator);
     }
+  }
+
+  // Spill context of the final tuple set: one serialized file and one
+  // resident budget shared by the last phase's workers (exec/spill_sink.h).
+  const bool spill_on = collect_tuples && exec_options.spill_results;
+  std::shared_ptr<SpillFile> spill_file;
+  std::unique_ptr<ResidentBudget> spill_budget;
+  if (spill_on) {
+    spill_file = std::make_shared<SpillFile>(
+        SpillFile::Options{exec_options.spill_page_size, io});
+    spill_budget =
+        std::make_unique<ResidentBudget>(exec_options.spill_budget_chunks);
   }
 
   FrontierGauge gauge;
@@ -476,6 +498,12 @@ ParallelChainJoinResult RunPipelinedChain(
               Prefetcher::Options{exec_options.prefetch_ahead});
         }
       }
+      if (last_phase && spill_on) {
+        worker->spiller = std::make_unique<TupleSpiller>(
+            static_cast<uint32_t>(relations.size()),
+            exec_options.chunk_capacity, spill_file.get(),
+            spill_budget.get(), &worker->stats);
+      }
       PipelineProbeWorker* const self = worker.get();
       worker->thread = std::thread([&, self, probe_tree, prev_rects, input,
                                     output, out_arity, last_phase]() {
@@ -509,7 +537,9 @@ ParallelChainJoinResult RunPipelinedChain(
             for (const uint32_t id : matches) {
               if (last_phase) {
                 ++self->final_tuples;
-                if (collect_tuples) {
+                if (self->spiller != nullptr) {
+                  self->spiller->Append(tuple, chunk.arity, id);
+                } else if (collect_tuples) {
                   std::vector<uint32_t> full(tuple, tuple + chunk.arity);
                   full.push_back(id);
                   self->tuples.push_back(std::move(full));
@@ -523,6 +553,12 @@ ParallelChainJoinResult RunPipelinedChain(
         }
         if (writer != nullptr) writer->Flush();
         if (output != nullptr) output->RetireProducer();
+        if (self->spiller != nullptr) {
+          // Seal + (possibly) spill the final partial chunk on this
+          // worker's own thread, so its timed writes land before the
+          // coordinator drains and merges the clocks.
+          self->spilled = self->spiller->Take();
+        }
       });
       teams[k].push_back(std::move(worker));
     }
@@ -588,6 +624,9 @@ ParallelChainJoinResult RunPipelinedChain(
       result.worker_stats[w].MergeFrom(worker.stats);
       result.total_stats.MergeFrom(worker.stats);
       result.tuple_count += worker.final_tuples;
+      if (spill_on) {
+        result.spilled_tuples.MergeFrom(std::move(worker.spilled));
+      }
       if (collect_tuples && !worker.tuples.empty()) {
         if (result.tuples.empty()) {
           result.tuples = std::move(worker.tuples);
@@ -603,6 +642,17 @@ ParallelChainJoinResult RunPipelinedChain(
   result.total_stats.frontier_peak_tuples =
       std::max(result.total_stats.frontier_peak_tuples,
                gauge.peak.load(std::memory_order_relaxed));
+  if (spill_on) {
+    result.spilled_tuples.arity = static_cast<uint32_t>(relations.size());
+    result.spilled_tuples.file = std::move(spill_file);
+    result.total_stats.NoteResultChunksResident(spill_budget->peak());
+  } else if (collect_tuples) {
+    // Materialized tuple vectors report their whole collected output in
+    // chunk-capacity units, so spill-on/off A/Bs compare one counter.
+    const uint64_t cap = exec_options.chunk_capacity;
+    result.total_stats.NoteResultChunksResident(
+        (result.tuple_count + cap - 1) / cap);
+  }
   return result;
 }
 

@@ -49,7 +49,19 @@ struct ParallelChainJoinResult {
   uint64_t tuple_count = 0;
   // Tuples of object ids, one per relation, when collected. The multiset
   // equals the sequential result; the order is scheduling-dependent.
+  // Empty when spill_results applied (see spilled_tuples below) — the
+  // collected tuples then land in `spilled_tuples` instead.
   std::vector<std::vector<uint32_t>> tuples;
+  // The bounded-memory tuple set: final-phase tuple chunks past the
+  // resident budget are serialized to the spill file through the timed
+  // write path and streamed back on demand (exec/spill_sink.h). Filled
+  // only when exec_options.spill_results applies, which is the PIPELINED
+  // executions (collect_tuples, num_threads > 1, >= 3 relations,
+  // pipelined = true): the sequential fallback, 2-relation chains and
+  // the materialized A/B formulation ignore spill_results and collect
+  // into `tuples` unbounded (their whole output is still reported via
+  // result_peak_chunks_resident).
+  SpilledTupleSet spilled_tuples;
   // Aggregated counters (coordinator + all workers, all phases).
   // total_stats.frontier_peak_tuples is the run's peak live intermediate
   // tuple count: whole frontiers when materialized, chunks in flight when

@@ -40,14 +40,13 @@ struct WorkerContext {
 // already built), the run goes through it — so the shared pool, the node
 // cache and the attached I/O model keep accounting; nullptr (the
 // num_threads <= 1 early fallback) runs over a fresh private buffer like
-// RunSpatialJoin always did.
-ParallelJoinResult SequentialFallback(const RTree& r, const RTree& s,
-                                      const JoinOptions& options,
-                                      bool collect_pairs,
-                                      const ChunkArena& arena,
-                                      const SinkFactory* sink_factory,
-                                      PageCache* cache = nullptr,
-                                      NodeCache* nodes = nullptr) {
+// RunSpatialJoin always did. Spilling works exactly like the parallel
+// path, over a run-private spill file.
+ParallelJoinResult SequentialFallback(
+    const RTree& r, const RTree& s, const JoinOptions& options,
+    const ParallelExecutorOptions& exec_options, const ChunkArena& arena,
+    const SinkFactory* sink_factory, PageCache* cache = nullptr,
+    NodeCache* nodes = nullptr) {
   ParallelJoinResult result;
   result.worker_task_counts.push_back(1);
   result.task_count = 1;
@@ -65,11 +64,22 @@ ParallelJoinResult SequentialFallback(const RTree& r, const RTree& s,
     const uint64_t before = sink->count();
     run(sink);
     result.pair_count = sink->count() - before;
-  } else if (collect_pairs) {
+  } else if (exec_options.collect_pairs && exec_options.spill_results) {
+    auto file = std::make_shared<SpillFile>(SpillFile::Options{
+        exec_options.spill_page_size, exec_options.io_scheduler});
+    ResidentBudget budget(exec_options.spill_budget_chunks);
+    SpillingSink sink(arena, file.get(), &budget, &stats);
+    run(&sink);
+    result.pair_count = sink.count();
+    result.spilled = sink.TakeResult();
+    result.spilled.file = std::move(file);
+    stats.NoteResultChunksResident(budget.peak());
+  } else if (exec_options.collect_pairs) {
     MaterializingSink sink{arena};
     run(&sink);
     result.pair_count = sink.count();
     result.chunks = sink.TakeChunks();
+    stats.NoteResultChunksResident(result.chunks.chunk_count());
   } else {
     CountingSink sink;
     run(&sink);
@@ -88,6 +98,9 @@ ParallelJoinResult RunParallelSpatialJoinImpl(
                 "joined trees must share one page size");
   RSJ_CHECK_MSG(exec_options.chunk_capacity >= 1,
                 "executor needs chunk_capacity >= 1");
+  RSJ_CHECK_MSG(!exec_options.spill_results ||
+                    exec_options.spill_budget_chunks >= 1,
+                "executor needs spill_budget_chunks >= 1");
   // One arena recycles chunk blocks across all worker sinks (and, when the
   // caller passed one, across runs). The handle is copied into each sink;
   // the blocks of the returned chunk list stay alive either way.
@@ -97,8 +110,8 @@ ParallelJoinResult RunParallelSpatialJoinImpl(
           : ChunkArena(ChunkArena::Options{exec_options.chunk_capacity,
                                            /*max_free_chunks=*/1024});
   if (exec_options.num_threads <= 1) {
-    return SequentialFallback(r, s, options, exec_options.collect_pairs,
-                              arena, sink_factory);
+    return SequentialFallback(r, s, options, exec_options, arena,
+                              sink_factory);
   }
 
   ParallelJoinResult result;
@@ -110,6 +123,19 @@ ParallelJoinResult RunParallelSpatialJoinImpl(
   const bool owns_io = io != nullptr && sink_factory == nullptr;
   const uint64_t io_clock_before = owns_io ? io->NowMicros() : 0;
   const uint64_t io_batches_before = owns_io ? io->io_batches() : 0;
+
+  // Run-wide spill context: one serialized result file and one resident
+  // budget shared by every worker's spilling sink.
+  const bool spill_on = exec_options.collect_pairs &&
+                        exec_options.spill_results && sink_factory == nullptr;
+  std::shared_ptr<SpillFile> spill_file;
+  std::unique_ptr<ResidentBudget> spill_budget;
+  if (spill_on) {
+    spill_file = std::make_shared<SpillFile>(
+        SpillFile::Options{exec_options.spill_page_size, io});
+    spill_budget =
+        std::make_unique<ResidentBudget>(exec_options.spill_budget_chunks);
+  }
 
   // The shared pool (and the decode cache over it) is created before
   // partitioning so the coordinator's directory reads and decodes warm it
@@ -174,8 +200,8 @@ ParallelJoinResult RunParallelSpatialJoinImpl(
     // and stay counted, and the mode flags keep describing what was
     // actually set up.
     ParallelJoinResult fallback =
-        SequentialFallback(r, s, options, exec_options.collect_pairs, arena,
-                           sink_factory, coordinator_cache, nodes);
+        SequentialFallback(r, s, options, exec_options, arena, sink_factory,
+                           coordinator_cache, nodes);
     fallback.total_stats.MergeFrom(coordinator);
     fallback.used_shared_pool = result.used_shared_pool;
     fallback.used_node_cache = result.used_node_cache;
@@ -248,7 +274,10 @@ ParallelJoinResult RunParallelSpatialJoinImpl(
       ctx->sink = (*sink_factory)(w);
       ctx->sink_count_before = ctx->sink->count();
     } else {
-      if (exec_options.collect_pairs) {
+      if (spill_on) {
+        ctx->owned_sink = std::make_unique<SpillingSink>(
+            arena, spill_file.get(), spill_budget.get(), &ctx->stats);
+      } else if (exec_options.collect_pairs) {
         ctx->owned_sink = std::make_unique<MaterializingSink>(arena);
       } else {
         ctx->owned_sink = std::make_unique<CountingSink>();
@@ -278,6 +307,10 @@ ParallelJoinResult RunParallelSpatialJoinImpl(
         ctx.engine->ProcessPartition(task.er, task.es, ctx.sink);
       });
 
+  // Flush before the clock merge: a spilling sink's final partial chunk
+  // may issue timed writes, which belong inside the modeled window.
+  for (unsigned w = 0; w < workers; ++w) contexts[w]->sink->Flush();
+
   if (owns_io) {
     io->Drain();
     coordinator.io_batches += io->io_batches() - io_batches_before;
@@ -287,11 +320,13 @@ ParallelJoinResult RunParallelSpatialJoinImpl(
   }
 
   result.total_stats.MergeFrom(coordinator);
-  for (unsigned w = 0; w < workers; ++w) contexts[w]->sink->Flush();
   for (unsigned w = 0; w < workers; ++w) {
     WorkerContext& ctx = *contexts[w];
     result.pair_count += ctx.sink->count() - ctx.sink_count_before;
-    if (sink_factory == nullptr && exec_options.collect_pairs) {
+    if (spill_on) {
+      result.spilled.MergeFrom(
+          static_cast<SpillingSink*>(ctx.sink)->TakeResult());
+    } else if (sink_factory == nullptr && exec_options.collect_pairs) {
       // The merge is chunk-list splicing: every pair stays in the block
       // its producing worker wrote it into, and only chunk pointers move.
       result.chunks.Splice(
@@ -299,6 +334,14 @@ ParallelJoinResult RunParallelSpatialJoinImpl(
     }
     result.worker_stats.push_back(ctx.stats);
     result.total_stats.MergeFrom(ctx.stats);
+  }
+  if (spill_on) {
+    result.spilled.file = std::move(spill_file);
+    result.total_stats.NoteResultChunksResident(spill_budget->peak());
+  } else if (sink_factory == nullptr && exec_options.collect_pairs) {
+    // Materialized runs report their whole collected output as the
+    // resident peak, so spill-on/off A/Bs compare one counter.
+    result.total_stats.NoteResultChunksResident(result.chunks.chunk_count());
   }
   return result;
 }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "exec/result_sink.h"
+#include "exec/spill_sink.h"
 #include "join/join_options.h"
 #include "rtree/rtree.h"
 #include "storage/statistics.h"
@@ -73,6 +74,29 @@ struct ParallelExecutorOptions {
   // keeps alive.
   ChunkArena* chunk_arena = nullptr;
 
+  // --- spill-to-disk result path (exec/spill_sink.h) ---
+
+  // Spill collected results to a result file once more than
+  // spill_budget_chunks completed chunks are resident across all worker
+  // sinks: the overflow chunks serialize through the timed write path
+  // (costed on io_scheduler when one is attached) and their blocks
+  // recycle into the arena, so peak result memory is
+  // O(spill_budget_chunks × chunk_capacity) independent of the result
+  // size. Applies to collect_pairs pairwise runs (result lands in
+  // ParallelJoinResult::spilled) and to collect_tuples PIPELINED chain
+  // joins (ParallelChainJoinResult::spilled_tuples; the sequential
+  // chain fallback, 2-relation chains and the materialized A/B
+  // formulation ignore it and collect unbounded). Ignored with a
+  // caller-provided sink factory.
+  bool spill_results = false;
+
+  // Completed result chunks held resident before spilling starts (>= 1).
+  size_t spill_budget_chunks = 64;
+
+  // Page size of the spill file — the unit of spill writes and re-reads
+  // on the simulated disk array.
+  uint32_t spill_page_size = kPageSize4K;
+
   // --- multiway streaming pipeline (exec/multiway_executor.h) ---
 
   // true: probe phases consume the previous phase's chunks through
@@ -109,8 +133,13 @@ struct ParallelJoinResult {
   uint64_t pair_count = 0;
   // When collected: the merged result, assembled by splicing the workers'
   // chunk lists — pointer moves only, zero pair copies after the worker
-  // that produced a pair wrote it.
+  // that produced a pair wrote it. Empty when spill_results was set —
+  // the result then lands in `spilled` instead.
   ResultChunkList chunks;
+  // When collected with spill_results: the bounded-memory form (resident
+  // chunks + spilled block refs + the shared spill file). Iterate with
+  // SpilledResultReader; CopyPairs() exists for API edges.
+  SpilledResult spilled;
   // Aggregated counters (coordinator + all workers).
   Statistics total_stats;
   // Per-worker counters, for skew analysis.

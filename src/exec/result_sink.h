@@ -22,10 +22,24 @@
 //   * BatchedCallbackSink — stream batches to user code (refinement,
 //                           multi-way probing, servers).
 //
-// Sinks are not thread-safe; parallel execution gives every worker its own
-// sink and splices the chunk lists afterwards (zero pair copies, see
-// exec/parallel_executor.h). The ChunkArena IS thread-safe, so one arena
-// can recycle chunks across all workers and across runs.
+// Sink implementations built on shared infrastructure (e.g. the spilling
+// sink, exec/spill_sink.h) follow the same shape: the sink itself stays
+// single-owner, everything it shares is thread-safe.
+//
+// Ownership & threading contracts:
+//   * `ResultSink` and every subclass are single-owner: exactly one
+//     producer thread calls Add()/Flush(), and result extraction
+//     (TakeChunks etc.) happens after that producer is done. Parallel
+//     execution gives every worker its own sink and splices the chunk
+//     lists afterwards (zero pair copies, see exec/parallel_executor.h).
+//   * `ChunkArena` IS thread-safe and copyable (handles share one free
+//     list), so one arena can recycle chunks across all workers and
+//     across runs; it must outlive every chunk drawn from it only in the
+//     sense that releases after the last handle died degrade to plain
+//     frees (the shared core is refcounted).
+//   * `ResultChunk` / `ResultChunkList` are single-owner values; a chunk
+//     handed downstream via ConsumeChunk transfers ownership, and spans
+//     into a chunk stay valid for the chunk's lifetime.
 
 #ifndef RSJ_EXEC_RESULT_SINK_H_
 #define RSJ_EXEC_RESULT_SINK_H_

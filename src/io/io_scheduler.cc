@@ -174,6 +174,35 @@ void IoScheduler::Write(const void* owner, const PagedFile& file, PageId id,
   }
 }
 
+void IoScheduler::WriteRun(const void* owner, const PagedFile& file,
+                           PageId first, uint32_t count, uint32_t page_size,
+                           Statistics* stats) {
+  (void)owner;  // writes are never coalesced; the scope is for symmetry
+  if (count == 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  disk_writes_ += count;
+  const uint64_t issue = ActorClockLocked(stats);
+  lock.unlock();
+  // All pages of the run are issued at once: every disk's share queues at
+  // `issue` and the run completes when the slowest disk finishes. The
+  // per-disk service order is ascending page id, so consecutive stripe
+  // units of the run keep the sequential discount.
+  uint64_t completion = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    completion = std::max(
+        completion, disks_.ServiceWrite(file, first + i, page_size, issue));
+  }
+  lock.lock();
+  if (stats != nullptr) stats->disk_writes += count;
+  const uint64_t now = ActorClockLocked(stats);
+  if (completion > now) {
+    if (stats != nullptr) {
+      stats->modeled_io_micros += completion - now;
+    }
+    AdvanceActorLocked(stats, completion);
+  }
+}
+
 void IoScheduler::ConsumePrefetched(const void* owner, const PagedFile& file,
                                     PageId id, Statistics* stats) {
   const RequestKey key{owner, &file, id};

@@ -36,8 +36,26 @@
 //
 // All stall micros are charged to the requesting actor's
 // `Statistics::modeled_io_micros`. Page caches use the scheduler through
-// `BufferPool::AttachIoScheduler`; nothing in the join layer talks to it
-// directly.
+// `BufferPool::AttachIoScheduler`; the spill path (exec/spill_sink.h)
+// uses Write/WriteRun/BlockingRead directly; nothing else in the join
+// layer talks to it.
+//
+// Ownership & threading contracts:
+//   * The scheduler is thread-safe: any thread may submit, read, write,
+//     or wait concurrently. It owns its background I/O worker threads
+//     (joined, after a drain, by the destructor) and the disk array.
+//   * The scheduler is not owned by its users: every pool, prefetcher,
+//     spill file and executor that holds an IoScheduler* must be
+//     outlived by it — including post-run consumers such as a
+//     SpilledResult that re-reads blocks through the file.
+//   * `owner` (request identity scope) is a cache or spill file;
+//     `actor` / `stats` (clock identity) is the calling worker's
+//     Statistics*. Neither pointer is dereferenced for I/O identity
+//     purposes, but `stats` is written through when counters are
+//     charged, so it must stay valid for the call.
+//   * After SynchronizeClocks() retired an actor table, a reused
+//     Statistics address starts a fresh clock — call it at every join
+//     point so freed actors cannot leak stale clocks into later runs.
 
 #ifndef RSJ_IO_IO_SCHEDULER_H_
 #define RSJ_IO_IO_SCHEDULER_H_
@@ -112,9 +130,21 @@ class IoScheduler {
   // the write at the actor's clock (write costing, see
   // SimulatedDiskArray::ServiceWrite), advances that clock to the
   // completion, and counts `stats->disk_writes` plus the stall — the
-  // write path future spill/persist operators meter themselves with.
+  // write path the spill sinks (exec/spill_sink.h) and future persist
+  // operators meter themselves with.
   void Write(const void* owner, const PagedFile& file, PageId id,
              uint32_t page_size, Statistics* stats);
+
+  // Timed write of a contiguous page run (e.g. a spilled result chunk's
+  // pages), submitted together: every page is issued at the actor's
+  // current clock, the striping spreads the run over the disks, and each
+  // disk services its share back to back (consecutive stripe units ride
+  // the sequential discount). Advances the actor's clock to the latest
+  // completion, charges the stall once, and counts one disk_write per
+  // page. Equivalent to `count` Write() calls except that the pages
+  // overlap across disks instead of serializing on the actor's clock.
+  void WriteRun(const void* owner, const PagedFile& file, PageId first,
+                uint32_t count, uint32_t page_size, Statistics* stats);
 
   // First consumer touch of a prefetched-and-landed page: advances the
   // actor's (`stats`) clock to the async request's completion and charges

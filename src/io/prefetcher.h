@@ -19,6 +19,16 @@
 // all workers of a shared pool. `max_ahead` caps the pages *issued* per
 // schedule handoff so a long schedule cannot flush the buffer it is trying
 // to warm (prefetched pages are evictable, see storage/buffer_pool.h).
+//
+// Ownership & threading contracts:
+//   * The prefetcher borrows its PageCache (not owned; the cache must
+//     outlive it) and holds no mutable state of its own.
+//   * Over a SharedBufferPool one instance may be called from any
+//     thread; over a private BufferPool the instance inherits the
+//     pool's single-owner rule — only that pool's worker may call it,
+//     and its hints land (and are accounted) in that pool alone.
+//   * Hints are charged to the caller-provided Statistics*, which names
+//     the issuing actor's timeline in the attached IoScheduler.
 
 #ifndef RSJ_IO_PREFETCHER_H_
 #define RSJ_IO_PREFETCHER_H_

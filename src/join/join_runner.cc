@@ -1,5 +1,7 @@
 #include "join/join_runner.h"
 
+#include <algorithm>
+
 #include "io/io_scheduler.h"
 #include "io/prefetcher.h"
 #include "storage/buffer_pool.h"
@@ -48,6 +50,7 @@ JoinRunResult RunSpatialJoinWithIo(const RTree& r, const RTree& s,
       engine.Run(&sink);
       result.chunks = sink.TakeChunks();
       result.pair_count = sink.count();
+      result.stats.NoteResultChunksResident(result.chunks.chunk_count());
     } else {
       CountingSink sink;
       engine.Run(&sink);
@@ -73,6 +76,7 @@ JoinRunResult RunSpatialJoin(const RTree& r, const RTree& s,
     RunSpatialJoin(r, s, options, &sink, &result.stats);
     result.chunks = sink.TakeChunks();
     result.pair_count = sink.count();
+    result.stats.NoteResultChunksResident(result.chunks.chunk_count());
   } else {
     CountingSink sink;
     RunSpatialJoin(r, s, options, &sink, &result.stats);

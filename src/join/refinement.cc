@@ -1,9 +1,28 @@
 #include "join/refinement.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "exec/parallel_executor.h"
 #include "geom/segment.h"
+#include "join/spatial_join.h"
 
 namespace rsj {
+
+namespace {
+
+// The shared exact-geometry test of both refinement shapes.
+bool PairIntersectsExactly(const Dataset& r, const Dataset& s,
+                           const ResultPair& p) {
+  RSJ_DCHECK(p.r < r.objects.size());
+  RSJ_DCHECK(p.s < s.objects.size());
+  const SpatialObject& obj_r = r.objects[p.r];
+  const SpatialObject& obj_s = s.objects[p.s];
+  return PolylinesIntersect(std::span<const Point>(obj_r.chain),
+                            std::span<const Point>(obj_s.chain));
+}
+
+}  // namespace
 
 IdJoinResult RunIdSpatialJoin(const RTree& r_tree, const Dataset& r,
                               const RTree& s_tree, const Dataset& s,
@@ -17,17 +36,105 @@ IdJoinResult RunIdSpatialJoin(const RTree& r_tree, const Dataset& r,
   BatchedCallbackSink sink([&](std::span<const ResultPair> batch) {
     result.candidate_pairs += batch.size();
     for (const ResultPair& p : batch) {
-      RSJ_DCHECK(p.r < r.objects.size());
-      RSJ_DCHECK(p.s < s.objects.size());
-      const SpatialObject& obj_r = r.objects[p.r];
-      const SpatialObject& obj_s = s.objects[p.s];
-      if (PolylinesIntersect(std::span<const Point>(obj_r.chain),
-                             std::span<const Point>(obj_s.chain))) {
+      if (PairIntersectsExactly(r, s, p)) {
         ++result.result_pairs;
       }
     }
   });
   engine.Run(&sink);
+  return result;
+}
+
+uint64_t RefineCandidateChunks(const SpilledResult& candidates,
+                               const Dataset& r, const Dataset& s,
+                               ResultSink* sink, Statistics* stats) {
+  const uint64_t before = sink->count();
+  SpilledResultReader reader(&candidates, stats);
+  std::span<const ResultPair> chunk;
+  while (reader.Next(&chunk)) {
+    for (const ResultPair& p : chunk) {
+      if (PairIntersectsExactly(r, s, p)) {
+        sink->Add(p.r, p.s);
+      }
+    }
+  }
+  sink->Flush();
+  return sink->count() - before;
+}
+
+StreamingIdJoinResult RunIdSpatialJoinStreaming(
+    const RTree& r_tree, const Dataset& r, const RTree& s_tree,
+    const Dataset& s, const JoinOptions& options,
+    const StreamingRefineOptions& refine_options) {
+  RSJ_CHECK_MSG(refine_options.chunk_capacity >= 1 &&
+                    refine_options.filter_budget_chunks >= 1 &&
+                    refine_options.refine_budget_chunks >= 1,
+                "streaming refinement needs chunk_capacity and both "
+                "budgets >= 1");
+  StreamingIdJoinResult result;
+
+  // Filter step: candidates collect through spilling sinks, so at most
+  // filter_budget_chunks completed chunks are ever resident.
+  SpilledResult candidates;
+  if (refine_options.num_threads > 1) {
+    ParallelExecutorOptions exec;
+    exec.num_threads = refine_options.num_threads;
+    exec.collect_pairs = true;
+    exec.spill_results = true;
+    exec.spill_budget_chunks = refine_options.filter_budget_chunks;
+    exec.spill_page_size = refine_options.spill_page_size;
+    exec.chunk_capacity = refine_options.chunk_capacity;
+    exec.io_scheduler = refine_options.io;
+    ParallelJoinResult filtered =
+        RunParallelSpatialJoin(r_tree, s_tree, options, exec);
+    candidates = std::move(filtered.spilled);
+    result.stats.MergeFrom(filtered.total_stats);
+  } else {
+    ChunkArena arena(ChunkArena::Options{refine_options.chunk_capacity,
+                                         /*max_free_chunks=*/1024});
+    auto file = std::make_shared<SpillFile>(SpillFile::Options{
+        refine_options.spill_page_size, refine_options.io});
+    ResidentBudget budget(refine_options.filter_budget_chunks);
+    BufferPool pool(
+        BufferPool::Options{options.buffer_bytes,
+                            r_tree.options().page_size,
+                            options.eviction_policy},
+        &result.stats);
+    if (refine_options.io != nullptr) {
+      pool.AttachIoScheduler(refine_options.io);
+    }
+    SpatialJoinEngine engine(r_tree, s_tree, options, &pool, &result.stats);
+    SpillingSink sink(arena, file.get(), &budget, &result.stats);
+    engine.Run(&sink);
+    candidates = sink.TakeResult();
+    candidates.file = std::move(file);
+    result.stats.NoteResultChunksResident(budget.peak());
+  }
+  result.candidate_pairs = candidates.pair_count;
+
+  // Refinement step: stream the candidate chunks back (one spilled chunk
+  // resident at a time) and emit the survivors through their own sink.
+  if (refine_options.collect_result_pairs) {
+    ChunkArena out_arena(ChunkArena::Options{refine_options.chunk_capacity,
+                                             /*max_free_chunks=*/1024});
+    auto out_file = std::make_shared<SpillFile>(SpillFile::Options{
+        refine_options.spill_page_size, refine_options.io});
+    ResidentBudget out_budget(refine_options.refine_budget_chunks);
+    SpillingSink out(out_arena, out_file.get(), &out_budget, &result.stats);
+    result.result_pairs =
+        RefineCandidateChunks(candidates, r, s, &out, &result.stats);
+    result.refined = out.TakeResult();
+    result.refined.file = std::move(out_file);
+    // While refinement ran, the filter step's resident candidate chunks
+    // stayed in memory ALONGSIDE the output sink's resident chunks, so
+    // the run's true peak is their sum — not the max of the two budgets.
+    result.stats.NoteResultChunksResident(candidates.resident.chunk_count() +
+                                          out_budget.peak());
+  } else {
+    CountingSink out;
+    result.result_pairs =
+        RefineCandidateChunks(candidates, r, s, &out, &result.stats);
+  }
   return result;
 }
 

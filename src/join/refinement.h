@@ -5,11 +5,26 @@
 // geometry joins as work in progress; this module implements that next
 // step for the reproduction's datasets, whose objects carry their exact
 // vertex chains.
+//
+// Two execution shapes:
+//   * `RunIdSpatialJoin` — the inline form: the filter step streams
+//     candidate batches straight into the segment-intersection test, so
+//     nothing is ever collected (but the candidates cannot be reused and
+//     the refined pairs cannot be kept).
+//   * `RunIdSpatialJoinStreaming` — the bounded-memory collected form:
+//     the filter step runs through spilling sinks (exec/spill_sink.h,
+//     resident chunks capped at a budget), refinement consumes the
+//     candidate chunks back one at a time through a SpilledResultReader —
+//     never holding the full candidate set — and the surviving pairs
+//     flow through their own, optionally spilling, sink. Peak result
+//     memory is O(budgets × chunk_capacity) regardless of the candidate
+//     or result cardinality.
 
 #ifndef RSJ_JOIN_REFINEMENT_H_
 #define RSJ_JOIN_REFINEMENT_H_
 
 #include "datagen/dataset.h"
+#include "exec/spill_sink.h"
 #include "join/join_runner.h"
 
 namespace rsj {
@@ -32,6 +47,61 @@ struct IdJoinResult {
 IdJoinResult RunIdSpatialJoin(const RTree& r_tree, const Dataset& r,
                               const RTree& s_tree, const Dataset& s,
                               const JoinOptions& options);
+
+// Streaming refinement over an already-collected (possibly spilled)
+// candidate set: consumes the candidates chunk by chunk — one spilled
+// chunk resident at a time — tests the exact polyline geometry of every
+// pair, and emits the survivors through `sink` (counting, materializing,
+// or spilling). Returns the number of surviving pairs; spill re-reads
+// and refinement costs are charged to `stats`.
+uint64_t RefineCandidateChunks(const SpilledResult& candidates,
+                               const Dataset& r, const Dataset& s,
+                               ResultSink* sink, Statistics* stats);
+
+struct StreamingRefineOptions {
+  // Pairs per result chunk on both the candidate and the refined side.
+  size_t chunk_capacity = 1024;
+  // Candidate chunks held resident before the filter step spills.
+  size_t filter_budget_chunks = 64;
+  // Refined chunks held resident before the output sink spills (only
+  // meaningful with collect_result_pairs).
+  size_t refine_budget_chunks = 64;
+  // Page size of the spill files.
+  uint32_t spill_page_size = kPageSize4K;
+  // Filter-step parallelism: > 1 runs the partitioned parallel executor
+  // with per-worker spilling sinks; 1 runs the sequential engine into
+  // one spilling sink.
+  unsigned num_threads = 1;
+  // Modeled-time layer for the spill writes/re-reads (and, in parallel
+  // runs, the pools). Not owned; nullptr degrades to pure counting.
+  IoScheduler* io = nullptr;
+  // Keep the refined pairs (as a possibly-spilled SpilledResult) instead
+  // of only counting them.
+  bool collect_result_pairs = false;
+};
+
+struct StreamingIdJoinResult {
+  uint64_t candidate_pairs = 0;  // filter-step output (MBR intersections)
+  uint64_t result_pairs = 0;     // pairs whose exact geometries intersect
+  Statistics stats;              // filter + refinement + spill counters
+  // The refined pairs, when collect_result_pairs was set.
+  SpilledResult refined;
+
+  double Selectivity() const {
+    return candidate_pairs == 0
+               ? 0.0
+               : static_cast<double>(result_pairs) / candidate_pairs;
+  }
+};
+
+// The bounded-memory collected form of the ID-spatial-join: spilling
+// filter step, chunk-streamed refinement, optionally spilling output.
+// The (candidate_pairs, result_pairs) counts equal RunIdSpatialJoin's
+// for every configuration.
+StreamingIdJoinResult RunIdSpatialJoinStreaming(
+    const RTree& r_tree, const Dataset& r, const RTree& s_tree,
+    const Dataset& s, const JoinOptions& options,
+    const StreamingRefineOptions& refine_options);
 
 }  // namespace rsj
 

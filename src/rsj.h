@@ -26,6 +26,7 @@
 #include "exec/parallel_executor.h"  // IWYU pragma: export
 #include "exec/partition.h"        // IWYU pragma: export
 #include "exec/result_sink.h"      // IWYU pragma: export
+#include "exec/spill_sink.h"       // IWYU pragma: export
 #include "exec/task_scheduler.h"   // IWYU pragma: export
 #include "geom/plane_sweep.h"      // IWYU pragma: export
 #include "geom/rect.h"             // IWYU pragma: export

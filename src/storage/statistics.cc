@@ -24,14 +24,18 @@ void Statistics::MergeFrom(const Statistics& other) {
   output_pairs += other.output_pairs;
   node_pairs += other.node_pairs;
   window_queries += other.window_queries;
-  // A high-water mark: concurrent actors share one peak, so merging takes
+  result_chunks_spilled += other.result_chunks_spilled;
+  result_spill_bytes += other.result_spill_bytes;
+  // High-water marks: concurrent actors share one peak, so merging takes
   // the maximum instead of summing.
   frontier_peak_tuples = std::max(frontier_peak_tuples,
                                   other.frontier_peak_tuples);
+  result_peak_chunks_resident = std::max(result_peak_chunks_resident,
+                                         other.result_peak_chunks_resident);
 }
 
 std::string Statistics::ToString() const {
-  char buf[1024];
+  char buf[2048];
   std::snprintf(
       buf, sizeof(buf),
       "disk reads:        %llu\n"
@@ -51,7 +55,10 @@ std::string Statistics::ToString() const {
       "node pairs:        %llu\n"
       "window queries:    %llu\n"
       "output pairs:      %llu\n"
-      "frontier peak:     %llu tuples\n",
+      "frontier peak:     %llu tuples\n"
+      "chunks spilled:    %llu\n"
+      "spill bytes:       %llu\n"
+      "resident peak:     %llu chunks\n",
       static_cast<unsigned long long>(disk_reads),
       static_cast<unsigned long long>(buffer_hits), HitRate() * 100.0,
       static_cast<unsigned long long>(buffer_evictions),
@@ -69,7 +76,10 @@ std::string Statistics::ToString() const {
       static_cast<unsigned long long>(node_pairs),
       static_cast<unsigned long long>(window_queries),
       static_cast<unsigned long long>(output_pairs),
-      static_cast<unsigned long long>(frontier_peak_tuples));
+      static_cast<unsigned long long>(frontier_peak_tuples),
+      static_cast<unsigned long long>(result_chunks_spilled),
+      static_cast<unsigned long long>(result_spill_bytes),
+      static_cast<unsigned long long>(result_peak_chunks_resident));
   return std::string(buf);
 }
 

@@ -52,6 +52,26 @@ struct Statistics {
   // memory. Merged by MAX (it is a high-water mark, not a volume).
   uint64_t frontier_peak_tuples = 0;
 
+  // --- spill-to-disk result path (exec/spill_sink.h) ---
+  uint64_t result_chunks_spilled = 0;  // result chunks serialized to disk
+  uint64_t result_spill_bytes = 0;     // bytes written for spilled chunks
+                                       // (page-granular, incl. padding)
+  // High-water mark of completed result chunks held resident in memory by
+  // the run's output path: spilling sinks cap it at their resident budget,
+  // materialized runs count their whole collected output. Merged by MAX
+  // (a high-water mark, like frontier_peak_tuples).
+  uint64_t result_peak_chunks_resident = 0;
+
+  // Raises result_peak_chunks_resident to at least `chunks` — the one
+  // place the resident-peak convention lives; every output path
+  // (spilling budget peaks and materialized whole-result counts alike)
+  // reports through this.
+  void NoteResultChunksResident(uint64_t chunks) {
+    if (chunks > result_peak_chunks_resident) {
+      result_peak_chunks_resident = chunks;
+    }
+  }
+
   // Total comparisons across all three counters.
   uint64_t TotalComparisons() const {
     return join_comparisons.count() + sort_comparisons.count() +
