@@ -126,12 +126,12 @@ void HintProbeRoot(const RTree& tree, PageCache* pages, NodeCache* nodes,
   if (prefetcher == nullptr) return;
   const PagedFile& file = tree.file();
   const PageId root = tree.root_page();
-  std::shared_ptr<const Node> cached;
+  std::shared_ptr<const DecodedNode> cached;
   Node local;
   const Node* node;
   if (nodes != nullptr) {
-    cached = nodes->Fetch(file, root, stats).node;
-    node = cached.get();
+    cached = nodes->Fetch(file, root, stats).decoded;
+    node = &cached->node;
   } else {
     pages->Read(file, root, stats);
     ++stats->node_decodes;
@@ -173,6 +173,7 @@ struct ProbeWorker {
   std::unique_ptr<Prefetcher> private_prefetcher;  // over the private pool
   std::vector<std::vector<uint32_t>> out;      // extended tuples, this phase
   std::vector<uint32_t> matches;               // per-probe scratch
+  std::unique_ptr<TupleSpiller> spiller;       // last phase, when spilling
   uint64_t chunks = 0;
   size_t hinted_through_phase = 1;  // probe roots hinted up to this phase
 };
@@ -255,10 +256,30 @@ ParallelChainJoinResult RunMaterializedChain(
   result.used_node_cache = shared_nodes != nullptr;
   Statistics chain_coordinator;  // probe-phase prefetch hints
 
+  // Spill context of the final tuple set, mirroring the pipelined
+  // formulation: one serialized file and one resident budget shared by the
+  // last phase's workers (exec/spill_sink.h).
+  const bool spill_on = collect_tuples && exec_options.spill_results;
+  std::shared_ptr<SpillFile> spill_file;
+  std::unique_ptr<ResidentBudget> spill_budget;
+  if (spill_on) {
+    spill_file = std::make_shared<SpillFile>(
+        SpillFile::Options{exec_options.spill_page_size, io});
+    spill_budget =
+        std::make_unique<ResidentBudget>(exec_options.spill_budget_chunks);
+  }
+
   // Phase 1: the partitioned pairwise executor over relations 0 ⋈ 1,
   // materializing the pairs as the initial tuple frontier.
   ParallelExecutorOptions pair_exec = exec_options;
   pair_exec.collect_pairs = true;
+  // spill_results governs the FINAL tuple set only. With three or more
+  // relations the pairwise pairs are an intermediate frontier and must come
+  // back as chunks; in a 2-relation chain they ARE the final tuples, so the
+  // pairwise executor runs in its own bounded spill_results form and its
+  // result is re-wrapped below.
+  const bool pairwise_is_final = relations.size() == 2;
+  pair_exec.spill_results = spill_on && pairwise_is_final;
   ParallelJoinResult pairwise = RunParallelSpatialJoinWith(
       *relations[0].tree, *relations[1].tree, options, pair_exec, shared,
       shared_nodes);
@@ -273,10 +294,30 @@ ParallelChainJoinResult RunMaterializedChain(
   }
 
   std::vector<std::vector<uint32_t>> frontier;
-  frontier.reserve(pairwise.chunks.pair_count());
-  pairwise.chunks.ForEachPair([&frontier](const ResultPair& p) {
-    frontier.push_back({p.r, p.s});
-  });
+  if (pairwise_is_final && spill_on) {
+    // No probe phases. A ResultPair block is layout-identical to a flat
+    // [r, s] tuple run, so the pairwise executor's bounded SpilledResult
+    // transfers into the tuple set by reference: spilled page runs move
+    // as-is, and only the resident pair chunks (never more than the spill
+    // budget of them) re-wrap as arity-2 frontier chunks.
+    result.spilled_tuples.arity = 2;
+    result.spilled_tuples.tuple_count = pairwise.spilled.pair_count;
+    for (const ChunkPtr& chunk : pairwise.spilled.resident) {
+      const std::span<const ResultPair> pairs = chunk->pairs();
+      FrontierChunk tuples;
+      tuples.arity = 2;
+      const uint32_t* words = reinterpret_cast<const uint32_t*>(pairs.data());
+      tuples.flat.assign(words, words + pairs.size() * 2);
+      result.spilled_tuples.resident.push_back(std::move(tuples));
+    }
+    result.spilled_tuples.spilled = std::move(pairwise.spilled.spilled);
+    result.spilled_tuples.file = std::move(pairwise.spilled.file);
+  } else {
+    frontier.reserve(pairwise.chunks.pair_count());
+    pairwise.chunks.ForEachPair([&frontier](const ResultPair& p) {
+      frontier.push_back({p.r, p.s});
+    });
+  }
   pairwise.chunks.clear();
 
   // Probe workers, reused across phases so private pools and decode
@@ -337,6 +378,18 @@ ParallelChainJoinResult RunMaterializedChain(
                     &chain_coordinator);
     }
 
+    // The last phase's extensions are final tuples: under spill_results
+    // they go through per-worker spillers instead of the next frontier.
+    const bool last_phase = next + 1 == relations.size();
+    if (last_phase && spill_on) {
+      for (auto& worker : workers) {
+        worker->spiller = std::make_unique<TupleSpiller>(
+            static_cast<uint32_t>(relations.size()),
+            exec_options.chunk_capacity, spill_file.get(),
+            spill_budget.get(), &worker->stats);
+      }
+    }
+
     const unsigned phase_workers =
         static_cast<unsigned>(std::min<size_t>(num_threads, num_chunks));
     TaskScheduler scheduler(phase_workers, num_chunks);
@@ -365,9 +418,13 @@ ParallelChainJoinResult RunMaterializedChain(
                          prev_rects[tuple.back()], &worker.stats,
                          &worker.matches);
         for (const uint32_t id : worker.matches) {
-          std::vector<uint32_t> longer = tuple;
-          longer.push_back(id);
-          worker.out.push_back(std::move(longer));
+          if (worker.spiller != nullptr) {
+            worker.spiller->Append(tuple.data(), tuple.size(), id);
+          } else {
+            std::vector<uint32_t> longer = tuple;
+            longer.push_back(id);
+            worker.out.push_back(std::move(longer));
+          }
         }
       }
     });
@@ -382,6 +439,15 @@ ParallelChainJoinResult RunMaterializedChain(
       worker->out.clear();
     }
     frontier = std::move(extended);
+  }
+
+  // Seal the last phase's partial chunks before the drain below, so their
+  // timed writes (charged to each worker's stats/clock) are in the model
+  // when the clocks merge.
+  for (auto& worker : workers) {
+    if (worker->spiller != nullptr) {
+      result.spilled_tuples.MergeFrom(worker->spiller->Take());
+    }
   }
 
   if (io != nullptr) {
@@ -400,14 +466,24 @@ ParallelChainJoinResult RunMaterializedChain(
   result.total_stats.frontier_peak_tuples =
       std::max(result.total_stats.frontier_peak_tuples, frontier_peak);
 
-  result.tuple_count = frontier.size();
-  if (collect_tuples) {
-    result.tuples = std::move(frontier);
-    // The materialized formulation holds its whole collected output;
-    // report it in chunk-capacity units (see result_peak_chunks_resident).
-    const uint64_t cap = exec_options.chunk_capacity;
-    result.total_stats.NoteResultChunksResident(
-        (result.tuple_count + cap - 1) / cap);
+  if (spill_on) {
+    result.tuple_count = result.spilled_tuples.tuple_count;
+    result.spilled_tuples.arity = static_cast<uint32_t>(relations.size());
+    if (result.spilled_tuples.file == nullptr) {
+      // The 2-relation re-wrap keeps the pairwise executor's file.
+      result.spilled_tuples.file = std::move(spill_file);
+    }
+    result.total_stats.NoteResultChunksResident(spill_budget->peak());
+  } else {
+    result.tuple_count = frontier.size();
+    if (collect_tuples) {
+      result.tuples = std::move(frontier);
+      // The materialized formulation holds its whole collected output;
+      // report it in chunk-capacity units (see result_peak_chunks_resident).
+      const uint64_t cap = exec_options.chunk_capacity;
+      result.total_stats.NoteResultChunksResident(
+          (result.tuple_count + cap - 1) / cap);
+    }
   }
   return result;
 }

@@ -55,12 +55,11 @@ struct ParallelChainJoinResult {
   // The bounded-memory tuple set: final-phase tuple chunks past the
   // resident budget are serialized to the spill file through the timed
   // write path and streamed back on demand (exec/spill_sink.h). Filled
-  // only when exec_options.spill_results applies, which is the PIPELINED
-  // executions (collect_tuples, num_threads > 1, >= 3 relations,
-  // pipelined = true): the sequential fallback, 2-relation chains and
-  // the materialized A/B formulation ignore spill_results and collect
-  // into `tuples` unbounded (their whole output is still reported via
-  // result_peak_chunks_resident).
+  // whenever exec_options.spill_results applies to a parallel run
+  // (collect_tuples, num_threads > 1) — pipelined or materialized,
+  // including 2-relation chains; only the sequential fallback ignores
+  // spill_results and collects into `tuples` unbounded (its whole output
+  // is still reported via result_peak_chunks_resident).
   SpilledTupleSet spilled_tuples;
   // Aggregated counters (coordinator + all workers, all phases).
   // total_stats.frontier_peak_tuples is the run's peak live intermediate

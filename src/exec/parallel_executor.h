@@ -83,10 +83,10 @@ struct ParallelExecutorOptions {
   // recycle into the arena, so peak result memory is
   // O(spill_budget_chunks × chunk_capacity) independent of the result
   // size. Applies to collect_pairs pairwise runs (result lands in
-  // ParallelJoinResult::spilled) and to collect_tuples PIPELINED chain
-  // joins (ParallelChainJoinResult::spilled_tuples; the sequential
-  // chain fallback, 2-relation chains and the materialized A/B
-  // formulation ignore it and collect unbounded). Ignored with a
+  // ParallelJoinResult::spilled) and to collect_tuples parallel chain
+  // joins — pipelined or materialized, any arity
+  // (ParallelChainJoinResult::spilled_tuples; only the sequential chain
+  // fallback ignores it and collects unbounded). Ignored with a
   // caller-provided sink factory.
   bool spill_results = false;
 

@@ -1,6 +1,7 @@
 #include "exec/partition.h"
 
 #include "geom/plane_sweep.h"
+#include "geom/simd_kernels.h"
 #include "join/predicate.h"
 
 namespace rsj {
@@ -10,7 +11,8 @@ namespace {
 // Qualifying entry pairs between two directory nodes, appended to `out` as
 // tasks. Uses the counted sort + plane sweep (the paper's CPU technique);
 // the R side carries the predicate expansion, so the filter matches the
-// engine's exactly.
+// engine's exactly. The sorted sequences are converted to SoA blocks once
+// and swept with the batch kernels.
 void AppendQualifyingPairs(const Node& nr, const Node& ns, double expansion,
                            Statistics* stats,
                            std::vector<PartitionTask>* out) {
@@ -29,9 +31,12 @@ void AppendQualifyingPairs(const Node& nr, const Node& ns, double expansion,
   }
   SortByLowerXCounted(&seq_r, &stats->sort_comparisons);
   SortByLowerXCounted(&seq_s, &stats->sort_comparisons);
-  SortedIntersectionTest(
-      std::span<const IndexedRect>(seq_r), std::span<const IndexedRect>(seq_s),
-      &stats->join_comparisons, [&](uint32_t i, uint32_t j) {
+  RectBlock block_r;
+  RectBlock block_s;
+  block_r.AssignIndexed(std::span<const IndexedRect>(seq_r));
+  block_s.AssignIndexed(std::span<const IndexedRect>(seq_s));
+  SortedIntersectionTestBlocks(
+      block_r, block_s, &stats->join_comparisons, [&](uint32_t i, uint32_t j) {
         out->push_back(PartitionTask{nr.entries[i], ns.entries[j]});
       });
 }
@@ -44,7 +49,7 @@ void AppendQualifyingPairs(const Node& nr, const Node& ns, double expansion,
 // task. Lossless for the same reason the synchronized filter is — a result
 // below (d, leaf_entry) needs intersecting rectangles at every ancestor
 // level — and disjoint because the subtrees under distinct `d` are.
-void AppendWindowSplitTasks(const Node& dir, const Entry& leaf_entry,
+void AppendWindowSplitTasks(const DecodedNode& dir, const Entry& leaf_entry,
                             double expansion, bool dir_is_r,
                             Statistics* stats,
                             std::vector<PartitionTask>* out) {
@@ -52,27 +57,37 @@ void AppendWindowSplitTasks(const Node& dir, const Entry& leaf_entry,
   const Rect leaf_rect = (!dir_is_r && expansion > 0.0)
                              ? leaf_entry.rect.Expanded(expansion)
                              : leaf_entry.rect;
-  for (const Entry& d : dir.entries) {
-    const Rect dir_rect =
-        expand_dir ? d.rect.Expanded(expansion) : d.rect;
-    if (dir_rect.IntersectsCounted(leaf_rect, &stats->join_comparisons)) {
-      out->push_back(dir_is_r ? PartitionTask{d, leaf_entry}
-                              : PartitionTask{leaf_entry, d});
-    }
+  // The decoded block is unexpanded; grow a scratch copy only when the
+  // directory side carries the expansion.
+  RectBlock expanded;
+  const RectBlock* block = &dir.block;
+  if (expand_dir) {
+    expanded.AssignEntries(std::span<const Entry>(dir.node.entries),
+                           expansion);
+    block = &expanded;
+  }
+  std::vector<uint32_t> hits;
+  CountedOverlapHits(*block, leaf_rect, OverlapSubject::kBlock,
+                     &stats->join_comparisons, &hits);
+  for (const uint32_t h : hits) {
+    const Entry& d = dir.node.entries[h];
+    out->push_back(dir_is_r ? PartitionTask{d, leaf_entry}
+                            : PartitionTask{leaf_entry, d});
   }
 }
 
 // Counted read + decode of one page; published to `nodes` when present so
 // the workers inherit the decode.
-std::shared_ptr<const Node> FetchNode(const RTree& tree, PageId id,
-                                      PageCache* cache, Statistics* stats,
-                                      NodeCache* nodes) {
+std::shared_ptr<const DecodedNode> FetchNode(const RTree& tree, PageId id,
+                                             PageCache* cache,
+                                             Statistics* stats,
+                                             NodeCache* nodes) {
   if (nodes != nullptr) {
-    return nodes->Fetch(tree.file(), id, stats).node;
+    return nodes->Fetch(tree.file(), id, stats).decoded;
   }
   cache->Read(tree.file(), id, stats);
   ++stats->node_decodes;
-  return std::make_shared<const Node>(Node::Load(tree.file(), id));
+  return std::make_shared<const DecodedNode>(Node::Load(tree.file(), id));
 }
 
 }  // namespace
@@ -87,7 +102,7 @@ PartitionPlan BuildPartitionPlan(const RTree& r, const RTree& s,
 
   const auto root_r = FetchNode(r, r.root_page(), cache, stats, nodes);
   const auto root_s = FetchNode(s, s.root_page(), cache, stats, nodes);
-  if (root_r->is_leaf() || root_s->is_leaf()) {
+  if (root_r->node.is_leaf() || root_s->node.is_leaf()) {
     plan.degenerate = true;
     return plan;
   }
@@ -97,7 +112,8 @@ PartitionPlan BuildPartitionPlan(const RTree& r, const RTree& s,
   // `final_tasks` and are never fetched again.
   std::vector<PartitionTask> final_tasks;
   std::vector<PartitionTask> frontier;
-  AppendQualifyingPairs(*root_r, *root_s, expansion, stats, &frontier);
+  AppendQualifyingPairs(root_r->node, root_s->node, expansion, stats,
+                        &frontier);
   while (!frontier.empty() &&
          final_tasks.size() + frontier.size() < target_tasks) {
     std::vector<PartitionTask> next;
@@ -106,14 +122,15 @@ PartitionPlan BuildPartitionPlan(const RTree& r, const RTree& s,
     for (const PartitionTask& task : frontier) {
       const auto child_r = FetchNode(r, task.er.ref, cache, stats, nodes);
       const auto child_s = FetchNode(s, task.es.ref, cache, stats, nodes);
-      if (child_r->is_leaf() && child_s->is_leaf()) {
+      if (child_r->node.is_leaf() && child_s->node.is_leaf()) {
         final_tasks.push_back(task);
         continue;
       }
       expanded_any = true;
-      if (!child_r->is_leaf() && !child_s->is_leaf()) {
-        AppendQualifyingPairs(*child_r, *child_s, expansion, stats, &next);
-      } else if (child_s->is_leaf()) {
+      if (!child_r->node.is_leaf() && !child_s->node.is_leaf()) {
+        AppendQualifyingPairs(child_r->node, child_s->node, expansion, stats,
+                              &next);
+      } else if (child_s->node.is_leaf()) {
         // Unequal heights (§4.4): keep splitting the still-directory side
         // so a pair that reached the leaf level early does not stay one
         // oversized window-query task.

@@ -82,7 +82,13 @@ void SpillFile::ReadBlock(const BlockRef& ref, std::vector<uint32_t>* out,
   if (io_ != nullptr && stats != nullptr) {
     // A spilled block is a sequential page run, so the re-read rides the
     // sequential discount — the reader identity is the file itself, never
-    // coalescing with any pool's requests.
+    // coalescing with any pool's requests. The whole run is issued as an
+    // async read schedule first, so on a multi-disk array the pages are
+    // serviced in parallel and the joins below only pay each disk's
+    // residual stall instead of one full synchronous read per page.
+    for (uint32_t p = 0; p < ref.page_count; ++p) {
+      io_->SubmitAsync(this, file_, ref.first_page + p, page_size_, stats);
+    }
     for (uint32_t p = 0; p < ref.page_count; ++p) {
       io_->BlockingRead(this, file_, ref.first_page + p, page_size_, stats);
     }

@@ -1,0 +1,149 @@
+// Structure-of-arrays rectangle blocks — the batch-friendly node layout.
+//
+// The join hot loops test one rectangle against every entry of a node (or
+// against a marked subset of it). With the array-of-structs `Entry` layout
+// each test touches a strided 20-byte record; a `RectBlock` stores the same
+// rectangles as four contiguous coordinate arrays (xl[] / yl[] / xu[] /
+// yu[]) plus a parallel index array, so the batch kernels in
+// geom/simd_kernels.h can compare 4+ entries per instruction and the scalar
+// fallback enjoys dense, prefetchable streams.
+//
+// A block is a *view-friendly copy*, not a view: builders copy the
+// coordinates out of entries or IndexedRects once (at node decode / sort
+// time, see join/node_accessor.h) and the predicate expansion of the
+// within-distance join can be baked in at build time, exactly as the
+// engine's MarkEntries expanded per test before. Expansion grows every
+// rectangle by the same margin, so a block built from xl-sorted entries
+// stays xl-sorted.
+//
+// `index_at(i)` carries the slot of the source entry (or the IndexedRect's
+// index), so kernel hit positions map back to entries without touching the
+// AoS data.
+
+#ifndef RSJ_GEOM_RECT_BLOCK_H_
+#define RSJ_GEOM_RECT_BLOCK_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/indexed_rect.h"
+#include "geom/rect.h"
+
+namespace rsj {
+
+class RectBlock {
+ public:
+  RectBlock() = default;
+
+  size_t size() const { return xl_.size(); }
+  bool empty() const { return xl_.empty(); }
+
+  void Clear() {
+    xl_.clear();
+    yl_.clear();
+    xu_.clear();
+    yu_.clear();
+    idx_.clear();
+  }
+
+  void Reserve(size_t n) {
+    xl_.reserve(n);
+    yl_.reserve(n);
+    xu_.reserve(n);
+    yu_.reserve(n);
+    idx_.reserve(n);
+  }
+
+  void PushBack(const Rect& r, uint32_t index) {
+    xl_.push_back(r.xl);
+    yl_.push_back(r.yl);
+    xu_.push_back(r.xu);
+    yu_.push_back(r.yu);
+    idx_.push_back(index);
+  }
+
+  // Reconstructs the rectangle at position `i`.
+  Rect RectAt(size_t i) const {
+    return Rect{xl_[i], yl_[i], xu_[i], yu_[i]};
+  }
+
+  // The source slot / identity the rectangle at position `i` maps back to.
+  uint32_t index_at(size_t i) const { return idx_[i]; }
+
+  const Coord* xl() const { return xl_.data(); }
+  const Coord* yl() const { return yl_.data(); }
+  const Coord* xu() const { return xu_.data(); }
+  const Coord* yu() const { return yu_.data(); }
+
+  // Rebuilds the block from anything with a `.rect` member (Entry,
+  // IndexedRect, ...), in order, with `index_at(i) == i`. When
+  // `expansion > 0` every rectangle is grown via Rect::Expanded — the
+  // R-side pre-expansion of the within-distance join, applied once per
+  // decode instead of once per test.
+  template <typename EntryLike>
+  void AssignEntries(std::span<const EntryLike> entries, double expansion) {
+    Clear();
+    Reserve(entries.size());
+    if (expansion > 0.0) {
+      for (uint32_t i = 0; i < entries.size(); ++i) {
+        PushBack(entries[i].rect.Expanded(expansion), i);
+      }
+    } else {
+      for (uint32_t i = 0; i < entries.size(); ++i) {
+        PushBack(entries[i].rect, i);
+      }
+    }
+  }
+
+  // Rebuilds from plain rectangles, `index_at(i) == i`.
+  void AssignRects(std::span<const Rect> rects, double expansion) {
+    Clear();
+    Reserve(rects.size());
+    if (expansion > 0.0) {
+      for (uint32_t i = 0; i < rects.size(); ++i) {
+        PushBack(rects[i].Expanded(expansion), i);
+      }
+    } else {
+      for (uint32_t i = 0; i < rects.size(); ++i) {
+        PushBack(rects[i], i);
+      }
+    }
+  }
+
+  // Rebuilds from IndexedRects, preserving their `index` fields.
+  void AssignIndexed(std::span<const IndexedRect> rects) {
+    Clear();
+    Reserve(rects.size());
+    for (const IndexedRect& r : rects) PushBack(r.rect, r.index);
+  }
+
+  // Rebuilds as the compaction of `src` at `positions` (ascending kernel
+  // hit positions), keeping the source indices — the block form of the
+  // engine's marked-entry subsets.
+  void GatherFrom(const RectBlock& src, std::span<const uint32_t> positions) {
+    Clear();
+    Reserve(positions.size());
+    for (const uint32_t p : positions) PushBack(src.RectAt(p), src.idx_[p]);
+  }
+
+ private:
+  std::vector<Coord> xl_;
+  std::vector<Coord> yl_;
+  std::vector<Coord> xu_;
+  std::vector<Coord> yu_;
+  std::vector<uint32_t> idx_;
+};
+
+// True if the block is sorted ascending by lower x — the precondition of
+// the plane-sweep kernels (mirrors IsSortedByLowerX in geom/plane_sweep.h).
+inline bool IsSortedByLowerXBlock(const RectBlock& block) {
+  for (size_t i = 1; i < block.size(); ++i) {
+    if (block.xl()[i] < block.xl()[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace rsj
+
+#endif  // RSJ_GEOM_RECT_BLOCK_H_

@@ -1,6 +1,7 @@
 #include "geom/segment.h"
 
 #include "common/logging.h"
+#include "geom/simd_kernels.h"
 
 namespace rsj {
 
@@ -44,9 +45,22 @@ bool PolylinesIntersect(std::span<const Point> a, std::span<const Point> b) {
   if (a.empty() || b.empty()) return false;
   const size_t na = a.size() == 1 ? 1 : a.size() - 1;
   const size_t nb = b.size() == 1 ? 1 : b.size() - 1;
+  // Batch MBR prefilter: the exact segment test opens with an MBR reject,
+  // so running that reject for b's whole segment chain as one (uncounted —
+  // refinement sits outside the paper's filter-step CPU metric) kernel
+  // pass per a-segment skips the b-segments a scalar pass would have
+  // rejected anyway, with identical boolean outcome.
+  RectBlock b_mbrs;
+  b_mbrs.Reserve(nb);
+  for (uint32_t j = 0; j < nb; ++j) {
+    const Segment sb{b[j], b[b.size() == 1 ? j : j + 1]};
+    b_mbrs.PushBack(sb.Mbr(), j);
+  }
+  std::vector<uint32_t> hits;
   for (size_t i = 0; i < na; ++i) {
     const Segment sa{a[i], a[a.size() == 1 ? i : i + 1]};
-    for (size_t j = 0; j < nb; ++j) {
+    OverlapHits(b_mbrs, sa.Mbr(), &hits);
+    for (const uint32_t j : hits) {
       const Segment sb{b[j], b[b.size() == 1 ? j : j + 1]};
       if (SegmentsIntersect(sa, sb)) return true;
     }

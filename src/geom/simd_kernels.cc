@@ -1,0 +1,367 @@
+#include "geom/simd_kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+// The vector path targets the x86-64 SSE2 baseline: present on every x86-64
+// build without extra -march flags, 4 float lanes (2 double lanes for the
+// within-distance kernel). -DRSJ_DISABLE_SIMD (CMake option
+// RSJ_ENABLE_SIMD=OFF) compiles the scalar reference path only.
+#if !defined(RSJ_DISABLE_SIMD) && \
+    (defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64))
+#define RSJ_GEOM_SIMD 1
+#include <emmintrin.h>
+#else
+#define RSJ_GEOM_SIMD 0
+#endif
+
+namespace rsj {
+
+namespace {
+
+GeomKernelMode InitialMode() {
+  const char* env = std::getenv("RSJ_GEOM_KERNELS");
+  if (env != nullptr) {
+    if (std::strcmp(env, "scalar") == 0) return GeomKernelMode::kScalar;
+    if (std::strcmp(env, "simd") == 0) return GeomKernelMode::kSimd;
+  }
+  return GeomSimdCompiledIn() ? GeomKernelMode::kSimd
+                              : GeomKernelMode::kScalar;
+}
+
+std::atomic<GeomKernelMode>& ModeSlot() {
+  static std::atomic<GeomKernelMode> mode{InitialMode()};
+  return mode;
+}
+
+bool UseSimd() {
+  return GeomSimdCompiledIn() &&
+         ModeSlot().load(std::memory_order_relaxed) == GeomKernelMode::kSimd;
+}
+
+// One element of the counted overlap loop: bit-for-bit the early-exit
+// sequence of Rect::IntersectsCounted with the chosen subject. Returns the
+// executed comparisons; sets *hit. Shared by the scalar mode and the
+// vector path's tail lanes.
+inline uint64_t OverlapCountedOne(const RectBlock& block, size_t i,
+                                  const Rect& q, OverlapSubject subject,
+                                  bool* hit) {
+  const Coord bxl = block.xl()[i];
+  const Coord byl = block.yl()[i];
+  const Coord bxu = block.xu()[i];
+  const Coord byu = block.yu()[i];
+  *hit = false;
+  if (subject == OverlapSubject::kBlock) {
+    if (bxl > q.xu) return 1;
+    if (q.xl > bxu) return 2;
+    if (byl > q.yu) return 3;
+    *hit = !(q.yl > byu);
+    return 4;
+  }
+  if (q.xl > bxu) return 1;
+  if (bxl > q.xu) return 2;
+  if (q.yl > byu) return 3;
+  *hit = !(byl > q.yu);
+  return 4;
+}
+
+size_t OverlapHitsScalarCounted(const RectBlock& block, const Rect& query,
+                                OverlapSubject subject,
+                                ComparisonCounter* counter,
+                                std::vector<uint32_t>* hits, size_t begin) {
+  uint64_t count = 0;
+  const size_t n = block.size();
+  for (size_t i = begin; i < n; ++i) {
+    bool hit = false;
+    count += OverlapCountedOne(block, i, query, subject, &hit);
+    if (hit) hits->push_back(static_cast<uint32_t>(i));
+  }
+  counter->Add(count);
+  return hits->size();
+}
+
+#if RSJ_GEOM_SIMD
+// Vector body of the counted overlap kernel. The early-exit order (the
+// subject) is a template parameter so the per-group mask shuffle costs
+// nothing, and the survivor counts accumulate in an integer register (each
+// alive lane is -1, so subtracting adds one per survivor) — one horizontal
+// sum at the end instead of three popcounts per group.
+template <bool kBlockIsSubject>
+size_t OverlapHitsSimdCounted(const RectBlock& block, const Rect& query,
+                              OverlapSubject subject,
+                              ComparisonCounter* counter,
+                              std::vector<uint32_t>* hits) {
+  const size_t n = block.size();
+  const __m128 qxl = _mm_set1_ps(query.xl);
+  const __m128 qyl = _mm_set1_ps(query.yl);
+  const __m128 qxu = _mm_set1_ps(query.xu);
+  const __m128 qyu = _mm_set1_ps(query.yu);
+  const __m128i all = _mm_set1_epi32(-1);
+  __m128i acc = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 bxl = _mm_loadu_ps(block.xl() + i);
+    const __m128 byl = _mm_loadu_ps(block.yl() + i);
+    const __m128 bxu = _mm_loadu_ps(block.xu() + i);
+    const __m128 byu = _mm_loadu_ps(block.yu() + i);
+    //   cA: block.xl > q.xu    cB: q.xl > block.xu
+    //   cC: block.yl > q.yu    cD: q.yl > block.yu
+    const __m128i cA = _mm_castps_si128(_mm_cmpgt_ps(bxl, qxu));
+    const __m128i cB = _mm_castps_si128(_mm_cmpgt_ps(qxl, bxu));
+    const __m128i cC = _mm_castps_si128(_mm_cmpgt_ps(byl, qyu));
+    const __m128i cD = _mm_castps_si128(_mm_cmpgt_ps(qyl, byu));
+    const __m128i c1 = kBlockIsSubject ? cA : cB;
+    const __m128i c2 = kBlockIsSubject ? cB : cA;
+    const __m128i c3 = kBlockIsSubject ? cC : cD;
+    const __m128i c4 = kBlockIsSubject ? cD : cC;
+    const __m128i alive1 = _mm_andnot_si128(c1, all);
+    const __m128i alive2 = _mm_andnot_si128(c2, alive1);
+    const __m128i alive3 = _mm_andnot_si128(c3, alive2);
+    acc = _mm_sub_epi32(acc, alive1);
+    acc = _mm_sub_epi32(acc, alive2);
+    acc = _mm_sub_epi32(acc, alive3);
+    int hit = _mm_movemask_ps(
+        _mm_castsi128_ps(_mm_andnot_si128(c4, alive3)));
+    while (hit != 0) {
+      const int lane = __builtin_ctz(static_cast<unsigned>(hit));
+      hits->push_back(static_cast<uint32_t>(i + lane));
+      hit &= hit - 1;
+    }
+  }
+  alignas(16) int32_t lanes[4];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  // The charged count telescopes to lanes + survivors (see header); `i`
+  // is the one-comparison-minimum of every vector-processed element.
+  counter->Add(static_cast<uint64_t>(i) +
+               static_cast<uint64_t>(lanes[0] + lanes[1]) +
+               static_cast<uint64_t>(lanes[2] + lanes[3]));
+  return OverlapHitsScalarCounted(block, query, subject, counter, hits, i);
+}
+#endif
+
+}  // namespace
+
+const char* GeomKernelModeName(GeomKernelMode mode) {
+  return mode == GeomKernelMode::kScalar ? "scalar" : "simd";
+}
+
+bool GeomSimdCompiledIn() { return RSJ_GEOM_SIMD != 0; }
+
+GeomKernelMode ActiveGeomKernelMode() {
+  return ModeSlot().load(std::memory_order_relaxed);
+}
+
+void SetGeomKernelMode(GeomKernelMode mode) {
+  ModeSlot().store(mode, std::memory_order_relaxed);
+}
+
+size_t CountedOverlapHits(const RectBlock& block, const Rect& query,
+                          OverlapSubject subject, ComparisonCounter* counter,
+                          std::vector<uint32_t>* hits) {
+  hits->clear();
+#if RSJ_GEOM_SIMD
+  if (UseSimd()) {
+    return subject == OverlapSubject::kBlock
+               ? OverlapHitsSimdCounted<true>(block, query, subject, counter,
+                                              hits)
+               : OverlapHitsSimdCounted<false>(block, query, subject, counter,
+                                               hits);
+  }
+#endif
+  return OverlapHitsScalarCounted(block, query, subject, counter, hits, 0);
+}
+
+size_t OverlapHits(const RectBlock& block, const Rect& query,
+                   std::vector<uint32_t>* hits) {
+  hits->clear();
+  const size_t n = block.size();
+  size_t i = 0;
+#if RSJ_GEOM_SIMD
+  if (UseSimd()) {
+    const __m128 qxl = _mm_set1_ps(query.xl);
+    const __m128 qyl = _mm_set1_ps(query.yl);
+    const __m128 qxu = _mm_set1_ps(query.xu);
+    const __m128 qyu = _mm_set1_ps(query.yu);
+    for (; i + 4 <= n; i += 4) {
+      const __m128 bxl = _mm_loadu_ps(block.xl() + i);
+      const __m128 byl = _mm_loadu_ps(block.yl() + i);
+      const __m128 bxu = _mm_loadu_ps(block.xu() + i);
+      const __m128 byu = _mm_loadu_ps(block.yu() + i);
+      const int miss = _mm_movemask_ps(_mm_cmpgt_ps(bxl, qxu)) |
+                       _mm_movemask_ps(_mm_cmpgt_ps(qxl, bxu)) |
+                       _mm_movemask_ps(_mm_cmpgt_ps(byl, qyu)) |
+                       _mm_movemask_ps(_mm_cmpgt_ps(qyl, byu));
+      int hit = ~miss & 0xF;
+      while (hit != 0) {
+        const int lane = __builtin_ctz(static_cast<unsigned>(hit));
+        hits->push_back(static_cast<uint32_t>(i + lane));
+        hit &= hit - 1;
+      }
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    if (block.RectAt(i).Intersects(query)) {
+      hits->push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return hits->size();
+}
+
+size_t CountedWithinDistanceHits(const RectBlock& block, const Rect& query,
+                                 double epsilon, ComparisonCounter* counter,
+                                 std::vector<uint32_t>* hits) {
+  hits->clear();
+  const size_t n = block.size();
+  const double eps2 = epsilon * epsilon;
+  // The flat charge EvaluatePredicateCounted(kWithinDistance, ...) makes
+  // per candidate pair, batch-independent by construction.
+  counter->Add(5 * static_cast<uint64_t>(n));
+  size_t i = 0;
+#if RSJ_GEOM_SIMD
+  if (UseSimd()) {
+    // Two double lanes: Rect::MinDist2 computes in double precision, and
+    // the branchy dx selection rewrites branch-free as
+    //   dx = max(0, q.xl - b.xu, b.xl - q.xu)
+    // (at most one difference is positive for valid rectangles, and the
+    // chosen subtraction is the exact one the scalar code executes).
+    const __m128d qxl = _mm_set1_pd(static_cast<double>(query.xl));
+    const __m128d qyl = _mm_set1_pd(static_cast<double>(query.yl));
+    const __m128d qxu = _mm_set1_pd(static_cast<double>(query.xu));
+    const __m128d qyu = _mm_set1_pd(static_cast<double>(query.yu));
+    const __m128d zero = _mm_setzero_pd();
+    const __m128d bound = _mm_set1_pd(eps2);
+    const auto load2 = [](const Coord* p) {
+      // Exactly 8 bytes (2 floats) widened to 2 double lanes — no overread
+      // on tail-adjacent groups.
+      return _mm_cvtps_pd(
+          _mm_castsi128_ps(_mm_loadl_epi64(
+              reinterpret_cast<const __m128i*>(p))));
+    };
+    for (; i + 2 <= n; i += 2) {
+      const __m128d bxl = load2(block.xl() + i);
+      const __m128d byl = load2(block.yl() + i);
+      const __m128d bxu = load2(block.xu() + i);
+      const __m128d byu = load2(block.yu() + i);
+      const __m128d dx = _mm_max_pd(
+          zero, _mm_max_pd(_mm_sub_pd(qxl, bxu), _mm_sub_pd(bxl, qxu)));
+      const __m128d dy = _mm_max_pd(
+          zero, _mm_max_pd(_mm_sub_pd(qyl, byu), _mm_sub_pd(byl, qyu)));
+      const __m128d dist = _mm_add_pd(_mm_mul_pd(dx, dx),
+                                      _mm_mul_pd(dy, dy));
+      int hit = _mm_movemask_pd(_mm_cmple_pd(dist, bound));
+      while (hit != 0) {
+        const int lane = __builtin_ctz(static_cast<unsigned>(hit));
+        hits->push_back(static_cast<uint32_t>(i + lane));
+        hit &= hit - 1;
+      }
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    if (block.RectAt(i).MinDist2(query) <= eps2) {
+      hits->push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return hits->size();
+}
+
+void SweepScanBlock(const Rect& t, const RectBlock& seq, size_t first,
+                    ComparisonCounter* counter, std::vector<uint32_t>* hits) {
+  hits->clear();
+  const size_t n = seq.size();
+  if (first >= n) return;
+#if RSJ_GEOM_SIMD
+  // Sweep scans are usually short (the x-overlapping run of a sorted node
+  // sequence) and end at the first xl beyond t.xu — so peeking at the
+  // eighth element's xl bounds the scan length in one comparison. Scans
+  // shorter than two vector groups take the scalar reference loop: the
+  // broadcast setup would cost more than it saves. Both paths charge
+  // identical counts and emit identical hits, so the cutoff is invisible
+  // to the parity contract.
+  if (UseSimd() && n - first >= 16 && !(seq.xl()[first + 15] > t.xu)) {
+    // Stage 1 — the sequence-number range: find the break position `end`
+    // (first element with xl > t.xu). The scalar loop charges one x
+    // comparison per scanned element including the breaking one.
+    const __m128 txu = _mm_set1_ps(t.xu);
+    size_t end = n;
+    size_t k = first;
+    for (; k + 4 <= n; k += 4) {
+      const int brk = _mm_movemask_ps(
+          _mm_cmpgt_ps(_mm_loadu_ps(seq.xl() + k), txu));
+      if (brk != 0) {
+        end = k + static_cast<size_t>(
+                      __builtin_ctz(static_cast<unsigned>(brk)));
+        break;
+      }
+    }
+    if (end == n) {
+      for (; k < n; ++k) {
+        if (seq.xl()[k] > t.xu) {
+          end = k;
+          break;
+        }
+      }
+    }
+    counter->Add((end - first) + (end < n ? 1 : 0));
+
+    // Stage 2 — y-overlap over the surviving range [first, end): one
+    // comparison per element plus one more for each element passing the
+    // first y test. Pass-1 survivors accumulate in an integer register
+    // (each surviving lane is -1) — one horizontal sum, not a popcount per
+    // group.
+    const __m128 tyl = _mm_set1_ps(t.yl);
+    const __m128 tyu = _mm_set1_ps(t.yu);
+    const __m128i all = _mm_set1_epi32(-1);
+    __m128i acc = _mm_setzero_si128();
+    uint64_t count = 0;
+    size_t j = first;
+    for (; j + 4 <= end; j += 4) {
+      // pass1: !(t.yl > yu[j]) ; hit: pass1 & !(yl[j] > t.yu)
+      const __m128i pass1 = _mm_andnot_si128(
+          _mm_castps_si128(
+              _mm_cmpgt_ps(tyl, _mm_loadu_ps(seq.yu() + j))),
+          all);
+      const __m128i fail2 = _mm_castps_si128(
+          _mm_cmpgt_ps(_mm_loadu_ps(seq.yl() + j), tyu));
+      acc = _mm_sub_epi32(acc, pass1);
+      int hit = _mm_movemask_ps(
+          _mm_castsi128_ps(_mm_andnot_si128(fail2, pass1)));
+      while (hit != 0) {
+        const int lane = __builtin_ctz(static_cast<unsigned>(hit));
+        hits->push_back(static_cast<uint32_t>(j + lane));
+        hit &= hit - 1;
+      }
+    }
+    alignas(16) int32_t lanes[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+    count += (j - first) +
+             static_cast<uint64_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+    for (; j < end; ++j) {
+      ++count;
+      if (t.yl > seq.yu()[j]) continue;
+      ++count;
+      if (seq.yl()[j] > t.yu) continue;
+      hits->push_back(static_cast<uint32_t>(j));
+    }
+    counter->Add(count);
+    return;
+  }
+#endif
+  // Scalar reference: the paper's InternalLoop verbatim
+  // (geom/plane_sweep.h).
+  uint64_t count = 0;
+  for (size_t k = first; k < n; ++k) {
+    ++count;
+    if (seq.xl()[k] > t.xu) break;
+    ++count;
+    if (t.yl > seq.yu()[k]) continue;
+    ++count;
+    if (t.yu < seq.yl()[k]) continue;
+    hits->push_back(static_cast<uint32_t>(k));
+  }
+  counter->Add(count);
+}
+
+}  // namespace rsj

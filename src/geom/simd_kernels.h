@@ -1,0 +1,134 @@
+// Batch geometry kernels over RectBlocks, with scalar/SIMD A/B dispatch.
+//
+// Every kernel here is a drop-in replacement for one of the engine's scalar
+// inner loops (one query rectangle against a node's entries, the
+// plane-sweep internal loop, the within-distance leaf test) and obeys one
+// hard contract: for any input, both dispatch modes produce the *same hit
+// positions in the same order* and charge the *same number of comparisons*
+// to the ComparisonCounter as the original one-rectangle-at-a-time code.
+// The paper counts executed floating point comparisons as its CPU metric
+// (§4), and an early-exit test executes a data-dependent number of them —
+// so the vector path computes all four lane masks branch-free and then
+// charges what the scalar code *would* have executed:
+//
+//   count(element) = 1 + [survived test 1] + [survived tests 1-2]
+//                      + [survived tests 1-3]
+//
+// which telescopes to `lanes + popcount(m1) + popcount(m12) +
+// popcount(m123)` per vector group (m_k = elements still alive after the
+// k-th early-exit test). Operand order matters for the count — whether the
+// block element or the loose rectangle is the `this` of IntersectsCounted
+// decides which side's bound each early exit reads — so the overlap kernel
+// takes an explicit OverlapSubject.
+//
+// Dispatch: the SIMD path (SSE2, compiled in on every x86-64 build) is the
+// default; `RSJ_GEOM_KERNELS=scalar` in the environment — or
+// SetGeomKernelMode — forces the scalar reference path for A/B runs and
+// the forced-scalar CI job. NaN inputs behave identically in both paths
+// (ordered `>` comparisons are false for NaN in scalar C++ and in
+// _mm_cmpgt_ps alike), though tree data is NaN-free by construction.
+
+#ifndef RSJ_GEOM_SIMD_KERNELS_H_
+#define RSJ_GEOM_SIMD_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/comparison_counter.h"
+#include "geom/rect_block.h"
+
+namespace rsj {
+
+enum class GeomKernelMode {
+  kScalar,  // reference loops, bit-for-bit the pre-block code paths
+  kSimd,    // vectorized batch kernels (falls back to scalar lanes on tails)
+};
+
+const char* GeomKernelModeName(GeomKernelMode mode);
+
+// True when the vector implementation is compiled into this binary (x86-64
+// SSE2 baseline and not disabled at configure time). When false, kSimd
+// degrades to the scalar implementation.
+bool GeomSimdCompiledIn();
+
+// Process-wide dispatch mode. Initialized on first use from the
+// RSJ_GEOM_KERNELS environment variable ("scalar" or "simd"); defaults to
+// kSimd when compiled in. Thread-safe (atomic); tests and benches may
+// switch it between runs, not concurrently with kernel calls they compare.
+GeomKernelMode ActiveGeomKernelMode();
+void SetGeomKernelMode(GeomKernelMode mode);
+
+// Which operand of the overlap test is the `this` of
+// Rect::IntersectsCounted — the early-exit order (and therefore the charged
+// comparison count) depends on it.
+enum class OverlapSubject {
+  kBlock,  // block_element.IntersectsCounted(query, ...)
+  kQuery,  // query.IntersectsCounted(block_element, ...)
+};
+
+// Batch form of the engine's `for (e : entries) if
+// (e.IntersectsCounted(query))` loops: appends the positions of every
+// block element intersecting `query` to `*hits` (cleared first, ascending
+// order) and charges the exact scalar comparison count to `counter`.
+// Returns the number of hits.
+size_t CountedOverlapHits(const RectBlock& block, const Rect& query,
+                          OverlapSubject subject, ComparisonCounter* counter,
+                          std::vector<uint32_t>* hits);
+
+// Uncounted overlap filter (closed-set Rect::Intersects semantics) for
+// loops outside the paper's measured join path — e.g. the refinement
+// step's segment-MBR candidate filtering. Same ordering contract.
+size_t OverlapHits(const RectBlock& block, const Rect& query,
+                   std::vector<uint32_t>* hits);
+
+// Batch form of the within-distance leaf test: appends the positions of
+// every block element with MinDist2(query) <= epsilon^2 (double-precision
+// math, identical to Rect::MinDist2) to `*hits` (cleared, ascending) and
+// charges the flat 5 comparisons per element that
+// EvaluatePredicateCounted(kWithinDistance, ...) charges. The block must
+// hold *unexpanded* rectangles — this is the exact test, not the filter.
+size_t CountedWithinDistanceHits(const RectBlock& block, const Rect& query,
+                                 double epsilon, ComparisonCounter* counter,
+                                 std::vector<uint32_t>* hits);
+
+// Batch form of the paper's sweep InternalLoop (geom/plane_sweep.h): scans
+// `seq` (xl-sorted) from `first` while the x-projections still overlap
+// `t`, appends the positions of the y-overlapping elements to `*hits`
+// (cleared, ascending scan order) and charges exactly the comparisons of
+// the scalar loop — one x test per scanned element (including the failing
+// one that ends the scan), one-or-two y tests for each element that
+// survived the x test. The x cutoff is a sequence-number range: the vector
+// path first locates the break position, then mask-tests y over the
+// surviving [first, end) range only.
+void SweepScanBlock(const Rect& t, const RectBlock& seq, size_t first,
+                    ComparisonCounter* counter, std::vector<uint32_t>* hits);
+
+// Block form of SortedIntersectionTest (the §4.2 two-pointer plane sweep):
+// both blocks must be xl-sorted; emits `out(r_index, s_index)` — the
+// blocks' index_at values — in exactly the scalar sweep's order (the order
+// is the read schedule of SJ3/4/5) and charges identical comparisons. The
+// top-level advance stays scalar (it is inherently sequential); the
+// internal scans vectorize through SweepScanBlock.
+template <typename OutputFn>
+void SortedIntersectionTestBlocks(const RectBlock& rseq, const RectBlock& sseq,
+                                  ComparisonCounter* counter, OutputFn&& out) {
+  size_t i = 0;
+  size_t j = 0;
+  std::vector<uint32_t> hits;
+  while (i < rseq.size() && j < sseq.size()) {
+    counter->Add(1);
+    if (rseq.xl()[i] < sseq.xl()[j]) {
+      SweepScanBlock(rseq.RectAt(i), sseq, j, counter, &hits);
+      for (const uint32_t k : hits) out(rseq.index_at(i), sseq.index_at(k));
+      ++i;
+    } else {
+      SweepScanBlock(sseq.RectAt(j), rseq, i, counter, &hits);
+      for (const uint32_t k : hits) out(rseq.index_at(k), sseq.index_at(j));
+      ++j;
+    }
+  }
+}
+
+}  // namespace rsj
+
+#endif  // RSJ_GEOM_SIMD_KERNELS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "geom/simd_kernels.h"
 
 namespace rsj {
 
@@ -17,35 +18,58 @@ void ProbeChainWindow(const RTree& tree, PageCache* pages, NodeCache* nodes,
   const Rect window = expansion > 0.0 ? query.Expanded(expansion) : query;
   ++stats->window_queries;
   std::vector<PageId> stack{tree.root_page()};
+  std::vector<uint32_t> hits;
+  Node local;
+  RectBlock local_block;  // SoA copy for the no-cache baseline
   while (!stack.empty()) {
     const PageId page = stack.back();
     stack.pop_back();
-    std::shared_ptr<const Node> cached;
-    Node local;
+    std::shared_ptr<const DecodedNode> cached;
     const Node* node;
+    const RectBlock* block;
     if (nodes != nullptr) {
-      cached = nodes->Fetch(tree.file(), page, stats).node;
-      node = cached.get();
+      cached = nodes->Fetch(tree.file(), page, stats).decoded;
+      node = &cached->node;
+      block = &cached->block;
     } else {
-      // No-cache baseline: decode into a stack-local node, allocation-free.
+      // No-cache baseline: decode into a stack-local node, allocation-free
+      // after the first iterations.
       pages->Read(tree.file(), page, stats);
       ++stats->node_decodes;
       local = Node::Load(tree.file(), page);
+      local_block.AssignEntries(std::span<const Entry>(local.entries), 0.0);
       node = &local;
+      block = &local_block;
     }
-    for (const Entry& e : node->entries) {
-      if (node->is_leaf()) {
-        // Exact predicate on data entries; the query rectangle is the
-        // R side of the consecutive pair.
-        if (EvaluatePredicateCounted(options.predicate, options.epsilon,
-                                     query, e.rect,
-                                     &stats->join_comparisons)) {
-          out->push_back(e.ref);
+    if (node->is_leaf()) {
+      // Exact predicate on data entries; the query rectangle is the R side
+      // of the consecutive pair. Intersection and within-distance run as
+      // batch kernels over the node's (unexpanded) block; the containment
+      // predicates stay scalar.
+      if (options.predicate == JoinPredicate::kIntersects) {
+        CountedOverlapHits(*block, query, OverlapSubject::kQuery,
+                           &stats->join_comparisons, &hits);
+        for (const uint32_t h : hits) out->push_back(node->entries[h].ref);
+      } else if (options.predicate == JoinPredicate::kWithinDistance) {
+        CountedWithinDistanceHits(*block, query, options.epsilon,
+                                  &stats->join_comparisons, &hits);
+        for (const uint32_t h : hits) out->push_back(node->entries[h].ref);
+      } else {
+        for (const Entry& e : node->entries) {
+          if (EvaluatePredicateCounted(options.predicate, options.epsilon,
+                                       query, e.rect,
+                                       &stats->join_comparisons)) {
+            out->push_back(e.ref);
+          }
         }
-      } else if (e.rect.IntersectsCounted(window,
-                                          &stats->join_comparisons)) {
-        stack.push_back(e.ref);
       }
+    } else {
+      // Directory descent: one window against the whole block. Ascending
+      // hit order matches the scalar loop's push order, so the DFS visits
+      // pages in the same sequence.
+      CountedOverlapHits(*block, window, OverlapSubject::kBlock,
+                         &stats->join_comparisons, &hits);
+      for (const uint32_t h : hits) stack.push_back(node->entries[h].ref);
     }
   }
 }

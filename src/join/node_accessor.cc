@@ -6,12 +6,13 @@ namespace rsj {
 
 NodeAccessor::NodeAccessor(const RTree& tree, PageCache* cache,
                            Statistics* stats, bool sort_on_read,
-                           NodeCache* nodes)
+                           NodeCache* nodes, double expansion)
     : tree_(tree),
       pages_(cache),
       stats_(stats),
       sort_on_read_(sort_on_read),
-      nodes_(nodes) {}
+      nodes_(nodes),
+      expansion_(expansion) {}
 
 namespace {
 
@@ -38,15 +39,16 @@ uint64_t InsertionSortByLowerX(std::vector<Entry>* entries) {
 
 }  // namespace
 
-const Node& NodeAccessor::Fetch(PageId id) {
+const NodeAccessor::CachedNode& NodeAccessor::FetchCached(PageId id) {
   auto it = cache_.find(id);
   if (it == cache_.end()) {
     // Private-cache miss: obtain the decoded node — copied from the shared
     // node cache when one is attached, decoded from the page otherwise —
-    // then sort our own copy (the shared decode is immutable and unsorted).
+    // then sort our own copy (the shared decode is immutable and unsorted)
+    // and lay its rectangles out as a SoA block, expansion applied.
     CachedNode cached;
     if (nodes_ != nullptr) {
-      cached.node = *nodes_->Fetch(tree_.file(), id, stats_).node;
+      cached.node = nodes_->Fetch(tree_.file(), id, stats_).node();
     } else {
       pages_->Read(tree_.file(), id, stats_);
       ++stats_->node_decodes;
@@ -56,8 +58,10 @@ const Node& NodeAccessor::Fetch(PageId id) {
       cached.first_sort_cost = InsertionSortByLowerX(&cached.node.entries);
       stats_->sort_comparisons.Add(cached.first_sort_cost);
     }
+    cached.block.AssignEntries(std::span<const Entry>(cached.node.entries),
+                               expansion_);
     it = cache_.emplace(id, std::move(cached)).first;
-    return it->second.node;
+    return it->second;
   }
   // Private-cache hit: the page request is still issued (every node visit
   // is a page request in the paper's model) but no fresh decode is
@@ -73,7 +77,14 @@ const Node& NodeAccessor::Fetch(PageId id) {
       stats_->sort_comparisons.Add(it->second.first_sort_cost);
     }
   }
-  return it->second.node;
+  return it->second;
+}
+
+const Node& NodeAccessor::Fetch(PageId id) { return FetchCached(id).node; }
+
+NodeView NodeAccessor::FetchView(PageId id) {
+  const CachedNode& cached = FetchCached(id);
+  return NodeView{&cached.node, &cached.block};
 }
 
 void NodeAccessor::Pin(PageId id) { pages_->Pin(tree_.file(), id, stats_); }

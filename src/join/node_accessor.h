@@ -19,6 +19,13 @@
 // of the first from-scratch sort is memoized and recharged on later misses
 // (after the first sort the in-memory copy is already sorted; physically
 // the page would be re-sorted from scratch).
+//
+// Alongside each private copy the accessor keeps the node's entry
+// rectangles as a SoA `RectBlock` (geom/rect_block.h), converted once at
+// decode/sort time, with the accessor's predicate expansion (nonzero only
+// for the R side of a within-distance join) baked in — `FetchView` hands
+// both out so the engine's inner loops can run the batch kernels without
+// per-visit conversion.
 
 #ifndef RSJ_JOIN_NODE_ACCESSOR_H_
 #define RSJ_JOIN_NODE_ACCESSOR_H_
@@ -31,14 +38,25 @@
 
 namespace rsj {
 
+// A fetched node as the engine consumes it: the decoded (possibly sorted)
+// entries plus their SoA block with the accessor's expansion baked in.
+// Both pointers stay valid for the accessor's lifetime.
+struct NodeView {
+  const Node* node = nullptr;
+  const RectBlock* block = nullptr;
+};
+
 class NodeAccessor {
  public:
   // Does not take ownership; all arguments must outlive the accessor.
   // Page requests are charged to `stats` (the owning worker's counters).
   // `nodes`, when given, must be layered over `cache` (it issues the page
-  // requests on the accessor's behalf).
+  // requests on the accessor's behalf). `expansion`, when positive, is
+  // baked into every cached RectBlock (the within-distance R-side
+  // pre-expansion); the Node's own entries stay unexpanded.
   NodeAccessor(const RTree& tree, PageCache* cache, Statistics* stats,
-               bool sort_on_read, NodeCache* nodes = nullptr);
+               bool sort_on_read, NodeCache* nodes = nullptr,
+               double expansion = 0.0);
 
   NodeAccessor(const NodeAccessor&) = delete;
   NodeAccessor& operator=(const NodeAccessor&) = delete;
@@ -46,6 +64,10 @@ class NodeAccessor {
   // Reads page `id` through the page cache and returns the decoded node.
   // The reference stays valid for the accessor's lifetime.
   const Node& Fetch(PageId id);
+
+  // Like Fetch, but also hands out the node's SoA entry block (sorted with
+  // the entries when sort_on_read, expanded by `expansion`).
+  NodeView FetchView(PageId id);
 
   // Pins / unpins the page in the page cache.
   void Pin(PageId id);
@@ -56,14 +78,18 @@ class NodeAccessor {
  private:
   struct CachedNode {
     Node node;
+    RectBlock block;  // SoA copy of node.entries, expanded by `expansion_`
     uint64_t first_sort_cost = 0;  // comparisons of the from-scratch sort
   };
+
+  const CachedNode& FetchCached(PageId id);
 
   const RTree& tree_;
   PageCache* pages_;
   Statistics* stats_;
   bool sort_on_read_;
   NodeCache* nodes_;  // optional shared decode cache (may be null)
+  double expansion_;
   std::unordered_map<PageId, CachedNode> cache_;
 };
 

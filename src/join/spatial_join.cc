@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "geom/plane_sweep.h"
+#include "geom/simd_kernels.h"
 #include "geom/zorder.h"
 #include "io/prefetcher.h"
 
@@ -14,7 +15,8 @@ SpatialJoinEngine::SpatialJoinEngine(const RTree& r, const RTree& s,
                                      PageCache* cache, Statistics* stats,
                                      NodeCache* nodes)
     : options_(options),
-      acc_r_(r, cache, stats, UsesPlaneSweep(options.algorithm), nodes),
+      acc_r_(r, cache, stats, UsesPlaneSweep(options.algorithm), nodes,
+             PredicateExpansion(options.predicate, options.epsilon)),
       acc_s_(s, cache, stats, UsesPlaneSweep(options.algorithm), nodes),
       stats_(stats),
       expansion_(PredicateExpansion(options.predicate, options.epsilon)) {
@@ -25,10 +27,10 @@ SpatialJoinEngine::SpatialJoinEngine(const RTree& r, const RTree& s,
 
 void SpatialJoinEngine::Run(ResultSink* sink) {
   sink_ = sink;
-  const Node& root_r = acc_r_.Fetch(acc_r_.tree().root_page());
-  const Node& root_s = acc_s_.Fetch(acc_s_.tree().root_page());
-  const Rect mbr_r = root_r.ComputeMbr();
-  const Rect mbr_s = root_s.ComputeMbr();
+  const NodeView root_r = acc_r_.FetchView(acc_r_.tree().root_page());
+  const NodeView root_s = acc_s_.FetchView(acc_s_.tree().root_page());
+  const Rect mbr_r = root_r.node->ComputeMbr();
+  const Rect mbr_s = root_s.node->ComputeMbr();
   universe_ = mbr_r.Union(mbr_s);
   JoinNodes(root_r, root_s, RSideRect(mbr_r).Intersection(mbr_s));
   sink_ = nullptr;
@@ -64,63 +66,47 @@ void SpatialJoinEngine::Emit(uint32_t r_ref, uint32_t s_ref) {
   sink_->Add(r_ref, s_ref);
 }
 
-std::vector<IndexedRect> SpatialJoinEngine::MarkEntries(const Node& node,
-                                                        const Rect& rect,
-                                                        bool is_r_side) {
-  const bool expand = is_r_side && expansion_ > 0.0;
-  std::vector<IndexedRect> marked;
-  marked.reserve(node.entries.size());
-  for (uint32_t i = 0; i < node.entries.size(); ++i) {
-    const Rect entry_rect = expand ? node.entries[i].rect.Expanded(expansion_)
-                                   : node.entries[i].rect;
-    if (entry_rect.IntersectsCounted(rect, &stats_->join_comparisons)) {
-      marked.push_back(IndexedRect{entry_rect, i});
-    }
-  }
+RectBlock SpatialJoinEngine::MarkEntriesBlock(const RectBlock& block,
+                                              const Rect& rect) {
+  CountedOverlapHits(block, rect, OverlapSubject::kBlock,
+                     &stats_->join_comparisons, &hits_);
+  RectBlock marked;
+  marked.GatherFrom(block, std::span<const uint32_t>(hits_));
   return marked;
 }
 
 std::vector<SpatialJoinEngine::EntryPair> SpatialJoinEngine::QualifyingPairs(
-    const Node& first, const Node& second, const Rect& rect,
-    bool first_is_r) {
+    NodeView first, NodeView second, const Rect& rect, bool first_is_r) {
+  // The views' blocks already carry each side's rectangles as the scalar
+  // code tested them: the R-side accessor bakes the predicate expansion in
+  // at decode time (and the sweep accessors sort first; expansion preserves
+  // the xl order).
   std::vector<EntryPair> pairs;
-  const bool expand_first = first_is_r && expansion_ > 0.0;
-  const bool expand_second = !first_is_r && expansion_ > 0.0;
-  const auto first_rect = [&](uint32_t i) {
-    return expand_first ? first.entries[i].rect.Expanded(expansion_)
-                        : first.entries[i].rect;
-  };
-  const auto second_rect = [&](uint32_t j) {
-    return expand_second ? second.entries[j].rect.Expanded(expansion_)
-                         : second.entries[j].rect;
-  };
 
   if (!UsesPlaneSweep(options_.algorithm)) {
     if (!RestrictsSearchSpace(options_.algorithm)) {
       // SJ1: every entry of the one node against every entry of the other;
-      // the paper iterates S in the outer loop.
-      for (uint32_t j = 0; j < second.entries.size(); ++j) {
-        const Rect sj = second_rect(j);
-        for (uint32_t i = 0; i < first.entries.size(); ++i) {
-          if (first_rect(i).IntersectsCounted(sj,
-                                              &stats_->join_comparisons)) {
-            pairs.emplace_back(i, j);
-          }
-        }
+      // the paper iterates S in the outer loop. One kernel pass of `first`
+      // per `second` entry.
+      for (uint32_t j = 0; j < second.block->size(); ++j) {
+        const Rect sj = second.block->RectAt(j);
+        CountedOverlapHits(*first.block, sj, OverlapSubject::kBlock,
+                           &stats_->join_comparisons, &hits_);
+        for (const uint32_t i : hits_) pairs.emplace_back(i, j);
       }
       return pairs;
     }
     // SJ2: mark the entries intersecting the parent intersection rectangle,
     // then nested loops over the marked subsets only.
-    const std::vector<IndexedRect> marked_first =
-        MarkEntries(first, rect, first_is_r);
-    const std::vector<IndexedRect> marked_second =
-        MarkEntries(second, rect, !first_is_r);
-    for (const IndexedRect& js : marked_second) {
-      for (const IndexedRect& is : marked_first) {
-        if (is.rect.IntersectsCounted(js.rect, &stats_->join_comparisons)) {
-          pairs.emplace_back(is.index, js.index);
-        }
+    const RectBlock marked_first = MarkEntriesBlock(*first.block, rect);
+    const RectBlock marked_second = MarkEntriesBlock(*second.block, rect);
+    for (uint32_t j = 0; j < marked_second.size(); ++j) {
+      const Rect js = marked_second.RectAt(j);
+      CountedOverlapHits(marked_first, js, OverlapSubject::kBlock,
+                         &stats_->join_comparisons, &hits_);
+      for (const uint32_t i : hits_) {
+        pairs.emplace_back(marked_first.index_at(i),
+                           marked_second.index_at(j));
       }
     }
     return pairs;
@@ -128,29 +114,22 @@ std::vector<SpatialJoinEngine::EntryPair> SpatialJoinEngine::QualifyingPairs(
 
   // Sweep algorithms: node entries arrive sorted by xl from the accessor;
   // the (optional) marking scan preserves that order (expansion grows every
-  // rectangle equally, keeping the xl order intact), so the sequences feed
-  // straight into SortedIntersectionTest.
-  std::vector<IndexedRect> seq_first;
-  std::vector<IndexedRect> seq_second;
+  // rectangle equally, keeping the xl order intact), so the blocks feed
+  // straight into the block plane sweep.
+  const auto sweep = [&](const RectBlock& seq_first,
+                         const RectBlock& seq_second) {
+    RSJ_DCHECK(IsSortedByLowerXBlock(seq_first));
+    RSJ_DCHECK(IsSortedByLowerXBlock(seq_second));
+    SortedIntersectionTestBlocks(
+        seq_first, seq_second, &stats_->join_comparisons,
+        [&pairs](uint32_t i, uint32_t j) { pairs.emplace_back(i, j); });
+  };
   if (RestrictsSearchSpace(options_.algorithm)) {
-    seq_first = MarkEntries(first, rect, first_is_r);
-    seq_second = MarkEntries(second, rect, !first_is_r);
+    sweep(MarkEntriesBlock(*first.block, rect),
+          MarkEntriesBlock(*second.block, rect));
   } else {
-    seq_first.reserve(first.entries.size());
-    for (uint32_t i = 0; i < first.entries.size(); ++i) {
-      seq_first.push_back(IndexedRect{first_rect(i), i});
-    }
-    seq_second.reserve(second.entries.size());
-    for (uint32_t j = 0; j < second.entries.size(); ++j) {
-      seq_second.push_back(IndexedRect{second_rect(j), j});
-    }
+    sweep(*first.block, *second.block);
   }
-  RSJ_DCHECK(IsSortedByLowerX(seq_first));
-  RSJ_DCHECK(IsSortedByLowerX(seq_second));
-  SortedIntersectionTest(
-      std::span<const IndexedRect>(seq_first),
-      std::span<const IndexedRect>(seq_second), &stats_->join_comparisons,
-      [&pairs](uint32_t i, uint32_t j) { pairs.emplace_back(i, j); });
   return pairs;
 }
 
@@ -179,12 +158,12 @@ void SpatialJoinEngine::ApplyZOrderSchedule(const Node& nr, const Node& ns,
   }
 }
 
-void SpatialJoinEngine::JoinNodes(const Node& nr, const Node& ns,
-                                  const Rect& rect) {
+void SpatialJoinEngine::JoinNodes(NodeView r, NodeView s, const Rect& rect) {
   ++stats_->node_pairs;
+  const Node& nr = *r.node;
+  const Node& ns = *s.node;
   if (nr.is_leaf() && ns.is_leaf()) {
-    for (const EntryPair& p :
-         QualifyingPairs(nr, ns, rect, /*first_is_r=*/true)) {
+    for (const EntryPair& p : QualifyingPairs(r, s, rect, /*first_is_r=*/true)) {
       const Entry& a = nr.entries[p.first];
       const Entry& b = ns.entries[p.second];
       // The traversal filter is exact for the intersection predicate; all
@@ -201,7 +180,7 @@ void SpatialJoinEngine::JoinNodes(const Node& nr, const Node& ns,
   }
   if (!nr.is_leaf() && !ns.is_leaf()) {
     std::vector<EntryPair> pairs =
-        QualifyingPairs(nr, ns, rect, /*first_is_r=*/true);
+        QualifyingPairs(r, s, rect, /*first_is_r=*/true);
     if (UsesZOrderSchedule(options_.algorithm)) {
       ApplyZOrderSchedule(nr, ns, &pairs);
     }
@@ -210,15 +189,15 @@ void SpatialJoinEngine::JoinNodes(const Node& nr, const Node& ns,
   }
   // Different heights: one side already reached its data nodes.
   if (ns.is_leaf()) {
-    WindowPhase(&acc_r_, nr, ns, rect, /*r_is_deep=*/true);
+    WindowPhase(&acc_r_, r, s, rect, /*r_is_deep=*/true);
   } else {
-    WindowPhase(&acc_s_, ns, nr, rect, /*r_is_deep=*/false);
+    WindowPhase(&acc_s_, s, r, rect, /*r_is_deep=*/false);
   }
 }
 
 void SpatialJoinEngine::ProcessChildPair(const Entry& er, const Entry& es) {
-  const Node& child_r = acc_r_.Fetch(er.ref);
-  const Node& child_s = acc_s_.Fetch(es.ref);
+  const NodeView child_r = acc_r_.FetchView(er.ref);
+  const NodeView child_s = acc_s_.FetchView(es.ref);
   JoinNodes(child_r, child_s, RSideRect(er.rect).Intersection(es.rect));
 }
 
@@ -311,11 +290,13 @@ void SpatialJoinEngine::ExecuteDirectorySchedule(
   }
 }
 
-void SpatialJoinEngine::WindowPhase(NodeAccessor* deep, const Node& dir_node,
-                                    const Node& leaf_node, const Rect& rect,
+void SpatialJoinEngine::WindowPhase(NodeAccessor* deep, NodeView dir,
+                                    NodeView leaf, const Rect& rect,
                                     bool r_is_deep) {
+  const Node& dir_node = *dir.node;
+  const Node& leaf_node = *leaf.node;
   const std::vector<EntryPair> pairs =
-      QualifyingPairs(dir_node, leaf_node, rect, /*first_is_r=*/r_is_deep);
+      QualifyingPairs(dir, leaf, rect, /*first_is_r=*/r_is_deep);
 
   if (prefetcher_ != nullptr && !pairs.empty()) {
     // §4.4: the subtree root pages the window queries will descend into,
@@ -389,39 +370,98 @@ void SpatialJoinEngine::WindowPhase(NodeAccessor* deep, const Node& dir_node,
 
 void SpatialJoinEngine::SingleWindowQuery(NodeAccessor* deep, PageId page,
                                           const Entry& query, bool r_is_deep) {
-  const Node& node = deep->Fetch(page);
-  // The R side carries the predicate expansion; it is either the deep
-  // tree's entries or the query rectangle.
-  const Rect query_rect = r_is_deep ? query.rect : RSideRect(query.rect);
-  for (const Entry& e : node.entries) {
-    if (node.is_leaf()) {
-      // Exact predicate on data entries (equivalent to, and cheaper than,
-      // candidate filter + verification).
-      const Rect& a = r_is_deep ? e.rect : query.rect;
-      const Rect& b = r_is_deep ? query.rect : e.rect;
-      if (EvaluatePredicateCounted(options_.predicate, options_.epsilon, a,
-                                   b, &stats_->join_comparisons)) {
+  const NodeView view = deep->FetchView(page);
+  const Node& node = *view.node;
+  if (node.is_leaf()) {
+    // Exact predicate on data entries (equivalent to, and cheaper than,
+    // candidate filter + verification). Intersection runs as one kernel
+    // pass (the leaf block is unexpanded: ε > 0 implies within-distance);
+    // within-distance batches when the deep side is S — when it is R the
+    // accessor's block carries the ε expansion, so the exact test falls
+    // back to the original rectangles.
+    if (options_.predicate == JoinPredicate::kIntersects) {
+      CountedOverlapHits(
+          *view.block, query.rect,
+          r_is_deep ? OverlapSubject::kBlock : OverlapSubject::kQuery,
+          &stats_->join_comparisons, &hits_);
+      for (const uint32_t h : hits_) {
+        const Entry& e = node.entries[h];
         if (r_is_deep) {
           Emit(e.ref, query.ref);
         } else {
           Emit(query.ref, e.ref);
         }
       }
-      continue;
+      return;
     }
-    const Rect entry_rect = r_is_deep ? RSideRect(e.rect) : e.rect;
-    if (entry_rect.IntersectsCounted(query_rect,
-                                     &stats_->join_comparisons)) {
-      SingleWindowQuery(deep, e.ref, query, r_is_deep);
+    if (options_.predicate == JoinPredicate::kWithinDistance && !r_is_deep) {
+      CountedWithinDistanceHits(*view.block, query.rect, options_.epsilon,
+                                &stats_->join_comparisons, &hits_);
+      for (const uint32_t h : hits_) Emit(query.ref, node.entries[h].ref);
+      return;
     }
+    for (const Entry& e : node.entries) {
+      const Rect& a = r_is_deep ? e.rect : query.rect;
+      const Rect& b = r_is_deep ? query.rect : e.rect;
+      if (EvaluatePredicateCounted(options_.predicate, options_.epsilon, a, b,
+                                   &stats_->join_comparisons)) {
+        if (r_is_deep) {
+          Emit(e.ref, query.ref);
+        } else {
+          Emit(query.ref, e.ref);
+        }
+      }
+    }
+    return;
+  }
+  // Directory descent: the deep side's block carries the expansion exactly
+  // when it is the R side, matching the scalar RSideRect placement. The
+  // recursion happens after the hit scan (the kernel hit buffer is shared).
+  const Rect query_rect = r_is_deep ? query.rect : RSideRect(query.rect);
+  CountedOverlapHits(*view.block, query_rect, OverlapSubject::kBlock,
+                     &stats_->join_comparisons, &hits_);
+  std::vector<PageId> children;
+  children.reserve(hits_.size());
+  for (const uint32_t h : hits_) children.push_back(node.entries[h].ref);
+  for (const PageId child : children) {
+    SingleWindowQuery(deep, child, query, r_is_deep);
   }
 }
 
 void SpatialJoinEngine::BatchedWindowQuery(NodeAccessor* deep, PageId page,
                                            const std::vector<Entry>& queries,
                                            bool r_is_deep) {
-  const Node& node = deep->Fetch(page);
+  const NodeView view = deep->FetchView(page);
+  const Node& node = *view.node;
   if (node.is_leaf()) {
+    // The paper's order: data entries outer, query batch inner — so the
+    // query batch is the block. The leaf entry is the subject exactly when
+    // it is the R side.
+    if (options_.predicate == JoinPredicate::kIntersects ||
+        options_.predicate == JoinPredicate::kWithinDistance) {
+      RectBlock query_block;
+      query_block.AssignEntries(std::span<const Entry>(queries), 0.0);
+      for (const Entry& e : node.entries) {
+        if (options_.predicate == JoinPredicate::kIntersects) {
+          CountedOverlapHits(
+              query_block, e.rect,
+              r_is_deep ? OverlapSubject::kQuery : OverlapSubject::kBlock,
+              &stats_->join_comparisons, &hits_);
+        } else {
+          CountedWithinDistanceHits(query_block, e.rect, options_.epsilon,
+                                    &stats_->join_comparisons, &hits_);
+        }
+        for (const uint32_t h : hits_) {
+          const Entry& q = queries[h];
+          if (r_is_deep) {
+            Emit(e.ref, q.ref);
+          } else {
+            Emit(q.ref, e.ref);
+          }
+        }
+      }
+      return;
+    }
     for (const Entry& e : node.entries) {
       for (const Entry& q : queries) {
         const Rect& a = r_is_deep ? e.rect : q.rect;
@@ -438,17 +478,20 @@ void SpatialJoinEngine::BatchedWindowQuery(NodeAccessor* deep, PageId page,
     }
     return;
   }
-  for (const Entry& e : node.entries) {
-    const Rect entry_rect = r_is_deep ? RSideRect(e.rect) : e.rect;
+  // Directory level: the R-side growth sits on the deep entries (already in
+  // the accessor's block) when R is deep, on the query batch otherwise.
+  RectBlock query_block;
+  query_block.AssignEntries(std::span<const Entry>(queries),
+                            r_is_deep ? 0.0 : expansion_);
+  for (uint32_t pos = 0; pos < node.entries.size(); ++pos) {
+    const Rect entry_rect = view.block->RectAt(pos);
+    CountedOverlapHits(query_block, entry_rect, OverlapSubject::kQuery,
+                       &stats_->join_comparisons, &hits_);
+    if (hits_.empty()) continue;
     std::vector<Entry> subset;
-    for (const Entry& q : queries) {
-      const Rect query_rect = r_is_deep ? q.rect : RSideRect(q.rect);
-      if (entry_rect.IntersectsCounted(query_rect,
-                                       &stats_->join_comparisons)) {
-        subset.push_back(q);
-      }
-    }
-    if (!subset.empty()) BatchedWindowQuery(deep, e.ref, subset, r_is_deep);
+    subset.reserve(hits_.size());
+    for (const uint32_t h : hits_) subset.push_back(queries[h]);
+    BatchedWindowQuery(deep, node.entries[pos].ref, subset, r_is_deep);
   }
 }
 

@@ -94,22 +94,24 @@ class SpatialJoinEngine {
   // Pair finding between two nodes, honoring the configured CPU technique
   // (nested loops / restriction / plane sweep). `rect` is the intersection
   // of the parent rectangles; `first_is_r` says which operand the first
-  // node belongs to (the R side carries the predicate expansion).
-  std::vector<EntryPair> QualifyingPairs(const Node& first, const Node& second,
+  // node belongs to (the R side carries the predicate expansion — already
+  // baked into that side's accessor blocks). The inner loops run as batch
+  // kernels over the views' SoA blocks (geom/simd_kernels.h), charging
+  // exactly the scalar comparison counts.
+  std::vector<EntryPair> QualifyingPairs(NodeView first, NodeView second,
                                          const Rect& rect, bool first_is_r);
 
-  // Entries of `node` intersecting `rect`, in node order (sorted order for
-  // the sweep algorithms since the accessor sorts on read). R-side entries
-  // are tested and returned with their expanded rectangles.
-  std::vector<IndexedRect> MarkEntries(const Node& node, const Rect& rect,
-                                       bool is_r_side);
+  // Positions of `block` whose rectangles intersect `rect`, compacted into
+  // a new block (in block order — sorted order for the sweep algorithms
+  // since the accessor sorts on read). The block's expansion carries over.
+  RectBlock MarkEntriesBlock(const RectBlock& block, const Rect& rect);
 
   // Reorders `pairs` into the z-order read schedule (SJ5 only).
   void ApplyZOrderSchedule(const Node& nr, const Node& ns,
                            std::vector<EntryPair>* pairs);
 
   // Synchronized recursion on a node pair.
-  void JoinNodes(const Node& nr, const Node& ns, const Rect& rect);
+  void JoinNodes(NodeView r, NodeView s, const Rect& rect);
 
   // Reads both child pages of a directory-level pair and recurses.
   void ProcessChildPair(const Entry& er, const Entry& es);
@@ -119,11 +121,11 @@ class SpatialJoinEngine {
   void ExecuteDirectorySchedule(const Node& nr, const Node& ns,
                                 const std::vector<EntryPair>& pairs);
 
-  // §4.4 — different heights: `dir_node` (from the deeper tree, accessed
-  // via `deep`) against data node `leaf_node`. `r_is_deep` preserves the
-  // (R, S) orientation of emitted pairs.
-  void WindowPhase(NodeAccessor* deep, const Node& dir_node,
-                   const Node& leaf_node, const Rect& rect, bool r_is_deep);
+  // §4.4 — different heights: `dir` (from the deeper tree, accessed via
+  // `deep`) against data node `leaf`. `r_is_deep` preserves the (R, S)
+  // orientation of emitted pairs.
+  void WindowPhase(NodeAccessor* deep, NodeView dir, NodeView leaf,
+                   const Rect& rect, bool r_is_deep);
 
   // Policy (a)/(c) primitive: one window query in the subtree under `page`.
   void SingleWindowQuery(NodeAccessor* deep, PageId page, const Entry& query,
@@ -134,9 +136,10 @@ class SpatialJoinEngine {
                           const std::vector<Entry>& queries, bool r_is_deep);
 
   JoinOptions options_;
-  NodeAccessor acc_r_;
+  NodeAccessor acc_r_;  // carries the predicate expansion in its blocks
   NodeAccessor acc_s_;
   Statistics* stats_;
+  std::vector<uint32_t> hits_;  // reusable kernel hit buffer
   double expansion_ = 0.0;         // R-side growth for the predicate filter
   Rect universe_ = Rect::Empty();  // z-value reference frame
   ResultSink* sink_ = nullptr;     // output of the run in progress

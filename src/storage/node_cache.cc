@@ -36,7 +36,7 @@ NodeCache::FetchResult NodeCache::Fetch(const PagedFile& file, PageId id,
     ++stats->node_cache_hits;
     shard.order.splice(shard.order.begin(), shard.order,
                        it->second.position);
-    result.node = it->second.node;
+    result.decoded = it->second.node;
     return result;
   }
 
@@ -44,7 +44,7 @@ NodeCache::FetchResult NodeCache::Fetch(const PagedFile& file, PageId id,
   // decode no longer corresponds to a resident page): decode from the page
   // bytes, charged to the requesting actor.
   ++stats->node_decodes;
-  auto node = std::make_shared<const Node>(Node::Load(file, id));
+  auto node = std::make_shared<const DecodedNode>(Node::Load(file, id));
   if (it != shard.nodes.end()) {
     it->second.node = node;
     shard.order.splice(shard.order.begin(), shard.order, it->second.position);
@@ -56,7 +56,7 @@ NodeCache::FetchResult NodeCache::Fetch(const PagedFile& file, PageId id,
       shard.order.pop_back();
     }
   }
-  result.node = std::move(node);
+  result.decoded = std::move(node);
   return result;
 }
 

@@ -10,7 +10,8 @@
 // cache keeps one immutable decoded copy per resident page and shares it
 // across all actors: the key space is hash-partitioned into shards (the
 // same shard/lock structure as SharedBufferPool), each an independently
-// locked LRU map from PageKey to `shared_ptr<const Node>`.
+// locked LRU map from PageKey to `shared_ptr<const DecodedNode>` — the
+// node plus its SoA RectBlock, built once per decode.
 //
 // A cached decode is only valid while the page is buffer-resident: `Fetch`
 // always issues the page request first (so I/O counters are untouched by
@@ -31,10 +32,24 @@
 #include <unordered_map>
 #include <vector>
 
+#include "geom/rect_block.h"
 #include "rtree/node.h"
 #include "storage/page_cache.h"
 
 namespace rsj {
+
+// A decoded page: the node plus its entry rectangles re-laid-out as a SoA
+// RectBlock (entry order, no expansion) for the batch kernels. Both are
+// built in one pass at decode time, so every consumer of a shared decode
+// gets the vector-friendly layout for free.
+struct DecodedNode {
+  Node node;
+  RectBlock block;
+
+  explicit DecodedNode(Node n) : node(std::move(n)) {
+    block.AssignEntries(std::span<const Entry>(node.entries), 0.0);
+  }
+};
 
 class NodeCache {
  public:
@@ -45,10 +60,13 @@ class NodeCache {
   };
 
   struct FetchResult {
-    std::shared_ptr<const Node> node;
+    std::shared_ptr<const DecodedNode> decoded;
     // True when the page request was served from the page buffer. A miss
     // means the page was physically re-read, which forces a re-decode.
     bool page_hit = false;
+
+    const Node& node() const { return decoded->node; }
+    const RectBlock& block() const { return decoded->block; }
   };
 
   // `pages` must outlive the cache and must itself be thread-safe when the
@@ -78,7 +96,7 @@ class NodeCache {
 
  private:
   struct CacheEntry {
-    std::shared_ptr<const Node> node;
+    std::shared_ptr<const DecodedNode> node;
     std::list<PageKey>::iterator position;  // place in the LRU order list
   };
 

@@ -46,15 +46,18 @@ TEST(NodeCacheTest, DecodesOnceWhilePageStaysResident) {
   EXPECT_FALSE(first.page_hit);
   EXPECT_EQ(stats.node_decodes, 1u);
   EXPECT_EQ(stats.node_cache_hits, 0u);
-  ASSERT_EQ(first.node->entries.size(), 1u);
-  EXPECT_EQ(first.node->entries[0].ref, 0u);
+  ASSERT_EQ(first.node().entries.size(), 1u);
+  EXPECT_EQ(first.node().entries[0].ref, 0u);
+  // The SoA block is built with the decode, in entry order.
+  ASSERT_EQ(first.block().size(), 1u);
+  EXPECT_EQ(first.block().RectAt(0), first.node().entries[0].rect);
 
   const auto second = cache.Fetch(file, pages[0], &stats);
   EXPECT_TRUE(second.page_hit);
   EXPECT_EQ(stats.node_decodes, 1u);
   EXPECT_EQ(stats.node_cache_hits, 1u);
   // The decode is shared, not copied.
-  EXPECT_EQ(first.node.get(), second.node.get());
+  EXPECT_EQ(first.decoded.get(), second.decoded.get());
   // The page layer was charged normally underneath.
   EXPECT_EQ(stats.disk_reads, 1u);
   EXPECT_EQ(stats.buffer_hits, 1u);

@@ -1,0 +1,350 @@
+// Unit tests for the RectBlock SoA layout and the batch geometry kernels
+// (geom/simd_kernels.h): mask correctness on touching / degenerate / empty
+// rectangles, tail lanes at non-multiple-of-width sizes, and the hard
+// parity contract — scalar and SIMD dispatch produce identical hit
+// sequences AND identical comparison counts on every input.
+
+#include "geom/simd_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "geom/plane_sweep.h"
+#include "join/predicate.h"
+#include "tests/test_util.h"
+
+namespace rsj {
+namespace {
+
+// Restores the process-wide kernel mode around each test.
+class SimdKernelsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = ActiveGeomKernelMode(); }
+  void TearDown() override { SetGeomKernelMode(saved_); }
+
+ private:
+  GeomKernelMode saved_ = GeomKernelMode::kScalar;
+};
+
+struct KernelRun {
+  std::vector<uint32_t> hits;
+  uint64_t comparisons = 0;
+};
+
+KernelRun RunOverlap(GeomKernelMode mode, const RectBlock& block,
+                     const Rect& query, OverlapSubject subject) {
+  SetGeomKernelMode(mode);
+  KernelRun run;
+  ComparisonCounter counter;
+  CountedOverlapHits(block, query, subject, &counter, &run.hits);
+  run.comparisons = counter.count();
+  return run;
+}
+
+// The pre-block reference: the scalar engine loop, entry by entry.
+KernelRun ReferenceOverlap(const RectBlock& block, const Rect& query,
+                           OverlapSubject subject) {
+  KernelRun run;
+  ComparisonCounter counter;
+  for (size_t i = 0; i < block.size(); ++i) {
+    const Rect b = block.RectAt(i);
+    const bool hit = subject == OverlapSubject::kBlock
+                         ? b.IntersectsCounted(query, &counter)
+                         : query.IntersectsCounted(b, &counter);
+    if (hit) run.hits.push_back(static_cast<uint32_t>(i));
+  }
+  run.comparisons = counter.count();
+  return run;
+}
+
+void ExpectSameRun(const KernelRun& a, const KernelRun& b,
+                   const char* label) {
+  EXPECT_EQ(a.hits, b.hits) << label;
+  EXPECT_EQ(a.comparisons, b.comparisons) << label;
+}
+
+RectBlock BlockOf(const std::vector<Rect>& rects) {
+  RectBlock block;
+  block.AssignRects(std::span<const Rect>(rects), 0.0);
+  return block;
+}
+
+TEST_F(SimdKernelsTest, TouchingAndDegenerateRects) {
+  // Closed-set semantics: touching edges/corners intersect; degenerate
+  // points and segments are valid rectangles.
+  const std::vector<Rect> rects = {
+      {0, 0, 1, 1},          // touches query edge at x = 1
+      {1, 1, 2, 2},          // overlaps
+      {2, 2, 3, 3},          // touches query corner at (2, 2)
+      {2.5f, 0, 2.5f, 5},    // degenerate vertical segment, disjoint in x
+      {1.5f, 1.5f, 1.5f, 1.5f},  // degenerate point inside
+      {5, 5, 6, 6},          // disjoint
+  };
+  const Rect query{1, 1, 2, 2};
+  const RectBlock block = BlockOf(rects);
+  for (const OverlapSubject subject :
+       {OverlapSubject::kBlock, OverlapSubject::kQuery}) {
+    const KernelRun ref = ReferenceOverlap(block, query, subject);
+    EXPECT_EQ(ref.hits, (std::vector<uint32_t>{0, 1, 2, 4}));
+    ExpectSameRun(RunOverlap(GeomKernelMode::kScalar, block, query, subject),
+                  ref, "scalar vs reference");
+    ExpectSameRun(RunOverlap(GeomKernelMode::kSimd, block, query, subject),
+                  ref, "simd vs reference");
+  }
+}
+
+TEST_F(SimdKernelsTest, EmptySentinelNeverHits) {
+  // Rect::Empty() has inverted bounds and must intersect nothing, whether
+  // it sits in the block or is the query.
+  std::vector<Rect> rects = testutil::RandomRects(37, 7);
+  rects[3] = Rect::Empty();
+  rects[36] = Rect::Empty();
+  const RectBlock block = BlockOf(rects);
+  for (const OverlapSubject subject :
+       {OverlapSubject::kBlock, OverlapSubject::kQuery}) {
+    const KernelRun ref = ReferenceOverlap(block, Rect{0, 0, 1, 1}, subject);
+    for (const uint32_t h : ref.hits) {
+      EXPECT_NE(h, 3u);
+      EXPECT_NE(h, 36u);
+    }
+    ExpectSameRun(
+        RunOverlap(GeomKernelMode::kSimd, block, Rect{0, 0, 1, 1}, subject),
+        ref, "simd vs reference");
+    const KernelRun empty_query =
+        RunOverlap(GeomKernelMode::kSimd, block, Rect::Empty(), subject);
+    EXPECT_TRUE(empty_query.hits.empty());
+    ExpectSameRun(empty_query, ReferenceOverlap(block, Rect::Empty(), subject),
+                  "empty query");
+  }
+}
+
+TEST_F(SimdKernelsTest, TailLanesAtEverySmallSize) {
+  // Every size from 0 to 2 full SSE groups + 1, so each tail width (0-3
+  // lanes) is exercised on both sides of the group boundary.
+  for (size_t n = 0; n <= 9; ++n) {
+    const std::vector<Rect> all = testutil::RandomRects(9, 11 + n, 0.4);
+    const std::vector<Rect> rects(all.begin(), all.begin() + n);
+    const RectBlock block = BlockOf(rects);
+    const Rect query = all.back();
+    for (const OverlapSubject subject :
+         {OverlapSubject::kBlock, OverlapSubject::kQuery}) {
+      const KernelRun ref = ReferenceOverlap(block, query, subject);
+      ExpectSameRun(RunOverlap(GeomKernelMode::kScalar, block, query, subject),
+                    ref, "scalar tail");
+      ExpectSameRun(RunOverlap(GeomKernelMode::kSimd, block, query, subject),
+                    ref, "simd tail");
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, RandomBlocksFullParity) {
+  // Node-capacity sized blocks (Table 1: 51/102/204/409) with dense
+  // overlap: hit order, hit set and comparison count must agree exactly.
+  for (const size_t n : {51u, 102u, 204u, 409u}) {
+    const std::vector<Rect> rects = testutil::RandomRects(n, n, 0.2);
+    const RectBlock block = BlockOf(rects);
+    const std::vector<Rect> queries = testutil::RandomRects(16, n + 1, 0.3);
+    for (const Rect& query : queries) {
+      for (const OverlapSubject subject :
+           {OverlapSubject::kBlock, OverlapSubject::kQuery}) {
+        const KernelRun ref = ReferenceOverlap(block, query, subject);
+        ExpectSameRun(
+            RunOverlap(GeomKernelMode::kScalar, block, query, subject), ref,
+            "scalar");
+        ExpectSameRun(
+            RunOverlap(GeomKernelMode::kSimd, block, query, subject), ref,
+            "simd");
+      }
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, SubjectOrderChangesCountsNotHits) {
+  // The early-exit order depends on the subject, so the two subjects may
+  // charge different counts — but never different hit sets.
+  const std::vector<Rect> rects = testutil::RandomRects(64, 99, 0.1);
+  const RectBlock block = BlockOf(rects);
+  const Rect query{0.2f, 0.2f, 0.6f, 0.6f};
+  const KernelRun as_block =
+      RunOverlap(GeomKernelMode::kSimd, block, query, OverlapSubject::kBlock);
+  const KernelRun as_query =
+      RunOverlap(GeomKernelMode::kSimd, block, query, OverlapSubject::kQuery);
+  EXPECT_EQ(as_block.hits, as_query.hits);
+}
+
+TEST_F(SimdKernelsTest, UncountedOverlapMatchesIntersects) {
+  const std::vector<Rect> rects = testutil::RandomRects(77, 5, 0.3);
+  const RectBlock block = BlockOf(rects);
+  const Rect query{0.1f, 0.4f, 0.5f, 0.9f};
+  for (const GeomKernelMode mode :
+       {GeomKernelMode::kScalar, GeomKernelMode::kSimd}) {
+    SetGeomKernelMode(mode);
+    std::vector<uint32_t> hits;
+    OverlapHits(block, query, &hits);
+    std::vector<uint32_t> expected;
+    for (uint32_t i = 0; i < rects.size(); ++i) {
+      if (rects[i].Intersects(query)) expected.push_back(i);
+    }
+    EXPECT_EQ(hits, expected) << GeomKernelModeName(mode);
+  }
+}
+
+TEST_F(SimdKernelsTest, WithinDistanceParity) {
+  const std::vector<Rect> rects = testutil::RandomRects(103, 21, 0.05);
+  const RectBlock block = BlockOf(rects);
+  const std::vector<Rect> queries = testutil::RandomRects(8, 22, 0.05);
+  for (const double epsilon : {0.0, 0.01, 0.1, 0.5}) {
+    for (const Rect& query : queries) {
+      // Reference: the scalar leaf test, element by element.
+      KernelRun ref;
+      {
+        ComparisonCounter counter;
+        for (uint32_t i = 0; i < rects.size(); ++i) {
+          if (EvaluatePredicateCounted(JoinPredicate::kWithinDistance,
+                                       epsilon, query, rects[i], &counter)) {
+            ref.hits.push_back(i);
+          }
+        }
+        ref.comparisons = counter.count();
+      }
+      for (const GeomKernelMode mode :
+           {GeomKernelMode::kScalar, GeomKernelMode::kSimd}) {
+        SetGeomKernelMode(mode);
+        KernelRun run;
+        ComparisonCounter counter;
+        CountedWithinDistanceHits(block, query, epsilon, &counter,
+                                  &run.hits);
+        run.comparisons = counter.count();
+        ExpectSameRun(run, ref, GeomKernelModeName(mode));
+      }
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, SweepScanMatchesInternalLoop) {
+  // Against the paper's InternalLoop (geom/plane_sweep.h) from every
+  // possible start position, including starts inside the final group.
+  std::vector<Rect> rects = testutil::RandomRects(27, 31, 0.3);
+  std::vector<IndexedRect> seq;
+  for (uint32_t i = 0; i < rects.size(); ++i) {
+    seq.push_back(IndexedRect{rects[i], i});
+  }
+  SortByLowerX(&seq);
+  RectBlock block;
+  block.AssignIndexed(std::span<const IndexedRect>(seq));
+  const Rect t{0.2f, 0.1f, 0.7f, 0.6f};
+  for (size_t first = 0; first <= seq.size(); ++first) {
+    KernelRun ref;
+    {
+      ComparisonCounter counter;
+      internal::SweepInternalLoop(
+          t, std::span<const IndexedRect>(seq), first, &counter,
+          [&](size_t k) { ref.hits.push_back(static_cast<uint32_t>(k)); });
+      ref.comparisons = counter.count();
+    }
+    for (const GeomKernelMode mode :
+         {GeomKernelMode::kScalar, GeomKernelMode::kSimd}) {
+      SetGeomKernelMode(mode);
+      KernelRun run;
+      ComparisonCounter counter;
+      SweepScanBlock(t, block, first, &counter, &run.hits);
+      run.comparisons = counter.count();
+      ExpectSameRun(run, ref, GeomKernelModeName(mode));
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, BlockSweepMatchesSortedIntersectionTest) {
+  for (const size_t n : {1u, 5u, 51u, 100u}) {
+    std::vector<IndexedRect> rseq;
+    std::vector<IndexedRect> sseq;
+    const std::vector<Rect> r = testutil::RandomRects(n, 41 + n, 0.15);
+    const std::vector<Rect> s = testutil::RandomRects(n + 3, 43 + n, 0.15);
+    for (uint32_t i = 0; i < r.size(); ++i) {
+      rseq.push_back(IndexedRect{r[i], i});
+    }
+    for (uint32_t j = 0; j < s.size(); ++j) {
+      sseq.push_back(IndexedRect{s[j], j});
+    }
+    SortByLowerX(&rseq);
+    SortByLowerX(&sseq);
+    ComparisonCounter ref_counter;
+    const auto ref_pairs = SortedIntersectionTestPairs(
+        std::span<const IndexedRect>(rseq),
+        std::span<const IndexedRect>(sseq), &ref_counter);
+
+    RectBlock rblock;
+    RectBlock sblock;
+    rblock.AssignIndexed(std::span<const IndexedRect>(rseq));
+    sblock.AssignIndexed(std::span<const IndexedRect>(sseq));
+    for (const GeomKernelMode mode :
+         {GeomKernelMode::kScalar, GeomKernelMode::kSimd}) {
+      SetGeomKernelMode(mode);
+      ComparisonCounter counter;
+      std::vector<std::pair<uint32_t, uint32_t>> pairs;
+      SortedIntersectionTestBlocks(
+          rblock, sblock, &counter,
+          [&](uint32_t i, uint32_t j) { pairs.emplace_back(i, j); });
+      // Emission order is the read schedule — it must match exactly, not
+      // just as a set.
+      EXPECT_EQ(pairs, ref_pairs) << GeomKernelModeName(mode);
+      EXPECT_EQ(counter.count(), ref_counter.count())
+          << GeomKernelModeName(mode);
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, NanInputsBehaveIdentically) {
+  // Ordered > is false for NaN in both scalar C++ and SSE cmpgt: a NaN
+  // rectangle passes every early exit and "hits" in both modes — what
+  // matters is that the two paths agree bit for bit.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<Rect> rects = testutil::RandomRects(11, 3);
+  rects[2] = Rect{nan, 0, 1, 1};
+  rects[7] = Rect{nan, nan, nan, nan};
+  const RectBlock block = BlockOf(rects);
+  const Rect query{0, 0, 1, 1};
+  for (const OverlapSubject subject :
+       {OverlapSubject::kBlock, OverlapSubject::kQuery}) {
+    const KernelRun ref = ReferenceOverlap(block, query, subject);
+    ExpectSameRun(RunOverlap(GeomKernelMode::kScalar, block, query, subject),
+                  ref, "scalar nan");
+    ExpectSameRun(RunOverlap(GeomKernelMode::kSimd, block, query, subject),
+                  ref, "simd nan");
+  }
+}
+
+TEST_F(SimdKernelsTest, BlockBuildersAndGather) {
+  const std::vector<Rect> rects = testutil::RandomRects(10, 17);
+  RectBlock block;
+  block.AssignRects(std::span<const Rect>(rects), 0.0);
+  ASSERT_EQ(block.size(), rects.size());
+  for (size_t i = 0; i < rects.size(); ++i) {
+    EXPECT_EQ(block.RectAt(i), rects[i]);
+    EXPECT_EQ(block.index_at(i), i);
+  }
+  // Expansion bakes Rect::Expanded in.
+  RectBlock expanded;
+  expanded.AssignRects(std::span<const Rect>(rects), 0.25);
+  for (size_t i = 0; i < rects.size(); ++i) {
+    EXPECT_EQ(expanded.RectAt(i), rects[i].Expanded(0.25));
+  }
+  // Gather keeps source indices.
+  const std::vector<uint32_t> positions = {1, 4, 7};
+  RectBlock gathered;
+  gathered.GatherFrom(expanded, std::span<const uint32_t>(positions));
+  ASSERT_EQ(gathered.size(), 3u);
+  for (size_t k = 0; k < positions.size(); ++k) {
+    EXPECT_EQ(gathered.RectAt(k), expanded.RectAt(positions[k]));
+    EXPECT_EQ(gathered.index_at(k), positions[k]);
+  }
+  EXPECT_TRUE(IsSortedByLowerXBlock(gathered) ==
+              IsSortedByLowerXBlock(expanded) ||
+              !IsSortedByLowerXBlock(expanded));
+}
+
+}  // namespace
+}  // namespace rsj

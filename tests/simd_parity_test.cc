@@ -1,0 +1,172 @@
+// The tentpole's hard oracle, CI-asserted: for every join algorithm
+// (SJ1/SJ2/sweep-unrestricted/SJ3/SJ4/SJ5) and for both batch-kernelized
+// predicates (intersects, within-distance), the scalar and SIMD dispatch
+// modes produce identical result pair multisets AND identical
+// comparison-counter readings — so every paper table is reproduced
+// bit-identically regardless of the active kernel path. The parallel
+// executor's pair multiset must agree with both as well.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "exec/parallel_executor.h"
+#include "geom/simd_kernels.h"
+#include "join/join_runner.h"
+#include "tests/test_util.h"
+
+namespace rsj {
+namespace {
+
+constexpr JoinAlgorithm kAllAlgorithms[] = {
+    JoinAlgorithm::kSJ1, JoinAlgorithm::kSJ2,
+    JoinAlgorithm::kSweepUnrestricted, JoinAlgorithm::kSJ3,
+    JoinAlgorithm::kSJ4, JoinAlgorithm::kSJ5};
+
+struct ModeRun {
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  uint64_t join_comparisons = 0;
+  uint64_t sort_comparisons = 0;
+  uint64_t schedule_comparisons = 0;
+  uint64_t output_pairs = 0;
+};
+
+ModeRun RunSequential(const RTree& r, const RTree& s,
+                      const JoinOptions& options, GeomKernelMode mode) {
+  SetGeomKernelMode(mode);
+  const JoinRunResult result =
+      RunSpatialJoin(r, s, options, /*collect_pairs=*/true);
+  ModeRun run;
+  run.pairs = testutil::Canonical(result.chunks);
+  run.join_comparisons = result.stats.join_comparisons.count();
+  run.sort_comparisons = result.stats.sort_comparisons.count();
+  run.schedule_comparisons = result.stats.schedule_comparisons.count();
+  run.output_pairs = result.stats.output_pairs;
+  return run;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> RunParallel(
+    const RTree& r, const RTree& s, const JoinOptions& options,
+    GeomKernelMode mode) {
+  SetGeomKernelMode(mode);
+  ParallelExecutorOptions exec;
+  exec.num_threads = 4;
+  exec.collect_pairs = true;
+  const ParallelJoinResult result =
+      RunParallelSpatialJoin(r, s, options, exec);
+  return testutil::Canonical(result.chunks);
+}
+
+class SimdParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = ActiveGeomKernelMode(); }
+  void TearDown() override { SetGeomKernelMode(saved_); }
+
+ private:
+  GeomKernelMode saved_ = GeomKernelMode::kScalar;
+};
+
+void RunSweep(JoinPredicate predicate, double epsilon) {
+  const auto rects_r = testutil::ClusteredRects(700, /*seed=*/311);
+  const auto rects_s = testutil::ClusteredRects(600, /*seed=*/412);
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation r(rects_r, topt);
+  IndexedRelation s(rects_s, topt);
+  for (const JoinAlgorithm algorithm : kAllAlgorithms) {
+    SCOPED_TRACE(JoinAlgorithmName(algorithm));
+    JoinOptions jopt;
+    jopt.algorithm = algorithm;
+    jopt.buffer_bytes = 32 * 1024;
+    jopt.predicate = predicate;
+    jopt.epsilon = epsilon;
+
+    const ModeRun scalar =
+        RunSequential(r.tree(), s.tree(), jopt, GeomKernelMode::kScalar);
+    const ModeRun simd =
+        RunSequential(r.tree(), s.tree(), jopt, GeomKernelMode::kSimd);
+    ASSERT_FALSE(scalar.pairs.empty());
+    EXPECT_EQ(scalar.pairs, simd.pairs);
+    EXPECT_EQ(scalar.output_pairs, simd.output_pairs);
+    // The paper's CPU metric must be dispatch-invariant: the kernels
+    // charge exactly what the scalar early-exit loops execute.
+    EXPECT_EQ(scalar.join_comparisons, simd.join_comparisons);
+    EXPECT_EQ(scalar.sort_comparisons, simd.sort_comparisons);
+    EXPECT_EQ(scalar.schedule_comparisons, simd.schedule_comparisons);
+
+    // The parallel executor must agree with the sequential answer in both
+    // modes (counters are scheduling-dependent there; the multiset is not).
+    EXPECT_EQ(RunParallel(r.tree(), s.tree(), jopt, GeomKernelMode::kScalar),
+              scalar.pairs);
+    EXPECT_EQ(RunParallel(r.tree(), s.tree(), jopt, GeomKernelMode::kSimd),
+              scalar.pairs);
+  }
+}
+
+TEST_F(SimdParityTest, AllAlgorithmsIntersects) {
+  RunSweep(JoinPredicate::kIntersects, 0.0);
+}
+
+TEST_F(SimdParityTest, AllAlgorithmsWithinDistance) {
+  RunSweep(JoinPredicate::kWithinDistance, 0.015);
+}
+
+// Unequal tree heights force the §4.4 window-query phases (the batched and
+// pinned policies take different kernel paths), so they get their own
+// sweep. A small R against a large S makes R the shallow side; swapping
+// exercises both orientations.
+void RunHeightSweep(JoinPredicate predicate, double epsilon,
+                    HeightPolicy policy) {
+  const auto small_rects = testutil::ClusteredRects(60, /*seed=*/77);
+  const auto big_rects = testutil::ClusteredRects(2500, /*seed=*/78);
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  IndexedRelation small(small_rects, topt);
+  IndexedRelation big(big_rects, topt);
+  ASSERT_LT(small.tree().height(), big.tree().height());
+  for (const bool small_is_r : {true, false}) {
+    const RTree& r = small_is_r ? small.tree() : big.tree();
+    const RTree& s = small_is_r ? big.tree() : small.tree();
+    for (const JoinAlgorithm algorithm :
+         {JoinAlgorithm::kSJ1, JoinAlgorithm::kSJ4}) {
+      SCOPED_TRACE(JoinAlgorithmName(algorithm));
+      JoinOptions jopt;
+      jopt.algorithm = algorithm;
+      jopt.buffer_bytes = 32 * 1024;
+      jopt.predicate = predicate;
+      jopt.epsilon = epsilon;
+      jopt.height_policy = policy;
+      const ModeRun scalar =
+          RunSequential(r, s, jopt, GeomKernelMode::kScalar);
+      const ModeRun simd = RunSequential(r, s, jopt, GeomKernelMode::kSimd);
+      EXPECT_EQ(scalar.pairs, simd.pairs);
+      EXPECT_EQ(scalar.join_comparisons, simd.join_comparisons);
+      EXPECT_EQ(scalar.sort_comparisons, simd.sort_comparisons);
+    }
+  }
+}
+
+TEST_F(SimdParityTest, UnequalHeightsPerPairQueries) {
+  RunHeightSweep(JoinPredicate::kIntersects, 0.0,
+                 HeightPolicy::kPerPairQueries);
+}
+
+TEST_F(SimdParityTest, UnequalHeightsBatchedSubtree) {
+  RunHeightSweep(JoinPredicate::kIntersects, 0.0,
+                 HeightPolicy::kBatchedSubtree);
+}
+
+TEST_F(SimdParityTest, UnequalHeightsPinnedQueries) {
+  RunHeightSweep(JoinPredicate::kWithinDistance, 0.01,
+                 HeightPolicy::kPinnedQueries);
+}
+
+TEST_F(SimdParityTest, UnequalHeightsWithinDistanceBatched) {
+  RunHeightSweep(JoinPredicate::kWithinDistance, 0.01,
+                 HeightPolicy::kBatchedSubtree);
+}
+
+}  // namespace
+}  // namespace rsj
