@@ -1,0 +1,54 @@
+#include "engine/memory_governor.h"
+
+namespace rsj {
+
+const char* MemoryCategoryName(MemoryCategory category) {
+  switch (category) {
+    case MemoryCategory::kResultChunks:
+      return "result_chunks";
+    case MemoryCategory::kFrontierTuples:
+      return "frontier_tuples";
+    case MemoryCategory::kCacheFrames:
+      return "cache_frames";
+    case MemoryCategory::kSessionReservations:
+      return "session_reservations";
+  }
+  return "unknown";
+}
+
+bool MemoryGovernor::TryLease(MemoryCategory category, uint64_t bytes) {
+  if (bytes == 0) return true;
+  const uint64_t now =
+      total_live_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (budget_ != 0 && now > budget_) {
+    total_live_.fetch_sub(bytes, std::memory_order_relaxed);
+    return false;
+  }
+  Account(category, bytes, now);
+  return true;
+}
+
+void MemoryGovernor::Charge(MemoryCategory category, uint64_t bytes) {
+  if (bytes == 0) return;
+  const uint64_t now =
+      total_live_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  Account(category, bytes, now);
+}
+
+void MemoryGovernor::Release(MemoryCategory category, uint64_t bytes) {
+  if (bytes == 0) return;
+  total_live_.fetch_sub(bytes, std::memory_order_relaxed);
+  gauges_[static_cast<unsigned>(category)].live.fetch_sub(
+      bytes, std::memory_order_relaxed);
+}
+
+void MemoryGovernor::Account(MemoryCategory category, uint64_t bytes,
+                             uint64_t total_now) {
+  Raise(&total_peak_, total_now);
+  Gauge& gauge = gauges_[static_cast<unsigned>(category)];
+  const uint64_t cat_now =
+      gauge.live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  Raise(&gauge.peak, cat_now);
+}
+
+}  // namespace rsj

@@ -1,0 +1,107 @@
+// Cost-based plan selection for the serving engine.
+//
+// The paper measures the SJ1..SJ5 ladder and reports crossovers: the
+// sorting/sweep setup of SJ3+ only pays off once enough rectangle
+// comparisons are saved, and the z-order schedule of SJ5 only once enough
+// page reads exist for schedule locality to matter (§5, Table 4). The
+// planner turns the analytic estimator (join/cost_estimator.h) into those
+// decisions per query, so a serving engine mixing tiny and huge joins
+// does not run one hard-coded variant for all of them.
+//
+// Decisions, each on one estimator output against one tunable threshold
+// (thresholds are options precisely so tests and benches can place one
+// workload on each side of every boundary):
+//
+//   * variant   — expected SJ1 comparison count below
+//                 `sj1_comparison_ceiling` keeps plain nested loops (kSJ1:
+//                 no sort, no sweep state); above it, restriction + sweep
+//                 + pinning (kSJ4); expected page reads past
+//                 `zorder_page_read_floor` additionally switch the read
+//                 schedule to local z-order (kSJ5).
+//   * chains    — the estimated peak intermediate tuple count picks
+//                 pipelined (bounded channels, peak-frontier capped) past
+//                 `pipeline_tuple_floor`, else the materialized
+//                 formulation (no channel machinery for small frontiers).
+//   * spilling  — estimated result cardinality past `spill_pair_floor`
+//                 collects through spilling sinks with
+//                 `spill_budget_chunks` resident chunks; below it,
+//                 results materialize unbounded (cheaper, no spill file).
+//   * prefetch  — estimated page reads past `prefetch_page_read_floor`
+//                 enable schedule-driven prefetching with a
+//                 `prefetch_ahead` window; tiny joins skip the hint
+//                 traffic.
+//
+// PlanChoice::Describe() serializes the choice AND the estimator inputs
+// that produced it — the engine stores it per session, so every decision
+// is auditable after the fact.
+
+#ifndef RSJ_ENGINE_PLANNER_H_
+#define RSJ_ENGINE_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/parallel_executor.h"
+#include "join/cost_estimator.h"
+#include "join/multiway_join.h"
+
+namespace rsj {
+
+struct PlannerOptions {
+  // Expected SJ1 comparisons at or below which plain nested loops win.
+  double sj1_comparison_ceiling = 50000;
+  // Expected page reads at or above which SJ5's z-order schedule replaces
+  // SJ4's sweep-order schedule.
+  double zorder_page_read_floor = 20000;
+  // Estimated peak intermediate tuples at or above which a chain runs the
+  // streaming pipeline instead of the materialized formulation.
+  double pipeline_tuple_floor = 20000;
+  // Estimated result pairs (or chain tuples) at or above which results
+  // collect through spilling sinks.
+  double spill_pair_floor = 500000;
+  // Resident-chunk budget handed to the spill path when it is chosen.
+  size_t spill_budget_chunks = 64;
+  // Expected page reads at or above which prefetching is enabled.
+  double prefetch_page_read_floor = 2000;
+  // Async-read window handed to the prefetcher when it is chosen.
+  size_t prefetch_ahead = 32;
+};
+
+struct PlanChoice {
+  JoinAlgorithm algorithm = JoinAlgorithm::kSJ4;
+  bool pipelined = true;  // chains only; pairwise joins ignore it
+  bool spill = false;
+  size_t spill_budget_chunks = 64;
+  bool prefetch = false;
+  size_t prefetch_ahead = 32;
+
+  // The estimator inputs the decisions were made on. For chains:
+  // node_pairs/page_reads/sj1_comparisons sum the per-phase pairwise
+  // estimates and result_pairs is the estimated FINAL tuple count.
+  JoinCostEstimate estimate;
+  // Estimated peak intermediate tuple count of a chain (0 for pairwise).
+  double peak_intermediate_tuples = 0.0;
+
+  // One-line audit record: the choice plus the estimates behind it.
+  std::string Describe() const;
+};
+
+// Plans a pairwise join R ⋈ S.
+PlanChoice PlanPairJoin(const RTree& r, const RTree& s,
+                        const PlannerOptions& options);
+
+// Plans a chain join (relations.size() >= 2). Intermediate cardinalities
+// compose the pairwise estimates: the estimated tuple count after phase k
+// scales the next phase's estimated matches per probing object.
+PlanChoice PlanChainJoin(const std::vector<JoinRelation>& relations,
+                         const PlannerOptions& options);
+
+// Writes a plan into the option structs the executors consume. Leaves
+// every field the planner does not decide (threads, pools, buffers, I/O)
+// untouched.
+void ApplyPlan(const PlanChoice& plan, JoinOptions* join,
+               ParallelExecutorOptions* exec);
+
+}  // namespace rsj
+
+#endif  // RSJ_ENGINE_PLANNER_H_

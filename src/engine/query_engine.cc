@@ -1,0 +1,194 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace rsj {
+
+void QuerySession::Wait() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] {
+    return state_ == SessionState::kFinished || state_ == SessionState::kShed;
+  });
+}
+
+SessionState QuerySession::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+const QueryOutcome& QuerySession::outcome() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RSJ_CHECK_MSG(state_ == SessionState::kFinished,
+                "outcome() before the session finished");
+  return outcome_;
+}
+
+QueryEngine::QueryEngine(const Options& options)
+    : options_(options),
+      governor_(MemoryGovernor::Options{options.memory_budget_bytes}),
+      io_(options.io),
+      pool_(options.pool),
+      task_pool_(SessionTaskPool::Options{options.pool_threads}) {
+  pool_.AttachIoScheduler(&io_);
+  if (options.node_cache_nodes > 0) {
+    node_cache_ = std::make_unique<NodeCache>(
+        &pool_, NodeCache::Options{options.node_cache_nodes});
+  }
+}
+
+QueryEngine::~QueryEngine() { WaitAll(); }
+
+QuerySession* QueryEngine::Submit(QuerySpec spec) {
+  RSJ_CHECK_MSG(spec.relations.size() >= 2, "a query joins >= 2 relations");
+  auto owned = std::unique_ptr<QuerySession>(new QuerySession());
+  QuerySession* session = owned.get();
+  session->spec_ = std::move(spec);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.push_back(std::move(owned));
+  ++telemetry_.sessions_submitted;
+
+  // Admission: a free slot plus the governor's reservation lease. With
+  // nothing running the lease is forced (Charge) so an undersized budget
+  // degrades to serial execution instead of deadlock.
+  const bool slot_free = running_ < options_.max_concurrent_sessions;
+  const bool leased =
+      slot_free &&
+      (running_ == 0
+           ? (governor_.Charge(MemoryCategory::kSessionReservations,
+                               options_.session_reserve_bytes),
+              true)
+           : governor_.TryLease(MemoryCategory::kSessionReservations,
+                                options_.session_reserve_bytes));
+  if (leased) {
+    AdmitLocked(session);
+  } else if (queue_.size() < options_.queue_limit) {
+    queue_.push_back(session);
+    ++telemetry_.sessions_queued;
+  } else {
+    ++telemetry_.sessions_shed;
+    std::lock_guard<std::mutex> session_lock(session->mu_);
+    session->state_ = SessionState::kShed;
+    session->cv_.notify_all();
+  }
+  return session;
+}
+
+void QueryEngine::AdmitLocked(QuerySession* session) {
+  ++telemetry_.sessions_admitted;
+  ++running_;
+  telemetry_.peak_running = std::max(telemetry_.peak_running, running_);
+  {
+    std::lock_guard<std::mutex> session_lock(session->mu_);
+    session->state_ = SessionState::kRunning;
+  }
+  session->driver_ = std::thread([this, session] { RunSession(session); });
+}
+
+void QueryEngine::RunSession(QuerySession* session) {
+  QuerySpec& spec = session->spec_;
+  if (spec.before_run) spec.before_run();
+
+  JoinOptions join = spec.join;
+  ParallelExecutorOptions exec = options_.exec_base;
+  exec.num_threads = std::max(2u, options_.session_threads);
+  exec.shared_pool = true;
+  exec.node_cache = node_cache_ != nullptr;
+  exec.io_scheduler = &io_;
+  exec.own_io_lifecycle = false;  // the engine folds clocks per batch
+  exec.memory_governor = &governor_;
+  exec.task_runner = task_pool_.runner();
+  exec.collect_pairs = spec.collect;
+
+  QueryOutcome outcome;
+  outcome.is_chain = spec.relations.size() > 2;
+  if (spec.use_planner) {
+    outcome.planned = true;
+    outcome.plan =
+        outcome.is_chain
+            ? PlanChainJoin(spec.relations, options_.planner)
+            : PlanPairJoin(*spec.relations[0].tree, *spec.relations[1].tree,
+                           options_.planner);
+    ApplyPlan(outcome.plan, &join, &exec);
+  }
+
+  if (outcome.is_chain) {
+    outcome.chain = RunParallelChainSpatialJoinWith(
+        spec.relations, join, exec, spec.collect, &pool_, node_cache_.get());
+    outcome.result_count = outcome.chain.tuple_count;
+    outcome.modeled_elapsed_micros = outcome.chain.modeled_elapsed_micros;
+  } else {
+    outcome.pair = RunParallelSpatialJoinWith(
+        *spec.relations[0].tree, *spec.relations[1].tree, join, exec, &pool_,
+        node_cache_.get());
+    outcome.result_count = outcome.pair.pair_count;
+    outcome.modeled_elapsed_micros = outcome.pair.modeled_elapsed_micros;
+  }
+
+  {
+    std::lock_guard<std::mutex> session_lock(session->mu_);
+    session->outcome_ = std::move(outcome);
+    session->state_ = SessionState::kFinished;
+    session->cv_.notify_all();
+  }
+  OnSessionDone(session);
+}
+
+void QueryEngine::OnSessionDone(QuerySession* /*session*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  governor_.Release(MemoryCategory::kSessionReservations,
+                    options_.session_reserve_bytes);
+  --running_;
+  ++telemetry_.sessions_finished;
+  // FIFO admission of the queue head. The head may outsize the freed
+  // lease (another category grew meanwhile); it then waits for the next
+  // completion — and is forced through once nothing runs at all.
+  while (!queue_.empty() && running_ < options_.max_concurrent_sessions) {
+    const bool leased =
+        running_ == 0
+            ? (governor_.Charge(MemoryCategory::kSessionReservations,
+                                options_.session_reserve_bytes),
+               true)
+            : governor_.TryLease(MemoryCategory::kSessionReservations,
+                                 options_.session_reserve_bytes);
+    if (!leased) break;
+    QuerySession* next = queue_.front();
+    queue_.pop_front();
+    AdmitLocked(next);
+  }
+  all_done_cv_.notify_all();
+}
+
+uint64_t QueryEngine::WaitAll() {
+  std::vector<std::thread> drivers;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_cv_.wait(lock, [this] { return running_ == 0 && queue_.empty(); });
+    for (auto& session : sessions_) {
+      if (session->driver_.joinable()) {
+        drivers.push_back(std::move(session->driver_));
+      }
+    }
+  }
+  for (std::thread& t : drivers) t.join();
+
+  // Fold the batch: drain in-flight modeled I/O, merge every session's
+  // retired clocks into the floor, measure the batch makespan.
+  io_.Drain();
+  const uint64_t merged = io_.SynchronizeClocks();
+  std::lock_guard<std::mutex> lock(mu_);
+  telemetry_.last_makespan_micros =
+      merged > batch_floor_ ? merged - batch_floor_ : 0;
+  batch_floor_ = merged;
+  return telemetry_.last_makespan_micros;
+}
+
+QueryEngine::Telemetry QueryEngine::telemetry() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return telemetry_;
+}
+
+}  // namespace rsj

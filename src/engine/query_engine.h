@@ -1,0 +1,222 @@
+// The serving layer: many concurrent spatial-join queries over shared
+// immutable trees, one set of run-wide resources.
+//
+// Standalone executors own everything per run — pool, decode cache, I/O
+// scheduler, thread team, spill budgets. A serving engine cannot: N
+// concurrent queries would multiply every budget by N and stomp each
+// other's modeled clocks. The QueryEngine instead owns ONE of each and
+// leases them to sessions:
+//
+//   * one SharedBufferPool + NodeCache span every session (queries share
+//     hot directory pages and decodes, exactly like a database buffer),
+//   * one IoScheduler models the disk array for all sessions; each
+//     session runs with own_io_lifecycle = false, so it retires only its
+//     own actor clocks and reports its latency against the batch floor —
+//     never folding another session's timeline (the engine drains and
+//     synchronizes once per WaitAll batch),
+//   * one SessionTaskPool (engine/task_pool.h) executes every session's
+//     subtree-pair tasks on a fixed oversubscribed thread set with
+//     round-robin fairness,
+//   * one MemoryGovernor (engine/memory_governor.h) is the run-wide
+//     ledger: session admission leases kSessionReservations bytes,
+//     result/spill/frontier budgets mirror into their categories, and
+//     the per-category peaks are the engine's memory audit.
+//
+// ADMISSION CONTROL: Submit() admits a session when a running slot is
+// free AND the governor grants its reservation lease; otherwise it queues
+// (up to queue_limit) and is admitted in FIFO order as sessions finish;
+// past the queue limit it is SHED immediately (state kShed, no result).
+// A session is always admitted when nothing is running, so the engine
+// cannot deadlock on an undersized budget.
+//
+// PLANNING: unless the spec opts out, the cost-based planner
+// (engine/planner.h) picks the SJ variant, pipelined-vs-materialized
+// chain formulation, spill budget and prefetch window per query from the
+// analytic estimator; the chosen plan and its estimator inputs are kept
+// in the outcome for audit.
+//
+// ISOLATION: every session's Statistics live in its own result structs —
+// per-query counters never bleed (engine_test proves it) — while the
+// governor and scheduler aggregate the shared-resource view.
+
+#ifndef RSJ_ENGINE_QUERY_ENGINE_H_
+#define RSJ_ENGINE_QUERY_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/memory_governor.h"
+#include "engine/planner.h"
+#include "engine/task_pool.h"
+#include "exec/multiway_executor.h"
+#include "exec/parallel_executor.h"
+#include "io/io_scheduler.h"
+#include "storage/node_cache.h"
+#include "storage/shared_buffer_pool.h"
+
+namespace rsj {
+
+// One query: a pairwise join (2 relations) or a chain join (>= 3).
+struct QuerySpec {
+  // The relations, left to right. All trees must share one page size
+  // (the engine pool's), and must stay valid until the session finished.
+  std::vector<JoinRelation> relations;
+  // Per-query join configuration. buffer_bytes is ignored (the engine
+  // pool is the buffer); the algorithm is overridden when planning.
+  JoinOptions join;
+  // Materialize the result (pairs / tuples) instead of counting.
+  bool collect = true;
+  // false: run `join` + the engine's base exec options verbatim, skipping
+  // the planner (for A/B runs and algorithm-pinned tests).
+  bool use_planner = true;
+  // Test hook: runs on the session's driver thread after admission,
+  // before planning/execution. Lets tests hold admitted sessions at a
+  // barrier to make queueing and shedding deterministic.
+  std::function<void()> before_run;
+};
+
+enum class SessionState {
+  kQueued,    // submitted, waiting for an admission slot
+  kRunning,   // admitted; driver thread executing
+  kFinished,  // outcome valid
+  kShed,      // rejected at submit (queue full); no outcome
+};
+
+struct QueryOutcome {
+  // Result count: pairs for 2-way queries, tuples for chains.
+  uint64_t result_count = 0;
+  // Filled for 2-way queries...
+  ParallelJoinResult pair;
+  // ...and for chains. Each carries its own Statistics — per-session
+  // counters are never shared with other sessions.
+  ParallelChainJoinResult chain;
+  bool is_chain = false;
+  // The plan that ran, when the planner was used.
+  bool planned = false;
+  PlanChoice plan;
+  // Modeled service latency: this session's retired-clock peak minus the
+  // scheduler floor at the batch start (0 without modeled I/O).
+  uint64_t modeled_elapsed_micros = 0;
+};
+
+class QueryEngine;
+
+// Handle to one submitted query. Engine-owned lifetime: valid until the
+// engine is destroyed.
+class QuerySession {
+ public:
+  // Blocks until the session finished (or was shed at submit).
+  void Wait() const;
+  SessionState state() const;
+  // Valid after Wait() on a non-shed session.
+  const QueryOutcome& outcome() const;
+
+ private:
+  friend class QueryEngine;
+  QuerySession() = default;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  SessionState state_ = SessionState::kQueued;
+  QuerySpec spec_;
+  QueryOutcome outcome_;
+  std::thread driver_;
+};
+
+class QueryEngine {
+ public:
+  struct Options {
+    // The shared page buffer spanning all sessions.
+    SharedBufferPool::Options pool;
+    // Shared decode cache over the pool; 0 disables it.
+    size_t node_cache_nodes = 4096;
+    // The modeled disk array all sessions run on.
+    IoScheduler::Options io;
+    // Run-wide memory budget handed to the governor (0 = unlimited).
+    uint64_t memory_budget_bytes = 0;
+    // Bytes leased (kSessionReservations) per admitted session — the
+    // admission-control unit.
+    uint64_t session_reserve_bytes = 1 << 20;
+    // Sessions running at once; later submits queue.
+    size_t max_concurrent_sessions = 4;
+    // Queued sessions beyond this are shed at submit.
+    size_t queue_limit = 64;
+    // SessionTaskPool worker threads shared by all sessions.
+    unsigned pool_threads = 4;
+    // Worker slots per session run (>= 2: the sequential fallbacks do
+    // not run on the shared scheduler; the engine clamps up).
+    unsigned session_threads = 2;
+    // Planner thresholds (see engine/planner.h).
+    PlannerOptions planner;
+    // Base executor options for every session: chunk sizing, channel
+    // bound, elastic pipelining, partition multiplier. The engine
+    // overrides the resource fields (threads, pool mode, io_scheduler,
+    // task_runner, governor, lifecycle) and the planner overrides its
+    // decisions.
+    ParallelExecutorOptions exec_base;
+  };
+
+  explicit QueryEngine(const Options& options);
+  // Waits for every session, then drains the scheduler.
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  // Submits a query. Never blocks on execution: the returned session is
+  // running, queued, or (queue full) already kShed.
+  QuerySession* Submit(QuerySpec spec);
+
+  // Blocks until every submitted session finished, then drains the
+  // modeled disks and folds the batch's actor clocks into the floor.
+  // Returns the batch makespan: modeled micros from the batch start to
+  // the last session's completion (0 without modeled I/O).
+  uint64_t WaitAll();
+
+  struct Telemetry {
+    uint64_t sessions_submitted = 0;
+    uint64_t sessions_admitted = 0;
+    uint64_t sessions_queued = 0;  // submits that had to wait
+    uint64_t sessions_shed = 0;
+    uint64_t sessions_finished = 0;
+    size_t peak_running = 0;
+    // Modeled makespan of the last WaitAll() batch.
+    uint64_t last_makespan_micros = 0;
+  };
+  Telemetry telemetry() const;
+
+  MemoryGovernor& governor() { return governor_; }
+  SessionTaskPool& task_pool() { return task_pool_; }
+  IoScheduler& io() { return io_; }
+  SharedBufferPool& pool() { return pool_; }
+
+ private:
+  void AdmitLocked(QuerySession* session);
+  void RunSession(QuerySession* session);
+  void OnSessionDone(QuerySession* session);
+
+  const Options options_;
+  MemoryGovernor governor_;
+  IoScheduler io_;
+  SharedBufferPool pool_;
+  std::unique_ptr<NodeCache> node_cache_;
+  SessionTaskPool task_pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable all_done_cv_;
+  std::deque<QuerySession*> queue_;
+  std::vector<std::unique_ptr<QuerySession>> sessions_;
+  size_t running_ = 0;
+  uint64_t batch_floor_ = 0;  // scheduler floor at the batch start
+  Telemetry telemetry_;
+};
+
+}  // namespace rsj
+
+#endif  // RSJ_ENGINE_QUERY_ENGINE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <span>
 #include <thread>
@@ -28,6 +29,12 @@ namespace {
 struct FrontierGauge {
   std::atomic<uint64_t> live{0};
   std::atomic<uint64_t> peak{0};
+  // Run-wide mirror: every live tuple charges `tuple_bytes` (a flat
+  // upper bound — the chain's final arity × 4) into the governor's
+  // frontier category. Charge, not TryLease: channel backpressure is
+  // what bounds the frontier; the governor only observes it.
+  MemoryGovernor* governor = nullptr;
+  uint64_t tuple_bytes = 0;
 
   void Add(uint64_t n) {
     const uint64_t now = live.fetch_add(n, std::memory_order_relaxed) + n;
@@ -35,14 +42,27 @@ struct FrontierGauge {
     while (now > seen &&
            !peak.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
     }
+    if (governor != nullptr) {
+      governor->Charge(MemoryCategory::kFrontierTuples, n * tuple_bytes);
+    }
   }
-  void Sub(uint64_t n) { live.fetch_sub(n, std::memory_order_relaxed); }
+  void Sub(uint64_t n) {
+    live.fetch_sub(n, std::memory_order_relaxed);
+    if (governor != nullptr) {
+      governor->Release(MemoryCategory::kFrontierTuples, n * tuple_bytes);
+    }
+  }
 };
 
 // Accumulates same-arity tuples into fixed-capacity FrontierChunks and
 // pushes each one downstream as it fills (single producer thread).
 class FrontierWriter {
  public:
+  // Completed chunks go to the downstream sink: either a channel's
+  // blocking Push, or a caller-supplied push function (the elastic team's
+  // help-on-full TryPush loop).
+  using PushFn = std::function<void(FrontierChunk)>;
+
   FrontierWriter(uint32_t arity, size_t capacity_tuples,
                  FrontierChannel* channel, FrontierGauge* gauge)
       : arity_(arity),
@@ -50,6 +70,16 @@ class FrontierWriter {
         channel_(channel),
         gauge_(gauge) {
     RSJ_DCHECK(channel != nullptr);
+    Reset();
+  }
+
+  FrontierWriter(uint32_t arity, size_t capacity_tuples, PushFn push_fn,
+                 FrontierGauge* gauge)
+      : arity_(arity),
+        capacity_tuples_(capacity_tuples),
+        push_fn_(std::move(push_fn)),
+        gauge_(gauge) {
+    RSJ_DCHECK(push_fn_ != nullptr);
     Reset();
   }
 
@@ -96,7 +126,11 @@ class FrontierWriter {
   void Push() {
     // The tuples were gauged as they entered the chunk; the consumer
     // un-gauges the whole chunk after processing it.
-    channel_->Push(std::move(current_));
+    if (channel_ != nullptr) {
+      channel_->Push(std::move(current_));
+    } else {
+      push_fn_(std::move(current_));
+    }
     Reset();
   }
 
@@ -108,7 +142,8 @@ class FrontierWriter {
 
   uint32_t arity_;
   size_t capacity_tuples_;
-  FrontierChannel* channel_;
+  FrontierChannel* channel_ = nullptr;
+  PushFn push_fn_;
   FrontierGauge* gauge_;
   FrontierChunk current_;
 };
@@ -198,38 +233,65 @@ struct PipelineProbeWorker {
 // helper for both formulations, so the A/B pair is configured identically
 // by construction.
 struct ChainContext {
-  std::unique_ptr<SharedBufferPool> shared;
-  std::unique_ptr<NodeCache> shared_nodes;
+  std::unique_ptr<SharedBufferPool> shared;      // null when borrowed
+  std::unique_ptr<NodeCache> shared_nodes;       // null when borrowed
   std::unique_ptr<Prefetcher> prefetcher;  // shared-pool mode only
+  // The effective pool/cache: the owned instances above or the engine's
+  // borrowed ones.
+  SharedBufferPool* pool = nullptr;
+  NodeCache* nodes = nullptr;
   IoScheduler* io = nullptr;
+  bool owns_io = false;
   uint64_t io_clock_before = 0;
   uint64_t io_batches_before = 0;
+  uint64_t io_floor_before = 0;  // borrowed lifecycle: elapsed baseline
 };
 
 ChainContext MakeChainContext(const JoinOptions& options,
                               const ParallelExecutorOptions& exec_options,
-                              uint32_t page_size) {
+                              uint32_t page_size,
+                              SharedBufferPool* ext_pool = nullptr,
+                              NodeCache* ext_nodes = nullptr) {
   ChainContext ctx;
   ctx.io = exec_options.io_scheduler;
-  ctx.io_clock_before = ctx.io != nullptr ? ctx.io->NowMicros() : 0;
+  ctx.owns_io = ctx.io != nullptr && exec_options.own_io_lifecycle;
+  ctx.io_clock_before = ctx.owns_io ? ctx.io->NowMicros() : 0;
   ctx.io_batches_before = ctx.io != nullptr ? ctx.io->io_batches() : 0;
+  ctx.io_floor_before =
+      ctx.io != nullptr && !ctx.owns_io ? ctx.io->FloorMicros() : 0;
   if (exec_options.shared_pool) {
-    ctx.shared = std::make_unique<SharedBufferPool>(SharedBufferPool::Options{
-        options.buffer_bytes, page_size, options.eviction_policy,
-        exec_options.pool_shards});
-    if (ctx.io != nullptr) ctx.shared->AttachIoScheduler(ctx.io);
-    if (exec_options.node_cache) {
+    if (ext_pool != nullptr) {
+      ctx.pool = ext_pool;
+    } else {
+      ctx.shared = std::make_unique<SharedBufferPool>(
+          SharedBufferPool::Options{options.buffer_bytes, page_size,
+                                    options.eviction_policy,
+                                    exec_options.pool_shards});
+      ctx.pool = ctx.shared.get();
+    }
+    if (ctx.io != nullptr) ctx.pool->AttachIoScheduler(ctx.io);
+    if (ext_nodes != nullptr) {
+      ctx.nodes = ext_nodes;
+    } else if (exec_options.node_cache) {
       ctx.shared_nodes = std::make_unique<NodeCache>(
-          ctx.shared.get(),
-          NodeCache::Options{exec_options.node_cache_capacity,
-                             exec_options.pool_shards});
+          ctx.pool, NodeCache::Options{exec_options.node_cache_capacity,
+                                       exec_options.pool_shards});
+      ctx.nodes = ctx.shared_nodes.get();
     }
     if (exec_options.prefetch) {
       ctx.prefetcher = std::make_unique<Prefetcher>(
-          ctx.shared.get(), Prefetcher::Options{exec_options.prefetch_ahead});
+          ctx.pool, Prefetcher::Options{exec_options.prefetch_ahead});
     }
   }
   return ctx;
+}
+
+// Bytes one resident final-tuple chunk (chunk_capacity tuples of the
+// chain's full arity) leases from the run-wide governor.
+uint64_t TupleChunkBytes(const ParallelExecutorOptions& exec_options,
+                         size_t arity) {
+  return static_cast<uint64_t>(exec_options.chunk_capacity) * arity *
+         sizeof(uint32_t);
 }
 
 // The PR 2 formulation, kept as the A/B baseline: every probe phase
@@ -237,7 +299,8 @@ ChainContext MakeChainContext(const JoinOptions& options,
 // frontier_peak_tuples is the largest intermediate result.
 ParallelChainJoinResult RunMaterializedChain(
     const std::vector<JoinRelation>& relations, const JoinOptions& options,
-    const ParallelExecutorOptions& exec_options, bool collect_tuples) {
+    const ParallelExecutorOptions& exec_options, bool collect_tuples,
+    SharedBufferPool* ext_pool, NodeCache* ext_nodes) {
   const unsigned num_threads = exec_options.num_threads;
   const uint32_t page_size = relations[0].tree->options().page_size;
   ParallelChainJoinResult result;
@@ -247,9 +310,10 @@ ParallelChainJoinResult RunMaterializedChain(
   // One buffer and one decode cache for the whole chain: the pairwise
   // phase warms both, the probe phases keep hitting the same directory
   // pages for every frontier tuple.
-  ChainContext ctx = MakeChainContext(options, exec_options, page_size);
-  SharedBufferPool* const shared = ctx.shared.get();
-  NodeCache* const shared_nodes = ctx.shared_nodes.get();
+  ChainContext ctx =
+      MakeChainContext(options, exec_options, page_size, ext_pool, ext_nodes);
+  SharedBufferPool* const shared = ctx.pool;
+  NodeCache* const shared_nodes = ctx.nodes;
   Prefetcher* const prefetcher = ctx.prefetcher.get();
   IoScheduler* const io = ctx.io;
   const uint64_t io_clock_before = ctx.io_clock_before;
@@ -260,13 +324,16 @@ ParallelChainJoinResult RunMaterializedChain(
   // formulation: one serialized file and one resident budget shared by the
   // last phase's workers (exec/spill_sink.h).
   const bool spill_on = collect_tuples && exec_options.spill_results;
+  const uint64_t tuple_chunk_bytes =
+      TupleChunkBytes(exec_options, relations.size());
   std::shared_ptr<SpillFile> spill_file;
   std::unique_ptr<ResidentBudget> spill_budget;
   if (spill_on) {
     spill_file = std::make_shared<SpillFile>(
         SpillFile::Options{exec_options.spill_page_size, io});
-    spill_budget =
-        std::make_unique<ResidentBudget>(exec_options.spill_budget_chunks);
+    spill_budget = std::make_unique<ResidentBudget>(
+        exec_options.spill_budget_chunks, exec_options.memory_governor,
+        MemoryCategory::kResultChunks, tuple_chunk_bytes);
   }
 
   // Phase 1: the partitioned pairwise executor over relations 0 ⋈ 1,
@@ -345,6 +412,19 @@ ParallelChainJoinResult RunMaterializedChain(
     workers.push_back(std::move(worker));
   }
 
+  if (io != nullptr && !ctx.owns_io) {
+    // Borrowed lifecycle: the nested pairwise run retired its actors
+    // without raising the shared floor, so the inter-phase barrier must
+    // be modeled explicitly — every probe worker (and the hint
+    // coordinator) starts no earlier than the pairwise completion.
+    const uint64_t pair_end =
+        ctx.io_floor_before + pairwise.modeled_elapsed_micros;
+    io->AdvanceActorTo(&chain_coordinator, pair_end);
+    for (auto& worker : workers) {
+      io->AdvanceActorTo(&worker->stats, pair_end);
+    }
+  }
+
   uint64_t frontier_peak = 0;
 
   // Phase 2..n-1: fan the frontier out in contiguous chunks; every chunk
@@ -392,8 +472,7 @@ ParallelChainJoinResult RunMaterializedChain(
 
     const unsigned phase_workers =
         static_cast<unsigned>(std::min<size_t>(num_threads, num_chunks));
-    TaskScheduler scheduler(phase_workers, num_chunks);
-    scheduler.Run([&](unsigned w, size_t chunk) {
+    const auto phase_body = [&](unsigned w, size_t chunk) {
       ProbeWorker& worker = *workers[w];
       ++worker.chunks;
       if (worker.private_prefetcher != nullptr &&
@@ -427,7 +506,13 @@ ParallelChainJoinResult RunMaterializedChain(
           }
         }
       }
-    });
+    };
+    if (exec_options.task_runner) {
+      exec_options.task_runner(phase_workers, num_chunks, phase_body);
+    } else {
+      TaskScheduler scheduler(phase_workers, num_chunks);
+      scheduler.Run(phase_body);
+    }
 
     // Concatenate the worker outputs into the next frontier (moves only).
     size_t total = 0;
@@ -450,10 +535,21 @@ ParallelChainJoinResult RunMaterializedChain(
     }
   }
 
-  if (io != nullptr) {
+  if (ctx.owns_io) {
     io->Drain();
     chain_coordinator.io_batches += io->io_batches() - io_batches_mid;
     result.modeled_elapsed_micros = io->SynchronizeClocks() - io_clock_before;
+  } else if (io != nullptr) {
+    // Borrowed lifecycle: retire this chain's actors (the spillers' timed
+    // Take() writes are already on the clocks above) and measure elapsed
+    // against the floor at entry; the shared io_batches counter is left
+    // to the engine.
+    uint64_t finish = ctx.io_floor_before + pairwise.modeled_elapsed_micros;
+    finish = std::max(finish, io->RetireActor(&chain_coordinator));
+    for (auto& worker : workers) {
+      finish = std::max(finish, io->RetireActor(&worker->stats));
+    }
+    result.modeled_elapsed_micros = finish - ctx.io_floor_before;
   }
   result.total_stats.MergeFrom(chain_coordinator);
 
@@ -478,11 +574,17 @@ ParallelChainJoinResult RunMaterializedChain(
     result.tuple_count = frontier.size();
     if (collect_tuples) {
       result.tuples = std::move(frontier);
-      // The materialized formulation holds its whole collected output;
-      // report it in chunk-capacity units (see result_peak_chunks_resident).
+      // The materialized formulation holds its whole collected output; an
+      // unbounded gauge reports it in chunk-capacity units and mirrors
+      // the bytes into the run-wide governor, so spill-vs-materialized
+      // A/Bs compare one counter and one ledger.
+      ResidentBudget gauge(ResidentBudget::kUnbounded,
+                           exec_options.memory_governor,
+                           MemoryCategory::kResultChunks, tuple_chunk_bytes);
       const uint64_t cap = exec_options.chunk_capacity;
-      result.total_stats.NoteResultChunksResident(
-          (result.tuple_count + cap - 1) / cap);
+      const uint64_t held = (result.tuple_count + cap - 1) / cap;
+      for (uint64_t c = 0; c < held; ++c) gauge.Admit();
+      result.total_stats.NoteResultChunksResident(gauge.peak());
     }
   }
   return result;
@@ -493,18 +595,21 @@ ParallelChainJoinResult RunMaterializedChain(
 // fill. No phase ever sees its predecessor's whole frontier.
 ParallelChainJoinResult RunPipelinedChain(
     const std::vector<JoinRelation>& relations, const JoinOptions& options,
-    const ParallelExecutorOptions& exec_options, bool collect_tuples) {
+    const ParallelExecutorOptions& exec_options, bool collect_tuples,
+    SharedBufferPool* ext_pool, NodeCache* ext_nodes) {
   const unsigned num_threads = exec_options.num_threads;
   const uint32_t page_size = relations[0].tree->options().page_size;
   const size_t num_probe_phases = relations.size() - 2;
   ParallelChainJoinResult result;
   result.used_shared_pool = exec_options.shared_pool;
   result.used_pipeline = true;
+  result.used_elastic = exec_options.elastic_pipeline;
   result.worker_stats.resize(num_threads);
 
-  ChainContext ctx = MakeChainContext(options, exec_options, page_size);
-  SharedBufferPool* const shared = ctx.shared.get();
-  NodeCache* const shared_nodes = ctx.shared_nodes.get();
+  ChainContext ctx =
+      MakeChainContext(options, exec_options, page_size, ext_pool, ext_nodes);
+  SharedBufferPool* const shared = ctx.pool;
+  NodeCache* const shared_nodes = ctx.nodes;
   Prefetcher* const prefetcher = ctx.prefetcher.get();
   IoScheduler* const io = ctx.io;
   const uint64_t io_clock_before = ctx.io_clock_before;
@@ -524,16 +629,21 @@ ParallelChainJoinResult RunPipelinedChain(
   // Spill context of the final tuple set: one serialized file and one
   // resident budget shared by the last phase's workers (exec/spill_sink.h).
   const bool spill_on = collect_tuples && exec_options.spill_results;
+  const uint64_t tuple_chunk_bytes =
+      TupleChunkBytes(exec_options, relations.size());
   std::shared_ptr<SpillFile> spill_file;
   std::unique_ptr<ResidentBudget> spill_budget;
   if (spill_on) {
     spill_file = std::make_shared<SpillFile>(
         SpillFile::Options{exec_options.spill_page_size, io});
-    spill_budget =
-        std::make_unique<ResidentBudget>(exec_options.spill_budget_chunks);
+    spill_budget = std::make_unique<ResidentBudget>(
+        exec_options.spill_budget_chunks, exec_options.memory_governor,
+        MemoryCategory::kResultChunks, tuple_chunk_bytes);
   }
 
   FrontierGauge gauge;
+  gauge.governor = exec_options.memory_governor;
+  gauge.tuple_bytes = relations.size() * sizeof(uint32_t);
   // channels[k] feeds probe phase k (probing relations[k + 2]). Producers:
   // the pairwise workers for k = 0, team k-1's workers otherwise.
   std::vector<std::unique_ptr<FrontierChannel>> channels;
@@ -545,21 +655,130 @@ ParallelChainJoinResult RunPipelinedChain(
 
   // Probe teams: phase k's workers pop from channels[k] as chunks arrive
   // and push extended tuples towards phase k+1 (or collect final tuples).
-  // No unwind teardown (retire + join) guards the spawn loop: the library
+  // No unwind teardown (retire + join) guards the spawn loops: the library
   // is exception-free by policy (common/logging.h — invariant failures
   // abort), so any exception escaping here is already fatal.
   std::vector<std::vector<std::unique_ptr<PipelineProbeWorker>>> teams(
       num_probe_phases);
-  for (size_t k = 0; k < num_probe_phases; ++k) {
-    // Captured as pointers: the loop variables die before the threads do.
-    const RTree* const probe_tree = relations[k + 2].tree;
-    const std::vector<Rect>* const prev_rects = relations[k + 1].rects;
-    const bool last_phase = k + 1 == num_probe_phases;
-    FrontierChannel* const input = channels[k].get();
-    FrontierChannel* const output =
-        last_phase ? nullptr : channels[k + 1].get();
-    const uint32_t out_arity = static_cast<uint32_t>(k + 3);
-    teams[k].reserve(num_threads);
+  // Elastic mode: ONE shared team of num_threads workers services every
+  // probe phase instead of a dedicated team per phase. Each worker scans
+  // the channels deepest-first (draining later phases frees channel space
+  // for earlier ones) and, when its output channel is full, processes
+  // downstream chunks itself instead of blocking — the final phase never
+  // pushes, so that help recursion is bounded by the phase count and the
+  // bounded channels stay deadlock-free. Every worker holds one producer
+  // slot on each channel k >= 1 and retires slot k+1 once channel k has
+  // closed (no phase-k chunk can exist anywhere) and its own phase-k
+  // writer has flushed — the same producer-counted cascade as the
+  // dedicated teams, just per worker instead of per team.
+  std::vector<std::unique_ptr<PipelineProbeWorker>> elastic;
+  const auto elastic_loop = [&](PipelineProbeWorker* self) {
+    PageCache* const pages = exec_options.shared_pool
+                                 ? static_cast<PageCache*>(shared)
+                                 : self->private_pool.get();
+    NodeCache* const nodes = shared_nodes;
+    if (self->private_prefetcher != nullptr) {
+      // Private pool: any phase may run on this worker from the first
+      // chunk on, so every probe root is hinted into its own pool upfront
+      // (mirroring the shared-pool coordinator hints).
+      for (size_t next = 2; next < relations.size(); ++next) {
+        HintProbeRoot(*relations[next].tree, pages, nullptr,
+                      self->private_prefetcher.get(), &self->stats);
+      }
+    }
+    std::function<void(size_t, FrontierChunk)> process_chunk;
+    // Pops one chunk from the deepest non-empty channel in [from, P) and
+    // processes it; false when every one of them is empty right now.
+    const auto help_one = [&](size_t from) {
+      for (size_t k = num_probe_phases; k-- > from;) {
+        FrontierChunk chunk;
+        if (channels[k]->TryPop(&chunk) ==
+            FrontierChannel::PopResult::kGot) {
+          process_chunk(k, std::move(chunk));
+          return true;
+        }
+      }
+      return false;
+    };
+    std::vector<std::unique_ptr<FrontierWriter>> writers(num_probe_phases);
+    for (size_t k = 0; k + 1 < num_probe_phases; ++k) {
+      FrontierChannel* const out = channels[k + 1].get();
+      const size_t next_phase = k + 1;
+      writers[k] = std::make_unique<FrontierWriter>(
+          static_cast<uint32_t>(k + 3), exec_options.chunk_capacity,
+          [&, out, next_phase](FrontierChunk chunk) {
+            while (!out->TryPush(&chunk)) {
+              // Help-on-full: drain downstream work until space frees.
+              if (!help_one(next_phase)) std::this_thread::yield();
+            }
+          },
+          &gauge);
+    }
+    process_chunk = [&](size_t k, FrontierChunk chunk) {
+      ++self->chunks;
+      const RTree& probe_tree = *relations[k + 2].tree;
+      const std::vector<Rect>& prev_rects = *relations[k + 1].rects;
+      const bool last_phase = k + 1 == num_probe_phases;
+      // The scratch is per invocation, not per worker: extending a tuple
+      // may push a full chunk, whose help-on-full path re-enters
+      // process_chunk on this same thread.
+      std::vector<uint32_t> matches;
+      const size_t tuples = chunk.tuple_count();
+      for (size_t t = 0; t < tuples; ++t) {
+        const uint32_t* tuple = chunk.tuple(t);
+        const uint32_t last = tuple[chunk.arity - 1];
+        RSJ_DCHECK(last < prev_rects.size());
+        matches.clear();
+        ProbeChainWindow(probe_tree, pages, nodes, options,
+                         prev_rects[last], &self->stats, &matches);
+        for (const uint32_t id : matches) {
+          if (last_phase) {
+            ++self->final_tuples;
+            if (self->spiller != nullptr) {
+              self->spiller->Append(tuple, chunk.arity, id);
+            } else if (collect_tuples) {
+              std::vector<uint32_t> full(tuple, tuple + chunk.arity);
+              full.push_back(id);
+              self->tuples.push_back(std::move(full));
+            }
+          } else {
+            writers[k]->AppendExtended(tuple, chunk.arity, id);
+          }
+        }
+      }
+      gauge.Sub(tuples);
+    };
+    size_t front = 0;  // channels [0, front) closed, my slots retired
+    while (front < num_probe_phases) {
+      if (help_one(front)) continue;
+      FrontierChunk chunk;
+      switch (channels[front]->TryPop(&chunk)) {
+        case FrontierChannel::PopResult::kGot:
+          process_chunk(front, std::move(chunk));
+          break;
+        case FrontierChannel::PopResult::kClosed:
+          // No phase-`front` chunk exists anywhere anymore: flush this
+          // worker's partial output and release its producer slot
+          // downstream, advancing the cascade.
+          if (front + 1 < num_probe_phases) {
+            writers[front]->Flush();
+            channels[front + 1]->RetireProducer();
+          }
+          ++front;
+          break;
+        case FrontierChannel::PopResult::kEmpty:
+          std::this_thread::yield();
+          break;
+      }
+    }
+    if (self->spiller != nullptr) {
+      // Seal + (possibly) spill the final partial chunk on this worker's
+      // own thread, so its timed writes are on this actor's clock.
+      self->spilled = self->spiller->Take();
+    }
+  };
+  if (exec_options.elastic_pipeline) {
+    elastic.reserve(num_threads);
     for (unsigned w = 0; w < num_threads; ++w) {
       auto worker = std::make_unique<PipelineProbeWorker>();
       if (!exec_options.shared_pool) {
@@ -574,69 +793,107 @@ ParallelChainJoinResult RunPipelinedChain(
               Prefetcher::Options{exec_options.prefetch_ahead});
         }
       }
-      if (last_phase && spill_on) {
+      if (spill_on) {
         worker->spiller = std::make_unique<TupleSpiller>(
             static_cast<uint32_t>(relations.size()),
             exec_options.chunk_capacity, spill_file.get(),
             spill_budget.get(), &worker->stats);
       }
       PipelineProbeWorker* const self = worker.get();
-      worker->thread = std::thread([&, self, probe_tree, prev_rects, input,
-                                    output, out_arity, last_phase]() {
-        PageCache* const pages =
-            exec_options.shared_pool
-                ? static_cast<PageCache*>(shared)
-                : self->private_pool.get();
-        NodeCache* const nodes = shared_nodes;
-        if (self->private_prefetcher != nullptr) {
-          // Private pool: hints scoped to this worker's own pool.
-          HintProbeRoot(*probe_tree, pages, nullptr,
-                        self->private_prefetcher.get(), &self->stats);
+      worker->thread = std::thread([&elastic_loop, self]() {
+        elastic_loop(self);
+      });
+      elastic.push_back(std::move(worker));
+    }
+  } else {
+    for (size_t k = 0; k < num_probe_phases; ++k) {
+      // Captured as pointers: the loop variables die before the threads do.
+      const RTree* const probe_tree = relations[k + 2].tree;
+      const std::vector<Rect>* const prev_rects = relations[k + 1].rects;
+      const bool last_phase = k + 1 == num_probe_phases;
+      FrontierChannel* const input = channels[k].get();
+      FrontierChannel* const output =
+          last_phase ? nullptr : channels[k + 1].get();
+      const uint32_t out_arity = static_cast<uint32_t>(k + 3);
+      teams[k].reserve(num_threads);
+      for (unsigned w = 0; w < num_threads; ++w) {
+        auto worker = std::make_unique<PipelineProbeWorker>();
+        if (!exec_options.shared_pool) {
+          worker->private_pool = std::make_unique<BufferPool>(
+              BufferPool::Options{options.buffer_bytes, page_size,
+                                  options.eviction_policy},
+              &worker->stats);
+          if (io != nullptr) worker->private_pool->AttachIoScheduler(io);
+          if (exec_options.prefetch) {
+            worker->private_prefetcher = std::make_unique<Prefetcher>(
+                worker->private_pool.get(),
+                Prefetcher::Options{exec_options.prefetch_ahead});
+          }
         }
-        std::unique_ptr<FrontierWriter> writer;
-        if (output != nullptr) {
-          writer = std::make_unique<FrontierWriter>(
-              out_arity, exec_options.chunk_capacity, output, &gauge);
+        if (last_phase && spill_on) {
+          worker->spiller = std::make_unique<TupleSpiller>(
+              static_cast<uint32_t>(relations.size()),
+              exec_options.chunk_capacity, spill_file.get(),
+              spill_budget.get(), &worker->stats);
         }
-        std::vector<uint32_t> matches;
-        FrontierChunk chunk;
-        while (input->Pop(&chunk)) {
-          ++self->chunks;
-          const size_t tuples = chunk.tuple_count();
-          for (size_t t = 0; t < tuples; ++t) {
-            const uint32_t* tuple = chunk.tuple(t);
-            const uint32_t last = tuple[chunk.arity - 1];
-            RSJ_DCHECK(last < prev_rects->size());
-            matches.clear();
-            ProbeChainWindow(*probe_tree, pages, nodes, options,
-                             (*prev_rects)[last], &self->stats, &matches);
-            for (const uint32_t id : matches) {
-              if (last_phase) {
-                ++self->final_tuples;
-                if (self->spiller != nullptr) {
-                  self->spiller->Append(tuple, chunk.arity, id);
-                } else if (collect_tuples) {
-                  std::vector<uint32_t> full(tuple, tuple + chunk.arity);
-                  full.push_back(id);
-                  self->tuples.push_back(std::move(full));
+        PipelineProbeWorker* const self = worker.get();
+        worker->thread = std::thread([&, self, probe_tree, prev_rects, input,
+                                      output, out_arity, last_phase]() {
+          PageCache* const pages =
+              exec_options.shared_pool
+                  ? static_cast<PageCache*>(shared)
+                  : self->private_pool.get();
+          NodeCache* const nodes = shared_nodes;
+          if (self->private_prefetcher != nullptr) {
+            // Private pool: hints scoped to this worker's own pool.
+            HintProbeRoot(*probe_tree, pages, nullptr,
+                          self->private_prefetcher.get(), &self->stats);
+          }
+          std::unique_ptr<FrontierWriter> writer;
+          if (output != nullptr) {
+            writer = std::make_unique<FrontierWriter>(
+                out_arity, exec_options.chunk_capacity, output, &gauge);
+          }
+          std::vector<uint32_t> matches;
+          FrontierChunk chunk;
+          while (input->Pop(&chunk)) {
+            ++self->chunks;
+            const size_t tuples = chunk.tuple_count();
+            for (size_t t = 0; t < tuples; ++t) {
+              const uint32_t* tuple = chunk.tuple(t);
+              const uint32_t last = tuple[chunk.arity - 1];
+              RSJ_DCHECK(last < prev_rects->size());
+              matches.clear();
+              ProbeChainWindow(*probe_tree, pages, nodes, options,
+                               (*prev_rects)[last], &self->stats, &matches);
+              for (const uint32_t id : matches) {
+                if (last_phase) {
+                  ++self->final_tuples;
+                  if (self->spiller != nullptr) {
+                    self->spiller->Append(tuple, chunk.arity, id);
+                  } else if (collect_tuples) {
+                    std::vector<uint32_t> full(tuple, tuple + chunk.arity);
+                    full.push_back(id);
+                    self->tuples.push_back(std::move(full));
+                  }
+                } else {
+                  writer->AppendExtended(tuple, chunk.arity, id);
                 }
-              } else {
-                writer->AppendExtended(tuple, chunk.arity, id);
               }
             }
+            gauge.Sub(tuples);
           }
-          gauge.Sub(tuples);
-        }
-        if (writer != nullptr) writer->Flush();
-        if (output != nullptr) output->RetireProducer();
-        if (self->spiller != nullptr) {
-          // Seal + (possibly) spill the final partial chunk on this
-          // worker's own thread, so its timed writes land before the
-          // coordinator drains and merges the clocks.
-          self->spilled = self->spiller->Take();
-        }
-      });
-      teams[k].push_back(std::move(worker));
+          if (writer != nullptr) writer->Flush();
+          if (output != nullptr) output->RetireProducer();
+          if (self->spiller != nullptr) {
+            // Seal + (possibly) spill the final partial chunk on this
+            // worker's own thread, so its timed writes land before the
+            // coordinator drains and merges the clocks.
+            self->spilled = self->spiller->Take();
+          }
+        });
+        teams[k].push_back(std::move(worker));
+      }
     }
   }
 
@@ -679,41 +936,67 @@ ParallelChainJoinResult RunPipelinedChain(
   for (auto& team : teams) {
     for (auto& worker : team) worker->thread.join();
   }
+  for (auto& worker : elastic) worker->thread.join();
 
-  if (io != nullptr) {
+  if (ctx.owns_io) {
     io->Drain();
     // The nested pairwise run did not own the I/O lifecycle (see
     // RunParallelSpatialJoinInto), so the whole pipeline's batch delta is
     // accounted here, once.
     chain_coordinator.io_batches += io->io_batches() - io_batches_before;
     result.modeled_elapsed_micros = io->SynchronizeClocks() - io_clock_before;
+  } else if (io != nullptr) {
+    // Borrowed lifecycle: the workers are joined (their spillers' timed
+    // Take() writes are on their clocks), so retire this chain's actors
+    // and measure elapsed against the floor at entry. The shared
+    // io_batches counter is left to the engine.
+    uint64_t finish = ctx.io_floor_before + pairwise.modeled_elapsed_micros;
+    finish = std::max(finish, io->RetireActor(&chain_coordinator));
+    for (auto& team : teams) {
+      for (auto& worker : team) {
+        finish = std::max(finish, io->RetireActor(&worker->stats));
+      }
+    }
+    for (auto& worker : elastic) {
+      finish = std::max(finish, io->RetireActor(&worker->stats));
+    }
+    result.modeled_elapsed_micros = finish - ctx.io_floor_before;
   }
   result.total_stats.MergeFrom(chain_coordinator);
 
+  // Merge worker outputs: per-phase teams, or the one elastic team whose
+  // every worker may have served every phase.
+  const auto merge_worker = [&](unsigned w, PipelineProbeWorker& worker) {
+    result.worker_probe_chunks[w] += worker.chunks;
+    result.worker_stats[w].MergeFrom(worker.stats);
+    result.total_stats.MergeFrom(worker.stats);
+    result.tuple_count += worker.final_tuples;
+    if (spill_on) {
+      result.spilled_tuples.MergeFrom(std::move(worker.spilled));
+    }
+    if (collect_tuples && !worker.tuples.empty()) {
+      if (result.tuples.empty()) {
+        result.tuples = std::move(worker.tuples);
+      } else {
+        result.tuples.reserve(result.tuples.size() + worker.tuples.size());
+        for (auto& tuple : worker.tuples) {
+          result.tuples.push_back(std::move(tuple));
+        }
+      }
+    }
+  };
   result.worker_probe_chunks.assign(num_threads, 0);
   for (size_t k = 0; k < num_probe_phases; ++k) {
     result.probe_chunk_counts.push_back(
         static_cast<size_t>(channels[k]->chunks_pushed()));
-    for (unsigned w = 0; w < num_threads; ++w) {
-      PipelineProbeWorker& worker = *teams[k][w];
-      result.worker_probe_chunks[w] += worker.chunks;
-      result.worker_stats[w].MergeFrom(worker.stats);
-      result.total_stats.MergeFrom(worker.stats);
-      result.tuple_count += worker.final_tuples;
-      if (spill_on) {
-        result.spilled_tuples.MergeFrom(std::move(worker.spilled));
-      }
-      if (collect_tuples && !worker.tuples.empty()) {
-        if (result.tuples.empty()) {
-          result.tuples = std::move(worker.tuples);
-        } else {
-          result.tuples.reserve(result.tuples.size() + worker.tuples.size());
-          for (auto& tuple : worker.tuples) {
-            result.tuples.push_back(std::move(tuple));
-          }
-        }
+    if (!exec_options.elastic_pipeline) {
+      for (unsigned w = 0; w < num_threads; ++w) {
+        merge_worker(w, *teams[k][w]);
       }
     }
+  }
+  for (unsigned w = 0; w < static_cast<unsigned>(elastic.size()); ++w) {
+    merge_worker(w, *elastic[w]);
   }
   result.total_stats.frontier_peak_tuples =
       std::max(result.total_stats.frontier_peak_tuples,
@@ -724,19 +1007,27 @@ ParallelChainJoinResult RunPipelinedChain(
     result.total_stats.NoteResultChunksResident(spill_budget->peak());
   } else if (collect_tuples) {
     // Materialized tuple vectors report their whole collected output in
-    // chunk-capacity units, so spill-on/off A/Bs compare one counter.
+    // chunk-capacity units through an unbounded gauge, which also mirrors
+    // the bytes into the run-wide governor — spill-on/off A/Bs compare
+    // one counter and one ledger.
+    ResidentBudget out_gauge(ResidentBudget::kUnbounded,
+                             exec_options.memory_governor,
+                             MemoryCategory::kResultChunks,
+                             tuple_chunk_bytes);
     const uint64_t cap = exec_options.chunk_capacity;
-    result.total_stats.NoteResultChunksResident(
-        (result.tuple_count + cap - 1) / cap);
+    const uint64_t held = (result.tuple_count + cap - 1) / cap;
+    for (uint64_t c = 0; c < held; ++c) out_gauge.Admit();
+    result.total_stats.NoteResultChunksResident(out_gauge.peak());
   }
   return result;
 }
 
 }  // namespace
 
-ParallelChainJoinResult RunParallelChainSpatialJoin(
+ParallelChainJoinResult RunParallelChainSpatialJoinWith(
     const std::vector<JoinRelation>& relations, const JoinOptions& options,
-    const ParallelExecutorOptions& exec_options, bool collect_tuples) {
+    const ParallelExecutorOptions& exec_options, bool collect_tuples,
+    SharedBufferPool* shared_pool, NodeCache* node_cache) {
   RSJ_CHECK_MSG(relations.size() >= 2, "chain join needs >= 2 relations");
   RSJ_CHECK_MSG(exec_options.chunk_capacity >= 1,
                 "executor needs chunk_capacity >= 1");
@@ -754,11 +1045,20 @@ ParallelChainJoinResult RunParallelChainSpatialJoin(
   // A 2-relation chain has no probe phases — nothing to pipeline; both
   // formulations reduce to the pairwise executor.
   if (exec_options.pipelined && relations.size() > 2) {
-    return RunPipelinedChain(relations, options, exec_options,
-                             collect_tuples);
+    return RunPipelinedChain(relations, options, exec_options, collect_tuples,
+                             shared_pool, node_cache);
   }
   return RunMaterializedChain(relations, options, exec_options,
-                              collect_tuples);
+                              collect_tuples, shared_pool, node_cache);
+}
+
+ParallelChainJoinResult RunParallelChainSpatialJoin(
+    const std::vector<JoinRelation>& relations, const JoinOptions& options,
+    const ParallelExecutorOptions& exec_options, bool collect_tuples) {
+  return RunParallelChainSpatialJoinWith(relations, options, exec_options,
+                                         collect_tuples,
+                                         /*shared_pool=*/nullptr,
+                                         /*node_cache=*/nullptr);
 }
 
 }  // namespace rsj

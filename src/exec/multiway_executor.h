@@ -83,6 +83,9 @@ struct ParallelChainJoinResult {
   bool used_shared_pool = false;
   bool used_node_cache = false;
   bool used_pipeline = false;
+  // The pipeline ran the elastic shared probe team
+  // (exec_options.elastic_pipeline) instead of dedicated per-phase teams.
+  bool used_elastic = false;
   // Advance of the modeled I/O clock across the whole chain (0 without an
   // exec_options.io_scheduler).
   uint64_t modeled_elapsed_micros = 0;
@@ -98,6 +101,19 @@ struct ParallelChainJoinResult {
 ParallelChainJoinResult RunParallelChainSpatialJoin(
     const std::vector<JoinRelation>& relations, const JoinOptions& options,
     const ParallelExecutorOptions& exec_options, bool collect_tuples = false);
+
+// Core of RunParallelChainSpatialJoin with engine-borrowed resources: in
+// shared-pool mode, non-null `shared_pool` / `node_cache` are used instead
+// of chain-private instances, so one buffer and one decode cache span
+// every session of a serving engine. `node_cache`, when given, must be
+// layered over `shared_pool`, and the pool's page size must match the
+// trees'. Combine with exec_options.own_io_lifecycle = false to run on an
+// engine-shared IoScheduler (the chain then retires its own actor clocks
+// and reports modeled_elapsed_micros against the floor at entry).
+ParallelChainJoinResult RunParallelChainSpatialJoinWith(
+    const std::vector<JoinRelation>& relations, const JoinOptions& options,
+    const ParallelExecutorOptions& exec_options, bool collect_tuples,
+    SharedBufferPool* shared_pool, NodeCache* node_cache);
 
 }  // namespace rsj
 

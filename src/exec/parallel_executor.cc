@@ -42,11 +42,18 @@ struct WorkerContext {
 // num_threads <= 1 early fallback) runs over a fresh private buffer like
 // RunSpatialJoin always did. Spilling works exactly like the parallel
 // path, over a run-private spill file.
+// Bytes one resident result chunk leases from the run-wide governor.
+uint64_t ResultChunkBytes(const ParallelExecutorOptions& exec_options) {
+  return static_cast<uint64_t>(exec_options.chunk_capacity) *
+         sizeof(ResultPair);
+}
+
 ParallelJoinResult SequentialFallback(
     const RTree& r, const RTree& s, const JoinOptions& options,
     const ParallelExecutorOptions& exec_options, const ChunkArena& arena,
     const SinkFactory* sink_factory, PageCache* cache = nullptr,
-    NodeCache* nodes = nullptr) {
+    NodeCache* nodes = nullptr, IoScheduler* borrowed_io = nullptr,
+    uint64_t borrow_floor = 0) {
   ParallelJoinResult result;
   result.worker_task_counts.push_back(1);
   result.task_count = 1;
@@ -59,6 +66,7 @@ ParallelJoinResult SequentialFallback(
       RunSpatialJoin(r, s, options, sink, &stats);
     }
   };
+  const uint64_t unit_bytes = ResultChunkBytes(exec_options);
   if (sink_factory != nullptr) {
     ResultSink* sink = (*sink_factory)(0);
     const uint64_t before = sink->count();
@@ -67,7 +75,9 @@ ParallelJoinResult SequentialFallback(
   } else if (exec_options.collect_pairs && exec_options.spill_results) {
     auto file = std::make_shared<SpillFile>(SpillFile::Options{
         exec_options.spill_page_size, exec_options.io_scheduler});
-    ResidentBudget budget(exec_options.spill_budget_chunks);
+    ResidentBudget budget(exec_options.spill_budget_chunks,
+                          exec_options.memory_governor,
+                          MemoryCategory::kResultChunks, unit_bytes);
     SpillingSink sink(arena, file.get(), &budget, &stats);
     run(&sink);
     result.pair_count = sink.count();
@@ -75,15 +85,26 @@ ParallelJoinResult SequentialFallback(
     result.spilled.file = std::move(file);
     stats.NoteResultChunksResident(budget.peak());
   } else if (exec_options.collect_pairs) {
-    MaterializingSink sink{arena};
+    // An unbounded gauge MEASURES the resident peak (and mirrors it into
+    // the governor while the run holds the chunks) instead of computing
+    // it from final counts.
+    ResidentBudget gauge(ResidentBudget::kUnbounded,
+                         exec_options.memory_governor,
+                         MemoryCategory::kResultChunks, unit_bytes);
+    MaterializingSink sink(arena, &gauge);
     run(&sink);
     result.pair_count = sink.count();
     result.chunks = sink.TakeChunks();
-    stats.NoteResultChunksResident(result.chunks.chunk_count());
+    stats.NoteResultChunksResident(gauge.peak());
   } else {
     CountingSink sink;
     run(&sink);
     result.pair_count = sink.count();
+  }
+  if (borrowed_io != nullptr) {
+    const uint64_t finish = borrowed_io->RetireActor(&stats);
+    result.modeled_elapsed_micros =
+        finish > borrow_floor ? finish - borrow_floor : 0;
   }
   result.worker_stats.push_back(stats);
   result.total_stats.MergeFrom(stats);
@@ -118,23 +139,39 @@ ParallelJoinResult RunParallelSpatialJoinImpl(
   result.used_shared_pool = exec_options.shared_pool;
   Statistics coordinator;
   IoScheduler* const io = exec_options.io_scheduler;
-  // With a sink factory the executor is one stage of an enclosing pipeline
-  // whose coordinator owns the I/O lifecycle: no drain, no clock merge.
-  const bool owns_io = io != nullptr && sink_factory == nullptr;
+  // With a sink factory (one stage of an enclosing pipeline) or with
+  // own_io_lifecycle off (a session on an engine-shared scheduler), the
+  // scheduler is borrowed: no drain, no global clock merge — this run
+  // retires its own actors instead and measures elapsed against the
+  // floor at entry.
+  const bool owns_io = io != nullptr && sink_factory == nullptr &&
+                       exec_options.own_io_lifecycle;
+  const bool borrowed_io = io != nullptr && !owns_io;
   const uint64_t io_clock_before = owns_io ? io->NowMicros() : 0;
   const uint64_t io_batches_before = owns_io ? io->io_batches() : 0;
+  const uint64_t io_floor_before = borrowed_io ? io->FloorMicros() : 0;
 
   // Run-wide spill context: one serialized result file and one resident
   // budget shared by every worker's spilling sink.
   const bool spill_on = exec_options.collect_pairs &&
                         exec_options.spill_results && sink_factory == nullptr;
+  const uint64_t result_unit_bytes = ResultChunkBytes(exec_options);
   std::shared_ptr<SpillFile> spill_file;
   std::unique_ptr<ResidentBudget> spill_budget;
+  // Measuring gauge of the materialized (non-spilling) collected path:
+  // shared by every worker's MaterializingSink, reported as the run's
+  // resident peak and mirrored into the governor.
+  std::unique_ptr<ResidentBudget> resident_gauge;
   if (spill_on) {
     spill_file = std::make_shared<SpillFile>(
         SpillFile::Options{exec_options.spill_page_size, io});
-    spill_budget =
-        std::make_unique<ResidentBudget>(exec_options.spill_budget_chunks);
+    spill_budget = std::make_unique<ResidentBudget>(
+        exec_options.spill_budget_chunks, exec_options.memory_governor,
+        MemoryCategory::kResultChunks, result_unit_bytes);
+  } else if (sink_factory == nullptr && exec_options.collect_pairs) {
+    resident_gauge = std::make_unique<ResidentBudget>(
+        ResidentBudget::kUnbounded, exec_options.memory_governor,
+        MemoryCategory::kResultChunks, result_unit_bytes);
   }
 
   // The shared pool (and the decode cache over it) is created before
@@ -199,9 +236,9 @@ ParallelJoinResult RunParallelSpatialJoinImpl(
     // stay in the loop); the coordinator's root reads/decodes happened
     // and stay counted, and the mode flags keep describing what was
     // actually set up.
-    ParallelJoinResult fallback =
-        SequentialFallback(r, s, options, exec_options, arena, sink_factory,
-                           coordinator_cache, nodes);
+    ParallelJoinResult fallback = SequentialFallback(
+        r, s, options, exec_options, arena, sink_factory, coordinator_cache,
+        nodes, borrowed_io ? io : nullptr, io_floor_before);
     fallback.total_stats.MergeFrom(coordinator);
     fallback.used_shared_pool = result.used_shared_pool;
     fallback.used_node_cache = result.used_node_cache;
@@ -210,6 +247,11 @@ ParallelJoinResult RunParallelSpatialJoinImpl(
       fallback.total_stats.io_batches += io->io_batches() - io_batches_before;
       fallback.modeled_elapsed_micros =
           io->SynchronizeClocks() - io_clock_before;
+    } else if (borrowed_io) {
+      const uint64_t finish = io->RetireActor(&coordinator);
+      fallback.modeled_elapsed_micros =
+          std::max(fallback.modeled_elapsed_micros,
+                   finish > io_floor_before ? finish - io_floor_before : 0);
     }
     return fallback;
   }
@@ -222,6 +264,10 @@ ParallelJoinResult RunParallelSpatialJoinImpl(
       result.total_stats.io_batches += io->io_batches() - io_batches_before;
       result.modeled_elapsed_micros =
           io->SynchronizeClocks() - io_clock_before;
+    } else if (borrowed_io) {
+      const uint64_t finish = io->RetireActor(&coordinator);
+      result.modeled_elapsed_micros =
+          finish > io_floor_before ? finish - io_floor_before : 0;
     }
     return result;
   }
@@ -278,7 +324,8 @@ ParallelJoinResult RunParallelSpatialJoinImpl(
         ctx->owned_sink = std::make_unique<SpillingSink>(
             arena, spill_file.get(), spill_budget.get(), &ctx->stats);
       } else if (exec_options.collect_pairs) {
-        ctx->owned_sink = std::make_unique<MaterializingSink>(arena);
+        ctx->owned_sink =
+            std::make_unique<MaterializingSink>(arena, resident_gauge.get());
       } else {
         ctx->owned_sink = std::make_unique<CountingSink>();
       }
@@ -287,25 +334,32 @@ ParallelJoinResult RunParallelSpatialJoinImpl(
     contexts.push_back(std::move(ctx));
   }
 
-  TaskScheduler scheduler(workers, plan.tasks.size());
-  result.worker_task_counts =
-      scheduler.Run([&](unsigned w, size_t task_index) {
-        WorkerContext& ctx = *contexts[w];
-        if (!ctx.prepared) {
-          // Root fetch and z-order universe, counted on this worker and
-          // done on its own thread so private pools stay single-owner.
-          ctx.engine->BeginPartitionedRun();
-          ctx.prepared = true;
-        }
-        const PartitionTask& task = plan.tasks[task_index];
-        if (ctx.prefetcher != nullptr) {
-          // The task frontier: both subtree roots, issued before the
-          // engine's (ordered) fetches so they ride different disks.
-          ctx.prefetcher->PrefetchPage(r.file(), task.er.ref, &ctx.stats);
-          ctx.prefetcher->PrefetchPage(s.file(), task.es.ref, &ctx.stats);
-        }
-        ctx.engine->ProcessPartition(task.er, task.es, ctx.sink);
-      });
+  const auto task_body = [&](unsigned w, size_t task_index) {
+    WorkerContext& ctx = *contexts[w];
+    if (!ctx.prepared) {
+      // Root fetch and z-order universe, counted on this worker and
+      // done on its own thread so private pools stay single-owner.
+      ctx.engine->BeginPartitionedRun();
+      ctx.prepared = true;
+    }
+    const PartitionTask& task = plan.tasks[task_index];
+    if (ctx.prefetcher != nullptr) {
+      // The task frontier: both subtree roots, issued before the
+      // engine's (ordered) fetches so they ride different disks.
+      ctx.prefetcher->PrefetchPage(r.file(), task.er.ref, &ctx.stats);
+      ctx.prefetcher->PrefetchPage(s.file(), task.es.ref, &ctx.stats);
+    }
+    ctx.engine->ProcessPartition(task.er, task.es, ctx.sink);
+  };
+  if (exec_options.task_runner) {
+    // The engine's shared task pool (or any external runner) executes the
+    // plan; worker-slot exclusivity is the runner's contract.
+    result.worker_task_counts =
+        exec_options.task_runner(workers, plan.tasks.size(), task_body);
+  } else {
+    TaskScheduler scheduler(workers, plan.tasks.size());
+    result.worker_task_counts = scheduler.Run(task_body);
+  }
 
   // Flush before the clock merge: a spilling sink's final partial chunk
   // may issue timed writes, which belong inside the modeled window.
@@ -339,9 +393,23 @@ ParallelJoinResult RunParallelSpatialJoinImpl(
     result.spilled.file = std::move(spill_file);
     result.total_stats.NoteResultChunksResident(spill_budget->peak());
   } else if (sink_factory == nullptr && exec_options.collect_pairs) {
-    // Materialized runs report their whole collected output as the
-    // resident peak, so spill-on/off A/Bs compare one counter.
-    result.total_stats.NoteResultChunksResident(result.chunks.chunk_count());
+    // Materialized runs report the MEASURED resident high-water mark
+    // (equal to the collected chunk count here, since nothing releases
+    // mid-run), so spill-on/off A/Bs compare one counter and the
+    // governor saw the residency while the run held it.
+    result.total_stats.NoteResultChunksResident(resident_gauge->peak());
+  }
+  if (borrowed_io) {
+    // Retire this run's actors: later runs reusing these Statistics
+    // addresses must start from the floor, not from our clocks. The
+    // retirement happens after every sink flush and spill Take — all
+    // timed writes are on the clocks by now.
+    uint64_t finish = io->RetireActor(&coordinator);
+    for (unsigned w = 0; w < workers; ++w) {
+      finish = std::max(finish, io->RetireActor(&contexts[w]->stats));
+    }
+    result.modeled_elapsed_micros =
+        finish > io_floor_before ? finish - io_floor_before : 0;
   }
   return result;
 }

@@ -110,6 +110,17 @@ struct ParallelExecutorOptions {
   // (backpressure). Must be >= 1.
   size_t channel_bound = 16;
 
+  // Elastic probe teams (pipelined chains with >= 3 relations only): one
+  // shared team of num_threads workers services EVERY probe phase —
+  // each worker scans the phase channels deepest-first and processes
+  // whatever chunk is available, so workers whose phase is starved help
+  // earlier phases instead of idling, and total probe threads stay
+  // num_threads instead of num_threads × phases. A producer that finds
+  // its output channel full drains downstream chunks itself (help-on-
+  // full), which keeps the bounded channels deadlock-free: the final
+  // phase never pushes. false: the dedicated per-phase teams.
+  bool elastic_pipeline = false;
+
   // --- simulated asynchronous I/O (src/io/) ---
 
   // When non-null, every pool (shared or per-worker private) services its
@@ -127,6 +138,36 @@ struct ParallelExecutorOptions {
 
   // Maximal async reads issued per schedule handoff.
   size_t prefetch_ahead = 32;
+
+  // --- serving-engine seams (src/engine/) ---
+
+  // External task execution: worker `w` of `workers` runs tasks handed to
+  // `fn`, and the runner returns per-worker executed-task counts (the
+  // TaskScheduler::Run contract). When set, the executor's subtree-pair
+  // tasks run through this instead of a run-private TaskScheduler — the
+  // engine's SessionTaskPool multiplexes many sessions' tasks over one
+  // oversubscribed thread set this way. The runner must guarantee worker
+  // slot exclusivity: at most one live call of `fn` per worker index at a
+  // time (worker contexts are single-owner).
+  using TaskRunner = std::function<std::vector<uint64_t>(
+      unsigned workers, size_t num_tasks,
+      const std::function<void(unsigned worker, size_t task)>& fn)>;
+  TaskRunner task_runner;
+
+  // Run-wide memory ledger (engine/memory_governor.h): spill budgets and
+  // materialized-result gauges mirror their resident chunks into it as
+  // byte leases while the run holds them. Not owned; nullptr = standalone
+  // accounting only.
+  MemoryGovernor* memory_governor = nullptr;
+
+  // false: the io_scheduler is BORROWED from an enclosing engine serving
+  // concurrent runs — the executor must not Drain() or
+  // SynchronizeClocks() (that would fold every other session's clocks);
+  // instead it retires its own workers' actor clocks on completion and
+  // reports modeled_elapsed_micros as its retired peak minus the floor at
+  // entry. true (default): the executor owns the scheduler's lifecycle
+  // for the run, as before. Ignored without an io_scheduler.
+  bool own_io_lifecycle = true;
 };
 
 struct ParallelJoinResult {
@@ -156,6 +197,10 @@ struct ParallelJoinResult {
   bool used_node_cache = false;
   // Advance of the modeled I/O clock across the run (0 without a
   // scheduler): the join's modeled elapsed time over the disk array.
+  // Under a borrowed scheduler (own_io_lifecycle == false, or a sink
+  // factory) this is the run's own retired-actor peak minus the
+  // scheduler floor at entry — concurrent sessions' clocks never bleed
+  // into it.
   uint64_t modeled_elapsed_micros = 0;
 };
 
@@ -188,8 +233,9 @@ using SinkFactory = std::function<ResultSink*(unsigned worker)>;
 // sinks (collect_pairs is ignored; every sink is flushed before return and
 // pair_count sums the sinks' counts). The executor does NOT drain or
 // synchronize exec_options.io_scheduler in this form — the caller owns the
-// I/O lifecycle of the enclosing pipeline, so modeled_elapsed_micros stays
-// 0 in the returned result.
+// I/O lifecycle of the enclosing pipeline. The run still retires its own
+// workers' actor clocks and reports modeled_elapsed_micros as this
+// stage's retired peak minus the scheduler floor at entry.
 ParallelJoinResult RunParallelSpatialJoinInto(
     const RTree& r, const RTree& s, const JoinOptions& options,
     const ParallelExecutorOptions& exec_options, SharedBufferPool* shared_pool,

@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "engine/memory_governor.h"
 
 namespace rsj {
 
@@ -374,6 +375,15 @@ class MaterializingSink final : public ChunkedSink {
   explicit MaterializingSink(ChunkArena arena)
       : ChunkedSink(std::move(arena)) {}
 
+  // Gauged form: every collected chunk is admitted into `gauge` (an
+  // unbounded measuring ResidentBudget, possibly governed — see
+  // engine/memory_governor.h), so a materialized run MEASURES its
+  // resident-chunk high-water mark through the same gauge a spilling run
+  // caps itself with, and a shared governor sees the residency while the
+  // run holds it. `gauge` is not owned and must outlive the sink.
+  MaterializingSink(ChunkArena arena, ResidentBudget* gauge)
+      : ChunkedSink(std::move(arena)), gauge_(gauge) {}
+
   // Flushes and moves the collected chunks out.
   ResultChunkList TakeChunks() {
     Flush();
@@ -382,10 +392,12 @@ class MaterializingSink final : public ChunkedSink {
 
  protected:
   void ConsumeChunk(ChunkPtr chunk) override {
+    if (gauge_ != nullptr) gauge_->Admit();
     chunks_.Append(std::move(chunk));
   }
 
  private:
+  ResidentBudget* gauge_ = nullptr;
   ResultChunkList chunks_;
 };
 

@@ -12,10 +12,12 @@
 //     spilling worker's modeled clock; the striping spreads a run over
 //     the disk array and consecutive stripe units ride the sequential
 //     discount).
-//   * `ResidentBudget` — the shared admission gauge: completed chunks
-//     held resident across all sinks of one run, capped at a configured
-//     budget, with the high-water mark reported as
-//     `Statistics::result_peak_chunks_resident`.
+//   * `ResidentBudget` (engine/memory_governor.h, re-exported here) —
+//     the shared admission gauge: completed chunks held resident across
+//     all sinks of one run, capped at a configured budget, with the
+//     high-water mark reported as
+//     `Statistics::result_peak_chunks_resident`. Optionally governed by
+//     the engine's run-wide `MemoryGovernor`.
 //   * `SpillingSink` — a `ChunkedSink` that keeps completed chunks
 //     resident while the budget admits them and serializes the rest to
 //     the spill file, recycling the chunk block back into the
@@ -49,13 +51,13 @@
 #ifndef RSJ_EXEC_SPILL_SINK_H_
 #define RSJ_EXEC_SPILL_SINK_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
 
+#include "engine/memory_governor.h"
 #include "exec/frontier_channel.h"
 #include "exec/result_sink.h"
 #include "storage/paged_file.h"
@@ -124,40 +126,10 @@ class SpillFile {
   uint64_t pages_written_ = 0;
 };
 
-// Shared admission gauge of one spilling run: completed chunks held
-// resident across all of the run's sinks. Thread-safe. One instance per
-// run — the peak is the run's `result_peak_chunks_resident`.
-class ResidentBudget {
- public:
-  explicit ResidentBudget(size_t budget_chunks) : budget_(budget_chunks) {}
-
-  ResidentBudget(const ResidentBudget&) = delete;
-  ResidentBudget& operator=(const ResidentBudget&) = delete;
-
-  // Admits one chunk into residency if the budget allows; false means the
-  // caller must spill the chunk instead.
-  bool TryAdmit() {
-    const uint64_t now = live_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (now > budget_) {
-      live_.fetch_sub(1, std::memory_order_relaxed);
-      return false;
-    }
-    uint64_t seen = peak_.load(std::memory_order_relaxed);
-    while (now > seen && !peak_.compare_exchange_weak(
-                             seen, now, std::memory_order_relaxed)) {
-    }
-    return true;
-  }
-
-  size_t budget() const { return budget_; }
-  uint64_t live() const { return live_.load(std::memory_order_relaxed); }
-  uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
-
- private:
-  const size_t budget_;
-  std::atomic<uint64_t> live_{0};
-  std::atomic<uint64_t> peak_{0};
-};
+// `ResidentBudget` — the shared admission gauge of one spilling run —
+// lives in engine/memory_governor.h since the serving engine generalized
+// it into the run-wide governor; the include above re-exports it for the
+// sinks below.
 
 // The collected form of a spilling run: the chunks that stayed resident
 // plus the refs of the spilled ones (resident first, then spilled —

@@ -18,11 +18,45 @@ uint64_t SimulatedDiskArray::TransferMicros(uint32_t page_size_bytes) const {
          ((static_cast<uint64_t>(page_size_bytes) + 1023) / 1024);
 }
 
+namespace {
+// Gap lists stay small: requests landing at the tail reuse slots as old
+// gaps age out, and anything beyond this many open gaps is ancient.
+constexpr size_t kMaxIdleGaps = 32;
+}  // namespace
+
 uint64_t SimulatedDiskArray::ServiceLocked(const PagedFile& file, PageId id,
                                            uint32_t page_size_bytes,
                                            uint64_t issue_micros,
                                            uint64_t extra_micros) {
   Disk& disk = disks_[DiskFor(id)];
+
+  // Backfill: if the arm was idle at the issue time for long enough to
+  // serve this request, serve it inside that gap. The arm is mid-stream
+  // elsewhere on the timeline, so the positioning cost is always paid
+  // and the tail's sequential-run state is left untouched.
+  const uint64_t backfill_cost =
+      TransferMicros(page_size_bytes) + extra_micros + options_.seek_micros;
+  for (size_t i = 0; i < disk.gaps.size(); ++i) {
+    IdleGap& gap = disk.gaps[i];
+    const uint64_t start = std::max(gap.start_micros, issue_micros);
+    if (start + backfill_cost > gap.end_micros) continue;
+    const uint64_t done = start + backfill_cost;
+    const IdleGap tail{done, gap.end_micros};
+    gap.end_micros = start;
+    const bool keep_head = gap.end_micros > gap.start_micros;
+    if (tail.end_micros > tail.start_micros) {
+      if (keep_head) {
+        disk.gaps.insert(disk.gaps.begin() + static_cast<ptrdiff_t>(i) + 1,
+                         tail);
+      } else {
+        gap = tail;
+      }
+    } else if (!keep_head) {
+      disk.gaps.erase(disk.gaps.begin() + static_cast<ptrdiff_t>(i));
+    }
+    return done;
+  }
+
   const bool sequential =
       options_.sequential_discount && disk.last_file == &file &&
       (id == disk.last_id ||
@@ -30,6 +64,10 @@ uint64_t SimulatedDiskArray::ServiceLocked(const PagedFile& file, PageId id,
   const uint64_t cost = TransferMicros(page_size_bytes) + extra_micros +
                         (sequential ? 0 : options_.seek_micros);
   const uint64_t start = std::max(issue_micros, disk.busy_until_micros);
+  if (start > disk.busy_until_micros) {
+    disk.gaps.push_back(IdleGap{disk.busy_until_micros, start});
+    if (disk.gaps.size() > kMaxIdleGaps) disk.gaps.erase(disk.gaps.begin());
+  }
   disk.busy_until_micros = start + cost;
   disk.last_file = &file;
   disk.last_id = id;

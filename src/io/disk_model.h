@@ -16,9 +16,18 @@
 // (id == last_id + disk_count) skips the positioning cost, which is what
 // makes a good read schedule (§4.3) cheaper than a random one.
 //
-// The model is deterministic: service times depend only on the per-disk
-// arrival order. It is thread-safe so the I/O scheduler's background
-// workers and blocking consumers can share one array.
+// When a request starts later than the previous busy-until, the skipped
+// interval is remembered as an idle gap. A later request issued at a
+// modeled time that falls inside such a gap is backfilled into it (at
+// full positioning cost — the arm is mid-stream elsewhere): the arm was
+// physically idle then, so serving the request there is the truthful
+// outcome. Without backfill, the wall-clock order in which concurrent
+// actors happen to reach the disk would serialize modeled streams that
+// genuinely overlapped.
+//
+// Service times depend only on the per-disk arrival order; the model is
+// thread-safe so the I/O scheduler's background workers and blocking
+// consumers can share one array.
 
 #ifndef RSJ_IO_DISK_MODEL_H_
 #define RSJ_IO_DISK_MODEL_H_
@@ -103,10 +112,20 @@ class SimulatedDiskArray {
   const DiskModelOptions& options() const { return options_; }
 
  private:
+  // An interval [start, end) during which the arm sat idle; candidates
+  // for backfilling requests issued before the current busy-until.
+  struct IdleGap {
+    uint64_t start_micros = 0;
+    uint64_t end_micros = 0;
+  };
+
   struct Disk {
     uint64_t busy_until_micros = 0;
     const PagedFile* last_file = nullptr;
     PageId last_id = kInvalidPageId;
+    // Disjoint, ascending; bounded (oldest dropped) so bookkeeping stays
+    // O(1) amortized per request.
+    std::vector<IdleGap> gaps;
   };
 
   // Shared queueing/discount math of reads and writes.

@@ -236,6 +236,8 @@ void IoScheduler::Drain() {
 
 uint64_t IoScheduler::SynchronizeClocks() {
   std::lock_guard<std::mutex> lock(mu_);
+  floor_micros_ = std::max(floor_micros_, retired_peak_micros_);
+  retired_peak_micros_ = 0;
   for (const auto& [actor, clock] : actor_clocks_) {
     floor_micros_ = std::max(floor_micros_, clock);
   }
@@ -245,11 +247,34 @@ uint64_t IoScheduler::SynchronizeClocks() {
 
 uint64_t IoScheduler::NowMicros() const {
   std::lock_guard<std::mutex> lock(mu_);
-  uint64_t now = floor_micros_;
+  uint64_t now = std::max(floor_micros_, retired_peak_micros_);
   for (const auto& [actor, clock] : actor_clocks_) {
     now = std::max(now, clock);
   }
   return now;
+}
+
+uint64_t IoScheduler::FloorMicros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return floor_micros_;
+}
+
+uint64_t IoScheduler::ActorClock(const void* actor) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ActorClockLocked(actor);
+}
+
+void IoScheduler::AdvanceActorTo(const void* actor, uint64_t to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdvanceActorLocked(actor, to);
+}
+
+uint64_t IoScheduler::RetireActor(const void* actor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t clock = ActorClockLocked(actor);
+  actor_clocks_.erase(actor);
+  retired_peak_micros_ = std::max(retired_peak_micros_, clock);
+  return clock;
 }
 
 uint64_t IoScheduler::io_batches() const {

@@ -169,14 +169,43 @@ class IoScheduler {
   // Blocks (in real time) until every async request has been serviced.
   void Drain();
 
-  // Join point: merges every actor clock into the floor by MAX, resets
-  // the actor table, and returns the merged clock. Executors call this at
-  // the end of a (parallel) run; the delta against the clock before the
-  // run is the run's modeled elapsed time.
+  // Join point: merges every actor clock (and the retired-actor peak)
+  // into the floor by MAX, resets the actor table, and returns the merged
+  // clock. Executors that OWN the I/O lifecycle call this at the end of a
+  // (parallel) run; the delta against the clock before the run is the
+  // run's modeled elapsed time. Executors that merely BORROW a scheduler
+  // from an enclosing engine must not call it mid-run (it would fold
+  // every concurrent session's clocks); they use RetireActor below and
+  // the engine synchronizes once at its own join point.
   uint64_t SynchronizeClocks();
 
-  // Current merged modeled clock: max over the floor and all live actors.
+  // Current merged modeled clock: max over the floor, the retired-actor
+  // peak, and all live actors.
   uint64_t NowMicros() const;
+
+  // --- borrowed-lifecycle actor API (engine/query_engine.h) ---
+  // Concurrent sessions share one scheduler and must not synchronize it
+  // mid-run; instead each run reads and retires its own actors.
+
+  // The merged clock of completed regions only (excludes live and
+  // retired actors of the current region): the common start line every
+  // fresh actor begins at — the baseline a borrowed run measures its
+  // modeled elapsed time against.
+  uint64_t FloorMicros() const;
+
+  // Current clock of one actor (>= floor); the floor for unknown actors.
+  uint64_t ActorClock(const void* actor) const;
+
+  // Raises `actor`'s clock to at least `to` — a modeled barrier: phase
+  // workers start no earlier than their predecessor phase's completion.
+  void AdvanceActorTo(const void* actor, uint64_t to);
+
+  // Retires one actor at the end of a borrowed run: erases its clock
+  // from the live table (so a later run reusing the freed Statistics
+  // address starts fresh) and folds it into the retired-actor peak,
+  // which NowMicros and SynchronizeClocks still see. Returns the retired
+  // clock — the actor's modeled completion time.
+  uint64_t RetireActor(const void* actor);
 
   // Request batches the background workers dequeued so far.
   uint64_t io_batches() const;
@@ -240,6 +269,10 @@ class IoScheduler {
   // Merged clock of synchronized (completed) regions; every actor clock
   // is implicitly >= the floor.
   uint64_t floor_micros_ = 0;
+  // Max clock over actors retired since the last synchronization:
+  // completed borrowed runs stay visible to NowMicros/SynchronizeClocks
+  // without raising the floor fresh actors start at.
+  uint64_t retired_peak_micros_ = 0;
   std::unordered_map<const void*, uint64_t> actor_clocks_;
   uint64_t io_batches_ = 0;
   uint64_t async_reads_ = 0;

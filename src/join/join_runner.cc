@@ -46,11 +46,14 @@ JoinRunResult RunSpatialJoinWithIo(const RTree& r, const RTree& s,
     SpatialJoinEngine engine(r, s, options, &pool, &result.stats);
     if (prefetch) engine.set_prefetcher(&prefetcher);
     if (collect_pairs) {
-      MaterializingSink sink;
+      // A measuring gauge (engine/memory_governor.h) records the resident
+      // high-water mark instead of computing it from final counts.
+      ResidentBudget gauge(ResidentBudget::kUnbounded);
+      MaterializingSink sink(ChunkArena{}, &gauge);
       engine.Run(&sink);
       result.chunks = sink.TakeChunks();
       result.pair_count = sink.count();
-      result.stats.NoteResultChunksResident(result.chunks.chunk_count());
+      result.stats.NoteResultChunksResident(gauge.peak());
     } else {
       CountingSink sink;
       engine.Run(&sink);
@@ -72,11 +75,14 @@ JoinRunResult RunSpatialJoin(const RTree& r, const RTree& s,
                              const JoinOptions& options, bool collect_pairs) {
   JoinRunResult result;
   if (collect_pairs) {
-    MaterializingSink sink;
+    // A measuring gauge (engine/memory_governor.h) records the resident
+    // high-water mark instead of computing it from final counts.
+    ResidentBudget gauge(ResidentBudget::kUnbounded);
+    MaterializingSink sink(ChunkArena{}, &gauge);
     RunSpatialJoin(r, s, options, &sink, &result.stats);
     result.chunks = sink.TakeChunks();
     result.pair_count = sink.count();
-    result.stats.NoteResultChunksResident(result.chunks.chunk_count());
+    result.stats.NoteResultChunksResident(gauge.peak());
   } else {
     CountingSink sink;
     RunSpatialJoin(r, s, options, &sink, &result.stats);

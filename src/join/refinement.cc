@@ -85,6 +85,7 @@ StreamingIdJoinResult RunIdSpatialJoinStreaming(
     exec.spill_page_size = refine_options.spill_page_size;
     exec.chunk_capacity = refine_options.chunk_capacity;
     exec.io_scheduler = refine_options.io;
+    exec.memory_governor = refine_options.governor;
     ParallelJoinResult filtered =
         RunParallelSpatialJoin(r_tree, s_tree, options, exec);
     candidates = std::move(filtered.spilled);
@@ -94,7 +95,10 @@ StreamingIdJoinResult RunIdSpatialJoinStreaming(
                                          /*max_free_chunks=*/1024});
     auto file = std::make_shared<SpillFile>(SpillFile::Options{
         refine_options.spill_page_size, refine_options.io});
-    ResidentBudget budget(refine_options.filter_budget_chunks);
+    ResidentBudget budget(refine_options.filter_budget_chunks,
+                          refine_options.governor,
+                          MemoryCategory::kResultChunks,
+                          refine_options.chunk_capacity * sizeof(ResultPair));
     BufferPool pool(
         BufferPool::Options{options.buffer_bytes,
                             r_tree.options().page_size,
@@ -119,7 +123,10 @@ StreamingIdJoinResult RunIdSpatialJoinStreaming(
                                              /*max_free_chunks=*/1024});
     auto out_file = std::make_shared<SpillFile>(SpillFile::Options{
         refine_options.spill_page_size, refine_options.io});
-    ResidentBudget out_budget(refine_options.refine_budget_chunks);
+    ResidentBudget out_budget(
+        refine_options.refine_budget_chunks, refine_options.governor,
+        MemoryCategory::kResultChunks,
+        refine_options.chunk_capacity * sizeof(ResultPair));
     SpillingSink out(out_arena, out_file.get(), &out_budget, &result.stats);
     result.result_pairs =
         RefineCandidateChunks(candidates, r, s, &out, &result.stats);

@@ -78,6 +78,10 @@ struct StreamingRefineOptions {
   // Keep the refined pairs (as a possibly-spilled SpilledResult) instead
   // of only counting them.
   bool collect_result_pairs = false;
+  // Run-wide memory ledger (engine/memory_governor.h): the filter and
+  // refinement budgets mirror their resident chunks into it as byte
+  // leases while the run holds them. Not owned; nullptr = standalone.
+  MemoryGovernor* governor = nullptr;
 };
 
 struct StreamingIdJoinResult {

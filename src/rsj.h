@@ -22,6 +22,10 @@
 #include "datagen/dataset.h"       // IWYU pragma: export
 #include "datagen/tiger_like.h"    // IWYU pragma: export
 #include "datagen/workloads.h"     // IWYU pragma: export
+#include "engine/memory_governor.h"  // IWYU pragma: export
+#include "engine/planner.h"        // IWYU pragma: export
+#include "engine/query_engine.h"   // IWYU pragma: export
+#include "engine/task_pool.h"      // IWYU pragma: export
 #include "exec/multiway_executor.h"  // IWYU pragma: export
 #include "exec/parallel_executor.h"  // IWYU pragma: export
 #include "exec/partition.h"        // IWYU pragma: export
@@ -35,6 +39,7 @@
 #include "io/disk_model.h"         // IWYU pragma: export
 #include "io/io_scheduler.h"       // IWYU pragma: export
 #include "io/prefetcher.h"         // IWYU pragma: export
+#include "join/cost_estimator.h"   // IWYU pragma: export
 #include "join/join_options.h"     // IWYU pragma: export
 #include "join/join_runner.h"      // IWYU pragma: export
 #include "join/predicate.h"        // IWYU pragma: export

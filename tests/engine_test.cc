@@ -1,0 +1,528 @@
+// Tests for the serving engine layer (src/engine/): the run-wide memory
+// governor's lease ledger, the SessionTaskPool's round-robin fairness and
+// worker-slot exclusivity, the cost-based planner's threshold decisions,
+// and the QueryEngine itself — N concurrent sessions returning exactly
+// the serial results for every SJ variant, per-session statistics
+// isolation, deterministic admission queueing/shedding, and governor
+// accounting across a batch. Runs under TSan in CI: the engine's shared
+// pool / node cache / scheduler / task pool cross every session boundary.
+
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/memory_governor.h"
+#include "engine/planner.h"
+#include "engine/task_pool.h"
+#include "join/join_runner.h"
+#include "join/multiway_join.h"
+#include "tests/test_util.h"
+
+namespace rsj {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MemoryGovernor
+
+TEST(MemoryGovernor, LeaseLedger) {
+  MemoryGovernor gov(MemoryGovernor::Options{1000});
+  EXPECT_EQ(gov.budget_bytes(), 1000u);
+  EXPECT_TRUE(gov.TryLease(MemoryCategory::kResultChunks, 600));
+  EXPECT_TRUE(gov.TryLease(MemoryCategory::kCacheFrames, 400));
+  // Past the budget: refused, ledger untouched.
+  EXPECT_FALSE(gov.TryLease(MemoryCategory::kFrontierTuples, 1));
+  EXPECT_EQ(gov.leased_bytes(), 1000u);
+  gov.Release(MemoryCategory::kResultChunks, 600);
+  EXPECT_EQ(gov.leased_bytes(), 400u);
+  EXPECT_TRUE(gov.TryLease(MemoryCategory::kFrontierTuples, 500));
+  // Charge is unconditional: overshoot allowed, visible in the peak.
+  gov.Charge(MemoryCategory::kSessionReservations, 500);
+  EXPECT_EQ(gov.leased_bytes(), 1400u);
+  EXPECT_GE(gov.peak_bytes(), 1400u);
+  EXPECT_EQ(gov.category_live(MemoryCategory::kCacheFrames), 400u);
+  EXPECT_EQ(gov.category_peak(MemoryCategory::kResultChunks), 600u);
+  gov.Release(MemoryCategory::kCacheFrames, 400);
+  gov.Release(MemoryCategory::kFrontierTuples, 500);
+  gov.Release(MemoryCategory::kSessionReservations, 500);
+  EXPECT_EQ(gov.leased_bytes(), 0u);
+}
+
+TEST(MemoryGovernor, UnlimitedBudgetAlwaysLeases) {
+  MemoryGovernor gov(MemoryGovernor::Options{0});
+  EXPECT_TRUE(gov.TryLease(MemoryCategory::kResultChunks, 1ull << 40));
+  gov.Release(MemoryCategory::kResultChunks, 1ull << 40);
+}
+
+TEST(MemoryGovernor, ResidentBudgetMirrorsLeases) {
+  MemoryGovernor gov(MemoryGovernor::Options{1024});
+  {
+    ResidentBudget budget(/*budget_chunks=*/4, &gov,
+                          MemoryCategory::kResultChunks, /*unit_bytes=*/256);
+    EXPECT_TRUE(budget.TryAdmit());
+    EXPECT_TRUE(budget.TryAdmit());
+    EXPECT_EQ(gov.category_live(MemoryCategory::kResultChunks), 512u);
+    budget.Release();
+    EXPECT_EQ(gov.category_live(MemoryCategory::kResultChunks), 256u);
+    // The governor runs out before the local cap: 1024 / 256 = 4 units.
+    EXPECT_TRUE(budget.TryAdmit());
+    EXPECT_TRUE(budget.TryAdmit());
+    EXPECT_TRUE(budget.TryAdmit());
+    EXPECT_FALSE(budget.TryAdmit());
+    EXPECT_EQ(budget.live(), 4u);
+  }
+  // Destruction released every live lease.
+  EXPECT_EQ(gov.category_live(MemoryCategory::kResultChunks), 0u);
+  EXPECT_EQ(gov.category_peak(MemoryCategory::kResultChunks), 1024u);
+}
+
+// ---------------------------------------------------------------------------
+// SessionTaskPool
+
+TEST(SessionTaskPool, RunsEveryTaskWithSlotExclusivity) {
+  SessionTaskPool pool(SessionTaskPool::Options{3});
+  constexpr unsigned kWorkers = 2;
+  constexpr size_t kTasks = 400;
+  std::vector<std::atomic<int>> in_slot(kWorkers);
+  std::vector<std::atomic<int>> task_runs(kTasks);
+  const auto counts = pool.Run(kWorkers, kTasks, [&](unsigned w, size_t t) {
+    // At most one live call per worker slot — the executor contract.
+    EXPECT_EQ(in_slot[w].fetch_add(1), 0);
+    std::this_thread::yield();
+    in_slot[w].fetch_sub(1);
+    task_runs[t].fetch_add(1);
+  });
+  ASSERT_EQ(counts.size(), kWorkers);
+  uint64_t total = 0;
+  for (const uint64_t c : counts) total += c;
+  EXPECT_EQ(total, kTasks);
+  for (size_t t = 0; t < kTasks; ++t) EXPECT_EQ(task_runs[t].load(), 1);
+  EXPECT_EQ(pool.tasks_executed(), kTasks);
+  EXPECT_EQ(pool.runs_completed(), 1u);
+}
+
+TEST(SessionTaskPool, ZeroPoolThreadsDegradesToCaller) {
+  SessionTaskPool pool(SessionTaskPool::Options{0});
+  constexpr size_t kTasks = 64;
+  std::atomic<size_t> executed{0};
+  const auto counts =
+      pool.Run(4, kTasks, [&](unsigned, size_t) { executed.fetch_add(1); });
+  EXPECT_EQ(executed.load(), kTasks);
+  // Single-threaded execution reuses the lowest slot every time.
+  EXPECT_EQ(counts[0], kTasks);
+  EXPECT_EQ(pool.pool_assists(), 0u);
+}
+
+TEST(SessionTaskPool, ServesConcurrentRuns) {
+  SessionTaskPool pool(SessionTaskPool::Options{2});
+  constexpr int kRuns = 3;
+  constexpr size_t kTasks = 50;
+  std::atomic<int> registered{0};
+  std::vector<std::atomic<int>> per_run(kRuns);
+  std::vector<std::thread> callers;
+  for (int r = 0; r < kRuns; ++r) {
+    callers.emplace_back([&, r] {
+      std::atomic<bool> first{true};
+      pool.Run(2, kTasks, [&](unsigned, size_t) {
+        if (first.exchange(false)) registered.fetch_add(1);
+        // Hold every run live until all three registered, so the peak
+        // concurrency (and the round-robin path) is exercised
+        // deterministically: each caller drives its own run, so all
+        // three always register.
+        while (registered.load() < kRuns) std::this_thread::yield();
+        per_run[r].fetch_add(1);
+      });
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int r = 0; r < kRuns; ++r) EXPECT_EQ(per_run[r].load(), kTasks);
+  EXPECT_EQ(pool.runs_completed(), static_cast<uint64_t>(kRuns));
+  EXPECT_EQ(pool.peak_concurrent_runs(), static_cast<size_t>(kRuns));
+  EXPECT_EQ(pool.tasks_executed(), static_cast<uint64_t>(kRuns) * kTasks);
+}
+
+// ---------------------------------------------------------------------------
+// Planner
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RTreeOptions topt;
+    topt.page_size = kPageSize1K;
+    small_rects_ = new std::vector<Rect>(testutil::RandomRects(80, 31));
+    big_rects_ =
+        new std::vector<Rect>(testutil::ClusteredRects(2500, 32, 6, 0.02));
+    small_ = new IndexedRelation(*small_rects_, topt);
+    big_ = new IndexedRelation(*big_rects_, topt);
+  }
+  static void TearDownTestSuite() {
+    delete small_;
+    delete big_;
+    delete small_rects_;
+    delete big_rects_;
+    small_ = big_ = nullptr;
+    small_rects_ = big_rects_ = nullptr;
+  }
+
+  static std::vector<Rect>* small_rects_;
+  static std::vector<Rect>* big_rects_;
+  static IndexedRelation* small_;
+  static IndexedRelation* big_;
+};
+
+std::vector<Rect>* PlannerTest::small_rects_ = nullptr;
+std::vector<Rect>* PlannerTest::big_rects_ = nullptr;
+IndexedRelation* PlannerTest::small_ = nullptr;
+IndexedRelation* PlannerTest::big_ = nullptr;
+
+TEST_F(PlannerTest, VariantThresholdsCutBothWays) {
+  const JoinCostEstimate est =
+      EstimateJoinCost(big_->tree(), big_->tree());
+  ASSERT_GT(est.sj1_comparisons, 0.0);
+
+  PlannerOptions popt;
+  popt.sj1_comparison_ceiling = est.sj1_comparisons * 2;  // tiny enough
+  PlanChoice plan = PlanPairJoin(big_->tree(), big_->tree(), popt);
+  EXPECT_EQ(plan.algorithm, JoinAlgorithm::kSJ1);
+
+  popt.sj1_comparison_ceiling = est.sj1_comparisons / 2;  // too many
+  popt.zorder_page_read_floor = est.page_reads * 2;       // reads modest
+  plan = PlanPairJoin(big_->tree(), big_->tree(), popt);
+  EXPECT_EQ(plan.algorithm, JoinAlgorithm::kSJ4);
+
+  popt.zorder_page_read_floor = est.page_reads / 2;  // read-heavy
+  plan = PlanPairJoin(big_->tree(), big_->tree(), popt);
+  EXPECT_EQ(plan.algorithm, JoinAlgorithm::kSJ5);
+
+  // Spill and prefetch decisions, both sides of the boundary.
+  popt.spill_pair_floor = est.result_pairs / 2;
+  popt.prefetch_page_read_floor = est.page_reads / 2;
+  plan = PlanPairJoin(big_->tree(), big_->tree(), popt);
+  EXPECT_TRUE(plan.spill);
+  EXPECT_TRUE(plan.prefetch);
+  popt.spill_pair_floor = est.result_pairs * 2;
+  popt.prefetch_page_read_floor = est.page_reads * 2;
+  plan = PlanPairJoin(big_->tree(), big_->tree(), popt);
+  EXPECT_FALSE(plan.spill);
+  EXPECT_FALSE(plan.prefetch);
+
+  // The audit record carries the decision and the estimator inputs.
+  EXPECT_NE(plan.Describe().find("algo=SJ"), std::string::npos);
+  EXPECT_NE(plan.Describe().find("est{"), std::string::npos);
+}
+
+TEST_F(PlannerTest, ChainPicksPipelinedPastTheTupleFloor) {
+  const std::vector<JoinRelation> chain = {
+      {&big_->tree(), big_rects_},
+      {&big_->tree(), big_rects_},
+      {&big_->tree(), big_rects_},
+  };
+  PlannerOptions popt;
+  popt.pipeline_tuple_floor = 1.0;
+  PlanChoice plan = PlanChainJoin(chain, popt);
+  ASSERT_GT(plan.peak_intermediate_tuples, 0.0);
+  EXPECT_TRUE(plan.pipelined);
+  popt.pipeline_tuple_floor = plan.peak_intermediate_tuples * 2;
+  plan = PlanChainJoin(chain, popt);
+  EXPECT_FALSE(plan.pipelined);
+}
+
+// ---------------------------------------------------------------------------
+// QueryEngine
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RTreeOptions topt;
+    topt.page_size = kPageSize1K;
+    rects_r_ = new std::vector<Rect>(testutil::ClusteredRects(900, 41, 5));
+    rects_s_ = new std::vector<Rect>(testutil::ClusteredRects(800, 42, 5));
+    rects_t_ = new std::vector<Rect>(testutil::ClusteredRects(700, 43, 5));
+    rel_r_ = new IndexedRelation(*rects_r_, topt);
+    rel_s_ = new IndexedRelation(*rects_s_, topt);
+    rel_t_ = new IndexedRelation(*rects_t_, topt);
+  }
+  static void TearDownTestSuite() {
+    delete rel_r_;
+    delete rel_s_;
+    delete rel_t_;
+    delete rects_r_;
+    delete rects_s_;
+    delete rects_t_;
+    rel_r_ = rel_s_ = rel_t_ = nullptr;
+    rects_r_ = rects_s_ = rects_t_ = nullptr;
+  }
+
+  static QueryEngine::Options EngineOptions() {
+    QueryEngine::Options opt;
+    opt.pool.capacity_bytes = 256 * 1024;
+    opt.pool.page_size = kPageSize1K;
+    opt.io.disks.disk_count = 2;
+    opt.pool_threads = 4;
+    opt.session_threads = 2;
+    opt.max_concurrent_sessions = 8;
+    return opt;
+  }
+
+  static std::vector<Rect>* rects_r_;
+  static std::vector<Rect>* rects_s_;
+  static std::vector<Rect>* rects_t_;
+  static IndexedRelation* rel_r_;
+  static IndexedRelation* rel_s_;
+  static IndexedRelation* rel_t_;
+};
+
+std::vector<Rect>* QueryEngineTest::rects_r_ = nullptr;
+std::vector<Rect>* QueryEngineTest::rects_s_ = nullptr;
+std::vector<Rect>* QueryEngineTest::rects_t_ = nullptr;
+IndexedRelation* QueryEngineTest::rel_r_ = nullptr;
+IndexedRelation* QueryEngineTest::rel_s_ = nullptr;
+IndexedRelation* QueryEngineTest::rel_t_ = nullptr;
+
+TEST_F(QueryEngineTest, ConcurrentSessionsMatchSerialForEveryAlgorithm) {
+  JoinOptions jopt;
+  jopt.algorithm = JoinAlgorithm::kSJ4;
+  const JoinRunResult serial =
+      RunSpatialJoin(rel_r_->tree(), rel_s_->tree(), jopt, true);
+  const auto expected = testutil::Canonical(serial.chunks);
+
+  const JoinAlgorithm algorithms[] = {
+      JoinAlgorithm::kSJ1, JoinAlgorithm::kSJ2,
+      JoinAlgorithm::kSweepUnrestricted, JoinAlgorithm::kSJ3,
+      JoinAlgorithm::kSJ4, JoinAlgorithm::kSJ5,
+  };
+  QueryEngine engine(EngineOptions());
+  std::vector<QuerySession*> sessions;
+  for (const JoinAlgorithm algorithm : algorithms) {
+    QuerySpec spec;
+    spec.relations = {{&rel_r_->tree(), rects_r_},
+                      {&rel_s_->tree(), rects_s_}};
+    spec.join.algorithm = algorithm;
+    spec.use_planner = false;  // pin the variant under test
+    sessions.push_back(engine.Submit(std::move(spec)));
+  }
+  engine.WaitAll();
+
+  for (QuerySession* session : sessions) {
+    ASSERT_EQ(session->state(), SessionState::kFinished);
+    const QueryOutcome& outcome = session->outcome();
+    EXPECT_EQ(outcome.result_count, serial.pair_count);
+    EXPECT_EQ(testutil::Canonical(outcome.pair.chunks), expected);
+    // Per-session statistics never bleed: each session's counters
+    // describe exactly its own run.
+    EXPECT_EQ(outcome.pair.total_stats.output_pairs, serial.pair_count);
+  }
+  const QueryEngine::Telemetry tel = engine.telemetry();
+  EXPECT_EQ(tel.sessions_submitted, 6u);
+  EXPECT_EQ(tel.sessions_finished, 6u);
+  EXPECT_EQ(tel.sessions_shed, 0u);
+  // Every session collected through a governed gauge, and every lease was
+  // returned by the end of the batch.
+  EXPECT_GT(engine.governor().category_peak(MemoryCategory::kResultChunks),
+            0u);
+  EXPECT_EQ(engine.governor().category_live(MemoryCategory::kResultChunks),
+            0u);
+  EXPECT_EQ(engine.governor().leased_bytes(), 0u);
+}
+
+TEST_F(QueryEngineTest, ChainSessionMatchesSequential) {
+  const std::vector<JoinRelation> chain = {{&rel_r_->tree(), rects_r_},
+                                           {&rel_s_->tree(), rects_s_},
+                                           {&rel_t_->tree(), rects_t_}};
+  JoinOptions jopt;
+  jopt.algorithm = JoinAlgorithm::kSJ4;
+  MultiwayJoinResult sequential = RunChainSpatialJoin(chain, jopt, true);
+  std::sort(sequential.tuples.begin(), sequential.tuples.end());
+
+  QueryEngine engine(EngineOptions());
+  QuerySpec spec;
+  spec.relations = chain;
+  spec.join = jopt;
+  spec.use_planner = false;
+  QuerySession* session = engine.Submit(std::move(spec));
+  engine.WaitAll();
+
+  ASSERT_EQ(session->state(), SessionState::kFinished);
+  const QueryOutcome& outcome = session->outcome();
+  ASSERT_TRUE(outcome.is_chain);
+  EXPECT_EQ(outcome.result_count, sequential.tuple_count);
+  auto tuples = outcome.chain.tuples;
+  std::sort(tuples.begin(), tuples.end());
+  EXPECT_EQ(tuples, sequential.tuples);
+}
+
+TEST_F(QueryEngineTest, AdmissionQueuesAndShedsDeterministically) {
+  QueryEngine::Options opt = EngineOptions();
+  opt.max_concurrent_sessions = 1;
+  opt.queue_limit = 1;
+  QueryEngine engine(opt);
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  QuerySpec first;
+  first.relations = {{&rel_r_->tree(), rects_r_}, {&rel_s_->tree(), rects_s_}};
+  first.use_planner = false;
+  first.before_run = [&] {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return release; });
+  };
+  QuerySpec second = first;
+  second.before_run = nullptr;
+  QuerySpec third = first;
+  third.before_run = nullptr;
+
+  QuerySession* s1 = engine.Submit(std::move(first));
+  EXPECT_EQ(s1->state(), SessionState::kRunning);  // holds the only slot
+  QuerySession* s2 = engine.Submit(std::move(second));
+  EXPECT_EQ(s2->state(), SessionState::kQueued);
+  QuerySession* s3 = engine.Submit(std::move(third));
+  EXPECT_EQ(s3->state(), SessionState::kShed);  // queue_limit = 1
+
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  engine.WaitAll();
+
+  EXPECT_EQ(s1->state(), SessionState::kFinished);
+  EXPECT_EQ(s2->state(), SessionState::kFinished);
+  EXPECT_EQ(s1->outcome().result_count, s2->outcome().result_count);
+  const QueryEngine::Telemetry tel = engine.telemetry();
+  EXPECT_EQ(tel.sessions_submitted, 3u);
+  EXPECT_EQ(tel.sessions_admitted, 2u);
+  EXPECT_EQ(tel.sessions_queued, 1u);
+  EXPECT_EQ(tel.sessions_shed, 1u);
+  EXPECT_EQ(tel.sessions_finished, 2u);
+  EXPECT_EQ(tel.peak_running, 1u);
+}
+
+TEST_F(QueryEngineTest, GovernorLeaseGatesAdmission) {
+  QueryEngine::Options opt = EngineOptions();
+  opt.session_reserve_bytes = 1 << 20;
+  opt.memory_budget_bytes = (1 << 20) + (1 << 19);  // fits one reservation
+  opt.max_concurrent_sessions = 4;                  // slots are NOT the gate
+  QueryEngine engine(opt);
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  QuerySpec first;
+  first.relations = {{&rel_r_->tree(), rects_r_}, {&rel_s_->tree(), rects_s_}};
+  first.use_planner = false;
+  first.before_run = [&] {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return release; });
+  };
+  QuerySpec second = first;
+  second.before_run = nullptr;
+
+  QuerySession* s1 = engine.Submit(std::move(first));
+  EXPECT_EQ(s1->state(), SessionState::kRunning);
+  QuerySession* s2 = engine.Submit(std::move(second));
+  // A slot is free, but the governor refuses a second reservation.
+  EXPECT_EQ(s2->state(), SessionState::kQueued);
+  EXPECT_EQ(
+      engine.governor().category_live(MemoryCategory::kSessionReservations),
+      static_cast<uint64_t>(1 << 20));
+
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  engine.WaitAll();
+
+  EXPECT_EQ(s1->state(), SessionState::kFinished);
+  EXPECT_EQ(s2->state(), SessionState::kFinished);
+  const QueryEngine::Telemetry tel = engine.telemetry();
+  EXPECT_EQ(tel.sessions_queued, 1u);
+  EXPECT_EQ(tel.peak_running, 1u);  // never two concurrent reservations
+  EXPECT_EQ(
+      engine.governor().category_peak(MemoryCategory::kSessionReservations),
+      static_cast<uint64_t>(1 << 20));
+  EXPECT_EQ(
+      engine.governor().category_live(MemoryCategory::kSessionReservations),
+      0u);
+}
+
+TEST_F(QueryEngineTest, PlannerSwitchesVariantsAcrossWorkloads) {
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  const std::vector<Rect> tiny_rects = testutil::RandomRects(60, 51);
+  IndexedRelation tiny(tiny_rects, topt);
+
+  const JoinCostEstimate est_tiny =
+      EstimateJoinCost(tiny.tree(), tiny.tree());
+  const JoinCostEstimate est_big =
+      EstimateJoinCost(rel_r_->tree(), rel_s_->tree());
+  ASSERT_LT(est_tiny.sj1_comparisons, est_big.sj1_comparisons);
+
+  QueryEngine::Options opt = EngineOptions();
+  // Place the nested-loop ceiling between the two workloads, so the
+  // planner demonstrably picks different variants for them.
+  opt.planner.sj1_comparison_ceiling =
+      (est_tiny.sj1_comparisons + est_big.sj1_comparisons) / 2;
+  opt.planner.zorder_page_read_floor = est_big.page_reads * 2;
+  opt.planner.spill_pair_floor = 1e18;  // keep results materialized here
+  QueryEngine engine(opt);
+
+  QuerySpec small_query;
+  small_query.relations = {{&tiny.tree(), &tiny_rects},
+                           {&tiny.tree(), &tiny_rects}};
+  QuerySpec big_query;
+  big_query.relations = {{&rel_r_->tree(), rects_r_},
+                         {&rel_s_->tree(), rects_s_}};
+  QuerySession* small_session = engine.Submit(std::move(small_query));
+  QuerySession* big_session = engine.Submit(std::move(big_query));
+  engine.WaitAll();
+
+  ASSERT_EQ(small_session->state(), SessionState::kFinished);
+  ASSERT_EQ(big_session->state(), SessionState::kFinished);
+  ASSERT_TRUE(small_session->outcome().planned);
+  ASSERT_TRUE(big_session->outcome().planned);
+  EXPECT_EQ(small_session->outcome().plan.algorithm, JoinAlgorithm::kSJ1);
+  EXPECT_EQ(big_session->outcome().plan.algorithm, JoinAlgorithm::kSJ4);
+  // The audit record survives in the outcome.
+  EXPECT_NE(big_session->outcome().plan.Describe().find("algo=SJ4"),
+            std::string::npos);
+
+  // Planned runs still return the exact serial result.
+  JoinOptions jopt;
+  const JoinRunResult serial =
+      RunSpatialJoin(rel_r_->tree(), rel_s_->tree(), jopt, false);
+  EXPECT_EQ(big_session->outcome().result_count, serial.pair_count);
+}
+
+TEST_F(QueryEngineTest, RepeatedBatchesReuseTheEngine) {
+  QueryEngine engine(EngineOptions());
+  JoinOptions jopt;
+  const JoinRunResult serial =
+      RunSpatialJoin(rel_r_->tree(), rel_s_->tree(), jopt, false);
+  for (int batch = 0; batch < 2; ++batch) {
+    std::vector<QuerySession*> sessions;
+    for (int i = 0; i < 3; ++i) {
+      QuerySpec spec;
+      spec.relations = {{&rel_r_->tree(), rects_r_},
+                        {&rel_s_->tree(), rects_s_}};
+      spec.use_planner = false;
+      spec.collect = false;
+      sessions.push_back(engine.Submit(std::move(spec)));
+    }
+    engine.WaitAll();
+    for (QuerySession* session : sessions) {
+      EXPECT_EQ(session->outcome().result_count, serial.pair_count);
+    }
+  }
+  EXPECT_EQ(engine.telemetry().sessions_finished, 6u);
+}
+
+}  // namespace
+}  // namespace rsj

@@ -93,6 +93,48 @@ TEST_F(MultiwayExecTest, MatchesSequentialAcrossThreadsAndPredicates) {
   }
 }
 
+TEST_F(MultiwayExecTest, ElasticPipelineMatchesDedicatedTeams) {
+  // The elastic shared probe team must produce the exact tuple multiset
+  // of the dedicated-team pipeline (and of the sequential chain), with
+  // num_threads total probe workers instead of num_threads × phases.
+  for (const size_t chain_len : {size_t{3}, size_t{4}}) {
+    const auto chain = Chain(chain_len);
+    JoinOptions jopt;
+    jopt.algorithm = JoinAlgorithm::kSJ4;
+    auto sequential = RunChainSpatialJoin(chain, jopt, true);
+    std::sort(sequential.tuples.begin(), sequential.tuples.end());
+    for (const unsigned threads : {2u, 4u}) {
+      for (const bool shared_pool : {true, false}) {
+        ParallelExecutorOptions exec;
+        exec.num_threads = threads;
+        exec.pipelined = true;
+        exec.elastic_pipeline = true;
+        exec.shared_pool = shared_pool;
+        // A tight bound exercises the help-on-full path.
+        exec.channel_bound = 2;
+        exec.chunk_capacity = 64;
+        auto parallel = RunParallelChainSpatialJoin(chain, jopt, exec, true);
+        EXPECT_TRUE(parallel.used_pipeline);
+        EXPECT_TRUE(parallel.used_elastic)
+            << "chain=" << chain_len << " threads=" << threads;
+        EXPECT_EQ(parallel.tuple_count, sequential.tuple_count);
+        std::sort(parallel.tuples.begin(), parallel.tuples.end());
+        EXPECT_EQ(parallel.tuples, sequential.tuples)
+            << "chain=" << chain_len << " threads=" << threads
+            << " shared_pool=" << shared_pool;
+      }
+    }
+  }
+  // The dedicated-team pipeline reports used_elastic = false.
+  ParallelExecutorOptions exec;
+  exec.num_threads = 2;
+  exec.pipelined = true;
+  JoinOptions jopt;
+  auto dedicated = RunParallelChainSpatialJoin(Chain(3), jopt, exec, false);
+  EXPECT_TRUE(dedicated.used_pipeline);
+  EXPECT_FALSE(dedicated.used_elastic);
+}
+
 TEST_F(MultiwayExecTest, PrivatePoolModeMatchesToo) {
   const auto chain = Chain(3);
   JoinOptions jopt;
