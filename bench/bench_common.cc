@@ -22,6 +22,18 @@ double ParseScale(int argc, char** argv) {
   return scale;
 }
 
+std::string ParseStringFlag(int argc, char** argv, const char* name,
+                            const std::string& def) {
+  const std::string prefix = std::string("--") + name + "=";
+  std::string value = def;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      value = argv[i] + prefix.size();
+    }
+  }
+  return value;
+}
+
 TreePair BuildTreePair(const Dataset& r, const Dataset& s,
                        uint32_t page_size) {
   TreePair pair;

@@ -27,6 +27,11 @@ inline constexpr uint64_t kBufferSizes[] = {0, 8 * 1024, 32 * 1024,
 // Parses --scale=<f> from argv or RSJ_BENCH_SCALE from the environment.
 double ParseScale(int argc, char** argv);
 
+// Parses --<name>=<value> from argv (last occurrence wins); returns `def`
+// when the flag is absent. Used for output paths like --trace=<file>.
+std::string ParseStringFlag(int argc, char** argv, const char* name,
+                            const std::string& def = "");
+
 // An indexed relation pair (R, S) over one page size.
 struct TreePair {
   std::unique_ptr<PagedFile> file_r;

@@ -17,7 +17,20 @@
 // estimator (the nested-loop ceiling is placed between the tiny and the
 // large workloads' estimates, so the plan mix is scale-independent).
 //
-// Every query/mode is a JSON line (prefix "JSON ") with the chosen plan,
+// Three observability sections follow the serving comparison:
+//   * overload    — one slot + queue_limit 2 under a submit barrier, so
+//                   admission deterministically immediately-admits 1,
+//                   queues 2 and sheds 3 of six tiny self-joins;
+//   * traced      — the mixed batch re-runs with a TraceRecorder attached
+//                   and spilling forced; the trace must contain spans from
+//                   the engine, exec, io and spill layers plus counter
+//                   tracks, and --trace=<path> writes the Chrome/Perfetto
+//                   JSON (--metrics=<path> writes the metrics exposition);
+//   * overhead    — min-of-3 wall time with a disabled recorder attached
+//                   must stay within 2% (+noise floor) of no recorder.
+//
+// Every query/mode is a JSON line (prefix "JSON ") with the admission
+// outcome, queue wait, chosen plan,
 // result count, modeled latency and I/O counters; the summary line adds
 // modeled makespans, speedup, modeled throughput (queries per modeled
 // second) and the concurrent batch's latency percentiles.
@@ -29,7 +42,10 @@
 // smoke runs enforce the serving-layer acceptance criteria.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <future>
 #include <string>
 #include <utility>
 #include <vector>
@@ -215,18 +231,34 @@ int Main(int argc, char** argv) {
       ok = false;
     }
   };
-  auto emit = [&](size_t i, const QuerySession* session, const char* mode) {
+  // Every per-query line carries the admission outcome and queue wait, so
+  // queued and shed queries are visible in the scraped output — a shed
+  // session has no outcome, so its line stops after the admission fields.
+  auto emit = [&](const std::string& name, const QuerySession* session,
+                  const char* mode) {
+    const char* admission = AdmissionOutcomeName(session->admission());
+    const unsigned long long queue_micros =
+        static_cast<unsigned long long>(session->queue_wall_micros());
+    if (session->state() == SessionState::kShed) {
+      std::printf(
+          "JSON {\"experiment\":\"concurrent_queries\",\"scale\":%.3f,"
+          "\"mode\":\"%s\",\"query\":\"%s\",\"admission\":\"%s\","
+          "\"queue_micros\":%llu,\"result_count\":0}\n",
+          scale, mode, name.c_str(), admission, queue_micros);
+      return;
+    }
     const QueryOutcome& outcome = session->outcome();
     const Statistics& stats = outcome.is_chain
                                   ? outcome.chain.total_stats
                                   : outcome.pair.total_stats;
     std::printf(
         "JSON {\"experiment\":\"concurrent_queries\",\"scale\":%.3f,"
-        "\"mode\":\"%s\",\"query\":\"%s\",\"algo\":\"%s\","
+        "\"mode\":\"%s\",\"query\":\"%s\",\"admission\":\"%s\","
+        "\"queue_micros\":%llu,\"algo\":\"%s\","
         "\"pipelined\":%d,\"spill\":%d,\"prefetch\":%d,"
         "\"plan\":\"%s\",\"result_count\":%llu,"
         "\"modeled_elapsed_micros\":%llu,%s}\n",
-        scale, mode, queries[i].name.c_str(),
+        scale, mode, name.c_str(), admission, queue_micros,
         JoinAlgorithmName(outcome.plan.algorithm),
         outcome.plan.pipelined ? 1 : 0, outcome.plan.spill ? 1 : 0,
         outcome.plan.prefetch ? 1 : 0, outcome.plan.Describe().c_str(),
@@ -243,11 +275,12 @@ int Main(int argc, char** argv) {
     for (size_t i = 0; i < n_queries; ++i) {
       QuerySpec spec;
       spec.relations = queries[i].relations;
+      spec.label = queries[i].name;
       spec.join = queries[i].join;
       QuerySession* session = engine.Submit(std::move(spec));
       serial_sum_micros += engine.WaitAll();
       check_session(i, session, "serial");
-      emit(i, session, "serial");
+      emit(queries[i].name, session, "serial");
     }
   }
 
@@ -263,6 +296,7 @@ int Main(int argc, char** argv) {
     for (size_t i = 0; i < n_queries; ++i) {
       QuerySpec spec;
       spec.relations = queries[i].relations;
+      spec.label = queries[i].name;
       spec.join = queries[i].join;
       sessions.push_back(engine.Submit(std::move(spec)));
     }
@@ -270,7 +304,7 @@ int Main(int argc, char** argv) {
     std::vector<std::string> algos;
     for (size_t i = 0; i < n_queries; ++i) {
       check_session(i, sessions[i], "concurrent");
-      emit(i, sessions[i], "concurrent");
+      emit(queries[i].name, sessions[i], "concurrent");
       latencies.push_back(sessions[i]->outcome().modeled_elapsed_micros);
       algos.push_back(
           JoinAlgorithmName(sessions[i]->outcome().plan.algorithm));
@@ -280,6 +314,226 @@ int Main(int argc, char** argv) {
         std::unique(algos.begin(), algos.end()) - algos.begin();
     tel = engine.telemetry();
     pool_assists = engine.task_pool().pool_assists();
+  }
+
+  // --- overload: one slot, queue_limit 2, six tiny self-joins submitted
+  // while the first admitted session is parked at a barrier. Admission is
+  // deterministic: 1 immediate, 2 queued, 3 shed — and every disposition
+  // shows up in the JSON lines and the query log.
+  {
+    QueryEngine::Options opt = engine_options(1);
+    opt.queue_limit = 2;
+    QueryEngine engine(opt);
+    std::promise<void> release;
+    std::shared_future<void> barrier(release.get_future());
+    std::vector<QuerySession*> sessions;
+    std::vector<std::string> names;
+    for (size_t i = 0; i < 6; ++i) {
+      QuerySpec spec;
+      spec.relations = {{tiny.tree.get(), &tiny.rects},
+                        {tiny.tree.get(), &tiny.rects}};
+      names.push_back("overload-" + std::to_string(i));
+      spec.label = names.back();
+      spec.before_run = [barrier]() { barrier.wait(); };
+      sessions.push_back(engine.Submit(std::move(spec)));
+    }
+    release.set_value();
+    engine.WaitAll();
+    size_t immediate = 0, queued = 0, shed = 0;
+    for (size_t i = 0; i < sessions.size(); ++i) {
+      emit(names[i], sessions[i], "overload");
+      switch (sessions[i]->admission()) {
+        case AdmissionOutcome::kImmediate:
+          ++immediate;
+          break;
+        case AdmissionOutcome::kQueued:
+          ++queued;
+          if (sessions[i]->queue_wall_micros() == 0) {
+            std::printf("FAIL: queued session '%s' reports zero queue time\n",
+                        names[i].c_str());
+            ok = false;
+          }
+          break;
+        case AdmissionOutcome::kShed:
+          ++shed;
+          if (sessions[i]->state() != SessionState::kShed) {
+            std::printf("FAIL: shed session '%s' not in kShed state\n",
+                        names[i].c_str());
+            ok = false;
+          }
+          break;
+      }
+    }
+    if (immediate != 1 || queued != 2 || shed != 3) {
+      std::printf(
+          "FAIL: overload admissions immediate=%zu queued=%zu shed=%zu "
+          "(want 1/2/3)\n",
+          immediate, queued, shed);
+      ok = false;
+    }
+    if (engine.query_log().Records().size() != 6) {
+      std::printf("FAIL: overload query log has %zu records, want 6\n",
+                  engine.query_log().Records().size());
+      ok = false;
+    }
+    std::printf(
+        "JSON {\"experiment\":\"concurrent_queries\",\"scale\":%.3f,"
+        "\"mode\":\"overload_summary\",\"immediate\":%zu,\"queued\":%zu,"
+        "\"shed\":%zu,\"query_log_records\":%zu}\n",
+        scale, immediate, queued, shed,
+        engine.query_log().Records().size());
+  }
+
+  // --- traced: the full mixed batch again with a TraceRecorder attached
+  // and spilling forced by the planner, so every layer (engine, exec, io,
+  // spill) emits spans. The trace is validated in-process; --trace=<path>
+  // additionally writes the Chrome/Perfetto JSON file.
+  {
+    TraceOptions trace_options;
+    trace_options.sample_period = 4;
+    trace_options.ring_capacity = 1 << 16;
+    TraceRecorder tracer(trace_options);
+    QueryEngine::Options opt = engine_options(n_queries);
+    opt.tracer = &tracer;
+    // Spill on every planned query, with chunks small enough that the
+    // budget is actually exhausted, and prefetch forced on so the async
+    // I/O path runs: the spill and io span sites must fire.
+    opt.planner.spill_pair_floor = 1;
+    opt.planner.spill_budget_chunks = 4;
+    opt.planner.prefetch_page_read_floor = 1;
+    opt.exec_base.chunk_capacity = 64;
+    {
+      QueryEngine engine(opt);
+      std::vector<QuerySession*> sessions;
+      for (size_t i = 0; i < n_queries; ++i) {
+        QuerySpec spec;
+        spec.relations = queries[i].relations;
+        spec.label = queries[i].name;
+        spec.join = queries[i].join;
+        sessions.push_back(engine.Submit(std::move(spec)));
+      }
+      engine.WaitAll();
+      for (size_t i = 0; i < n_queries; ++i) {
+        check_session(i, sessions[i], "traced");
+        emit(queries[i].name, sessions[i], "traced");
+      }
+      if (engine.query_log().Records().size() != n_queries) {
+        std::printf("FAIL: traced query log has %zu records, want %zu\n",
+                    engine.query_log().Records().size(), n_queries);
+        ok = false;
+      }
+      MetricsRegistry registry;
+      engine.SnapshotMetrics(&registry);
+      const std::string metrics_path =
+          ParseStringFlag(argc, argv, "metrics");
+      if (!metrics_path.empty()) {
+        std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+        if (f == nullptr) {
+          std::printf("FAIL: cannot write metrics to %s\n",
+                      metrics_path.c_str());
+          ok = false;
+        } else {
+          const std::string text = registry.PrometheusText();
+          std::fwrite(text.data(), 1, text.size(), f);
+          std::fclose(f);
+          std::printf("metrics written to %s\n", metrics_path.c_str());
+        }
+      }
+    }
+    // Validate after the engine destructor: every driver/pool/io thread
+    // has flushed its final spans by then.
+    bool saw_engine = false, saw_exec = false, saw_io = false,
+         saw_spill = false, saw_counter = false;
+    const std::vector<TraceEvent> events = tracer.Snapshot();
+    for (const TraceEvent& e : events) {
+      if (e.phase == 'C') saw_counter = true;
+      if (e.phase != 'X') continue;
+      if (std::strcmp(e.category, "engine") == 0) saw_engine = true;
+      if (std::strcmp(e.category, "exec") == 0) saw_exec = true;
+      if (std::strcmp(e.category, "io") == 0) saw_io = true;
+      if (std::strcmp(e.category, "spill") == 0) saw_spill = true;
+    }
+    if (events.empty() || !saw_engine || !saw_exec || !saw_io ||
+        !saw_spill || !saw_counter) {
+      std::printf(
+          "FAIL: trace incomplete (events=%zu engine=%d exec=%d io=%d "
+          "spill=%d counters=%d)\n",
+          events.size(), saw_engine ? 1 : 0, saw_exec ? 1 : 0,
+          saw_io ? 1 : 0, saw_spill ? 1 : 0, saw_counter ? 1 : 0);
+      ok = false;
+    }
+    const std::string trace_path = ParseStringFlag(argc, argv, "trace");
+    if (!trace_path.empty()) {
+      if (WriteChromeTrace(tracer, trace_path)) {
+        std::printf("trace written to %s (load in chrome://tracing or "
+                    "https://ui.perfetto.dev)\n",
+                    trace_path.c_str());
+      } else {
+        std::printf("FAIL: cannot write trace to %s\n", trace_path.c_str());
+        ok = false;
+      }
+    }
+    std::printf(
+        "JSON {\"experiment\":\"concurrent_queries\",\"scale\":%.3f,"
+        "\"mode\":\"trace_summary\",\"trace_events\":%zu,"
+        "\"trace_dropped\":%llu}\n",
+        scale, events.size(),
+        static_cast<unsigned long long>(tracer.dropped()));
+  }
+
+  // --- overhead: tracing must be free when off. Min-of-3 wall time for
+  // query A with no recorder vs an attached-but-disabled recorder; the
+  // budget is 2% plus a fixed scheduling-noise allowance.
+  {
+    auto min_wall_micros = [&](TraceRecorder* tracer) {
+      uint64_t best = ~0ull;
+      for (int rep = 0; rep < 3; ++rep) {
+        QueryEngine::Options opt = engine_options(1);
+        opt.tracer = tracer;
+        QueryEngine engine(opt);
+        QuerySpec spec;
+        spec.relations = queries[0].relations;
+        spec.label = queries[0].name;
+        spec.join = queries[0].join;
+        const auto start = std::chrono::steady_clock::now();
+        engine.Submit(std::move(spec));
+        engine.WaitAll();
+        const uint64_t wall =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        best = std::min(best, wall);
+      }
+      return best;
+    };
+    const uint64_t base = min_wall_micros(nullptr);
+    TraceOptions disabled_options;
+    disabled_options.enabled = false;
+    TraceRecorder disabled(disabled_options);
+    const uint64_t with_disabled = min_wall_micros(&disabled);
+    const uint64_t budget =
+        base + base / 50 + 25000;  // 2% + 25ms scheduling noise
+    if (with_disabled > budget) {
+      std::printf(
+          "FAIL: disabled tracing costs %llu us vs %llu us baseline "
+          "(budget %llu us)\n",
+          static_cast<unsigned long long>(with_disabled),
+          static_cast<unsigned long long>(base),
+          static_cast<unsigned long long>(budget));
+      ok = false;
+    }
+    if (disabled.recorded() != 0) {
+      std::printf("FAIL: disabled recorder captured %llu events\n",
+                  static_cast<unsigned long long>(disabled.recorded()));
+      ok = false;
+    }
+    std::printf(
+        "JSON {\"experiment\":\"concurrent_queries\",\"scale\":%.3f,"
+        "\"mode\":\"overhead_summary\",\"baseline_wall_micros\":%llu,"
+        "\"disabled_tracer_wall_micros\":%llu,\"budget_micros\":%llu}\n",
+        scale, static_cast<unsigned long long>(base),
+        static_cast<unsigned long long>(with_disabled),
+        static_cast<unsigned long long>(budget));
   }
 
   std::sort(latencies.begin(), latencies.end());

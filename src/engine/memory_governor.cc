@@ -16,6 +16,26 @@ const char* MemoryCategoryName(MemoryCategory category) {
   return "unknown";
 }
 
+namespace {
+
+// Counter-track names must be string literals (TraceEvent keeps the
+// pointer), so the per-category names are a parallel static table.
+const char* GovernorCounterName(MemoryCategory category) {
+  switch (category) {
+    case MemoryCategory::kResultChunks:
+      return "governor/result_chunks";
+    case MemoryCategory::kFrontierTuples:
+      return "governor/frontier_tuples";
+    case MemoryCategory::kCacheFrames:
+      return "governor/cache_frames";
+    case MemoryCategory::kSessionReservations:
+      return "governor/session_reservations";
+  }
+  return "governor/unknown";
+}
+
+}  // namespace
+
 bool MemoryGovernor::TryLease(MemoryCategory category, uint64_t bytes) {
   if (bytes == 0) return true;
   const uint64_t now =
@@ -25,6 +45,7 @@ bool MemoryGovernor::TryLease(MemoryCategory category, uint64_t bytes) {
     return false;
   }
   Account(category, bytes, now);
+  EmitCounters(category);
   return true;
 }
 
@@ -33,6 +54,7 @@ void MemoryGovernor::Charge(MemoryCategory category, uint64_t bytes) {
   const uint64_t now =
       total_live_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   Account(category, bytes, now);
+  EmitCounters(category);
 }
 
 void MemoryGovernor::Release(MemoryCategory category, uint64_t bytes) {
@@ -40,6 +62,7 @@ void MemoryGovernor::Release(MemoryCategory category, uint64_t bytes) {
   total_live_.fetch_sub(bytes, std::memory_order_relaxed);
   gauges_[static_cast<unsigned>(category)].live.fetch_sub(
       bytes, std::memory_order_relaxed);
+  EmitCounters(category);
 }
 
 void MemoryGovernor::Account(MemoryCategory category, uint64_t bytes,
@@ -49,6 +72,13 @@ void MemoryGovernor::Account(MemoryCategory category, uint64_t bytes,
   const uint64_t cat_now =
       gauge.live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   Raise(&gauge.peak, cat_now);
+}
+
+void MemoryGovernor::EmitCounters(MemoryCategory category) {
+  TraceRecorder* const tracer = tracer_.load(std::memory_order_acquire);
+  if (tracer == nullptr || !tracer->enabled()) return;
+  tracer->Counter(GovernorCounterName(category), 0, category_live(category));
+  tracer->Counter("governor/total", 0, leased_bytes());
 }
 
 }  // namespace rsj

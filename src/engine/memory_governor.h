@@ -43,6 +43,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "obs/trace.h"
+
 namespace rsj {
 
 // The transient-memory categories the governor meters. Categories are
@@ -86,6 +88,13 @@ class MemoryGovernor {
   // the budget — the overshoot is visible in peak_bytes().
   void Charge(MemoryCategory category, uint64_t bytes);
 
+  // Attaches a span recorder (obs/trace.h): every lease/charge/release
+  // samples the category's live bytes and the total ledger as Chrome
+  // counter tracks on pid 0. nullptr detaches. Not owned.
+  void AttachTracer(TraceRecorder* tracer) {
+    tracer_.store(tracer, std::memory_order_release);
+  }
+
   uint64_t budget_bytes() const { return budget_; }
   uint64_t leased_bytes() const {
     return total_live_.load(std::memory_order_relaxed);
@@ -116,11 +125,13 @@ class MemoryGovernor {
   }
 
   void Account(MemoryCategory category, uint64_t bytes, uint64_t total_now);
+  void EmitCounters(MemoryCategory category);
 
   const uint64_t budget_;
   std::atomic<uint64_t> total_live_{0};
   std::atomic<uint64_t> total_peak_{0};
   Gauge gauges_[kMemoryCategoryCount];
+  std::atomic<TraceRecorder*> tracer_{nullptr};
 };
 
 // Shared admission gauge of one run: completed chunks (or tuple chunks)
@@ -151,6 +162,14 @@ class ResidentBudget {
         category_(category),
         unit_bytes_(unit_bytes) {}
 
+  // Attaches a span recorder: every occupancy change samples the live
+  // chunk count as a "resident_chunks" Chrome counter track on `pid`
+  // (the owning query's). nullptr detaches. Not owned.
+  void AttachTracer(TraceRecorder* tracer, uint32_t pid) {
+    trace_pid_ = pid;
+    tracer_.store(tracer, std::memory_order_release);
+  }
+
   ~ResidentBudget() {
     if (governor_ != nullptr) {
       governor_->Release(category_,
@@ -178,6 +197,7 @@ class ResidentBudget {
     while (now > seen && !peak_.compare_exchange_weak(
                              seen, now, std::memory_order_relaxed)) {
     }
+    EmitGauge();
     return true;
   }
 
@@ -193,6 +213,7 @@ class ResidentBudget {
                              seen, now, std::memory_order_relaxed)) {
     }
     if (governor_ != nullptr) governor_->Charge(category_, unit_bytes_);
+    EmitGauge();
   }
 
   // Returns admitted units early (a consumer freed residency before the
@@ -202,6 +223,7 @@ class ResidentBudget {
     if (governor_ != nullptr) {
       governor_->Release(category_, units * unit_bytes_);
     }
+    EmitGauge();
   }
 
   size_t budget() const { return budget_; }
@@ -209,12 +231,21 @@ class ResidentBudget {
   uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
 
  private:
+  void EmitGauge() {
+    TraceRecorder* const tracer = tracer_.load(std::memory_order_acquire);
+    if (tracer == nullptr || !tracer->enabled()) return;
+    tracer->Counter("resident_chunks", trace_pid_,
+                    live_.load(std::memory_order_relaxed));
+  }
+
   const size_t budget_;
   MemoryGovernor* const governor_;
   const MemoryCategory category_;
   const uint64_t unit_bytes_;
   std::atomic<uint64_t> live_{0};
   std::atomic<uint64_t> peak_{0};
+  std::atomic<TraceRecorder*> tracer_{nullptr};
+  uint32_t trace_pid_ = 0;
 };
 
 }  // namespace rsj

@@ -1,11 +1,27 @@
 #include "engine/query_engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
 
 namespace rsj {
+
+namespace {
+
+IoScheduler::Options IoWithTracer(IoScheduler::Options io,
+                                  TraceRecorder* tracer) {
+  io.tracer = tracer;
+  return io;
+}
+
+std::string SessionLabel(const QuerySpec& spec, uint64_t query_id) {
+  return spec.label.empty() ? "q" + std::to_string(query_id) : spec.label;
+}
+
+}  // namespace
 
 void QuerySession::Wait() const {
   std::unique_lock<std::mutex> lock(mu_);
@@ -26,12 +42,26 @@ const QueryOutcome& QuerySession::outcome() const {
   return outcome_;
 }
 
+AdmissionOutcome QuerySession::admission() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admission_;
+}
+
+uint64_t QuerySession::queue_wall_micros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (admission_ != AdmissionOutcome::kQueued) return 0;
+  return admit_wall_ > submit_wall_ ? admit_wall_ - submit_wall_ : 0;
+}
+
 QueryEngine::QueryEngine(const Options& options)
     : options_(options),
       governor_(MemoryGovernor::Options{options.memory_budget_bytes}),
-      io_(options.io),
+      io_(IoWithTracer(options.io, options.tracer)),
       pool_(options.pool),
-      task_pool_(SessionTaskPool::Options{options.pool_threads}) {
+      task_pool_(SessionTaskPool::Options{options.pool_threads,
+                                          options.tracer}),
+      query_log_(options.query_log) {
+  governor_.AttachTracer(options.tracer);
   pool_.AttachIoScheduler(&io_);
   if (options.node_cache_nodes > 0) {
     node_cache_ = std::make_unique<NodeCache>(
@@ -48,6 +78,8 @@ QuerySession* QueryEngine::Submit(QuerySpec spec) {
   session->spec_ = std::move(spec);
 
   std::lock_guard<std::mutex> lock(mu_);
+  session->query_id_ = telemetry_.sessions_submitted;
+  session->submit_wall_ = WallMicros();
   sessions_.push_back(std::move(owned));
   ++telemetry_.sessions_submitted;
 
@@ -64,15 +96,36 @@ QuerySession* QueryEngine::Submit(QuerySpec spec) {
            : governor_.TryLease(MemoryCategory::kSessionReservations,
                                 options_.session_reserve_bytes));
   if (leased) {
+    session->admission_ = AdmissionOutcome::kImmediate;
     AdmitLocked(session);
   } else if (queue_.size() < options_.queue_limit) {
+    {
+      std::lock_guard<std::mutex> session_lock(session->mu_);
+      session->admission_ = AdmissionOutcome::kQueued;
+    }
     queue_.push_back(session);
     ++telemetry_.sessions_queued;
   } else {
     ++telemetry_.sessions_shed;
-    std::lock_guard<std::mutex> session_lock(session->mu_);
-    session->state_ = SessionState::kShed;
-    session->cv_.notify_all();
+    {
+      std::lock_guard<std::mutex> session_lock(session->mu_);
+      session->admission_ = AdmissionOutcome::kShed;
+      session->state_ = SessionState::kShed;
+      session->cv_.notify_all();
+    }
+    // A shed session never runs, so its flight record is written here.
+    const uint32_t pid = static_cast<uint32_t>(session->query_id_ + 1);
+    const std::string label = SessionLabel(session->spec_, session->query_id_);
+    if (options_.tracer != nullptr && options_.tracer->enabled()) {
+      options_.tracer->SetProcessName(pid, label);
+      options_.tracer->Instant("engine", "shed", pid);
+    }
+    QueryLogRecord rec;
+    rec.query_id = session->query_id_;
+    rec.label = label;
+    rec.is_chain = session->spec_.relations.size() > 2;
+    rec.admission = AdmissionOutcome::kShed;
+    query_log_.Append(std::move(rec));
   }
   return session;
 }
@@ -84,12 +137,37 @@ void QueryEngine::AdmitLocked(QuerySession* session) {
   {
     std::lock_guard<std::mutex> session_lock(session->mu_);
     session->state_ = SessionState::kRunning;
+    session->admit_wall_ = WallMicros();
+    // A queued session's wait is a first-class span on its own track:
+    // an explicit 'X' event [submit, admit] (both stamps are on the
+    // tracer's clock whenever a tracer is attached).
+    if (session->admission_ == AdmissionOutcome::kQueued &&
+        options_.tracer != nullptr && options_.tracer->enabled()) {
+      TraceEvent event;
+      event.category = "engine";
+      event.name = "queue";
+      event.phase = 'X';
+      event.pid = static_cast<uint32_t>(session->query_id_ + 1);
+      event.ts_micros = session->submit_wall_;
+      event.dur_micros = session->admit_wall_ > session->submit_wall_
+                             ? session->admit_wall_ - session->submit_wall_
+                             : 0;
+      options_.tracer->Emit(event);
+    }
   }
   session->driver_ = std::thread([this, session] { RunSession(session); });
 }
 
 void QueryEngine::RunSession(QuerySession* session) {
   QuerySpec& spec = session->spec_;
+  TraceRecorder* const tracer = options_.tracer;
+  const uint32_t pid = static_cast<uint32_t>(session->query_id_ + 1);
+  const std::string label = SessionLabel(spec, session->query_id_);
+  if (tracer != nullptr && tracer->enabled()) {
+    tracer->SetThreadName("driver-q" + std::to_string(session->query_id_));
+    tracer->SetProcessName(pid, label);
+  }
+  const uint64_t run_start_wall = WallMicros();
   if (spec.before_run) spec.before_run();
 
   JoinOptions join = spec.join;
@@ -102,10 +180,13 @@ void QueryEngine::RunSession(QuerySession* session) {
   exec.memory_governor = &governor_;
   exec.task_runner = task_pool_.runner();
   exec.collect_pairs = spec.collect;
+  exec.tracer = tracer;
+  exec.trace_pid = pid;
 
   QueryOutcome outcome;
   outcome.is_chain = spec.relations.size() > 2;
   if (spec.use_planner) {
+    TraceSpan plan_span(tracer, "engine", "plan", pid);
     outcome.planned = true;
     outcome.plan =
         outcome.is_chain
@@ -115,18 +196,45 @@ void QueryEngine::RunSession(QuerySession* session) {
     ApplyPlan(outcome.plan, &join, &exec);
   }
 
-  if (outcome.is_chain) {
-    outcome.chain = RunParallelChainSpatialJoinWith(
-        spec.relations, join, exec, spec.collect, &pool_, node_cache_.get());
-    outcome.result_count = outcome.chain.tuple_count;
-    outcome.modeled_elapsed_micros = outcome.chain.modeled_elapsed_micros;
-  } else {
-    outcome.pair = RunParallelSpatialJoinWith(
-        *spec.relations[0].tree, *spec.relations[1].tree, join, exec, &pool_,
-        node_cache_.get());
-    outcome.result_count = outcome.pair.pair_count;
-    outcome.modeled_elapsed_micros = outcome.pair.modeled_elapsed_micros;
+  {
+    TraceSpan exec_span(tracer, "engine", "execute", pid);
+    // The session runs on a borrowed scheduler: its modeled service time
+    // is measured against the floor at entry, so the span's modeled
+    // range is [floor, floor + modeled_elapsed].
+    const uint64_t modeled_floor =
+        exec_span.active() ? io_.FloorMicros() : 0;
+    if (outcome.is_chain) {
+      outcome.chain = RunParallelChainSpatialJoinWith(
+          spec.relations, join, exec, spec.collect, &pool_, node_cache_.get());
+      outcome.result_count = outcome.chain.tuple_count;
+      outcome.modeled_elapsed_micros = outcome.chain.modeled_elapsed_micros;
+    } else {
+      outcome.pair = RunParallelSpatialJoinWith(
+          *spec.relations[0].tree, *spec.relations[1].tree, join, exec, &pool_,
+          node_cache_.get());
+      outcome.result_count = outcome.pair.pair_count;
+      outcome.modeled_elapsed_micros = outcome.pair.modeled_elapsed_micros;
+    }
+    if (exec_span.active()) {
+      exec_span.set_modeled_range(
+          modeled_floor, modeled_floor + outcome.modeled_elapsed_micros);
+      exec_span.set_arg("results", outcome.result_count);
+    }
   }
+
+  QueryLogRecord rec;
+  rec.query_id = session->query_id_;
+  rec.label = label;
+  if (outcome.planned) rec.plan = outcome.plan.Describe();
+  rec.planned = outcome.planned;
+  rec.is_chain = outcome.is_chain;
+  rec.admission = session->admission();
+  rec.queue_wall_micros = session->queue_wall_micros();
+  rec.wall_micros = WallMicros() - run_start_wall;
+  rec.modeled_micros = outcome.modeled_elapsed_micros;
+  rec.result_count = outcome.result_count;
+  rec.governor_peak_bytes = governor_.peak_bytes();
+  query_log_.Append(std::move(rec));
 
   {
     std::lock_guard<std::mutex> session_lock(session->mu_);
@@ -164,6 +272,7 @@ void QueryEngine::OnSessionDone(QuerySession* /*session*/) {
 
 uint64_t QueryEngine::WaitAll() {
   std::vector<std::thread> drivers;
+  uint64_t floor_before = 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
     all_done_cv_.wait(lock, [this] { return running_ == 0 && queue_.empty(); });
@@ -172,13 +281,21 @@ uint64_t QueryEngine::WaitAll() {
         drivers.push_back(std::move(session->driver_));
       }
     }
+    floor_before = batch_floor_;
   }
   for (std::thread& t : drivers) t.join();
 
   // Fold the batch: drain in-flight modeled I/O, merge every session's
   // retired clocks into the floor, measure the batch makespan.
-  io_.Drain();
-  const uint64_t merged = io_.SynchronizeClocks();
+  uint64_t merged = 0;
+  {
+    TraceSpan drain_span(options_.tracer, "engine", "drain", 0);
+    io_.Drain();
+    merged = io_.SynchronizeClocks();
+    if (drain_span.active()) {
+      drain_span.set_modeled_range(floor_before, merged);
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
   telemetry_.last_makespan_micros =
       merged > batch_floor_ ? merged - batch_floor_ : 0;
@@ -189,6 +306,21 @@ uint64_t QueryEngine::WaitAll() {
 QueryEngine::Telemetry QueryEngine::telemetry() const {
   std::lock_guard<std::mutex> lock(mu_);
   return telemetry_;
+}
+
+uint64_t QueryEngine::WallMicros() const {
+  if (options_.tracer != nullptr) return options_.tracer->NowWallMicros();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void QueryEngine::SnapshotMetrics(MetricsRegistry* out) const {
+  SnapshotGovernor(governor_, out);
+  SnapshotTaskPool(task_pool_, out);
+  SnapshotIo(io_, out);
+  query_log_.SnapshotMetrics(out);
 }
 
 }  // namespace rsj

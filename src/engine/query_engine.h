@@ -57,6 +57,8 @@
 #include "exec/multiway_executor.h"
 #include "exec/parallel_executor.h"
 #include "io/io_scheduler.h"
+#include "obs/query_log.h"
+#include "obs/trace.h"
 #include "storage/node_cache.h"
 #include "storage/shared_buffer_pool.h"
 
@@ -67,6 +69,9 @@ struct QuerySpec {
   // The relations, left to right. All trees must share one page size
   // (the engine pool's), and must stay valid until the session finished.
   std::vector<JoinRelation> relations;
+  // Display name in the query log and the trace's process track; empty =
+  // "q<id>".
+  std::string label;
   // Per-query join configuration. buffer_bytes is ignored (the engine
   // pool is the buffer); the algorithm is overridden when planning.
   JoinOptions join;
@@ -117,6 +122,15 @@ class QuerySession {
   // Valid after Wait() on a non-shed session.
   const QueryOutcome& outcome() const;
 
+  // Submission order, starting at 0; the session's trace pid is
+  // query_id() + 1 (pid 0 is the engine itself).
+  uint64_t query_id() const { return query_id_; }
+  // How admission disposed of this query (stable once Submit returned).
+  AdmissionOutcome admission() const;
+  // Wall micros spent queued (submit -> admission); 0 when immediate or
+  // shed. Stable once the session runs or finished.
+  uint64_t queue_wall_micros() const;
+
  private:
   friend class QueryEngine;
   QuerySession() = default;
@@ -127,6 +141,10 @@ class QuerySession {
   QuerySpec spec_;
   QueryOutcome outcome_;
   std::thread driver_;
+  uint64_t query_id_ = 0;
+  AdmissionOutcome admission_ = AdmissionOutcome::kImmediate;
+  uint64_t submit_wall_ = 0;  // engine clock at Submit
+  uint64_t admit_wall_ = 0;   // engine clock at admission
 };
 
 class QueryEngine {
@@ -160,6 +178,12 @@ class QueryEngine {
     // task_runner, governor, lifecycle) and the planner overrides its
     // decisions.
     ParallelExecutorOptions exec_base;
+    // Span/counter sink (obs/trace.h) shared by every layer the engine
+    // drives: sessions get per-query pids, the scheduler/governor emit on
+    // pid 0. Not owned; must outlive the engine. nullptr = no tracing.
+    TraceRecorder* tracer = nullptr;
+    // Query-log retention and slow-query threshold (obs/query_log.h).
+    QueryLog::Options query_log;
   };
 
   explicit QueryEngine(const Options& options);
@@ -195,11 +219,18 @@ class QueryEngine {
   SessionTaskPool& task_pool() { return task_pool_; }
   IoScheduler& io() { return io_; }
   SharedBufferPool& pool() { return pool_; }
+  // Per-query flight records; one per submitted session (shed included).
+  const QueryLog& query_log() const { return query_log_; }
+
+  // Adds the engine's run-wide sources into a registry: governor ledger,
+  // task-pool fairness, disk utilization, query-log distributions.
+  void SnapshotMetrics(MetricsRegistry* out) const;
 
  private:
   void AdmitLocked(QuerySession* session);
   void RunSession(QuerySession* session);
   void OnSessionDone(QuerySession* session);
+  uint64_t WallMicros() const;
 
   const Options options_;
   MemoryGovernor governor_;
@@ -207,6 +238,9 @@ class QueryEngine {
   SharedBufferPool pool_;
   std::unique_ptr<NodeCache> node_cache_;
   SessionTaskPool task_pool_;
+  QueryLog query_log_;
+  const std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
 
   mutable std::mutex mu_;
   std::condition_variable all_done_cv_;

@@ -1,15 +1,23 @@
 #include "engine/task_pool.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace rsj {
 
 SessionTaskPool::SessionTaskPool(const Options& options) {
   threads_.reserve(options.num_threads);
+  TraceRecorder* const tracer = options.tracer;
   for (unsigned i = 0; i < options.num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, tracer, i] {
+      if (tracer != nullptr) {
+        tracer->SetThreadName("pool-worker-" + std::to_string(i));
+      }
+      WorkerLoop(i);
+    });
   }
 }
 
@@ -59,7 +67,8 @@ void SessionTaskPool::FinishLocked(const Claim& claim, bool pool_thread) {
   done_cv_.notify_all();
 }
 
-void SessionTaskPool::WorkerLoop() {
+void SessionTaskPool::WorkerLoop(unsigned index) {
+  (void)index;
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     Claim claim;

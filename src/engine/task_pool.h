@@ -47,6 +47,10 @@ class SessionTaskPool {
   struct Options {
     // Pool worker threads shared by all runs. 0 = caller-only execution.
     unsigned num_threads = 4;
+    // Names the pool threads' trace tracks ("pool-worker-<i>",
+    // obs/trace.h); nullptr = no naming. Not owned; must outlive the
+    // pool.
+    TraceRecorder* tracer = nullptr;
   };
 
   explicit SessionTaskPool(const Options& options);
@@ -100,7 +104,7 @@ class SessionTaskPool {
   bool ClaimLocked(RunState* run, Claim* out);
   bool ClaimAnyLocked(Claim* out);
   void FinishLocked(const Claim& claim, bool pool_thread);
-  void WorkerLoop();
+  void WorkerLoop(unsigned index);
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // pool threads wait for claimable work

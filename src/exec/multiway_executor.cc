@@ -330,10 +330,12 @@ ParallelChainJoinResult RunMaterializedChain(
   std::unique_ptr<ResidentBudget> spill_budget;
   if (spill_on) {
     spill_file = std::make_shared<SpillFile>(
-        SpillFile::Options{exec_options.spill_page_size, io});
+        SpillFile::Options{exec_options.spill_page_size, io,
+                           exec_options.tracer, exec_options.trace_pid});
     spill_budget = std::make_unique<ResidentBudget>(
         exec_options.spill_budget_chunks, exec_options.memory_governor,
         MemoryCategory::kResultChunks, tuple_chunk_bytes);
+    spill_budget->AttachTracer(exec_options.tracer, exec_options.trace_pid);
   }
 
   // Phase 1: the partitioned pairwise executor over relations 0 ⋈ 1,
@@ -474,6 +476,10 @@ ParallelChainJoinResult RunMaterializedChain(
         static_cast<unsigned>(std::min<size_t>(num_threads, num_chunks));
     const auto phase_body = [&](unsigned w, size_t chunk) {
       ProbeWorker& worker = *workers[w];
+      TraceSpan span(exec_options.tracer, "exec", "probe_chunk",
+                     exec_options.trace_pid, /*sampled=*/true);
+      const uint64_t modeled_before =
+          span.active() && io != nullptr ? io->ActorClock(&worker.stats) : 0;
       ++worker.chunks;
       if (worker.private_prefetcher != nullptr &&
           worker.hinted_through_phase < next) {
@@ -506,12 +512,39 @@ ParallelChainJoinResult RunMaterializedChain(
           }
         }
       }
+      if (span.active()) {
+        if (io != nullptr) {
+          span.set_modeled_range(modeled_before,
+                                 io->ActorClock(&worker.stats));
+        }
+        span.set_arg("chunk", chunk);
+      }
     };
-    if (exec_options.task_runner) {
-      exec_options.task_runner(phase_workers, num_chunks, phase_body);
-    } else {
-      TaskScheduler scheduler(phase_workers, num_chunks);
-      scheduler.Run(phase_body);
+    {
+      TraceSpan phase_span(exec_options.tracer, "exec", "probe_phase",
+                           exec_options.trace_pid);
+      phase_span.set_arg("chunks", num_chunks);
+      uint64_t phase_begin = 0;
+      if (phase_span.active() && io != nullptr) {
+        phase_begin = io->ActorClock(&workers[0]->stats);
+        for (unsigned w = 1; w < phase_workers; ++w) {
+          phase_begin =
+              std::min(phase_begin, io->ActorClock(&workers[w]->stats));
+        }
+      }
+      if (exec_options.task_runner) {
+        exec_options.task_runner(phase_workers, num_chunks, phase_body);
+      } else {
+        TaskScheduler scheduler(phase_workers, num_chunks);
+        scheduler.Run(phase_body);
+      }
+      if (phase_span.active() && io != nullptr) {
+        uint64_t phase_end = phase_begin;
+        for (unsigned w = 0; w < phase_workers; ++w) {
+          phase_end = std::max(phase_end, io->ActorClock(&workers[w]->stats));
+        }
+        phase_span.set_modeled_range(phase_begin, phase_end);
+      }
     }
 
     // Concatenate the worker outputs into the next frontier (moves only).
@@ -635,10 +668,12 @@ ParallelChainJoinResult RunPipelinedChain(
   std::unique_ptr<ResidentBudget> spill_budget;
   if (spill_on) {
     spill_file = std::make_shared<SpillFile>(
-        SpillFile::Options{exec_options.spill_page_size, io});
+        SpillFile::Options{exec_options.spill_page_size, io,
+                           exec_options.tracer, exec_options.trace_pid});
     spill_budget = std::make_unique<ResidentBudget>(
         exec_options.spill_budget_chunks, exec_options.memory_governor,
         MemoryCategory::kResultChunks, tuple_chunk_bytes);
+    spill_budget->AttachTracer(exec_options.tracer, exec_options.trace_pid);
   }
 
   FrontierGauge gauge;
@@ -716,6 +751,10 @@ ParallelChainJoinResult RunPipelinedChain(
     }
     process_chunk = [&](size_t k, FrontierChunk chunk) {
       ++self->chunks;
+      TraceSpan span(exec_options.tracer, "exec", "probe_chunk",
+                     exec_options.trace_pid, /*sampled=*/true);
+      const uint64_t modeled_before =
+          span.active() && io != nullptr ? io->ActorClock(&self->stats) : 0;
       const RTree& probe_tree = *relations[k + 2].tree;
       const std::vector<Rect>& prev_rects = *relations[k + 1].rects;
       const bool last_phase = k + 1 == num_probe_phases;
@@ -745,6 +784,13 @@ ParallelChainJoinResult RunPipelinedChain(
             writers[k]->AppendExtended(tuple, chunk.arity, id);
           }
         }
+      }
+      if (span.active()) {
+        if (io != nullptr) {
+          span.set_modeled_range(modeled_before,
+                                 io->ActorClock(&self->stats));
+        }
+        span.set_arg("tuples", tuples);
       }
       gauge.Sub(tuples);
     };
@@ -800,7 +846,11 @@ ParallelChainJoinResult RunPipelinedChain(
             spill_budget.get(), &worker->stats);
       }
       PipelineProbeWorker* const self = worker.get();
-      worker->thread = std::thread([&elastic_loop, self]() {
+      TraceRecorder* const tracer = exec_options.tracer;
+      worker->thread = std::thread([&elastic_loop, self, tracer, w]() {
+        if (tracer != nullptr && tracer->enabled()) {
+          tracer->SetThreadName("probe-worker-" + std::to_string(w));
+        }
         elastic_loop(self);
       });
       elastic.push_back(std::move(worker));
@@ -838,7 +888,12 @@ ParallelChainJoinResult RunPipelinedChain(
         }
         PipelineProbeWorker* const self = worker.get();
         worker->thread = std::thread([&, self, probe_tree, prev_rects, input,
-                                      output, out_arity, last_phase]() {
+                                      output, out_arity, last_phase, k, w]() {
+          TraceRecorder* const tracer = exec_options.tracer;
+          if (tracer != nullptr && tracer->enabled()) {
+            tracer->SetThreadName("probe-p" + std::to_string(k) + "-w" +
+                                  std::to_string(w));
+          }
           PageCache* const pages =
               exec_options.shared_pool
                   ? static_cast<PageCache*>(shared)
@@ -858,6 +913,11 @@ ParallelChainJoinResult RunPipelinedChain(
           FrontierChunk chunk;
           while (input->Pop(&chunk)) {
             ++self->chunks;
+            TraceSpan span(tracer, "exec", "probe_chunk",
+                           exec_options.trace_pid, /*sampled=*/true);
+            const uint64_t modeled_before =
+                span.active() && io != nullptr ? io->ActorClock(&self->stats)
+                                               : 0;
             const size_t tuples = chunk.tuple_count();
             for (size_t t = 0; t < tuples; ++t) {
               const uint32_t* tuple = chunk.tuple(t);
@@ -880,6 +940,13 @@ ParallelChainJoinResult RunPipelinedChain(
                   writer->AppendExtended(tuple, chunk.arity, id);
                 }
               }
+            }
+            if (span.active()) {
+              if (io != nullptr) {
+                span.set_modeled_range(modeled_before,
+                                       io->ActorClock(&self->stats));
+              }
+              span.set_arg("tuples", tuples);
             }
             gauge.Sub(tuples);
           }

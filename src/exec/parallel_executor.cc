@@ -10,6 +10,7 @@
 #include "io/io_scheduler.h"
 #include "io/prefetcher.h"
 #include "join/join_runner.h"
+#include "obs/trace.h"
 #include "join/spatial_join.h"
 #include "storage/buffer_pool.h"
 #include "storage/node_cache.h"
@@ -74,10 +75,12 @@ ParallelJoinResult SequentialFallback(
     result.pair_count = sink->count() - before;
   } else if (exec_options.collect_pairs && exec_options.spill_results) {
     auto file = std::make_shared<SpillFile>(SpillFile::Options{
-        exec_options.spill_page_size, exec_options.io_scheduler});
+        exec_options.spill_page_size, exec_options.io_scheduler,
+        exec_options.tracer, exec_options.trace_pid});
     ResidentBudget budget(exec_options.spill_budget_chunks,
                           exec_options.memory_governor,
                           MemoryCategory::kResultChunks, unit_bytes);
+    budget.AttachTracer(exec_options.tracer, exec_options.trace_pid);
     SpillingSink sink(arena, file.get(), &budget, &stats);
     run(&sink);
     result.pair_count = sink.count();
@@ -164,14 +167,17 @@ ParallelJoinResult RunParallelSpatialJoinImpl(
   std::unique_ptr<ResidentBudget> resident_gauge;
   if (spill_on) {
     spill_file = std::make_shared<SpillFile>(
-        SpillFile::Options{exec_options.spill_page_size, io});
+        SpillFile::Options{exec_options.spill_page_size, io,
+                           exec_options.tracer, exec_options.trace_pid});
     spill_budget = std::make_unique<ResidentBudget>(
         exec_options.spill_budget_chunks, exec_options.memory_governor,
         MemoryCategory::kResultChunks, result_unit_bytes);
+    spill_budget->AttachTracer(exec_options.tracer, exec_options.trace_pid);
   } else if (sink_factory == nullptr && exec_options.collect_pairs) {
     resident_gauge = std::make_unique<ResidentBudget>(
         ResidentBudget::kUnbounded, exec_options.memory_governor,
         MemoryCategory::kResultChunks, result_unit_bytes);
+    resident_gauge->AttachTracer(exec_options.tracer, exec_options.trace_pid);
   }
 
   // The shared pool (and the decode cache over it) is created before
@@ -228,8 +234,21 @@ ParallelJoinResult RunParallelSpatialJoinImpl(
       std::max<size_t>(1, static_cast<size_t>(
                               exec_options.partition_multiplier) *
                               exec_options.num_threads);
-  const PartitionPlan plan = BuildPartitionPlan(
-      r, s, options, target_tasks, coordinator_cache, &coordinator, nodes);
+  PartitionPlan plan;
+  {
+    TraceSpan span(exec_options.tracer, "exec", "partition_plan",
+                   exec_options.trace_pid);
+    const uint64_t modeled_before =
+        span.active() && io != nullptr ? io->ActorClock(&coordinator) : 0;
+    plan = BuildPartitionPlan(r, s, options, target_tasks, coordinator_cache,
+                              &coordinator, nodes);
+    if (span.active()) {
+      if (io != nullptr) {
+        span.set_modeled_range(modeled_before, io->ActorClock(&coordinator));
+      }
+      span.set_arg("tasks", plan.tasks.size());
+    }
+  }
   if (plan.degenerate) {
     // The sequential run replaces the partitioned one over the
     // already-built cache stack (shared pool / node cache / modeled I/O
@@ -336,6 +355,10 @@ ParallelJoinResult RunParallelSpatialJoinImpl(
 
   const auto task_body = [&](unsigned w, size_t task_index) {
     WorkerContext& ctx = *contexts[w];
+    TraceSpan span(exec_options.tracer, "exec", "task", exec_options.trace_pid,
+                   /*sampled=*/true);
+    const uint64_t modeled_before =
+        span.active() && io != nullptr ? io->ActorClock(&ctx.stats) : 0;
     if (!ctx.prepared) {
       // Root fetch and z-order universe, counted on this worker and
       // done on its own thread so private pools stay single-owner.
@@ -350,6 +373,12 @@ ParallelJoinResult RunParallelSpatialJoinImpl(
       ctx.prefetcher->PrefetchPage(s.file(), task.es.ref, &ctx.stats);
     }
     ctx.engine->ProcessPartition(task.er, task.es, ctx.sink);
+    if (span.active()) {
+      if (io != nullptr) {
+        span.set_modeled_range(modeled_before, io->ActorClock(&ctx.stats));
+      }
+      span.set_arg("task", task_index);
+    }
   };
   if (exec_options.task_runner) {
     // The engine's shared task pool (or any external runner) executes the
@@ -363,7 +392,12 @@ ParallelJoinResult RunParallelSpatialJoinImpl(
 
   // Flush before the clock merge: a spilling sink's final partial chunk
   // may issue timed writes, which belong inside the modeled window.
-  for (unsigned w = 0; w < workers; ++w) contexts[w]->sink->Flush();
+  {
+    TraceSpan span(exec_options.tracer, "exec", "sink_flush",
+                   exec_options.trace_pid);
+    span.set_arg("workers", workers);
+    for (unsigned w = 0; w < workers; ++w) contexts[w]->sink->Flush();
+  }
 
   if (owns_io) {
     io->Drain();

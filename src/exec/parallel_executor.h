@@ -33,6 +33,7 @@
 namespace rsj {
 
 class IoScheduler;
+class TraceRecorder;
 
 struct ParallelExecutorOptions {
   unsigned num_threads = 1;
@@ -168,6 +169,17 @@ struct ParallelExecutorOptions {
   // entry. true (default): the executor owns the scheduler's lifecycle
   // for the run, as before. Ignored without an io_scheduler.
   bool own_io_lifecycle = true;
+
+  // --- observability (src/obs/) ---
+
+  // Span sink (obs/trace.h) for partition/task/phase/sink-flush/spill
+  // spans; nullptr = no tracing. Not owned; must outlive the run.
+  TraceRecorder* tracer = nullptr;
+
+  // Trace process id the run's spans are tagged with — the serving
+  // engine assigns one pid per query session so each query gets its own
+  // track; 0 = the shared engine/run track.
+  uint32_t trace_pid = 0;
 };
 
 struct ParallelJoinResult {

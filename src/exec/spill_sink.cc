@@ -11,7 +11,11 @@ static_assert(sizeof(ResultPair) == 2 * sizeof(uint32_t),
               "ResultPair must be layout-identical to flat [r, s] words");
 
 SpillFile::SpillFile(const Options& options)
-    : page_size_(options.page_size), io_(options.io), file_(options.page_size) {
+    : page_size_(options.page_size),
+      io_(options.io),
+      tracer_(options.tracer),
+      trace_pid_(options.trace_pid),
+      file_(options.page_size) {
   RSJ_CHECK_MSG(page_size_ % sizeof(uint32_t) == 0,
                 "spill page size must hold whole words");
 }
@@ -19,6 +23,11 @@ SpillFile::SpillFile(const Options& options)
 SpillFile::BlockRef SpillFile::AppendBlock(std::span<const uint32_t> words,
                                            Statistics* stats) {
   RSJ_DCHECK(!words.empty());
+  TraceSpan span(tracer_, "spill", "append", trace_pid_, /*sampled=*/true);
+  const uint64_t modeled_before =
+      span.active() && io_ != nullptr && stats != nullptr
+          ? io_->ActorClock(stats)
+          : 0;
   const size_t bytes = words.size() * sizeof(uint32_t);
   const uint32_t pages = static_cast<uint32_t>((bytes + page_size_ - 1) /
                                                page_size_);
@@ -57,12 +66,23 @@ SpillFile::BlockRef SpillFile::AppendBlock(std::span<const uint32_t> words,
   } else if (stats != nullptr) {
     stats->disk_writes += pages;
   }
+  if (span.active()) {
+    if (io_ != nullptr && stats != nullptr) {
+      span.set_modeled_range(modeled_before, io_->ActorClock(stats));
+    }
+    span.set_arg("pages", pages);
+  }
   return ref;
 }
 
 void SpillFile::ReadBlock(const BlockRef& ref, std::vector<uint32_t>* out,
                           Statistics* stats) const {
   RSJ_DCHECK(ref.first_page != kInvalidPageId && ref.word_count > 0);
+  TraceSpan span(tracer_, "spill", "reread", trace_pid_, /*sampled=*/true);
+  const uint64_t modeled_before =
+      span.active() && io_ != nullptr && stats != nullptr
+          ? io_->ActorClock(stats)
+          : 0;
   out->resize(ref.word_count);
   std::byte* dst = reinterpret_cast<std::byte*>(out->data());
   size_t remaining = static_cast<size_t>(ref.word_count) * sizeof(uint32_t);
@@ -92,6 +112,12 @@ void SpillFile::ReadBlock(const BlockRef& ref, std::vector<uint32_t>* out,
     for (uint32_t p = 0; p < ref.page_count; ++p) {
       io_->BlockingRead(this, file_, ref.first_page + p, page_size_, stats);
     }
+  }
+  if (span.active()) {
+    if (io_ != nullptr && stats != nullptr) {
+      span.set_modeled_range(modeled_before, io_->ActorClock(stats));
+    }
+    span.set_arg("pages", ref.page_count);
   }
 }
 

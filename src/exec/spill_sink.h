@@ -60,6 +60,7 @@
 #include "engine/memory_governor.h"
 #include "exec/frontier_channel.h"
 #include "exec/result_sink.h"
+#include "obs/trace.h"
 #include "storage/paged_file.h"
 #include "storage/statistics.h"
 
@@ -84,6 +85,11 @@ class SpillFile {
     // degrades to pure counting (disk_writes / disk_reads still flow).
     // Not owned; must outlive the file.
     IoScheduler* io = nullptr;
+    // Span sink for spill append/reread spans (obs/trace.h); nullptr =
+    // no tracing. Not owned; must outlive the file.
+    TraceRecorder* tracer = nullptr;
+    // Trace process id the spans are tagged with (the owning query's).
+    uint32_t trace_pid = 0;
   };
 
   // One appended block: a contiguous page run and its payload word count.
@@ -120,6 +126,8 @@ class SpillFile {
  private:
   const uint32_t page_size_;
   IoScheduler* const io_;
+  TraceRecorder* const tracer_;
+  const uint32_t trace_pid_;
   mutable std::mutex mu_;  // guards file_ (page allocation + byte access)
   PagedFile file_;
   uint64_t blocks_written_ = 0;

@@ -41,6 +41,8 @@ uint64_t SimulatedDiskArray::ServiceLocked(const PagedFile& file, PageId id,
     const uint64_t start = std::max(gap.start_micros, issue_micros);
     if (start + backfill_cost > gap.end_micros) continue;
     const uint64_t done = start + backfill_cost;
+    disk.busy_micros += backfill_cost;
+    ++backfills_;
     const IdleGap tail{done, gap.end_micros};
     gap.end_micros = start;
     const bool keep_head = gap.end_micros > gap.start_micros;
@@ -69,6 +71,7 @@ uint64_t SimulatedDiskArray::ServiceLocked(const PagedFile& file, PageId id,
     if (disk.gaps.size() > kMaxIdleGaps) disk.gaps.erase(disk.gaps.begin());
   }
   disk.busy_until_micros = start + cost;
+  disk.busy_micros += cost;
   disk.last_file = &file;
   disk.last_id = id;
   return disk.busy_until_micros;
@@ -105,6 +108,24 @@ uint64_t SimulatedDiskArray::BusyUntil(unsigned disk) const {
   std::lock_guard<std::mutex> lock(mu_);
   RSJ_DCHECK(disk < disks_.size());
   return disks_[disk].busy_until_micros;
+}
+
+uint64_t SimulatedDiskArray::busy_micros(unsigned disk) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RSJ_DCHECK(disk < disks_.size());
+  return disks_[disk].busy_micros;
+}
+
+uint64_t SimulatedDiskArray::total_busy_micros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const Disk& disk : disks_) total += disk.busy_micros;
+  return total;
+}
+
+uint64_t SimulatedDiskArray::backfills() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backfills_;
 }
 
 }  // namespace rsj

@@ -105,6 +105,15 @@ class SimulatedDiskArray {
   // Modeled time until which `disk` is busy (snapshot).
   uint64_t BusyUntil(unsigned disk) const;
 
+  // Accumulated modeled service micros one arm spent on requests
+  // (seek + transfer + settle; backfilled requests included) — the busy
+  // side of the busy/idle utilization split obs/metrics.h reports.
+  uint64_t busy_micros(unsigned disk) const;
+  uint64_t total_busy_micros() const;
+
+  // Requests served inside a remembered idle gap instead of at the tail.
+  uint64_t backfills() const;
+
   // Requests serviced so far, by kind.
   uint64_t reads_serviced() const;
   uint64_t writes_serviced() const;
@@ -121,6 +130,7 @@ class SimulatedDiskArray {
 
   struct Disk {
     uint64_t busy_until_micros = 0;
+    uint64_t busy_micros = 0;  // accumulated service time (incl. backfills)
     const PagedFile* last_file = nullptr;
     PageId last_id = kInvalidPageId;
     // Disjoint, ascending; bounded (oldest dropped) so bookkeeping stays
@@ -138,6 +148,7 @@ class SimulatedDiskArray {
   std::vector<Disk> disks_;
   uint64_t reads_serviced_ = 0;
   uint64_t writes_serviced_ = 0;
+  uint64_t backfills_ = 0;
 };
 
 }  // namespace rsj

@@ -32,6 +32,9 @@ IoScheduler::~IoScheduler() {
 }
 
 void IoScheduler::WorkerLoop(unsigned worker) {
+  if (options_.tracer != nullptr) {
+    options_.tracer->SetThreadName("io-worker-" + std::to_string(worker));
+  }
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     // Find a non-empty queue among the disks this worker owns.
@@ -59,11 +62,24 @@ void IoScheduler::WorkerLoop(unsigned worker) {
     }
     ++io_batches_;
     lock.unlock();
+    TraceSpan span(options_.tracer, "io", "batch", 0, /*sampled=*/true);
     std::vector<uint64_t> completions;
     completions.reserve(batch.size());
     for (const Request& req : batch) {
       completions.push_back(disks_.Service(*req.key.file, req.key.id,
                                            req.page_size, req.issue_micros));
+    }
+    if (span.active()) {
+      uint64_t issue = batch.front().issue_micros;
+      uint64_t done = 0;
+      for (const Request& req : batch) {
+        issue = std::min(issue, req.issue_micros);
+      }
+      for (uint64_t completion : completions) {
+        done = std::max(done, completion);
+      }
+      span.set_modeled_range(issue, done);
+      span.set_arg("requests", batch.size());
     }
     lock.lock();
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -105,6 +121,10 @@ bool IoScheduler::SubmitAsync(const void* owner, const PagedFile& file,
   inflight_.insert(key);
   ++pending_async_;
   ++async_reads_;
+  if (options_.tracer != nullptr && options_.tracer->enabled() &&
+      options_.tracer->Sample()) {
+    options_.tracer->Instant("io", "prefetch_issue", 0);
+  }
   work_cv_.notify_all();
   return true;
 }
@@ -187,11 +207,14 @@ void IoScheduler::WriteRun(const void* owner, const PagedFile& file,
   // `issue` and the run completes when the slowest disk finishes. The
   // per-disk service order is ascending page id, so consecutive stripe
   // units of the run keep the sequential discount.
+  TraceSpan span(options_.tracer, "io", "write_run", 0, /*sampled=*/true);
   uint64_t completion = 0;
   for (uint32_t i = 0; i < count; ++i) {
     completion = std::max(
         completion, disks_.ServiceWrite(file, first + i, page_size, issue));
   }
+  span.set_modeled_range(issue, completion);
+  span.set_arg("pages", count);
   lock.lock();
   if (stats != nullptr) stats->disk_writes += count;
   const uint64_t now = ActorClockLocked(stats);
@@ -208,7 +231,11 @@ void IoScheduler::ConsumePrefetched(const void* owner, const PagedFile& file,
   const RequestKey key{owner, &file, id};
   std::unique_lock<std::mutex> lock(mu_);
   if (!inflight_.contains(key) && !completed_.contains(key)) return;
+  TraceSpan span(options_.tracer, "io", "prefetch_consume", 0,
+                 /*sampled=*/true);
+  const uint64_t before = ActorClockLocked(stats);
   JoinCompletionLocked(lock, key, stats, stats);
+  span.set_modeled_range(before, ActorClockLocked(stats));
 }
 
 void IoScheduler::AbandonPrefetched(const void* owner, const PagedFile& file,

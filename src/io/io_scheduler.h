@@ -70,6 +70,7 @@
 #include <vector>
 
 #include "io/disk_model.h"
+#include "obs/trace.h"
 #include "storage/page_cache.h"
 #include "storage/statistics.h"
 
@@ -91,6 +92,10 @@ class IoScheduler {
     // that follows a node fetch); this is the computation the prefetcher
     // hides I/O behind. 0 disables CPU charging.
     uint64_t cpu_micros_per_read = 0;
+
+    // Span sink for batch service / write runs / prefetch joins (pid 0
+    // tracks); nullptr = no tracing. Must outlive the scheduler.
+    TraceRecorder* tracer = nullptr;
   };
 
   explicit IoScheduler(const Options& options);

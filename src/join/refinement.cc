@@ -47,7 +47,10 @@ IdJoinResult RunIdSpatialJoin(const RTree& r_tree, const Dataset& r,
 
 uint64_t RefineCandidateChunks(const SpilledResult& candidates,
                                const Dataset& r, const Dataset& s,
-                               ResultSink* sink, Statistics* stats) {
+                               ResultSink* sink, Statistics* stats,
+                               TraceRecorder* tracer, uint32_t trace_pid) {
+  TraceSpan span(tracer, "spill", "refine", trace_pid);
+  span.set_arg("candidates", candidates.pair_count);
   const uint64_t before = sink->count();
   SpilledResultReader reader(&candidates, stats);
   std::span<const ResultPair> chunk;
@@ -86,6 +89,8 @@ StreamingIdJoinResult RunIdSpatialJoinStreaming(
     exec.chunk_capacity = refine_options.chunk_capacity;
     exec.io_scheduler = refine_options.io;
     exec.memory_governor = refine_options.governor;
+    exec.tracer = refine_options.tracer;
+    exec.trace_pid = refine_options.trace_pid;
     ParallelJoinResult filtered =
         RunParallelSpatialJoin(r_tree, s_tree, options, exec);
     candidates = std::move(filtered.spilled);
@@ -94,11 +99,13 @@ StreamingIdJoinResult RunIdSpatialJoinStreaming(
     ChunkArena arena(ChunkArena::Options{refine_options.chunk_capacity,
                                          /*max_free_chunks=*/1024});
     auto file = std::make_shared<SpillFile>(SpillFile::Options{
-        refine_options.spill_page_size, refine_options.io});
+        refine_options.spill_page_size, refine_options.io,
+        refine_options.tracer, refine_options.trace_pid});
     ResidentBudget budget(refine_options.filter_budget_chunks,
                           refine_options.governor,
                           MemoryCategory::kResultChunks,
                           refine_options.chunk_capacity * sizeof(ResultPair));
+    budget.AttachTracer(refine_options.tracer, refine_options.trace_pid);
     BufferPool pool(
         BufferPool::Options{options.buffer_bytes,
                             r_tree.options().page_size,
@@ -122,14 +129,17 @@ StreamingIdJoinResult RunIdSpatialJoinStreaming(
     ChunkArena out_arena(ChunkArena::Options{refine_options.chunk_capacity,
                                              /*max_free_chunks=*/1024});
     auto out_file = std::make_shared<SpillFile>(SpillFile::Options{
-        refine_options.spill_page_size, refine_options.io});
+        refine_options.spill_page_size, refine_options.io,
+        refine_options.tracer, refine_options.trace_pid});
     ResidentBudget out_budget(
         refine_options.refine_budget_chunks, refine_options.governor,
         MemoryCategory::kResultChunks,
         refine_options.chunk_capacity * sizeof(ResultPair));
+    out_budget.AttachTracer(refine_options.tracer, refine_options.trace_pid);
     SpillingSink out(out_arena, out_file.get(), &out_budget, &result.stats);
-    result.result_pairs =
-        RefineCandidateChunks(candidates, r, s, &out, &result.stats);
+    result.result_pairs = RefineCandidateChunks(
+        candidates, r, s, &out, &result.stats, refine_options.tracer,
+        refine_options.trace_pid);
     result.refined = out.TakeResult();
     result.refined.file = std::move(out_file);
     // While refinement ran, the filter step's resident candidate chunks
@@ -139,8 +149,9 @@ StreamingIdJoinResult RunIdSpatialJoinStreaming(
                                           out_budget.peak());
   } else {
     CountingSink out;
-    result.result_pairs =
-        RefineCandidateChunks(candidates, r, s, &out, &result.stats);
+    result.result_pairs = RefineCandidateChunks(
+        candidates, r, s, &out, &result.stats, refine_options.tracer,
+        refine_options.trace_pid);
   }
   return result;
 }

@@ -53,10 +53,13 @@ IdJoinResult RunIdSpatialJoin(const RTree& r_tree, const Dataset& r,
 // chunk resident at a time — tests the exact polyline geometry of every
 // pair, and emits the survivors through `sink` (counting, materializing,
 // or spilling). Returns the number of surviving pairs; spill re-reads
-// and refinement costs are charged to `stats`.
+// and refinement costs are charged to `stats`. `tracer`/`trace_pid` emit
+// the refinement span (obs/trace.h); nullptr = no tracing.
 uint64_t RefineCandidateChunks(const SpilledResult& candidates,
                                const Dataset& r, const Dataset& s,
-                               ResultSink* sink, Statistics* stats);
+                               ResultSink* sink, Statistics* stats,
+                               TraceRecorder* tracer = nullptr,
+                               uint32_t trace_pid = 0);
 
 struct StreamingRefineOptions {
   // Pairs per result chunk on both the candidate and the refined side.
@@ -82,6 +85,11 @@ struct StreamingRefineOptions {
   // refinement budgets mirror their resident chunks into it as byte
   // leases while the run holds them. Not owned; nullptr = standalone.
   MemoryGovernor* governor = nullptr;
+  // Span sink (obs/trace.h) for the spill/reread/refine spans; nullptr =
+  // no tracing. Not owned; must outlive the run.
+  TraceRecorder* tracer = nullptr;
+  // Trace process id the run's spans are tagged with.
+  uint32_t trace_pid = 0;
 };
 
 struct StreamingIdJoinResult {

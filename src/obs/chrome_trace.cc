@@ -1,0 +1,189 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace rsj {
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendKeyString(std::string* out, const char* key,
+                     const std::string& value) {
+  *out += '"';
+  *out += key;
+  *out += "\":\"";
+  AppendEscaped(out, value);
+  *out += '"';
+}
+
+void AppendKeyNumber(std::string* out, const char* key, uint64_t value) {
+  *out += '"';
+  *out += key;
+  *out += "\":";
+  *out += std::to_string(value);
+}
+
+void AppendMetadata(std::string* out, const char* what, uint32_t pid,
+                    uint32_t tid, const std::string& name) {
+  *out += "{\"ph\":\"M\",";
+  AppendKeyString(out, "name", what);
+  *out += ',';
+  AppendKeyNumber(out, "pid", pid);
+  *out += ',';
+  AppendKeyNumber(out, "tid", tid);
+  *out += ",\"args\":{";
+  AppendKeyString(out, "name", name);
+  *out += "}}";
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const TraceRecorder& recorder) {
+  std::vector<TraceEvent> events = recorder.Snapshot();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_micros < b.ts_micros;
+                   });
+
+  std::map<uint32_t, std::string> thread_names;
+  for (const auto& [tid, name] : recorder.ThreadNames()) {
+    thread_names[tid] = name;
+  }
+  std::map<uint32_t, std::string> process_names;
+  for (const auto& [pid, name] : recorder.ProcessNames()) {
+    process_names[pid] = name;
+  }
+
+  // Every (pid, tid) pair that appears needs its own thread_name
+  // metadata — Chrome keys threads by the pair, and a worker that emits
+  // into several query pids shows up under each.
+  std::set<uint32_t> pids;
+  std::set<std::pair<uint32_t, uint32_t>> pid_tids;
+  for (const TraceEvent& event : events) {
+    pids.insert(event.pid);
+    pid_tids.emplace(event.pid, event.tid);
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto next = [&out, &first]() {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  for (uint32_t pid : pids) {
+    std::string name;
+    auto it = process_names.find(pid);
+    if (it != process_names.end()) {
+      name = it->second;
+    } else if (pid == 0) {
+      name = "engine";
+    } else {
+      name = "query-" + std::to_string(pid);
+    }
+    next();
+    AppendMetadata(&out, "process_name", pid, 0, name);
+  }
+  for (const auto& [pid, tid] : pid_tids) {
+    std::string name;
+    auto it = thread_names.find(tid);
+    name = it != thread_names.end() ? it->second
+                                    : "thread-" + std::to_string(tid);
+    next();
+    AppendMetadata(&out, "thread_name", pid, tid, name);
+  }
+
+  for (const TraceEvent& event : events) {
+    next();
+    out += "{\"ph\":\"";
+    out += event.phase;
+    out += "\",";
+    AppendKeyString(&out, "cat", event.category);
+    out += ',';
+    AppendKeyString(&out, "name", event.name);
+    out += ',';
+    AppendKeyNumber(&out, "pid", event.pid);
+    out += ',';
+    AppendKeyNumber(&out, "tid", event.tid);
+    out += ',';
+    AppendKeyNumber(&out, "ts", event.ts_micros);
+    if (event.phase == 'X') {
+      out += ',';
+      AppendKeyNumber(&out, "dur", event.dur_micros);
+    }
+    if (event.phase == 'i') {
+      out += ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    const bool modeled =
+        event.modeled_end_micros > 0 || event.modeled_start_micros > 0;
+    if (event.phase == 'C' || modeled || event.arg_name != nullptr) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      auto next_arg = [&out, &first_arg]() {
+        if (!first_arg) out += ',';
+        first_arg = false;
+      };
+      if (modeled) {
+        next_arg();
+        AppendKeyNumber(&out, "modeled_start_us", event.modeled_start_micros);
+        next_arg();
+        AppendKeyNumber(&out, "modeled_dur_us",
+                        event.modeled_end_micros >= event.modeled_start_micros
+                            ? event.modeled_end_micros -
+                                  event.modeled_start_micros
+                            : 0);
+      }
+      if (event.arg_name != nullptr) {
+        next_arg();
+        AppendKeyNumber(&out, event.arg_name, event.arg_value);
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+bool WriteChromeTrace(const TraceRecorder& recorder, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const std::string json = ChromeTraceJson(recorder);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool ok = written == json.size() && std::fclose(file) == 0;
+  if (!ok && written != json.size()) std::fclose(file);
+  return ok;
+}
+
+}  // namespace rsj

@@ -1,0 +1,77 @@
+#include "obs/query_log.h"
+
+namespace rsj {
+
+const char* AdmissionOutcomeName(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::kImmediate:
+      return "immediate";
+    case AdmissionOutcome::kQueued:
+      return "queued";
+    case AdmissionOutcome::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+void QueryLog::Append(QueryLogRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.slow = options_.slow_query_wall_micros > 0 &&
+                record.wall_micros >= options_.slow_query_wall_micros;
+  ++appended_;
+  if (record.slow) ++slow_;
+  wall_.Observe(record.wall_micros);
+  modeled_.Observe(record.modeled_micros);
+  if (record.admission == AdmissionOutcome::kQueued) {
+    queue_.Observe(record.queue_wall_micros);
+  }
+  if (records_.size() < options_.max_records) {
+    records_.push_back(std::move(record));
+  }
+}
+
+std::vector<QueryLogRecord> QueryLog::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+uint64_t QueryLog::appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+uint64_t QueryLog::dropped_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_ - records_.size();
+}
+
+uint64_t QueryLog::slow_queries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_;
+}
+
+LatencyHistogram QueryLog::wall_histogram() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wall_;
+}
+
+LatencyHistogram QueryLog::modeled_histogram() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return modeled_;
+}
+
+LatencyHistogram QueryLog::queue_histogram() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_;
+}
+
+void QueryLog::SnapshotMetrics(MetricsRegistry* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->AddCounter("rsj_query_log_appended", appended_);
+  out->AddCounter("rsj_query_log_slow", slow_);
+  out->MergeHistogram("rsj_query_wall_micros", wall_);
+  out->MergeHistogram("rsj_query_modeled_micros", modeled_);
+  out->MergeHistogram("rsj_query_queue_micros", queue_);
+}
+
+}  // namespace rsj

@@ -1,0 +1,104 @@
+// Engine query log: one structured record per submitted query.
+//
+// The serving layer's telemetry counts sessions; the query log keeps the
+// per-query facts an operator actually pages through: what plan ran, how
+// admission treated the query (immediate / queued / shed), how long it
+// waited in the queue, its wall and modeled latency, and the governor
+// pressure it completed under. `QueryEngine` appends a record as each
+// session finishes (shed sessions are logged at submit — they never
+// run), so after `WaitAll` the log is the batch's flight record.
+//
+// Latency distributions are kept as log2-bucket histograms
+// (obs/metrics.h), and a configurable slow-query threshold marks
+// outliers at append time — the cheap standing filter that replaces
+// grepping full dumps.
+
+#ifndef RSJ_OBS_QUERY_LOG_H_
+#define RSJ_OBS_QUERY_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rsj {
+
+// How admission control disposed of a submitted query.
+enum class AdmissionOutcome {
+  kImmediate,  // got a slot + governor lease at submit
+  kQueued,     // parked in the FIFO queue, admitted later
+  kShed,       // rejected outright (queue full); never ran
+};
+
+const char* AdmissionOutcomeName(AdmissionOutcome outcome);
+
+struct QueryLogRecord {
+  uint64_t query_id = 0;
+  std::string label;  // QuerySpec::label, or "q<id>" when unset
+  // PlanChoice::Describe() when the planner ran; empty otherwise.
+  std::string plan;
+  bool planned = false;
+  bool is_chain = false;
+  AdmissionOutcome admission = AdmissionOutcome::kImmediate;
+  uint64_t queue_wall_micros = 0;  // submit -> admission (0 if immediate/shed)
+  uint64_t wall_micros = 0;        // admission -> outcome complete
+  uint64_t modeled_micros = 0;     // QueryOutcome::modeled_elapsed_micros
+  uint64_t result_count = 0;
+  // Run-wide governor peak observed when the query completed — the
+  // memory pressure context it finished under, not a per-query charge.
+  uint64_t governor_peak_bytes = 0;
+  bool slow = false;  // wall_micros >= Options::slow_query_wall_micros
+};
+
+// Thread-safe append-only log with bounded retention.
+class QueryLog {
+ public:
+  struct Options {
+    // Wall latency at/above which a record is flagged slow; 0 disables.
+    uint64_t slow_query_wall_micros = 0;
+    // Records retained (oldest kept — the overflow is counted, the
+    // histograms still see every appended record).
+    size_t max_records = 4096;
+  };
+
+  QueryLog() : QueryLog(Options{}) {}
+  explicit QueryLog(const Options& options) : options_(options) {}
+
+  QueryLog(const QueryLog&) = delete;
+  QueryLog& operator=(const QueryLog&) = delete;
+
+  // Appends one record (the `slow` flag is (re)derived here).
+  void Append(QueryLogRecord record);
+
+  std::vector<QueryLogRecord> Records() const;
+
+  uint64_t appended() const;
+  uint64_t dropped_records() const;  // appended beyond max_records
+  uint64_t slow_queries() const;
+
+  LatencyHistogram wall_histogram() const;
+  LatencyHistogram modeled_histogram() const;
+  LatencyHistogram queue_histogram() const;
+
+  // Adds the log's distributions and counts into a registry
+  // (`rsj_query_*` namespace).
+  void SnapshotMetrics(MetricsRegistry* out) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  const Options options_;
+  mutable std::mutex mu_;
+  std::vector<QueryLogRecord> records_;
+  uint64_t appended_ = 0;
+  uint64_t slow_ = 0;
+  LatencyHistogram wall_;
+  LatencyHistogram modeled_;
+  LatencyHistogram queue_;
+};
+
+}  // namespace rsj
+
+#endif  // RSJ_OBS_QUERY_LOG_H_

@@ -1,0 +1,166 @@
+#include "obs/trace.h"
+
+namespace rsj {
+namespace {
+
+// Globally unique recorder generation ids. A thread-local cache entry is
+// valid only while its generation matches the recorder's — generations
+// are never reused, so a recorder destroyed (or a new one allocated at
+// the same address) invalidates every cached pointer to it.
+std::atomic<uint64_t> g_next_generation{1};
+
+struct ThreadSlotCache {
+  uint64_t generation = 0;
+  void* buffer = nullptr;
+};
+
+thread_local ThreadSlotCache tls_slot;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(const TraceOptions& options)
+    : options_(options),
+      generation_(g_next_generation.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()),
+      enabled_(options.enabled) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+uint64_t TraceRecorder::NowWallMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::LocalBuffer() {
+  if (tls_slot.generation == generation_) {
+    return static_cast<ThreadBuffer*>(tls_slot.buffer);
+  }
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  const std::thread::id self = std::this_thread::get_id();
+  auto it = by_thread_.find(self);
+  ThreadBuffer* buffer = nullptr;
+  if (it != by_thread_.end()) {
+    buffer = it->second;
+  } else {
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    buffer = buffers_.back().get();
+    buffer->tid = next_tid_++;
+    buffer->events.reserve(
+        options_.ring_capacity < 1024 ? options_.ring_capacity : 1024);
+    by_thread_[self] = buffer;
+  }
+  tls_slot.generation = generation_;
+  tls_slot.buffer = buffer;
+  return buffer;
+}
+
+void TraceRecorder::SetThreadName(const std::string& name) {
+  ThreadBuffer* buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->name = name;
+}
+
+void TraceRecorder::SetProcessName(uint32_t pid, const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  process_names_[pid] = name;
+}
+
+void TraceRecorder::Emit(const TraceEvent& event) {
+  if (!enabled()) return;
+  ThreadBuffer* buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  if (buffer->events.size() >= options_.ring_capacity) {
+    ++buffer->dropped;
+    return;
+  }
+  TraceEvent copy = event;
+  copy.tid = buffer->tid;
+  buffer->events.push_back(copy);
+}
+
+void TraceRecorder::Counter(const char* name, uint32_t pid, uint64_t value) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.category = "counter";
+  event.name = name;
+  event.phase = 'C';
+  event.pid = pid;
+  event.ts_micros = NowWallMicros();
+  event.arg_name = "value";
+  event.arg_value = value;
+  Emit(event);
+}
+
+void TraceRecorder::Instant(const char* category, const char* name,
+                            uint32_t pid) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.category = category;
+  event.name = name;
+  event.phase = 'i';
+  event.pid = pid;
+  event.ts_micros = NowWallMicros();
+  Emit(event);
+}
+
+bool TraceRecorder::Sample() {
+  if (options_.sample_period <= 1) return true;
+  ThreadBuffer* buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  return (buffer->sample_counter++ % options_.sample_period) == 0;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  uint64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+uint64_t TraceRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  uint64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::vector<TraceEvent> out;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<uint32_t, std::string>> TraceRecorder::ThreadNames()
+    const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::vector<std::pair<uint32_t, std::string>> out;
+  out.reserve(buffers_.size());
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    std::string name = buffer->name;
+    if (name.empty()) name = "thread-" + std::to_string(buffer->tid);
+    out.emplace_back(buffer->tid, std::move(name));
+  }
+  return out;
+}
+
+std::vector<std::pair<uint32_t, std::string>> TraceRecorder::ProcessNames()
+    const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return std::vector<std::pair<uint32_t, std::string>>(process_names_.begin(),
+                                                       process_names_.end());
+}
+
+}  // namespace rsj

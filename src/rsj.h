@@ -47,6 +47,10 @@
 #include "join/parallel_join.h"    // IWYU pragma: export
 #include "join/refinement.h"       // IWYU pragma: export
 #include "join/spatial_join.h"     // IWYU pragma: export
+#include "obs/chrome_trace.h"      // IWYU pragma: export
+#include "obs/metrics.h"           // IWYU pragma: export
+#include "obs/query_log.h"         // IWYU pragma: export
+#include "obs/trace.h"             // IWYU pragma: export
 #include "rtree/knn.h"             // IWYU pragma: export
 #include "rtree/rtree.h"           // IWYU pragma: export
 #include "storage/buffer_pool.h"   // IWYU pragma: export

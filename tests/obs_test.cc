@@ -1,0 +1,593 @@
+// Tests for the observability layer (src/obs/): the span tracer's
+// per-thread buffers (nesting, ordering, sampling, overflow accounting,
+// concurrent emission), the Chrome trace-event exporter (parsed back with
+// a minimal JSON parser), the engine integration (execute spans matching
+// the session's modeled latency, queue spans and shed instants), and the
+// query log's records, slow-query marking and retention. Runs under TSan
+// in CI: emission crosses executor workers, pool threads, I/O workers and
+// session drivers.
+
+#include "obs/trace.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/query_engine.h"
+#include "join/join_runner.h"
+#include "obs/chrome_trace.h"
+#include "obs/query_log.h"
+#include "tests/test_util.h"
+
+namespace rsj {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON validator: enough to prove the
+// exporter's output is well-formed (the structural checks then use plain
+// substring probes on specific key/value fragments).
+
+class MiniJsonParser {
+ public:
+  explicit MiniJsonParser(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    Skip();
+    if (!Value()) return false;
+    Skip();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    Skip();
+    if (pos_ < s_.size() && s_[pos_] == '}') return ++pos_, true;
+    while (true) {
+      Skip();
+      if (!String()) return false;
+      Skip();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      Skip();
+      if (!Value()) return false;
+      Skip();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    Skip();
+    if (pos_ < s_.size() && s_[pos_] == ']') return ++pos_, true;
+    while (true) {
+      Skip();
+      if (!Value()) return false;
+      Skip();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool String() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') return ++pos_, true;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::strlen(word);
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  void Skip() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+size_t CountSubstr(const std::string& haystack, const std::string& needle) {
+  size_t count = 0;
+  for (size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+
+TEST(TraceRecorder, SpanNestingAndPerThreadOrdering) {
+  TraceRecorder recorder;
+  recorder.SetThreadName("main-thread");
+  {
+    TraceSpan outer(&recorder, "test", "outer", /*pid=*/3);
+    outer.set_arg("payload", 42);
+    ASSERT_TRUE(outer.active());
+    {
+      TraceSpan inner(&recorder, "test", "inner", /*pid=*/3);
+      inner.set_modeled_range(100, 250);
+    }
+  }
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // RAII order: the inner span's destructor emits first.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_EQ(events[0].pid, 3u);
+  // The inner span nests inside the outer's wall range.
+  EXPECT_GE(events[0].ts_micros, events[1].ts_micros);
+  EXPECT_LE(events[0].ts_micros + events[0].dur_micros,
+            events[1].ts_micros + events[1].dur_micros);
+  EXPECT_EQ(events[0].modeled_start_micros, 100u);
+  EXPECT_EQ(events[0].modeled_end_micros, 250u);
+  EXPECT_STREQ(events[1].arg_name, "payload");
+  EXPECT_EQ(events[1].arg_value, 42u);
+
+  const auto names = recorder.ThreadNames();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0].second, "main-thread");
+}
+
+TEST(TraceRecorder, DisabledRecorderIsInert) {
+  TraceOptions options;
+  options.enabled = false;
+  TraceRecorder recorder(options);
+  {
+    TraceSpan span(&recorder, "test", "span");
+    EXPECT_FALSE(span.active());
+  }
+  recorder.Counter("counter", 0, 7);
+  recorder.Instant("test", "instant", 0);
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+
+  // A null recorder is equally inert.
+  TraceSpan null_span(nullptr, "test", "span");
+  EXPECT_FALSE(null_span.active());
+
+  // Re-enabled at runtime, the same recorder records.
+  recorder.set_enabled(true);
+  { TraceSpan span(&recorder, "test", "span"); }
+  EXPECT_EQ(recorder.recorded(), 1u);
+}
+
+TEST(TraceRecorder, SampledSitesHonorThePeriod) {
+  TraceOptions options;
+  options.sample_period = 4;
+  TraceRecorder recorder(options);
+  for (int i = 0; i < 16; ++i) {
+    TraceSpan span(&recorder, "test", "hot", 0, /*sampled=*/true);
+  }
+  // One in four sampled spans records; structural spans always do.
+  EXPECT_EQ(recorder.recorded(), 4u);
+  { TraceSpan span(&recorder, "test", "structural"); }
+  EXPECT_EQ(recorder.recorded(), 5u);
+}
+
+TEST(TraceRecorder, OverflowDropsNewestAndCounts) {
+  TraceOptions options;
+  options.ring_capacity = 8;
+  TraceRecorder recorder(options);
+  for (int i = 0; i < 100; ++i) {
+    TraceSpan span(&recorder, "test", "span");
+  }
+  EXPECT_EQ(recorder.recorded(), 8u);
+  EXPECT_EQ(recorder.dropped(), 92u);
+  // The 8 kept events are the FIRST 8 (drop-newest).
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_micros, events[i - 1].ts_micros);
+  }
+}
+
+TEST(TraceRecorder, ConcurrentEmissionFromManyThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kEventsPerThread = 500;
+  TraceRecorder recorder;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t]() {
+      recorder.SetThreadName("worker-" + std::to_string(t));
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        TraceSpan span(&recorder, "test", "work", 0);
+        span.set_arg("i", static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(recorder.recorded(),
+            static_cast<uint64_t>(kThreads) * kEventsPerThread);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_EQ(recorder.ThreadNames().size(), static_cast<size_t>(kThreads));
+  // Every thread got its own tid, each with its full event count, and
+  // per-thread snapshot order is emission order (monotone timestamps).
+  std::map<uint32_t, uint64_t> per_tid;
+  std::map<uint32_t, uint64_t> last_ts;
+  for (const TraceEvent& e : recorder.Snapshot()) {
+    ++per_tid[e.tid];
+    auto [it, first] = last_ts.try_emplace(e.tid, e.ts_micros);
+    if (!first) {
+      EXPECT_GE(e.ts_micros, it->second);
+      it->second = e.ts_micros;
+    }
+  }
+  ASSERT_EQ(per_tid.size(), static_cast<size_t>(kThreads));
+  for (const auto& [tid, count] : per_tid) {
+    EXPECT_EQ(count, static_cast<uint64_t>(kEventsPerThread)) << tid;
+  }
+}
+
+TEST(TraceRecorder, CountersInstantsAndProcessNames) {
+  TraceRecorder recorder;
+  recorder.SetProcessName(2, "q1: A|x|B");
+  recorder.Counter("governor/total", 0, 4096);
+  recorder.Instant("engine", "shed", 2);
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, 'C');
+  EXPECT_EQ(events[0].arg_value, 4096u);
+  EXPECT_EQ(events[1].phase, 'i');
+  EXPECT_EQ(events[1].pid, 2u);
+  const auto process_names = recorder.ProcessNames();
+  ASSERT_EQ(process_names.size(), 1u);
+  EXPECT_EQ(process_names[0].first, 2u);
+  EXPECT_EQ(process_names[0].second, "q1: A|x|B");
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+
+TEST(ChromeTrace, ExportParsesAsJsonWithAllEventShapes) {
+  TraceRecorder recorder;
+  recorder.SetThreadName("exporter \"thread\" \\ one");  // needs escaping
+  recorder.SetProcessName(1, "q0: tiny|x|tiny");
+  {
+    TraceSpan span(&recorder, "exec", "task", 1);
+    span.set_modeled_range(10, 90);
+    span.set_arg("tuples", 123);
+  }
+  recorder.Counter("resident_chunks", 1, 5);
+  recorder.Instant("io", "prefetch_issue", 0);
+
+  const std::string json = ChromeTraceJson(recorder);
+  MiniJsonParser parser(json);
+  EXPECT_TRUE(parser.Valid()) << json;
+
+  EXPECT_EQ(CountSubstr(json, "\"traceEvents\""), 1u);
+  // Metadata: process names for pid 0 (implicit "engine") and pid 1, and
+  // the (escaped) thread name.
+  EXPECT_GE(CountSubstr(json, "\"ph\":\"M\""), 2u);
+  EXPECT_EQ(CountSubstr(json, "q0: tiny|x|tiny"), 1u);
+  // This thread emitted into pids 0 and 1, and thread_name metadata is
+  // per (pid, tid) pair — the escaped name appears once per pid.
+  EXPECT_EQ(CountSubstr(json, "exporter \\\"thread\\\" \\\\ one"), 2u);
+  // One complete span with wall duration and the modeled-clock args.
+  EXPECT_EQ(CountSubstr(json, "\"ph\":\"X\""), 1u);
+  EXPECT_EQ(CountSubstr(json, "\"modeled_start_us\":10"), 1u);
+  EXPECT_EQ(CountSubstr(json, "\"modeled_dur_us\":80"), 1u);
+  EXPECT_EQ(CountSubstr(json, "\"tuples\":123"), 1u);
+  // One counter sample (its value rides in args as "value") and one
+  // instant.
+  EXPECT_EQ(CountSubstr(json, "\"ph\":\"C\""), 1u);
+  EXPECT_EQ(CountSubstr(json, "\"name\":\"resident_chunks\""), 1u);
+  EXPECT_EQ(CountSubstr(json, "\"value\":5"), 1u);
+  EXPECT_EQ(CountSubstr(json, "\"ph\":\"i\""), 1u);
+}
+
+TEST(ChromeTrace, WriteChromeTraceRoundTripsThroughAFile) {
+  TraceRecorder recorder;
+  { TraceSpan span(&recorder, "engine", "execute", 1); }
+  const std::string path = ::testing::TempDir() + "/obs_test_trace.json";
+  ASSERT_TRUE(WriteChromeTrace(recorder, path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(content, ChromeTraceJson(recorder));
+  MiniJsonParser parser(content);
+  EXPECT_TRUE(parser.Valid());
+  EXPECT_FALSE(WriteChromeTrace(recorder, "/nonexistent-dir/trace.json"));
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: spans and the query log from a real serving run.
+
+class ObsEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RTreeOptions topt;
+    topt.page_size = kPageSize1K;
+    rects_r_ = new std::vector<Rect>(testutil::ClusteredRects(700, 61, 5));
+    rects_s_ = new std::vector<Rect>(testutil::ClusteredRects(600, 62, 5));
+    rel_r_ = new IndexedRelation(*rects_r_, topt);
+    rel_s_ = new IndexedRelation(*rects_s_, topt);
+  }
+  static void TearDownTestSuite() {
+    delete rel_r_;
+    delete rel_s_;
+    delete rects_r_;
+    delete rects_s_;
+    rel_r_ = rel_s_ = nullptr;
+    rects_r_ = rects_s_ = nullptr;
+  }
+
+  static QueryEngine::Options EngineOptions(TraceRecorder* tracer) {
+    QueryEngine::Options opt;
+    opt.pool.capacity_bytes = 256 * 1024;
+    opt.pool.page_size = kPageSize1K;
+    opt.io.disks.disk_count = 2;
+    opt.pool_threads = 2;
+    opt.session_threads = 2;
+    opt.max_concurrent_sessions = 4;
+    // Force the planner into prefetching so the async I/O path (and its
+    // "io" spans) runs even at this tiny scale.
+    opt.planner.prefetch_page_read_floor = 1;
+    opt.tracer = tracer;
+    return opt;
+  }
+
+  static std::vector<Rect>* rects_r_;
+  static std::vector<Rect>* rects_s_;
+  static IndexedRelation* rel_r_;
+  static IndexedRelation* rel_s_;
+};
+
+std::vector<Rect>* ObsEngineTest::rects_r_ = nullptr;
+std::vector<Rect>* ObsEngineTest::rects_s_ = nullptr;
+IndexedRelation* ObsEngineTest::rel_r_ = nullptr;
+IndexedRelation* ObsEngineTest::rel_s_ = nullptr;
+
+TEST_F(ObsEngineTest, ExecuteSpanMatchesTheSessionsModeledLatency) {
+  TraceRecorder tracer;
+  uint32_t pid = 0;
+  uint64_t modeled = 0;
+  uint64_t result_count = 0;
+  {
+    // The engine owns its sessions: every session value must be read
+    // before the engine goes out of scope.
+    QueryEngine engine(EngineOptions(&tracer));
+    QuerySpec spec;
+    spec.relations = {{&rel_r_->tree(), rects_r_},
+                      {&rel_s_->tree(), rects_s_}};
+    spec.label = "obs-span-check";
+    QuerySession* session = engine.Submit(std::move(spec));
+    engine.WaitAll();
+    ASSERT_EQ(session->state(), SessionState::kFinished);
+    pid = static_cast<uint32_t>(session->query_id()) + 1;
+    modeled = session->outcome().modeled_elapsed_micros;
+    result_count = session->outcome().result_count;
+  }
+
+  bool saw_execute = false, saw_plan = false, saw_drain = false,
+       saw_io = false, saw_counter = false;
+  for (const TraceEvent& e : tracer.Snapshot()) {
+    if (e.phase == 'C') saw_counter = true;
+    if (e.phase != 'X') continue;
+    if (std::strcmp(e.category, "io") == 0) saw_io = true;
+    if (std::strcmp(e.category, "engine") != 0) continue;
+    if (std::strcmp(e.name, "execute") == 0 && e.pid == pid) {
+      saw_execute = true;
+      // The execute span's modeled range is exactly the session's
+      // reported modeled latency, measured from the batch floor.
+      EXPECT_EQ(e.modeled_end_micros - e.modeled_start_micros, modeled);
+      EXPECT_EQ(e.arg_value, result_count);
+    }
+    if (std::strcmp(e.name, "plan") == 0 && e.pid == pid) saw_plan = true;
+    if (std::strcmp(e.name, "drain") == 0) saw_drain = true;
+  }
+  EXPECT_TRUE(saw_execute);
+  EXPECT_TRUE(saw_plan);
+  EXPECT_TRUE(saw_drain);
+  EXPECT_TRUE(saw_io);
+  EXPECT_TRUE(saw_counter);
+  // The process track carries the query label.
+  bool named = false;
+  for (const auto& [p, name] : tracer.ProcessNames()) {
+    if (p == pid) {
+      EXPECT_EQ(name, "obs-span-check");
+      named = true;
+    }
+  }
+  EXPECT_TRUE(named);
+}
+
+TEST_F(ObsEngineTest, QueueSpansShedInstantsAndQueryLogRecords) {
+  TraceRecorder tracer;
+  QueryEngine::Options opt = EngineOptions(&tracer);
+  opt.max_concurrent_sessions = 1;
+  opt.queue_limit = 1;
+  opt.query_log.slow_query_wall_micros = 1;  // everything finished is slow
+  QueryEngine engine(opt);
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  QuerySpec first;
+  first.relations = {{&rel_r_->tree(), rects_r_},
+                     {&rel_s_->tree(), rects_s_}};
+  first.label = "first";
+  first.use_planner = false;
+  first.before_run = [&] {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return release; });
+  };
+  QuerySpec second = first;
+  second.label = "second";
+  second.before_run = nullptr;
+  QuerySpec third = first;
+  third.label = "third";
+  third.before_run = nullptr;
+
+  QuerySession* s1 = engine.Submit(std::move(first));
+  QuerySession* s2 = engine.Submit(std::move(second));
+  QuerySession* s3 = engine.Submit(std::move(third));
+  EXPECT_EQ(s3->state(), SessionState::kShed);
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  engine.WaitAll();
+
+  EXPECT_EQ(s1->admission(), AdmissionOutcome::kImmediate);
+  EXPECT_EQ(s2->admission(), AdmissionOutcome::kQueued);
+  EXPECT_EQ(s3->admission(), AdmissionOutcome::kShed);
+  EXPECT_EQ(s1->queue_wall_micros(), 0u);
+  EXPECT_GT(s2->queue_wall_micros(), 0u);
+
+  // The queued session got a queue span covering its wait; the shed
+  // session an instant on its own pid.
+  const uint32_t pid2 = static_cast<uint32_t>(s2->query_id()) + 1;
+  const uint32_t pid3 = static_cast<uint32_t>(s3->query_id()) + 1;
+  bool saw_queue = false, saw_shed = false;
+  for (const TraceEvent& e : tracer.Snapshot()) {
+    if (e.phase == 'X' && std::strcmp(e.name, "queue") == 0 &&
+        e.pid == pid2) {
+      saw_queue = true;
+      EXPECT_EQ(e.dur_micros, s2->queue_wall_micros());
+    }
+    if (e.phase == 'i' && std::strcmp(e.name, "shed") == 0 &&
+        e.pid == pid3) {
+      saw_shed = true;
+    }
+  }
+  EXPECT_TRUE(saw_queue);
+  EXPECT_TRUE(saw_shed);
+
+  // The query log holds one record per submitted session, shed included.
+  const QueryLog& log = engine.query_log();
+  const std::vector<QueryLogRecord> records = log.Records();
+  ASSERT_EQ(records.size(), 3u);
+  std::map<uint64_t, const QueryLogRecord*> by_id;
+  for (const QueryLogRecord& r : records) by_id[r.query_id] = &r;
+  ASSERT_EQ(by_id.size(), 3u);
+  const QueryLogRecord& r1 = *by_id.at(s1->query_id());
+  const QueryLogRecord& r2 = *by_id.at(s2->query_id());
+  const QueryLogRecord& r3 = *by_id.at(s3->query_id());
+  EXPECT_EQ(r1.admission, AdmissionOutcome::kImmediate);
+  EXPECT_EQ(r2.admission, AdmissionOutcome::kQueued);
+  EXPECT_EQ(r3.admission, AdmissionOutcome::kShed);
+  EXPECT_EQ(r1.label, "first");
+  EXPECT_EQ(r3.label, "third");
+  EXPECT_GT(r2.queue_wall_micros, 0u);
+  EXPECT_EQ(r1.result_count, r2.result_count);
+  EXPECT_EQ(r3.result_count, 0u);
+  EXPECT_FALSE(r3.planned);
+  // Both finished sessions crossed the 1us slow threshold; the shed one
+  // never ran.
+  EXPECT_TRUE(r1.slow);
+  EXPECT_TRUE(r2.slow);
+  EXPECT_FALSE(r3.slow);
+  EXPECT_EQ(log.slow_queries(), 2u);
+  EXPECT_EQ(log.appended(), 3u);
+  // Only queued sessions contribute to the queue-wait distribution.
+  EXPECT_EQ(log.queue_histogram().count(), 1u);
+  EXPECT_GT(log.queue_histogram().sum(), 0u);
+  EXPECT_EQ(AdmissionOutcomeName(AdmissionOutcome::kShed),
+            std::string("shed"));
+}
+
+// ---------------------------------------------------------------------------
+// QueryLog retention
+
+TEST(QueryLog, RetentionKeepsOldestAndHistogramsSeeEverything) {
+  QueryLog::Options options;
+  options.max_records = 2;
+  QueryLog log(options);
+  for (uint64_t i = 0; i < 5; ++i) {
+    QueryLogRecord record;
+    record.query_id = i;
+    record.wall_micros = 10 * (i + 1);
+    log.Append(std::move(record));
+  }
+  const std::vector<QueryLogRecord> records = log.Records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].query_id, 0u);
+  EXPECT_EQ(records[1].query_id, 1u);
+  EXPECT_EQ(log.appended(), 5u);
+  EXPECT_EQ(log.dropped_records(), 3u);
+  EXPECT_EQ(log.wall_histogram().count(), 5u);
+  EXPECT_EQ(log.wall_histogram().sum(), 10u + 20 + 30 + 40 + 50);
+}
+
+}  // namespace
+}  // namespace rsj

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by the tracing layer.
+
+Usage: validate_trace.py <trace.json>
+
+Checks (CI runs this on the trace the smoke bench emits):
+  * the file is non-empty, well-formed JSON with a traceEvents array;
+  * at least one complete span ('X') from EVERY instrumented layer —
+    the engine, the executors, the I/O scheduler and the spill path;
+  * at least one counter track sample ('C');
+  * process ('M'/process_name) metadata for the engine (pid 0) and at
+    least one query session pid;
+  * every 'X' span has non-negative dur and every event a numeric ts.
+"""
+
+import json
+import sys
+
+REQUIRED_CATEGORIES = ("engine", "exec", "io", "spill")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: validate_trace.py <trace.json>")
+        return 2
+    path = sys.argv[1]
+    try:
+        with open(path, "r") as f:
+            document = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"validate_trace: {path}: {error}")
+        return 1
+
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print(f"validate_trace: {path}: empty or missing traceEvents")
+        return 1
+
+    span_categories = {}
+    counters = 0
+    named_pids = set()
+    for event in events:
+        phase = event.get("ph")
+        if phase == "M":
+            if event.get("name") == "process_name":
+                named_pids.add(event.get("pid"))
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            print(f"validate_trace: event without numeric ts: {event}")
+            return 1
+        if phase == "C":
+            counters += 1
+        elif phase == "X":
+            if event.get("dur", -1) < 0:
+                print(f"validate_trace: span with negative dur: {event}")
+                return 1
+            category = event.get("cat", "")
+            span_categories[category] = span_categories.get(category, 0) + 1
+
+    failures = []
+    for category in REQUIRED_CATEGORIES:
+        if span_categories.get(category, 0) == 0:
+            failures.append(f"no '{category}' spans")
+    if counters == 0:
+        failures.append("no counter ('C') samples")
+    if 0 not in named_pids:
+        failures.append("no process_name metadata for the engine (pid 0)")
+    if not any(isinstance(p, int) and p > 0 for p in named_pids):
+        failures.append("no process_name metadata for any query session")
+
+    if failures:
+        for failure in failures:
+            print(f"validate_trace: {path}: {failure}")
+        return 1
+
+    total_spans = sum(span_categories.values())
+    print(
+        f"validate_trace: OK ({len(events)} events, {total_spans} spans "
+        f"across {len(span_categories)} categories, {counters} counter "
+        f"samples, {len(named_pids)} named process tracks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
