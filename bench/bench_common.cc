@@ -91,6 +91,29 @@ std::string IoCountersJson(const Statistics& stats) {
   return std::string(buf);
 }
 
+std::string RefinementJson(uint64_t candidates, uint64_t results,
+                           const Statistics& stats) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"candidates\":%llu,\"results\":%llu,\"selectivity\":%.6f,"
+      "\"ri_signatures_built\":%llu,\"ri_signature_bytes\":%llu,"
+      "\"ri_true_hits\":%llu,\"ri_rejects\":%llu,\"ri_inconclusive\":%llu,"
+      "\"ri_exact_tests_avoided\":%llu",
+      static_cast<unsigned long long>(candidates),
+      static_cast<unsigned long long>(results),
+      candidates == 0 ? 0.0
+                      : static_cast<double>(results) /
+                            static_cast<double>(candidates),
+      static_cast<unsigned long long>(stats.ri_signatures_built),
+      static_cast<unsigned long long>(stats.ri_signature_bytes),
+      static_cast<unsigned long long>(stats.ri_true_hits),
+      static_cast<unsigned long long>(stats.ri_rejects),
+      static_cast<unsigned long long>(stats.ri_inconclusive),
+      static_cast<unsigned long long>(stats.ri_exact_tests_avoided));
+  return std::string(buf);
+}
+
 std::string Num(uint64_t value) {
   char digits[32];
   std::snprintf(digits, sizeof(digits), "%llu",

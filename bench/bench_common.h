@@ -60,6 +60,13 @@ Statistics RunJoin(const TreePair& pair, JoinAlgorithm algorithm,
 // so the async-I/O metrics are scrapeable everywhere.
 std::string IoCountersJson(const Statistics& stats);
 
+// JSON object fragment (no surrounding braces) with the refinement view
+// of a run: candidate/result cardinalities, the refinement selectivity,
+// and the raster-tier (ri_*) counters of `stats` — zeros on exact-only
+// runs, so the schema is uniform across tiers.
+std::string RefinementJson(uint64_t candidates, uint64_t results,
+                           const Statistics& stats);
+
 // 12-char right-aligned integer with thousands separators.
 std::string Num(uint64_t value);
 

@@ -1,0 +1,165 @@
+// Two-tier refinement A/B: exact-only segment tests vs the
+// raster-interval intermediate filter (geom/raster_interval.h) in front
+// of them, on the paper's workloads.
+//
+// For tests A (streets x rivers), B (streets x streets) and E (region
+// data — 2-point chains, the degenerate shape for a raster tier), runs
+// the streaming ID-spatial-join (join/refinement.h) twice with collected
+// results:
+//   * exact   — every candidate pair pays PolylinesIntersect,
+//   * raster  — candidates are first classified on raster-interval
+//     signatures; TRUE-HITs are emitted and REJECTs dropped without an
+//     exact test, only INCONCLUSIVE pairs fall through.
+// Both legs' result pair multisets must be IDENTICAL — the tier is an
+// optimization, never an approximation. The verdict ledger must balance
+// (true_hits + rejects + inconclusive == candidate_pairs and
+// ri_exact_tests_avoided == true_hits + rejects), the inline form
+// (RunIdSpatialJoin with the same knobs) must reproduce the counts, and
+// at scale >= 0.05 the tier must avoid at least 30% of the exact tests
+// on A and B. Any violation exits non-zero, so CI smoke runs enforce the
+// acceptance criteria.
+//
+// Each leg is emitted as a JSON line (prefix "JSON ") with the shared
+// refinement fragment (candidates/results/selectivity/ri_* counters)
+// plus the avoided fraction and wall seconds.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace rsj {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// The avoided-fraction acceptance floor (A and B, scale >= 0.05).
+constexpr double kAvoidedFloor = 0.30;
+
+struct Leg {
+  StreamingIdJoinResult streaming;
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;  // sorted multiset
+  double seconds = 0.0;
+};
+
+Leg RunLeg(const RTree& tr, const Dataset& r, const RTree& ts,
+           const Dataset& s, const JoinOptions& jopt) {
+  StreamingRefineOptions ropts;
+  ropts.num_threads = 4;
+  ropts.collect_result_pairs = true;
+  Leg leg;
+  const auto t0 = Clock::now();
+  leg.streaming = RunIdSpatialJoinStreaming(tr, r, ts, s, jopt, ropts);
+  leg.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  leg.pairs = leg.streaming.refined.CopyPairs(nullptr);
+  std::sort(leg.pairs.begin(), leg.pairs.end());
+  return leg;
+}
+
+int Main(int argc, char** argv) {
+  const double scale = ParseScale(argc, argv);
+  PrintBanner("bench_refinement — exact-only vs raster-interval two-tier",
+              "§2.1 filter/refinement", scale);
+  bool ok = true;
+
+  for (const TestCase test : {TestCase::kA, TestCase::kB, TestCase::kE}) {
+    const Workload w = MakeWorkload(test, scale);
+    RTreeOptions topt;
+    topt.page_size = kPageSize4K;
+    PagedFile fr(topt.page_size);
+    PagedFile fs(topt.page_size);
+    const RTree tr = BuildRTree(&fr, w.r.Mbrs(), topt);
+    const RTree ts = BuildRTree(&fs, w.s.Mbrs(), topt);
+
+    JoinOptions jopt;
+    const Leg exact = RunLeg(tr, w.r, ts, w.s, jopt);
+    jopt.refine_raster = true;
+    const Leg raster = RunLeg(tr, w.r, ts, w.s, jopt);
+
+    const Statistics& rs = raster.streaming.stats;
+    const uint64_t candidates = raster.streaming.candidate_pairs;
+    const double avoided_fraction =
+        candidates == 0 ? 0.0
+                        : static_cast<double>(rs.ri_exact_tests_avoided) /
+                              static_cast<double>(candidates);
+
+    std::printf(
+        "test %s: %llu candidates -> %llu pairs | raster: %llu true-hit, "
+        "%llu reject, %llu inconclusive (%.1f%% avoided) | %.3fs exact, "
+        "%.3fs two-tier\n",
+        w.label.c_str(), static_cast<unsigned long long>(candidates),
+        static_cast<unsigned long long>(raster.streaming.result_pairs),
+        static_cast<unsigned long long>(rs.ri_true_hits),
+        static_cast<unsigned long long>(rs.ri_rejects),
+        static_cast<unsigned long long>(rs.ri_inconclusive),
+        avoided_fraction * 100.0, exact.seconds, raster.seconds);
+    std::printf(
+        "JSON {\"bench\":\"refinement\",\"test\":\"%s\",\"tier\":\"exact\","
+        "%s,\"wall_seconds\":%.4f,%s}\n",
+        w.label.c_str(),
+        RefinementJson(exact.streaming.candidate_pairs,
+                       exact.streaming.result_pairs, exact.streaming.stats)
+            .c_str(),
+        exact.seconds, IoCountersJson(exact.streaming.stats).c_str());
+    std::printf(
+        "JSON {\"bench\":\"refinement\",\"test\":\"%s\",\"tier\":\"raster\","
+        "%s,\"avoided_fraction\":%.4f,\"wall_seconds\":%.4f,%s}\n",
+        w.label.c_str(),
+        RefinementJson(candidates, raster.streaming.result_pairs, rs).c_str(),
+        avoided_fraction, raster.seconds, IoCountersJson(rs).c_str());
+
+    // The tier is transparent: identical candidates and an identical
+    // result pair multiset.
+    if (exact.streaming.candidate_pairs != candidates) {
+      std::printf("FAIL %s: candidate counts diverge\n", w.label.c_str());
+      ok = false;
+    }
+    if (exact.pairs != raster.pairs) {
+      std::printf("FAIL %s: result pair multisets diverge "
+                  "(%zu exact vs %zu raster)\n",
+                  w.label.c_str(), exact.pairs.size(), raster.pairs.size());
+      ok = false;
+    }
+    // The verdict ledger balances: every candidate got exactly one
+    // verdict, and 'avoided' counts exactly the proven ones.
+    if (rs.ri_true_hits + rs.ri_rejects + rs.ri_inconclusive != candidates ||
+        rs.ri_exact_tests_avoided != rs.ri_true_hits + rs.ri_rejects) {
+      std::printf("FAIL %s: verdict ledger does not balance\n",
+                  w.label.c_str());
+      ok = false;
+    }
+    // The inline form with the same knobs reproduces the counts.
+    const IdJoinResult inline_result =
+        RunIdSpatialJoin(tr, w.r, ts, w.s, jopt);
+    if (inline_result.candidate_pairs != candidates ||
+        inline_result.result_pairs != raster.streaming.result_pairs) {
+      std::printf("FAIL %s: inline two-tier diverges from streaming\n",
+                  w.label.c_str());
+      ok = false;
+    }
+    // The perf claim, on the workloads the tier targets.
+    if (scale >= 0.05 && (test == TestCase::kA || test == TestCase::kB) &&
+        avoided_fraction < kAvoidedFloor) {
+      std::printf("FAIL %s: avoided %.1f%% < %.0f%% floor\n", w.label.c_str(),
+                  avoided_fraction * 100.0, kAvoidedFloor * 100.0);
+      ok = false;
+    }
+  }
+
+  std::printf(
+      "\n%s: the raster tier returned identical result multisets on every\n"
+      "workload; TRUE-HIT and REJECT verdicts skipped the exact segment\n"
+      "tests for the avoided fraction above.\n",
+      ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rsj
+
+int main(int argc, char** argv) { return rsj::bench::Main(argc, argv); }

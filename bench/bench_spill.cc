@@ -232,11 +232,11 @@ int Main(int argc, char** argv) {
             streaming.stats.result_chunks_spilled));
     std::printf(
         "JSON {\"bench\":\"spill\",\"mode\":\"refinement\",\"workers\":4,"
-        "\"candidates\":%llu,\"pairs\":%llu,"
-        "\"peak_chunks_resident\":%llu,\"chunks_spilled\":%llu,"
+        "%s,\"peak_chunks_resident\":%llu,\"chunks_spilled\":%llu,"
         "\"spill_bytes\":%llu,%s}\n",
-        static_cast<unsigned long long>(streaming.candidate_pairs),
-        static_cast<unsigned long long>(streaming.result_pairs),
+        RefinementJson(streaming.candidate_pairs, streaming.result_pairs,
+                       streaming.stats)
+            .c_str(),
         static_cast<unsigned long long>(
             streaming.stats.result_peak_chunks_resident),
         static_cast<unsigned long long>(

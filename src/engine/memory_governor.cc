@@ -12,6 +12,8 @@ const char* MemoryCategoryName(MemoryCategory category) {
       return "cache_frames";
     case MemoryCategory::kSessionReservations:
       return "session_reservations";
+    case MemoryCategory::kRasterSignatures:
+      return "raster_signatures";
   }
   return "unknown";
 }
@@ -30,6 +32,8 @@ const char* GovernorCounterName(MemoryCategory category) {
       return "governor/cache_frames";
     case MemoryCategory::kSessionReservations:
       return "governor/session_reservations";
+    case MemoryCategory::kRasterSignatures:
+      return "governor/raster_signatures";
   }
   return "governor/unknown";
 }

@@ -55,9 +55,10 @@ enum class MemoryCategory : unsigned {
   kFrontierTuples = 1,       // pipeline frontier tuples in flight
   kCacheFrames = 2,          // buffer pool pages + decoded-node frames
   kSessionReservations = 3,  // whole-session working-set reservations
+  kRasterSignatures = 4,     // raster-interval refinement signatures
 };
 
-inline constexpr unsigned kMemoryCategoryCount = 4;
+inline constexpr unsigned kMemoryCategoryCount = 5;
 
 const char* MemoryCategoryName(MemoryCategory category);
 

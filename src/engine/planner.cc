@@ -29,10 +29,21 @@ void DecideFromEstimate(const PlannerOptions& options, PlanChoice* plan) {
 
 PlanChoice PlanPairJoin(const RTree& r, const RTree& s,
                         const PlannerOptions& options) {
+  return PlanPairJoin(r, s, options, /*exact_geometry=*/false);
+}
+
+PlanChoice PlanPairJoin(const RTree& r, const RTree& s,
+                        const PlannerOptions& options, bool exact_geometry) {
   PlanChoice plan;
   plan.estimate = EstimateJoinCost(r, s);
   DecideFromEstimate(options, &plan);
   plan.pipelined = true;  // meaningless for a pairwise join
+  // The estimated MBR-join output is the refinement tier's candidate
+  // count: signature construction only amortizes past the floor.
+  plan.refine_raster = exact_geometry &&
+                       plan.estimate.result_pairs >=
+                           options.raster_candidate_floor;
+  plan.raster_grid_bits = options.raster_grid_bits;
   return plan;
 }
 
@@ -76,17 +87,20 @@ void ApplyPlan(const PlanChoice& plan, JoinOptions* join,
   exec->spill_budget_chunks = plan.spill_budget_chunks;
   exec->prefetch = plan.prefetch;
   exec->prefetch_ahead = plan.prefetch_ahead;
+  join->refine_raster = plan.refine_raster;
+  join->raster_grid_bits = plan.raster_grid_bits;
 }
 
 std::string PlanChoice::Describe() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "plan{algo=%s pipelined=%d spill=%d budget=%zu prefetch=%d "
-                "ahead=%zu est{node_pairs=%.1f page_reads=%.1f "
-                "sj1_cmp=%.1f result=%.1f peak_tuples=%.1f}}",
+                "ahead=%zu raster=%d bits=%u est{node_pairs=%.1f "
+                "page_reads=%.1f sj1_cmp=%.1f result=%.1f peak_tuples=%.1f}}",
                 JoinAlgorithmName(algorithm), pipelined ? 1 : 0,
                 spill ? 1 : 0, spill_budget_chunks, prefetch ? 1 : 0,
-                prefetch_ahead, estimate.node_pairs, estimate.page_reads,
+                prefetch_ahead, refine_raster ? 1 : 0, raster_grid_bits,
+                estimate.node_pairs, estimate.page_reads,
                 estimate.sj1_comparisons, estimate.result_pairs,
                 peak_intermediate_tuples);
   return std::string(buf);

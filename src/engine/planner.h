@@ -30,6 +30,13 @@
 //                 enable schedule-driven prefetching with a
 //                 `prefetch_ahead` window; tiny joins skip the hint
 //                 traffic.
+//   * refine    — when the query asks for exact geometry, an estimated
+//                 candidate count (the MBR-join output) past
+//                 `raster_candidate_floor` turns on the raster-interval
+//                 intermediate tier (geom/raster_interval.h): signature
+//                 construction amortizes over many candidate pairs, so
+//                 tiny candidate sets skip it and go straight to the
+//                 segment tests.
 //
 // PlanChoice::Describe() serializes the choice AND the estimator inputs
 // that produced it — the engine stores it per session, so every decision
@@ -65,6 +72,11 @@ struct PlannerOptions {
   double prefetch_page_read_floor = 2000;
   // Async-read window handed to the prefetcher when it is chosen.
   size_t prefetch_ahead = 32;
+  // Estimated candidate pairs at or above which an exact-geometry query
+  // runs the raster-interval tier before the segment tests.
+  double raster_candidate_floor = 5000;
+  // Grid resolution handed to the tier when it is chosen.
+  unsigned raster_grid_bits = 14;
 };
 
 struct PlanChoice {
@@ -74,6 +86,9 @@ struct PlanChoice {
   size_t spill_budget_chunks = 64;
   bool prefetch = false;
   size_t prefetch_ahead = 32;
+  // Two-tier refinement (only set when planning an exact-geometry query).
+  bool refine_raster = false;
+  unsigned raster_grid_bits = 14;
 
   // The estimator inputs the decisions were made on. For chains:
   // node_pairs/page_reads/sj1_comparisons sum the per-phase pairwise
@@ -86,9 +101,14 @@ struct PlanChoice {
   std::string Describe() const;
 };
 
-// Plans a pairwise join R ⋈ S.
+// Plans a pairwise join R ⋈ S. `exact_geometry` marks a query whose
+// candidates will be refined on the exact chains (join/refinement.h);
+// only those queries can earn the raster tier. The two-argument form
+// plans an MBR-only join.
 PlanChoice PlanPairJoin(const RTree& r, const RTree& s,
                         const PlannerOptions& options);
+PlanChoice PlanPairJoin(const RTree& r, const RTree& s,
+                        const PlannerOptions& options, bool exact_geometry);
 
 // Plans a chain join (relations.size() >= 2). Intermediate cardinalities
 // compose the pairwise estimates: the estimated tuple count after phase k

@@ -21,6 +21,35 @@ std::string SessionLabel(const QuerySpec& spec, uint64_t query_id) {
   return spec.label.empty() ? "q" + std::to_string(query_id) : spec.label;
 }
 
+// Planner-informed admission estimate: the bytes this session plausibly
+// holds resident at peak, instead of one flat number for every query.
+//   * frontier — the chain pipeline's estimated peak intermediate tuples,
+//   * results  — bounded by the spill budget when spilling was chosen,
+//     else the estimated result cardinality (materialized unbounded);
+//     counting-only queries hold no result pairs at all,
+//   * raster   — a per-object signature model when the refine tier is on.
+uint64_t PlannedReserveBytes(const PlanChoice& plan, const QuerySpec& spec,
+                             size_t chunk_capacity) {
+  // Model constants: a frontier tuple is a few ids plus chunk overhead;
+  // thin-chain raster signatures average well under 64 bytes per object.
+  constexpr double kTupleBytes = 16.0;
+  constexpr double kSignatureBytesPerObject = 64.0;
+  constexpr uint64_t kFloorBytes = 64 * 1024;
+  double bytes = plan.peak_intermediate_tuples * kTupleBytes;
+  if (spec.collect) {
+    bytes += plan.spill ? static_cast<double>(plan.spill_budget_chunks) *
+                              static_cast<double>(chunk_capacity) *
+                              sizeof(ResultPair)
+                        : plan.estimate.result_pairs * sizeof(ResultPair);
+  }
+  if (plan.refine_raster) {
+    uint64_t objects = 0;
+    for (const JoinRelation& rel : spec.relations) objects += rel.tree->size();
+    bytes += static_cast<double>(objects) * kSignatureBytesPerObject;
+  }
+  return std::max(kFloorBytes, static_cast<uint64_t>(bytes));
+}
+
 }  // namespace
 
 void QuerySession::Wait() const {
@@ -77,6 +106,22 @@ QuerySession* QueryEngine::Submit(QuerySpec spec) {
   QuerySession* session = owned.get();
   session->spec_ = std::move(spec);
 
+  // Reservation sizing (outside the engine lock — the estimator only
+  // reads the spec and the immutable trees): flat, or the planner's
+  // peak-resident estimate. The plan is kept for the run.
+  session->reserved_bytes_ = options_.session_reserve_bytes;
+  if (options_.plan_admission && session->spec_.use_planner) {
+    session->preplan_ =
+        session->spec_.relations.size() > 2
+            ? PlanChainJoin(session->spec_.relations, options_.planner)
+            : PlanPairJoin(*session->spec_.relations[0].tree,
+                           *session->spec_.relations[1].tree,
+                           options_.planner);
+    session->preplanned_ = true;
+    session->reserved_bytes_ = PlannedReserveBytes(
+        session->preplan_, session->spec_, options_.exec_base.chunk_capacity);
+  }
+
   std::lock_guard<std::mutex> lock(mu_);
   session->query_id_ = telemetry_.sessions_submitted;
   session->submit_wall_ = WallMicros();
@@ -91,10 +136,10 @@ QuerySession* QueryEngine::Submit(QuerySpec spec) {
       slot_free &&
       (running_ == 0
            ? (governor_.Charge(MemoryCategory::kSessionReservations,
-                               options_.session_reserve_bytes),
+                               session->reserved_bytes_),
               true)
            : governor_.TryLease(MemoryCategory::kSessionReservations,
-                                options_.session_reserve_bytes));
+                                session->reserved_bytes_));
   if (leased) {
     session->admission_ = AdmissionOutcome::kImmediate;
     AdmitLocked(session);
@@ -188,11 +233,14 @@ void QueryEngine::RunSession(QuerySession* session) {
   if (spec.use_planner) {
     TraceSpan plan_span(tracer, "engine", "plan", pid);
     outcome.planned = true;
+    // plan_admission already planned this query at submit; reuse it.
     outcome.plan =
-        outcome.is_chain
-            ? PlanChainJoin(spec.relations, options_.planner)
-            : PlanPairJoin(*spec.relations[0].tree, *spec.relations[1].tree,
-                           options_.planner);
+        session->preplanned_
+            ? session->preplan_
+            : (outcome.is_chain
+                   ? PlanChainJoin(spec.relations, options_.planner)
+                   : PlanPairJoin(*spec.relations[0].tree,
+                                  *spec.relations[1].tree, options_.planner));
     ApplyPlan(outcome.plan, &join, &exec);
   }
 
@@ -245,25 +293,26 @@ void QueryEngine::RunSession(QuerySession* session) {
   OnSessionDone(session);
 }
 
-void QueryEngine::OnSessionDone(QuerySession* /*session*/) {
+void QueryEngine::OnSessionDone(QuerySession* session) {
   std::lock_guard<std::mutex> lock(mu_);
   governor_.Release(MemoryCategory::kSessionReservations,
-                    options_.session_reserve_bytes);
+                    session->reserved_bytes_);
   --running_;
   ++telemetry_.sessions_finished;
   // FIFO admission of the queue head. The head may outsize the freed
-  // lease (another category grew meanwhile); it then waits for the next
-  // completion — and is forced through once nothing runs at all.
+  // lease (another category grew meanwhile, or it reserves more than the
+  // finisher did); it then waits for the next completion — and is forced
+  // through once nothing runs at all.
   while (!queue_.empty() && running_ < options_.max_concurrent_sessions) {
+    QuerySession* next = queue_.front();
     const bool leased =
         running_ == 0
             ? (governor_.Charge(MemoryCategory::kSessionReservations,
-                                options_.session_reserve_bytes),
+                                next->reserved_bytes_),
                true)
             : governor_.TryLease(MemoryCategory::kSessionReservations,
-                                 options_.session_reserve_bytes);
+                                 next->reserved_bytes_);
     if (!leased) break;
-    QuerySession* next = queue_.front();
     queue_.pop_front();
     AdmitLocked(next);
   }

@@ -145,6 +145,12 @@ class QuerySession {
   AdmissionOutcome admission_ = AdmissionOutcome::kImmediate;
   uint64_t submit_wall_ = 0;  // engine clock at Submit
   uint64_t admit_wall_ = 0;   // engine clock at admission
+  // The governor lease this session holds while admitted (set once at
+  // Submit; flat or planner-informed).
+  uint64_t reserved_bytes_ = 0;
+  // With plan_admission: the plan computed at submit, reused by the run.
+  bool preplanned_ = false;
+  PlanChoice preplan_;
 };
 
 class QueryEngine {
@@ -161,6 +167,15 @@ class QueryEngine {
     // Bytes leased (kSessionReservations) per admitted session — the
     // admission-control unit.
     uint64_t session_reserve_bytes = 1 << 20;
+    // true: sessions whose spec uses the planner reserve a
+    // planner-informed estimate of their peak resident bytes (pipeline
+    // frontier + result chunks under the spill budget + raster
+    // signatures when that tier is chosen) instead of the flat
+    // session_reserve_bytes — small queries then reserve less, and more
+    // of them fit under a tight memory budget. The plan computed at
+    // submit is reused when the session runs. Planner-opted-out specs
+    // keep the flat reservation.
+    bool plan_admission = false;
     // Sessions running at once; later submits queue.
     size_t max_concurrent_sessions = 4;
     // Queued sessions beyond this are shed at submit.

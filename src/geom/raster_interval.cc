@@ -1,0 +1,211 @@
+#include "geom/raster_interval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "geom/zorder.h"
+
+namespace rsj {
+
+namespace {
+
+// Absolute slop, scaled to the universe extent by the callers below:
+// coverage is widened by it (a cell within rounding distance of the
+// chain is included — keeps kReject sound) and full-traversal classes
+// require containment by at least it (a flag within rounding distance
+// of the cell boundary is dropped — keeps kTrueHit sound).
+constexpr double kEpsScale = 1e-9;
+
+double YAt(double ax, double ay, double bx, double by, double x) {
+  // Linear interpolation along a non-vertical segment, clamped so
+  // rounding never extrapolates past the endpoint values.
+  const double t = (x - ax) / (bx - ax);
+  const double y = ay + t * (by - ay);
+  return std::clamp(y, std::min(ay, by), std::max(ay, by));
+}
+
+double XAt(double ax, double ay, double bx, double by, double y) {
+  const double t = (y - ay) / (by - ay);
+  const double x = ax + t * (bx - ax);
+  return std::clamp(x, std::min(ax, bx), std::max(ax, bx));
+}
+
+using CellFlag = std::pair<uint32_t, uint8_t>;  // (z-value, class bits)
+
+// Supercover + FULL_H by column sweep, FULL_V by the transposed row
+// sweep. Both sweeps emit into `cells`; duplicates are OR-merged later.
+void CoverSegment(const RasterGrid& g, const Point& pa, const Point& pb,
+                  double eps, std::vector<CellFlag>* cells) {
+  const double ax = pa.x, ay = pa.y, bx = pb.x, by = pb.y;
+  const double xmin = std::min(ax, bx), xmax = std::max(ax, bx);
+  const double ymin = std::min(ay, by), ymax = std::max(ay, by);
+  const bool vertical = xmax == xmin;    // includes zero-length segments
+  const bool horizontal = ymax == ymin;  // ditto
+
+  // Column sweep: coverage for every column the closed segment touches
+  // (widened by eps), FULL_H where one segment crosses the whole column
+  // inside one row's closed span.
+  const uint32_t c0 = g.CellLoX(xmin - eps);
+  const uint32_t c1 = g.CellHiX(xmax + eps);
+  for (uint32_t c = c0; c <= c1; ++c) {
+    const double col_lo = g.ColumnEdge(c);
+    const double col_hi = g.ColumnEdge(c + 1);
+    double ylo = ymin, yhi = ymax;
+    if (!vertical) {
+      // y-extent of the segment over this column (linear => attained at
+      // the clipped endpoints; clamping keeps eps-phantom columns on the
+      // nearest real endpoint).
+      const double xs = std::min(std::max(xmin, col_lo), xmax);
+      const double xe = std::min(std::max(xmin, col_hi), xmax);
+      const double ys = YAt(ax, ay, bx, by, xs);
+      const double ye = YAt(ax, ay, bx, by, xe);
+      ylo = std::min(ys, ye);
+      yhi = std::max(ys, ye);
+    }
+    const bool spans_column = !vertical && xmin <= col_lo && xmax >= col_hi;
+    const uint32_t r0 = g.CellLoY(ylo - eps);
+    const uint32_t r1 = g.CellHiY(yhi + eps);
+    for (uint32_t r = r0; r <= r1; ++r) {
+      uint8_t flags = 0;
+      if (spans_column && ylo >= g.RowEdge(r) + eps &&
+          yhi <= g.RowEdge(r + 1) - eps) {
+        flags |= kRasterFullH;
+      }
+      cells->push_back({InterleaveBits16(c, r), flags});
+    }
+  }
+
+  // Row sweep: only FULL_V flags (its coverage is the same supercover
+  // the column sweep already emitted).
+  if (horizontal) return;
+  const uint32_t r0 = g.CellLoY(ymin);
+  const uint32_t r1 = g.CellHiY(ymax);
+  for (uint32_t r = r0; r <= r1; ++r) {
+    const double row_lo = g.RowEdge(r);
+    const double row_hi = g.RowEdge(r + 1);
+    if (!(ymin <= row_lo && ymax >= row_hi)) continue;  // no full crossing
+    const double xs = XAt(ax, ay, bx, by, row_lo);
+    const double xe = XAt(ax, ay, bx, by, row_hi);
+    const double xlo = std::min(xs, xe);
+    const double xhi = std::max(xs, xe);
+    const uint32_t cc0 = g.CellLoX(xlo);
+    const uint32_t cc1 = g.CellHiX(xhi);
+    for (uint32_t c = cc0; c <= cc1; ++c) {
+      if (xlo >= g.ColumnEdge(c) + eps && xhi <= g.ColumnEdge(c + 1) - eps) {
+        cells->push_back({InterleaveBits16(c, r), kRasterFullV});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+RasterGrid::RasterGrid(const Rect& universe, unsigned bits)
+    : universe_(universe), bits_(std::clamp(bits, 1u, kMaxBits)) {
+  n_ = uint32_t{1} << bits_;
+  x0_ = universe.xl;
+  y0_ = universe.yl;
+  const double w = std::max(static_cast<double>(universe.xu) - x0_, 1e-30);
+  const double h = std::max(static_cast<double>(universe.yu) - y0_, 1e-30);
+  dx_ = w / n_;
+  dy_ = h / n_;
+  inv_dx_ = n_ / w;
+  inv_dy_ = n_ / h;
+}
+
+uint32_t RasterGrid::CellLo(double v, double origin, double inv_step) const {
+  const double t = (v - origin) * inv_step;
+  if (t <= 0.0) return 0;
+  if (t >= n_) return n_ - 1;
+  const double f = std::floor(t);
+  uint32_t c = static_cast<uint32_t>(f);
+  if (f == t && c > 0) --c;  // exactly on an interior edge: both neighbors
+  return std::min(c, n_ - 1);
+}
+
+uint32_t RasterGrid::CellHi(double v, double origin, double inv_step) const {
+  const double t = (v - origin) * inv_step;
+  if (t <= 0.0) return 0;
+  if (t >= n_) return n_ - 1;
+  return std::min(static_cast<uint32_t>(std::floor(t)), n_ - 1);
+}
+
+RasterSignature BuildRasterSignature(const RasterGrid& grid,
+                                     std::span<const Point> chain) {
+  RasterSignature signature;
+  if (chain.empty()) return signature;
+
+  const Rect& u = grid.universe();
+  const double magnitude = std::max(
+      {1.0, std::fabs(static_cast<double>(u.xl)),
+       std::fabs(static_cast<double>(u.xu)),
+       std::fabs(static_cast<double>(u.yl)),
+       std::fabs(static_cast<double>(u.yu))});
+  const double eps = kEpsScale * magnitude;
+
+  std::vector<CellFlag> cells;
+  if (chain.size() == 1) {
+    CoverSegment(grid, chain[0], chain[0], eps, &cells);
+  } else {
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+      CoverSegment(grid, chain[i], chain[i + 1], eps, &cells);
+    }
+  }
+  std::sort(cells.begin(), cells.end());
+
+  // OR-merge duplicate cells, then compress runs of consecutive
+  // z-values with identical classes into intervals.
+  size_t i = 0;
+  while (i < cells.size()) {
+    const uint32_t z = cells[i].first;
+    uint8_t flags = cells[i].second;
+    while (i + 1 < cells.size() && cells[i + 1].first == z) {
+      flags |= cells[++i].second;
+    }
+    ++i;
+    if (!signature.empty() && signature.hi.back() + 1 == z &&
+        signature.cls.back() == flags && signature.hi.back() != 0xFFFFFFFFu) {
+      signature.hi.back() = z;
+    } else {
+      signature.lo.push_back(z);
+      signature.hi.push_back(z);
+      signature.cls.push_back(flags);
+    }
+  }
+  signature.lo.shrink_to_fit();
+  signature.hi.shrink_to_fit();
+  signature.cls.shrink_to_fit();
+  return signature;
+}
+
+RasterVerdict ClassifyRasterPair(const RasterSignature& a,
+                                 const RasterSignature& b) {
+  size_t i = 0, j = 0;
+  bool overlap = false;
+  while (i < a.size() && j < b.size()) {
+    if (a.hi[i] < b.lo[j]) {
+      ++i;
+    } else if (b.hi[j] < a.lo[i]) {
+      ++j;
+    } else {
+      // Overlapping intervals share at least one cell; classes are
+      // uniform per interval, so any common cell carries (ca, cb).
+      overlap = true;
+      const uint8_t ca = a.cls[i];
+      const uint8_t cb = b.cls[j];
+      if (((ca & kRasterFullH) != 0 && (cb & kRasterFullV) != 0) ||
+          ((ca & kRasterFullV) != 0 && (cb & kRasterFullH) != 0)) {
+        return RasterVerdict::kTrueHit;
+      }
+      if (a.hi[i] < b.hi[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+  }
+  return overlap ? RasterVerdict::kInconclusive : RasterVerdict::kReject;
+}
+
+}  // namespace rsj

@@ -1,0 +1,146 @@
+// Raster-interval object approximations for the refinement step.
+//
+// The filter step (MBR-spatial-join) hands every candidate pair to exact
+// polyline intersection. Most candidates on the TIGER-like workloads are
+// either trivially disjoint or provably intersecting, so paying the exact
+// segment tests for all of them is the widest remaining hot path. This
+// module implements a second-tier approximation in the spirit of "Raster
+// Interval Object Approximations for Spatial Intersection Joins"
+// (arXiv 2307.01716), adapted to polyline semantics:
+//
+//   * Every object is rasterized onto a fixed 2^bits x 2^bits grid
+//     spanning a shared universe, linearized by Z-order (geom/zorder.h).
+//     The rasterization is the *supercover*: every grid cell whose
+//     closed region the chain touches is included, so a coordinate that
+//     lands exactly on a grid line belongs to both adjacent cells.
+//   * Covered cells carry traversal classes. A cell is FULL_H when a
+//     single segment crosses it from its left edge to its right edge
+//     while staying inside the cell's closed y-span; FULL_V is the
+//     transpose (bottom edge to top edge inside the x-span). Cells with
+//     coverage but no full traversal are PARTIAL. (A 1-dimensional chain
+//     never covers a cell *interior*, so the region-approximation notion
+//     of FULL is replaced by full *traversals* — the property that makes
+//     a true-hit provable for polylines.)
+//   * Sorted runs of consecutive z-values with identical classes are
+//     compressed into intervals, stored as structure-of-arrays vectors
+//     (lo[] / hi[] / cls[], mirroring geom/rect_block.h conventions) so
+//     the pair test is one cache-friendly merge-scan.
+//
+// The pair test returns one of three verdicts:
+//
+//   * kTrueHit — some common cell has FULL_H on one side and FULL_V on
+//     the other. Soundness is the intermediate-value argument: inside
+//     one closed cell, a curve joining the left and right edges must
+//     cross a curve joining the bottom and top edges, so the exact
+//     geometries intersect. (FULL_H on both sides proves nothing — two
+//     shallow segments can share a cell without touching.)
+//   * kReject — the interval lists are disjoint. Sound because the
+//     supercover is conservative: intersecting chains share at least
+//     one closed cell on the *same* grid.
+//   * kInconclusive — overlapping coverage without a proving pair; the
+//     caller falls through to the exact segment tests.
+//
+// Robustness: clipping a segment to a column computes y-extents in
+// double precision with rounding error, so coverage is *expanded* by an
+// epsilon (keeps kReject sound: a barely-touched cell is never missed)
+// while full-traversal classes require containment with an epsilon
+// margin (keeps kTrueHit sound: a flag is dropped, never invented, when
+// the extent is within rounding distance of the cell boundary).
+
+#ifndef RSJ_GEOM_RASTER_INTERVAL_H_
+#define RSJ_GEOM_RASTER_INTERVAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/rect.h"
+
+namespace rsj {
+
+// Cell classes, OR-combinable per cell. Presence in a signature already
+// means PARTIAL coverage; the flags record full traversals on top.
+inline constexpr uint8_t kRasterFullH = 1;  // spans left edge -> right edge
+inline constexpr uint8_t kRasterFullV = 2;  // spans bottom edge -> top edge
+
+// The fixed rasterization grid: 2^bits x 2^bits cells spanning
+// `universe`. Both sides of a join MUST share one grid (same universe,
+// same bits) — every soundness argument compares cell boundaries, and
+// those only agree when computed from identical grid parameters.
+class RasterGrid {
+ public:
+  static constexpr unsigned kMaxBits = 16;  // z-values stay in 32 bits
+
+  RasterGrid() : RasterGrid(Rect{0.0f, 0.0f, 1.0f, 1.0f}, 14) {}
+  RasterGrid(const Rect& universe, unsigned bits);
+
+  unsigned bits() const { return bits_; }
+  uint32_t cells_per_axis() const { return n_; }
+  const Rect& universe() const { return universe_; }
+
+  // Boundary coordinate of column/row `c` (c in [0, n]): the shared edge
+  // between cell c-1 and cell c. Deterministic: both join sides evaluate
+  // identical doubles for identical (grid, c).
+  double ColumnEdge(uint32_t c) const { return x0_ + c * dx_; }
+  double RowEdge(uint32_t c) const { return y0_ + c * dy_; }
+
+  // The lowest / highest cell whose *closed* span contains `v` (closed
+  // cells share their edges, so a value exactly on an interior edge is
+  // in both neighbors). Values outside the universe clamp to the border
+  // cells. Exposed for the brute-force oracle in tests.
+  uint32_t CellLoX(double v) const { return CellLo(v, x0_, inv_dx_); }
+  uint32_t CellHiX(double v) const { return CellHi(v, x0_, inv_dx_); }
+  uint32_t CellLoY(double v) const { return CellLo(v, y0_, inv_dy_); }
+  uint32_t CellHiY(double v) const { return CellHi(v, y0_, inv_dy_); }
+
+ private:
+  uint32_t CellLo(double v, double origin, double inv_step) const;
+  uint32_t CellHi(double v, double origin, double inv_step) const;
+
+  Rect universe_;
+  unsigned bits_;
+  uint32_t n_;
+  double x0_, y0_;        // universe origin
+  double dx_, dy_;        // cell extents
+  double inv_dx_, inv_dy_;
+};
+
+// One object's interval signature: maximal runs [lo, hi] (inclusive) of
+// consecutive z-values sharing one class byte. Structure-of-arrays so the
+// merge-scan touches three flat vectors.
+struct RasterSignature {
+  std::vector<uint32_t> lo;
+  std::vector<uint32_t> hi;
+  std::vector<uint8_t> cls;
+
+  size_t size() const { return lo.size(); }
+  bool empty() const { return lo.empty(); }
+
+  // Heap bytes of the signature (the unit the memory governor leases).
+  uint64_t ByteSize() const {
+    return static_cast<uint64_t>(lo.capacity()) * sizeof(uint32_t) +
+           static_cast<uint64_t>(hi.capacity()) * sizeof(uint32_t) +
+           static_cast<uint64_t>(cls.capacity()) * sizeof(uint8_t);
+  }
+};
+
+// Rasterizes a vertex chain (polyline; a single vertex is a point) onto
+// `grid` and compresses the covered cells into the interval signature.
+RasterSignature BuildRasterSignature(const RasterGrid& grid,
+                                     std::span<const Point> chain);
+
+enum class RasterVerdict {
+  kTrueHit,       // proven: the exact geometries intersect
+  kReject,        // proven: they do not
+  kInconclusive,  // approximation cannot decide; run the exact test
+};
+
+// Merge-scans two signatures built on the SAME grid. Early-outs on the
+// first proving cell.
+RasterVerdict ClassifyRasterPair(const RasterSignature& a,
+                                 const RasterSignature& b);
+
+}  // namespace rsj
+
+#endif  // RSJ_GEOM_RASTER_INTERVAL_H_

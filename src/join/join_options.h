@@ -58,6 +58,18 @@ struct JoinOptions {
 
   // Distance threshold for JoinPredicate::kWithinDistance.
   double epsilon = 0.0;
+
+  // Two-tier refinement (geom/raster_interval.h): classify candidate
+  // pairs on raster-interval signatures — TRUE-HIT / REJECT /
+  // INCONCLUSIVE — before paying the exact segment-intersection tests.
+  // Only the refinement entry points (join/refinement.h) read these; the
+  // MBR-only filter executors ignore them.
+  bool refine_raster = false;
+  // Grid resolution: 2^bits x 2^bits cells over the joined universes
+  // (clamped to [1, 16]). Finer grids reject more and cost more
+  // signature bytes; 14 clears the bench_refinement floor on the
+  // street/river workloads.
+  unsigned raster_grid_bits = 14;
 };
 
 // Short display names ("SJ1".."SJ5", "SweepI").

@@ -23,11 +23,76 @@
 #ifndef RSJ_JOIN_REFINEMENT_H_
 #define RSJ_JOIN_REFINEMENT_H_
 
+#include <array>
+#include <atomic>
+#include <mutex>
+
 #include "datagen/dataset.h"
+#include "engine/memory_governor.h"
 #include "exec/spill_sink.h"
+#include "geom/raster_interval.h"
 #include "join/join_runner.h"
 
 namespace rsj {
+
+// The raster-interval intermediate tier over one dataset pair: a
+// thread-safe per-object signature cache for each side, sharing one grid
+// (the union of both universes — the soundness precondition of
+// geom/raster_interval.h). Signatures build lazily on first use (sharded
+// double-checked locking; safe from concurrent refinement workers) or
+// eagerly via BuildAll; their heap bytes lease from the governor's
+// kRasterSignatures category (TryLease, falling back to Charge so
+// refinement never stalls — overshoot stays visible in the peaks) and
+// are released on destruction.
+//
+// Classify() tallies the verdict counters on the CALLER's Statistics
+// (ri_true_hits / ri_rejects / ri_inconclusive, plus
+// ri_exact_tests_avoided for the proven verdicts); build work charges
+// ri_signatures_built / ri_signature_bytes to whichever caller triggered
+// the build. One instance per dataset pair; must outlive every
+// refinement run using it.
+class RasterRefineFilter {
+ public:
+  RasterRefineFilter(const Dataset& r, const Dataset& s, unsigned grid_bits,
+                     MemoryGovernor* governor = nullptr);
+  ~RasterRefineFilter();
+
+  RasterRefineFilter(const RasterRefineFilter&) = delete;
+  RasterRefineFilter& operator=(const RasterRefineFilter&) = delete;
+
+  // Classifies one candidate pair (ids index .objects), building the two
+  // signatures if this is their first use.
+  RasterVerdict Classify(uint32_t r_id, uint32_t s_id, Statistics* stats);
+
+  // Eagerly rasterizes every object of both sides (build counters charge
+  // to `stats`).
+  void BuildAll(Statistics* stats);
+
+  const RasterGrid& grid() const { return grid_; }
+  // Heap bytes of every signature built so far (== the governor lease).
+  uint64_t signature_bytes() const {
+    return signature_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Side {
+    const Dataset* dataset = nullptr;
+    // One atomic slot per object; nullptr until built. A self-join's S
+    // side aliases the R side's slots instead of building twice.
+    std::vector<std::atomic<const RasterSignature*>> slots;
+  };
+
+  const RasterSignature& Signature(Side* side, uint32_t id,
+                                   Statistics* stats);
+
+  RasterGrid grid_;
+  MemoryGovernor* const governor_;
+  Side r_side_;
+  Side s_side_;
+  Side* const s_ptr_;  // &r_side_ when R and S are the same dataset
+  std::array<std::mutex, 64> build_mu_;
+  std::atomic<uint64_t> signature_bytes_{0};
+};
 
 struct IdJoinResult {
   uint64_t candidate_pairs = 0;  // filter-step output (MBR intersections)
@@ -53,11 +118,15 @@ IdJoinResult RunIdSpatialJoin(const RTree& r_tree, const Dataset& r,
 // chunk resident at a time — tests the exact polyline geometry of every
 // pair, and emits the survivors through `sink` (counting, materializing,
 // or spilling). Returns the number of surviving pairs; spill re-reads
-// and refinement costs are charged to `stats`. `tracer`/`trace_pid` emit
-// the refinement span (obs/trace.h); nullptr = no tracing.
+// and refinement costs are charged to `stats`. `raster` non-null runs
+// the two-tier path: TRUE-HIT pairs are emitted without an exact test,
+// REJECTs are dropped, only INCONCLUSIVE pairs pay the segment tests.
+// `tracer`/`trace_pid` emit the refinement span (obs/trace.h), which
+// carries the avoided-exact-test count as its arg; nullptr = no tracing.
 uint64_t RefineCandidateChunks(const SpilledResult& candidates,
                                const Dataset& r, const Dataset& s,
                                ResultSink* sink, Statistics* stats,
+                               RasterRefineFilter* raster = nullptr,
                                TraceRecorder* tracer = nullptr,
                                uint32_t trace_pid = 0);
 
@@ -90,6 +159,11 @@ struct StreamingRefineOptions {
   TraceRecorder* tracer = nullptr;
   // Trace process id the run's spans are tagged with.
   uint32_t trace_pid = 0;
+  // With JoinOptions::refine_raster on: rasterize every object up front
+  // (eager at load) instead of lazily on first classification. Eager
+  // builds pay the whole signature cost even when the candidate set
+  // touches few objects; lazy builds only what refinement actually sees.
+  bool raster_eager_build = false;
 };
 
 struct StreamingIdJoinResult {

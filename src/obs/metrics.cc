@@ -62,6 +62,16 @@ const std::vector<StatisticsCounterDesc>& StatisticsCounters() {
       Plain<&Statistics::node_pairs>("node_pairs", MetricMergeKind::kSum),
       Plain<&Statistics::window_queries>("window_queries",
                                          MetricMergeKind::kSum),
+      Plain<&Statistics::ri_signatures_built>("ri_signatures_built",
+                                              MetricMergeKind::kSum),
+      Plain<&Statistics::ri_signature_bytes>("ri_signature_bytes",
+                                             MetricMergeKind::kSum),
+      Plain<&Statistics::ri_true_hits>("ri_true_hits", MetricMergeKind::kSum),
+      Plain<&Statistics::ri_rejects>("ri_rejects", MetricMergeKind::kSum),
+      Plain<&Statistics::ri_inconclusive>("ri_inconclusive",
+                                          MetricMergeKind::kSum),
+      Plain<&Statistics::ri_exact_tests_avoided>("ri_exact_tests_avoided",
+                                                 MetricMergeKind::kSum),
       Plain<&Statistics::frontier_peak_tuples>("frontier_peak_tuples",
                                                MetricMergeKind::kMax),
       Plain<&Statistics::result_chunks_spilled>("result_chunks_spilled",

@@ -33,6 +33,7 @@
 #include "exec/spill_sink.h"       // IWYU pragma: export
 #include "exec/task_scheduler.h"   // IWYU pragma: export
 #include "geom/plane_sweep.h"      // IWYU pragma: export
+#include "geom/raster_interval.h"  // IWYU pragma: export
 #include "geom/rect.h"             // IWYU pragma: export
 #include "geom/segment.h"          // IWYU pragma: export
 #include "geom/zorder.h"           // IWYU pragma: export

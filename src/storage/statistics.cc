@@ -24,6 +24,12 @@ void Statistics::MergeFrom(const Statistics& other) {
   output_pairs += other.output_pairs;
   node_pairs += other.node_pairs;
   window_queries += other.window_queries;
+  ri_signatures_built += other.ri_signatures_built;
+  ri_signature_bytes += other.ri_signature_bytes;
+  ri_true_hits += other.ri_true_hits;
+  ri_rejects += other.ri_rejects;
+  ri_inconclusive += other.ri_inconclusive;
+  ri_exact_tests_avoided += other.ri_exact_tests_avoided;
   result_chunks_spilled += other.result_chunks_spilled;
   result_spill_bytes += other.result_spill_bytes;
   // High-water marks: concurrent actors share one peak, so merging takes
@@ -35,7 +41,7 @@ void Statistics::MergeFrom(const Statistics& other) {
 }
 
 std::string Statistics::ToString() const {
-  char buf[2048];
+  char buf[3072];
   std::snprintf(
       buf, sizeof(buf),
       "disk reads:        %llu\n"
@@ -58,7 +64,12 @@ std::string Statistics::ToString() const {
       "frontier peak:     %llu tuples\n"
       "chunks spilled:    %llu\n"
       "spill bytes:       %llu\n"
-      "resident peak:     %llu chunks\n",
+      "resident peak:     %llu chunks\n"
+      "ri signatures:     %llu (%llu bytes)\n"
+      "ri true hits:      %llu\n"
+      "ri rejects:        %llu\n"
+      "ri inconclusive:   %llu\n"
+      "ri tests avoided:  %llu\n",
       static_cast<unsigned long long>(disk_reads),
       static_cast<unsigned long long>(buffer_hits), HitRate() * 100.0,
       static_cast<unsigned long long>(buffer_evictions),
@@ -79,7 +90,13 @@ std::string Statistics::ToString() const {
       static_cast<unsigned long long>(frontier_peak_tuples),
       static_cast<unsigned long long>(result_chunks_spilled),
       static_cast<unsigned long long>(result_spill_bytes),
-      static_cast<unsigned long long>(result_peak_chunks_resident));
+      static_cast<unsigned long long>(result_peak_chunks_resident),
+      static_cast<unsigned long long>(ri_signatures_built),
+      static_cast<unsigned long long>(ri_signature_bytes),
+      static_cast<unsigned long long>(ri_true_hits),
+      static_cast<unsigned long long>(ri_rejects),
+      static_cast<unsigned long long>(ri_inconclusive),
+      static_cast<unsigned long long>(ri_exact_tests_avoided));
   return std::string(buf);
 }
 

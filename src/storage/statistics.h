@@ -46,6 +46,17 @@ struct Statistics {
   uint64_t node_pairs = 0;      // node pairs processed by the recursion
   uint64_t window_queries = 0;  // window queries issued (different heights)
 
+  // --- two-tier refinement (geom/raster_interval.h) ---
+  // Per candidate pair exactly one of {true_hits, rejects, inconclusive}
+  // increments, so their sum equals the candidate count the tier saw and
+  // ri_exact_tests_avoided == ri_true_hits + ri_rejects always holds.
+  uint64_t ri_signatures_built = 0;     // object signatures rasterized
+  uint64_t ri_signature_bytes = 0;      // heap bytes of built signatures
+  uint64_t ri_true_hits = 0;            // pairs proven intersecting
+  uint64_t ri_rejects = 0;              // pairs proven disjoint
+  uint64_t ri_inconclusive = 0;         // pairs falling through to exact
+  uint64_t ri_exact_tests_avoided = 0;  // exact tests the tier saved
+
   // Peak live intermediate tuples of a multi-way chain join: materialized
   // executions count whole frontiers, the streaming pipeline counts
   // chunks in flight — the counter that proves the pipeline caps frontier

@@ -233,6 +233,35 @@ TEST_F(PlannerTest, ChainPicksPipelinedPastTheTupleFloor) {
   EXPECT_FALSE(plan.pipelined);
 }
 
+TEST_F(PlannerTest, RasterTierOnlyForExactGeometryPastTheFloor) {
+  const JoinCostEstimate est = EstimateJoinCost(big_->tree(), big_->tree());
+  ASSERT_GT(est.result_pairs, 0.0);
+  PlannerOptions popt;
+  popt.raster_candidate_floor = est.result_pairs / 2;  // enough candidates
+  PlanChoice plan = PlanPairJoin(big_->tree(), big_->tree(), popt,
+                                 /*exact_geometry=*/true);
+  EXPECT_TRUE(plan.refine_raster);
+  EXPECT_NE(plan.Describe().find("raster=1"), std::string::npos);
+  // An MBR-only query never earns the tier, whatever the estimate.
+  plan = PlanPairJoin(big_->tree(), big_->tree(), popt);
+  EXPECT_FALSE(plan.refine_raster);
+  // Below the floor, signature construction does not amortize.
+  popt.raster_candidate_floor = est.result_pairs * 2;
+  plan = PlanPairJoin(big_->tree(), big_->tree(), popt,
+                      /*exact_geometry=*/true);
+  EXPECT_FALSE(plan.refine_raster);
+  // The chosen knobs flow into JoinOptions through ApplyPlan.
+  popt.raster_candidate_floor = est.result_pairs / 2;
+  popt.raster_grid_bits = 11;
+  plan = PlanPairJoin(big_->tree(), big_->tree(), popt,
+                      /*exact_geometry=*/true);
+  JoinOptions join;
+  ParallelExecutorOptions exec;
+  ApplyPlan(plan, &join, &exec);
+  EXPECT_TRUE(join.refine_raster);
+  EXPECT_EQ(join.raster_grid_bits, 11u);
+}
+
 // ---------------------------------------------------------------------------
 // QueryEngine
 
@@ -451,6 +480,65 @@ TEST_F(QueryEngineTest, GovernorLeaseGatesAdmission) {
   EXPECT_EQ(
       engine.governor().category_live(MemoryCategory::kSessionReservations),
       0u);
+}
+
+TEST_F(QueryEngineTest, PlannedAdmissionAdmitsMoreSmallQueries) {
+  // Three tiny queries under a budget that fits one FLAT reservation:
+  // flat admission serializes them, planner-informed admission sizes the
+  // reservations to the queries' actual estimates and runs all three.
+  RTreeOptions topt;
+  topt.page_size = kPageSize1K;
+  const std::vector<Rect> tiny_rects = testutil::RandomRects(60, 77);
+  IndexedRelation tiny(tiny_rects, topt);
+
+  auto run_batch = [&](bool plan_admission) {
+    QueryEngine::Options opt = EngineOptions();
+    opt.session_reserve_bytes = 1 << 20;
+    opt.memory_budget_bytes = (1 << 20) + (1 << 19);
+    opt.plan_admission = plan_admission;
+    QueryEngine engine(opt);
+
+    std::mutex m;
+    std::condition_variable cv;
+    bool release = false;
+    std::vector<QuerySession*> sessions;
+    for (int i = 0; i < 3; ++i) {
+      QuerySpec spec;
+      spec.relations = {{&tiny.tree(), &tiny_rects},
+                        {&tiny.tree(), &tiny_rects}};
+      spec.before_run = [&] {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return release; });
+      };
+      sessions.push_back(engine.Submit(std::move(spec)));
+    }
+    size_t running = 0;
+    for (QuerySession* s : sessions) {
+      running += s->state() == SessionState::kRunning ? 1 : 0;
+    }
+    {
+      std::lock_guard<std::mutex> lock(m);
+      release = true;
+    }
+    cv.notify_all();
+    engine.WaitAll();
+    for (QuerySession* s : sessions) {
+      EXPECT_EQ(s->state(), SessionState::kFinished);
+      EXPECT_EQ(s->outcome().result_count,
+                sessions[0]->outcome().result_count);
+    }
+    // Reservations always return to zero.
+    EXPECT_EQ(
+        engine.governor().category_live(MemoryCategory::kSessionReservations),
+        0u);
+    return running;
+  };
+
+  // Flat: the first session charges the whole 1 MiB unit, the governor
+  // refuses the second, both later admissions run serially.
+  EXPECT_EQ(run_batch(false), 1u);
+  // Planned: three small estimates fit the same budget side by side.
+  EXPECT_EQ(run_batch(true), 3u);
 }
 
 TEST_F(QueryEngineTest, PlannerSwitchesVariantsAcrossWorkloads) {

@@ -1,0 +1,344 @@
+// Tests for the raster-interval object approximations: grid cell
+// semantics, the supercover against a brute-force closed-cell oracle,
+// the FULL_H/FULL_V traversal classes, the verdict truth table,
+// end-to-end verdict soundness against exact geometry, and the
+// thread-safe lazy signature cache over the memory governor.
+
+#include "geom/raster_interval.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "geom/segment.h"
+#include "geom/zorder.h"
+#include "join/refinement.h"
+
+namespace rsj {
+namespace {
+
+// Decompresses a signature into z -> class for cell-level assertions.
+std::map<uint32_t, uint8_t> Decompress(const RasterSignature& sig) {
+  std::map<uint32_t, uint8_t> cells;
+  for (size_t i = 0; i < sig.size(); ++i) {
+    for (uint32_t z = sig.lo[i];; ++z) {
+      cells[z] = sig.cls[i];
+      if (z == sig.hi[i]) break;
+    }
+  }
+  return cells;
+}
+
+// Closed segment-vs-rectangle intersection for the brute-force oracle
+// (endpoint containment or an edge crossing; closed boundaries).
+bool SegmentTouchesRect(const Point& a, const Point& b, double xl, double yl,
+                        double xu, double yu) {
+  auto inside = [&](const Point& p) {
+    return p.x >= xl && p.x <= xu && p.y >= yl && p.y <= yu;
+  };
+  if (inside(a) || inside(b)) return true;
+  const Point c0{static_cast<Coord>(xl), static_cast<Coord>(yl)};
+  const Point c1{static_cast<Coord>(xu), static_cast<Coord>(yl)};
+  const Point c2{static_cast<Coord>(xu), static_cast<Coord>(yu)};
+  const Point c3{static_cast<Coord>(xl), static_cast<Coord>(yu)};
+  const Segment seg{a, b};
+  return SegmentsIntersect(seg, Segment{c0, c1}) ||
+         SegmentsIntersect(seg, Segment{c1, c2}) ||
+         SegmentsIntersect(seg, Segment{c2, c3}) ||
+         SegmentsIntersect(seg, Segment{c3, c0});
+}
+
+TEST(RasterGridTest, ClosedCellBoundarySemantics) {
+  const RasterGrid grid(Rect{0, 0, 1, 1}, 3);  // 8x8, cell 0.125
+  EXPECT_EQ(grid.cells_per_axis(), 8u);
+  // Interior of cell 2.
+  EXPECT_EQ(grid.CellLoX(0.3), 2u);
+  EXPECT_EQ(grid.CellHiX(0.3), 2u);
+  // Exactly on the shared edge between cells 1 and 2: in both.
+  EXPECT_EQ(grid.CellLoX(0.25), 1u);
+  EXPECT_EQ(grid.CellHiX(0.25), 2u);
+  // Universe corners and out-of-range values clamp to the border cells.
+  EXPECT_EQ(grid.CellLoX(0.0), 0u);
+  EXPECT_EQ(grid.CellHiX(0.0), 0u);
+  EXPECT_EQ(grid.CellLoX(1.0), 7u);
+  EXPECT_EQ(grid.CellHiX(1.0), 7u);
+  EXPECT_EQ(grid.CellLoX(-5.0), 0u);
+  EXPECT_EQ(grid.CellHiX(9.0), 7u);
+  // Edges are exact multiples of the step.
+  EXPECT_DOUBLE_EQ(grid.ColumnEdge(0), 0.0);
+  EXPECT_DOUBLE_EQ(grid.ColumnEdge(8), 1.0);
+}
+
+TEST(RasterSignatureTest, SupercoverMatchesBruteForceOracle) {
+  const RasterGrid grid(Rect{0, 0, 1, 1}, 3);
+  const double step = 1.0 / 8.0;
+  const std::vector<std::vector<Point>> chains = {
+      {{0.1f, 0.53f}, {0.9f, 0.53f}},              // horizontal
+      {{0.53f, 0.1f}, {0.53f, 0.9f}},              // vertical
+      {{0.05f, 0.05f}, {0.95f, 0.95f}},            // diagonal
+      {{0.1f, 0.8f}, {0.6f, 0.2f}, {0.9f, 0.7f}},  // bent chain
+      {{0.25f, 0.25f}, {0.75f, 0.25f}},            // runs along grid lines
+      {{0.4f, 0.4f}},                              // single vertex
+  };
+  for (const auto& chain : chains) {
+    const RasterSignature sig =
+        BuildRasterSignature(grid, std::span<const Point>(chain));
+    const auto cells = Decompress(sig);
+    // Pad the chain so single vertices still form a degenerate segment.
+    std::vector<Point> pts = chain;
+    if (pts.size() == 1) pts.push_back(pts[0]);
+    for (uint32_t cy = 0; cy < 8; ++cy) {
+      for (uint32_t cx = 0; cx < 8; ++cx) {
+        const uint32_t z = InterleaveBits16(cx, cy);
+        bool exact = false;
+        bool near = false;  // the eps-inflated cell, bounding the widening
+        const double pad = 1e-6 * step;
+        for (size_t i = 0; i + 1 < pts.size() && !near; ++i) {
+          exact = exact || SegmentTouchesRect(pts[i], pts[i + 1], cx * step,
+                                              cy * step, (cx + 1) * step,
+                                              (cy + 1) * step);
+          near = near || SegmentTouchesRect(pts[i], pts[i + 1],
+                                            cx * step - pad, cy * step - pad,
+                                            (cx + 1) * step + pad,
+                                            (cy + 1) * step + pad);
+        }
+        // Conservative: every exactly-touched cell is covered. Tight:
+        // nothing outside the inflated cells is covered.
+        if (exact) {
+          EXPECT_TRUE(cells.count(z)) << "cell (" << cx << "," << cy
+                                      << ") missing from supercover";
+        }
+        if (cells.count(z)) {
+          EXPECT_TRUE(near) << "cell (" << cx << "," << cy
+                            << ") covered but not touched";
+        }
+      }
+    }
+  }
+}
+
+TEST(RasterSignatureTest, FullTraversalClasses) {
+  const RasterGrid grid(Rect{0, 0, 1, 1}, 3);
+  // Horizontal crossing of columns 1..6 inside row 4: those cells are
+  // FULL_H, the endpoint cells (columns 0 and 7) are partial.
+  {
+    const std::vector<Point> chain = {{0.1f, 0.53f}, {0.9f, 0.53f}};
+    const auto cells =
+        Decompress(BuildRasterSignature(grid, std::span<const Point>(chain)));
+    for (uint32_t cx = 0; cx < 8; ++cx) {
+      const auto it = cells.find(InterleaveBits16(cx, 4));
+      ASSERT_NE(it, cells.end());
+      if (cx >= 1 && cx <= 6) {
+        EXPECT_EQ(it->second, kRasterFullH) << "column " << cx;
+      } else {
+        EXPECT_EQ(it->second, 0) << "column " << cx;
+      }
+    }
+  }
+  // The transpose: vertical crossing of rows 1..6 inside column 4.
+  {
+    const std::vector<Point> chain = {{0.53f, 0.1f}, {0.53f, 0.9f}};
+    const auto cells =
+        Decompress(BuildRasterSignature(grid, std::span<const Point>(chain)));
+    for (uint32_t cy = 0; cy < 8; ++cy) {
+      const auto it = cells.find(InterleaveBits16(4, cy));
+      ASSERT_NE(it, cells.end());
+      if (cy >= 1 && cy <= 6) {
+        EXPECT_EQ(it->second, kRasterFullV) << "row " << cy;
+      } else {
+        EXPECT_EQ(it->second, 0) << "row " << cy;
+      }
+    }
+  }
+  // A shallow diagonal crossing a column while staying inside one row's
+  // y-span is FULL_H there despite not being axis-parallel.
+  {
+    const std::vector<Point> chain = {{0.05f, 0.51f}, {0.95f, 0.59f}};
+    const auto cells =
+        Decompress(BuildRasterSignature(grid, std::span<const Point>(chain)));
+    const auto it = cells.find(InterleaveBits16(4, 4));
+    ASSERT_NE(it, cells.end());
+    EXPECT_EQ(it->second, kRasterFullH);
+  }
+  // A corner-to-corner diagonal touches the row edges, so the eps margin
+  // drops the flag (conservative: never invent a proof).
+  {
+    const std::vector<Point> chain = {{0.0f, 0.0f}, {1.0f, 1.0f}};
+    const auto cells =
+        Decompress(BuildRasterSignature(grid, std::span<const Point>(chain)));
+    for (const auto& [z, cls] : cells) EXPECT_EQ(cls, 0);
+  }
+}
+
+TEST(RasterVerdictTest, TruthTable) {
+  auto sig = [](std::vector<uint32_t> lo, std::vector<uint32_t> hi,
+                std::vector<uint8_t> cls) {
+    RasterSignature s;
+    s.lo = std::move(lo);
+    s.hi = std::move(hi);
+    s.cls = std::move(cls);
+    return s;
+  };
+  // Disjoint interval lists: proven disjoint.
+  EXPECT_EQ(ClassifyRasterPair(sig({0}, {5}, {0}), sig({10}, {12}, {0})),
+            RasterVerdict::kReject);
+  // Overlap without flags: cannot decide.
+  EXPECT_EQ(ClassifyRasterPair(sig({0}, {5}, {0}), sig({3}, {8}, {0})),
+            RasterVerdict::kInconclusive);
+  // A shared cell with FULL_H on one side and FULL_V on the other: the
+  // crossings must intersect inside that cell.
+  EXPECT_EQ(ClassifyRasterPair(sig({4}, {4}, {kRasterFullH}),
+                               sig({2, 4}, {2, 6}, {0, kRasterFullV})),
+            RasterVerdict::kTrueHit);
+  // Same orientation proves nothing.
+  EXPECT_EQ(ClassifyRasterPair(sig({4}, {4}, {kRasterFullH}),
+                               sig({4}, {4}, {kRasterFullH})),
+            RasterVerdict::kInconclusive);
+  // A both-ways cell against either flag proves.
+  EXPECT_EQ(ClassifyRasterPair(
+                sig({4}, {4}, {kRasterFullH | kRasterFullV}),
+                sig({4}, {4}, {kRasterFullH})),
+            RasterVerdict::kTrueHit);
+  // Empty signatures never overlap.
+  EXPECT_EQ(ClassifyRasterPair(RasterSignature{}, sig({0}, {5}, {0})),
+            RasterVerdict::kReject);
+}
+
+TEST(RasterVerdictTest, VerdictsAreSoundOnRandomChains) {
+  const RasterGrid grid(Rect{0, 0, 1, 1}, 6);
+  std::mt19937 rng(20230716);
+  std::uniform_real_distribution<float> coord(0.0f, 1.0f);
+  std::uniform_real_distribution<float> delta(-0.15f, 0.15f);
+  std::uniform_int_distribution<int> verts(1, 5);
+  auto make_chain = [&]() {
+    std::vector<Point> chain;
+    float x = coord(rng), y = coord(rng);
+    const int n = verts(rng);
+    for (int i = 0; i < n; ++i) {
+      chain.push_back({std::clamp(x, 0.0f, 1.0f), std::clamp(y, 0.0f, 1.0f)});
+      x += delta(rng);
+      y += delta(rng);
+    }
+    return chain;
+  };
+  int true_hits = 0, rejects = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::vector<Point> a = make_chain();
+    const std::vector<Point> b = make_chain();
+    const RasterSignature sa =
+        BuildRasterSignature(grid, std::span<const Point>(a));
+    const RasterSignature sb =
+        BuildRasterSignature(grid, std::span<const Point>(b));
+    const bool exact = PolylinesIntersect(std::span<const Point>(a),
+                                          std::span<const Point>(b));
+    switch (ClassifyRasterPair(sa, sb)) {
+      case RasterVerdict::kTrueHit:
+        EXPECT_TRUE(exact) << "unsound true-hit at trial " << trial;
+        ++true_hits;
+        break;
+      case RasterVerdict::kReject:
+        EXPECT_FALSE(exact) << "unsound reject at trial " << trial;
+        ++rejects;
+        break;
+      case RasterVerdict::kInconclusive:
+        break;
+    }
+  }
+  // The tier must actually prove things on this distribution, or the
+  // soundness checks above were vacuous.
+  EXPECT_GT(true_hits, 0);
+  EXPECT_GT(rejects, 0);
+}
+
+Dataset GridChains(uint32_t count, float offset) {
+  Dataset d;
+  d.name = "grid_chains";
+  for (uint32_t i = 0; i < count; ++i) {
+    const float base = static_cast<float>(i % 10) / 10.0f;
+    SpatialObject o;
+    o.id = i;
+    o.chain = {{base + offset, 0.1f}, {base + offset, 0.9f}};
+    o.mbr = PolylineMbr(o.chain);
+    d.objects.push_back(std::move(o));
+  }
+  d.universe = Rect{0, 0, 1, 1};
+  return d;
+}
+
+TEST(RasterRefineFilterTest, LazyBuildIsThreadSafeAndCountsOnce) {
+  const Dataset r = GridChains(64, 0.05f);
+  const Dataset s = GridChains(64, 0.051f);
+  MemoryGovernor governor(MemoryGovernor::Options{0});
+  Statistics merged;
+  {
+    RasterRefineFilter filter(r, s, /*grid_bits=*/8, &governor);
+    constexpr int kThreads = 8;
+    std::vector<Statistics> per_thread(kThreads);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        // Every thread classifies every pair: each signature is needed
+        // by all threads but may only ever be built once.
+        for (uint32_t i = 0; i < 64; ++i) {
+          filter.Classify(i, (i + static_cast<uint32_t>(t)) % 64,
+                          &per_thread[t]);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (const Statistics& stats : per_thread) merged.MergeFrom(stats);
+    EXPECT_EQ(merged.ri_signatures_built, 128u);  // 64 per side, once each
+    EXPECT_EQ(merged.ri_signature_bytes, filter.signature_bytes());
+    EXPECT_EQ(merged.ri_true_hits + merged.ri_rejects +
+                  merged.ri_inconclusive,
+              64u * kThreads);
+    EXPECT_EQ(merged.ri_exact_tests_avoided,
+              merged.ri_true_hits + merged.ri_rejects);
+    EXPECT_EQ(governor.category_live(MemoryCategory::kRasterSignatures),
+              filter.signature_bytes());
+  }
+  // Destruction returns the whole lease.
+  EXPECT_EQ(governor.category_live(MemoryCategory::kRasterSignatures), 0u);
+}
+
+TEST(RasterRefineFilterTest, SelfJoinAliasesTheSignatureCache) {
+  const Dataset r = GridChains(32, 0.05f);
+  Statistics stats;
+  RasterRefineFilter filter(r, r, /*grid_bits=*/8);
+  filter.BuildAll(&stats);
+  // One build per object, not per side.
+  EXPECT_EQ(stats.ri_signatures_built, 32u);
+  // Identical vertical chains share FULL_V cells — same orientation on
+  // both sides proves nothing, so the self pair stays inconclusive.
+  Statistics classify_stats;
+  EXPECT_EQ(filter.Classify(3, 3, &classify_stats),
+            RasterVerdict::kInconclusive);
+}
+
+TEST(RasterRefineFilterTest, SelfCrossingChainProvesItsOwnSelfPair) {
+  // A chain that crosses one cell fully horizontally in one segment and
+  // fully vertically in another: the cell carries both flags, so even
+  // the identical-signature self pair is a proven hit.
+  Dataset cross;
+  cross.name = "cross";
+  SpatialObject o;
+  o.id = 0;
+  o.chain = {{0.2f, 0.503f},
+             {0.8f, 0.503f},
+             {0.8f, 0.2f},
+             {0.503f, 0.2f},
+             {0.503f, 0.8f}};
+  o.mbr = PolylineMbr(o.chain);
+  cross.objects.push_back(std::move(o));
+  RasterRefineFilter filter(cross, cross, /*grid_bits=*/8);
+  Statistics stats;
+  EXPECT_EQ(filter.Classify(0, 0, &stats), RasterVerdict::kTrueHit);
+  EXPECT_EQ(stats.ri_exact_tests_avoided, 1u);
+}
+
+}  // namespace
+}  // namespace rsj

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "datagen/tiger_like.h"
+#include "datagen/workloads.h"
 #include "geom/segment.h"
 #include "tests/test_util.h"
 
@@ -24,7 +25,8 @@ Dataset ChainDataset(std::vector<std::vector<Point>> chains) {
   return d;
 }
 
-IdJoinResult RunIdJoin(const Dataset& r, const Dataset& s) {
+IdJoinResult RunIdJoin(const Dataset& r, const Dataset& s,
+                       bool refine_raster = false) {
   RTreeOptions topt;
   topt.page_size = kPageSize1K;
   PagedFile fr(topt.page_size);
@@ -35,7 +37,23 @@ IdJoinResult RunIdJoin(const Dataset& r, const Dataset& s) {
   RTree ts = BuildRTree(&fs, ms, topt);
   JoinOptions jopt;
   jopt.algorithm = JoinAlgorithm::kSJ4;
+  jopt.refine_raster = refine_raster;
   return RunIdSpatialJoin(tr, r, ts, s, jopt);
+}
+
+// Runs both tiers and checks they agree before returning the exact form.
+IdJoinResult RunBothTiers(const Dataset& r, const Dataset& s) {
+  const IdJoinResult exact = RunIdJoin(r, s, false);
+  const IdJoinResult raster = RunIdJoin(r, s, true);
+  EXPECT_EQ(exact.candidate_pairs, raster.candidate_pairs);
+  EXPECT_EQ(exact.result_pairs, raster.result_pairs);
+  // Each candidate got exactly one verdict; 'avoided' counts the proofs.
+  EXPECT_EQ(raster.stats.ri_true_hits + raster.stats.ri_rejects +
+                raster.stats.ri_inconclusive,
+            raster.candidate_pairs);
+  EXPECT_EQ(raster.stats.ri_exact_tests_avoided,
+            raster.stats.ri_true_hits + raster.stats.ri_rejects);
+  return exact;
 }
 
 TEST(IdJoinTest, FilterPassesRefinementRejects) {
@@ -103,6 +121,60 @@ TEST(IdJoinTest, SelfJoinRefinementKeepsDiagonalAndNeighbors) {
   // boundaries.
   EXPECT_GE(result.result_pairs, 2 * rivers.objects.size());
   EXPECT_LE(result.result_pairs, result.candidate_pairs);
+}
+
+TEST(TwoTierTest, AgreesWithExactOnDegenerateGeometry) {
+  // Edge cases where a careless raster tier would invent or drop pairs:
+  // collinear overlap, shared endpoints, zero-length segments, and
+  // single-vertex objects. Every case runs exact and two-tier and the
+  // counts must agree (checked inside RunBothTiers).
+  //
+  // Collinear overlapping chains (diagonal and axis-parallel).
+  {
+    const Dataset r = ChainDataset({{Point{0.1f, 0.1f}, Point{0.5f, 0.5f}},
+                                    {Point{0.2f, 0.8f}, Point{0.6f, 0.8f}}});
+    const Dataset s = ChainDataset({{Point{0.3f, 0.3f}, Point{0.7f, 0.7f}},
+                                    {Point{0.4f, 0.8f}, Point{0.9f, 0.8f}}});
+    const IdJoinResult result = RunBothTiers(r, s);
+    EXPECT_EQ(result.result_pairs, 2u);
+  }
+  // Chains touching only at a shared endpoint.
+  {
+    const Dataset r = ChainDataset({{Point{0.1f, 0.1f}, Point{0.5f, 0.5f}}});
+    const Dataset s = ChainDataset({{Point{0.5f, 0.5f}, Point{0.9f, 0.1f}}});
+    const IdJoinResult result = RunBothTiers(r, s);
+    EXPECT_EQ(result.result_pairs, 1u);
+  }
+  // A zero-length segment (repeated vertex) inside a chain.
+  {
+    const Dataset r = ChainDataset(
+        {{Point{0.1f, 0.1f}, Point{0.5f, 0.5f}, Point{0.5f, 0.5f},
+          Point{0.9f, 0.1f}}});
+    const Dataset s = ChainDataset({{Point{0.5f, 0.0f}, Point{0.5f, 1.0f}},
+                                    {Point{0.0f, 0.9f}, Point{1.0f, 0.9f}}});
+    const IdJoinResult result = RunBothTiers(r, s);
+    EXPECT_EQ(result.result_pairs, 1u);  // only the vertical chain crosses
+  }
+  // Single-vertex objects: on a chain, off a chain, and on each other.
+  {
+    const Dataset r = ChainDataset({{Point{0.25f, 0.25f}},
+                                    {Point{0.8f, 0.8f}},
+                                    {Point{0.1f, 0.9f}}});
+    const Dataset s = ChainDataset({{Point{0.0f, 0.0f}, Point{0.5f, 0.5f}},
+                                    {Point{0.1f, 0.9f}}});
+    const IdJoinResult result = RunBothTiers(r, s);
+    // (0.25,0.25) lies on the diagonal; (0.1,0.9) coincides with the
+    // point object; (0.8,0.8) touches nothing.
+    EXPECT_EQ(result.result_pairs, 2u);
+  }
+}
+
+TEST(TwoTierTest, AgreesWithExactOnRandomMaps) {
+  const Workload w = MakeWorkload(TestCase::kA, 0.03);
+  const IdJoinResult result = RunBothTiers(w.r, w.s);
+  EXPECT_GT(result.candidate_pairs, 0u);
+  // Self join too (aliased signature cache).
+  RunBothTiers(w.s, w.s);
 }
 
 }  // namespace

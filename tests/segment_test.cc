@@ -100,6 +100,46 @@ TEST(PolylinesIntersectTest, SingleVertexChains) {
   EXPECT_FALSE(PolylinesIntersect(point, away));
 }
 
+TEST(PolylinesIntersectTest, CollinearOverlappingChains) {
+  // Chains sharing a collinear stretch intersect (infinitely many common
+  // points), including the vertical orientation.
+  const std::vector<Point> a{Point{0, 0}, Point{2, 2}};
+  const std::vector<Point> b{Point{1, 1}, Point{3, 3}};
+  EXPECT_TRUE(PolylinesIntersect(a, b));
+  const std::vector<Point> va{Point{5, 0}, Point{5, 2}};
+  const std::vector<Point> vb{Point{5, 1}, Point{5, 4}};
+  EXPECT_TRUE(PolylinesIntersect(va, vb));
+  // Collinear but disjoint stays disjoint.
+  const std::vector<Point> c{Point{2.5f, 2.5f}, Point{4, 4}};
+  EXPECT_FALSE(PolylinesIntersect(a, c));
+}
+
+TEST(PolylinesIntersectTest, ChainsSharingAnEndpoint) {
+  const std::vector<Point> a{Point{0, 0}, Point{1, 1}};
+  const std::vector<Point> b{Point{1, 1}, Point{2, 0}};
+  EXPECT_TRUE(PolylinesIntersect(a, b));
+  // An interior vertex of one chain on an endpoint of the other.
+  const std::vector<Point> c{Point{1, 1}, Point{1, 2}, Point{2, 2}};
+  EXPECT_TRUE(PolylinesIntersect(a, c));
+}
+
+TEST(PolylinesIntersectTest, ZeroLengthSegmentInChain) {
+  // A repeated vertex forms a zero-length segment; the chain still
+  // intersects exactly like its deduplicated form.
+  const std::vector<Point> a{Point{0, 0}, Point{1, 1}, Point{1, 1},
+                             Point{2, 0}};
+  const std::vector<Point> through{Point{1, 0}, Point{1, 2}};
+  EXPECT_TRUE(PolylinesIntersect(a, through));
+  const std::vector<Point> away{Point{5, 5}, Point{6, 5}};
+  EXPECT_FALSE(PolylinesIntersect(a, away));
+  // Two single-vertex chains: intersect only when coincident.
+  const std::vector<Point> p{Point{1, 1}};
+  const std::vector<Point> q{Point{1, 1}};
+  const std::vector<Point> r{Point{1, 1.0001f}};
+  EXPECT_TRUE(PolylinesIntersect(p, q));
+  EXPECT_FALSE(PolylinesIntersect(p, r));
+}
+
 TEST(PolylinesIntersectTest, EmptyChains) {
   const std::vector<Point> empty;
   const std::vector<Point> chain{Point{0, 0}, Point{1, 1}};
