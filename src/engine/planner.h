@@ -37,6 +37,12 @@
 //                 construction amortizes over many candidate pairs, so
 //                 tiny candidate sets skip it and go straight to the
 //                 segment tests.
+//   * sharded   — pairwise joins whose estimated page reads pass
+//                 `shard_page_read_floor` AND whose estimated join CPU
+//                 amortizes the per-shard tree rebuilds (the estimator's
+//                 build_comparisons term times `shard_build_advantage`)
+//                 run declustered over `shard_count` per-shard trees
+//                 (src/shard/) instead of one tree pair.
 //
 // PlanChoice::Describe() serializes the choice AND the estimator inputs
 // that produced it — the engine stores it per session, so every decision
@@ -77,6 +83,17 @@ struct PlannerOptions {
   double raster_candidate_floor = 5000;
   // Grid resolution handed to the tier when it is chosen.
   unsigned raster_grid_bits = 14;
+  // Size floor of declustered (sharded) execution: estimated page reads
+  // at or above which partition-then-join is considered at all — below
+  // it one tree pair fits one node and sharding only adds build work.
+  double shard_page_read_floor = 100000;
+  // Build-amortization gate: sharded execution re-packs both sides into
+  // per-shard trees, so it is only chosen when the estimated join CPU is
+  // at least this multiple of the estimated build cost
+  // (sj1_comparisons >= shard_build_advantage * build_comparisons).
+  double shard_build_advantage = 2.0;
+  // Shard count handed to the declustering layer when it is chosen.
+  unsigned shard_count = 4;
 };
 
 struct PlanChoice {
@@ -89,6 +106,12 @@ struct PlanChoice {
   // Two-tier refinement (only set when planning an exact-geometry query).
   bool refine_raster = false;
   unsigned raster_grid_bits = 14;
+  // Declustered execution (src/shard/): chosen for pairwise joins past
+  // the size floor whose join cost amortizes the per-shard rebuilds.
+  // The runner routes through RunShardedSpatialJoin instead of a single
+  // tree pair (chains ignore it).
+  bool sharded = false;
+  unsigned shard_count = 4;
 
   // The estimator inputs the decisions were made on. For chains:
   // node_pairs/page_reads/sj1_comparisons sum the per-phase pairwise

@@ -80,6 +80,13 @@ const std::vector<StatisticsCounterDesc>& StatisticsCounters() {
                                              MetricMergeKind::kSum),
       Plain<&Statistics::result_peak_chunks_resident>(
           "result_peak_chunks_resident", MetricMergeKind::kMax),
+      Plain<&Statistics::sh_shards_built>("sh_shards_built",
+                                          MetricMergeKind::kSum),
+      Plain<&Statistics::sh_objects_replicated>("sh_objects_replicated",
+                                                MetricMergeKind::kSum),
+      Plain<&Statistics::sh_raw_pairs>("sh_raw_pairs", MetricMergeKind::kSum),
+      Plain<&Statistics::sh_dedup_suppressed>("sh_dedup_suppressed",
+                                              MetricMergeKind::kSum),
   };
   return kCounters;
 }

@@ -1,0 +1,130 @@
+#include "shard/decluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "geom/zorder.h"
+
+namespace rsj {
+
+TileGrid::TileGrid(const Rect& universe, unsigned tiles_per_side)
+    : universe_(universe), tiles_(tiles_per_side) {
+  RSJ_CHECK_MSG(tiles_per_side >= 1, "tile grid needs tiles_per_side >= 1");
+  RSJ_CHECK_MSG(!universe.IsEmpty(), "tile grid needs a non-empty universe");
+  const double width = static_cast<double>(universe_.xu) - universe_.xl;
+  const double height = static_cast<double>(universe_.yu) - universe_.yl;
+  tile_width_ = width / tiles_;
+  tile_height_ = height / tiles_;
+  // A degenerate axis (all objects on one line) collapses to column/row 0.
+  inv_tile_width_ = tile_width_ > 0.0 ? 1.0 / tile_width_ : 0.0;
+  inv_tile_height_ = tile_height_ > 0.0 ? 1.0 / tile_height_ : 0.0;
+}
+
+unsigned TileGrid::CellOf(double v, double lo, double inv_cell) const {
+  const double cell = std::floor((v - lo) * inv_cell);
+  if (!(cell > 0.0)) return 0;  // below the universe (or degenerate axis)
+  if (cell >= tiles_) return tiles_ - 1;  // at or past the upper edge
+  return static_cast<unsigned>(cell);
+}
+
+TileGrid::TileRange TileGrid::TileRangeOf(const Rect& rect) const {
+  TileRange range;
+  range.x0 = CellOf(rect.xl, universe_.xl, inv_tile_width_);
+  range.x1 = CellOf(rect.xu, universe_.xl, inv_tile_width_);
+  range.y0 = CellOf(rect.yl, universe_.yl, inv_tile_height_);
+  range.y1 = CellOf(rect.yu, universe_.yl, inv_tile_height_);
+  return range;
+}
+
+unsigned TileGrid::TileOwnerOf(const Point& p) const {
+  const unsigned tx = CellOf(p.x, universe_.xl, inv_tile_width_);
+  const unsigned ty = CellOf(p.y, universe_.yl, inv_tile_height_);
+  return ty * tiles_ + tx;
+}
+
+Rect TileGrid::TileRect(unsigned tx, unsigned ty) const {
+  RSJ_DCHECK(tx < tiles_ && ty < tiles_);
+  // Upper edges of the last row/column snap to the universe bound exactly.
+  const auto lo = [](double base, double step, unsigned i) {
+    return static_cast<Coord>(base + step * i);
+  };
+  return Rect{
+      lo(universe_.xl, tile_width_, tx), lo(universe_.yl, tile_height_, ty),
+      tx + 1 == tiles_ ? universe_.xu : lo(universe_.xl, tile_width_, tx + 1),
+      ty + 1 == tiles_ ? universe_.yu : lo(universe_.yl, tile_height_, ty + 1)};
+}
+
+Declustering Declustering::Build(std::span<const Rect> r,
+                                 std::span<const Rect> s,
+                                 const DeclusterOptions& options) {
+  RSJ_CHECK_MSG(options.num_shards >= 1, "declustering needs >= 1 shard");
+  Rect universe = Rect::Empty();
+  for (const Rect& rect : r) universe.ExpandToInclude(rect);
+  for (const Rect& rect : s) universe.ExpandToInclude(rect);
+  if (universe.IsEmpty()) universe = Rect{0, 0, 1, 1};  // no objects at all
+
+  Declustering decl;
+  decl.grid_ = TileGrid(universe, options.tiles_per_side);
+  decl.num_shards_ = options.num_shards;
+  const unsigned tiles = decl.grid_.tiles_per_side();
+
+  // Per-tile work unit: every object placement charges 1 (the count term)
+  // plus the object's clipped-area share of the tile (the MBR-area term),
+  // so a tile full of large rectangles weighs more than one holding the
+  // same number of points.
+  std::vector<double> work(decl.grid_.tile_count(), 0.0);
+  const double tile_area = decl.grid_.tile_area();
+  const auto charge = [&](std::span<const Rect> rects) {
+    for (const Rect& rect : rects) {
+      const TileGrid::TileRange range = decl.grid_.TileRangeOf(rect);
+      for (unsigned ty = range.y0; ty <= range.y1; ++ty) {
+        for (unsigned tx = range.x0; tx <= range.x1; ++tx) {
+          double area_share = 0.0;
+          if (tile_area > 0.0) {
+            area_share = rect.OverlapArea(decl.grid_.TileRect(tx, ty)) /
+                         tile_area;
+          }
+          work[ty * tiles + tx] += 1.0 + area_share;
+        }
+      }
+    }
+  };
+  charge(r);
+  charge(s);
+
+  // Order the tiles by the z-value of their index pair: the greedy cut
+  // below then produces spatially compact shards.
+  std::vector<unsigned> order(work.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+    const uint32_t za = InterleaveBits16(a % tiles, a / tiles);
+    const uint32_t zb = InterleaveBits16(b % tiles, b / tiles);
+    return za < zb;
+  });
+
+  // Greedy balanced cut: walk the z-order run, advancing to the next
+  // shard whenever the running total crosses that shard's equal share of
+  // the total work (never past shard K-1).
+  const double total = std::accumulate(work.begin(), work.end(), 0.0);
+  const double share = total / decl.num_shards_;
+  decl.shard_of_tile_.assign(work.size(), 0u);
+  decl.shard_work_.assign(decl.num_shards_, 0.0);
+  unsigned shard = 0;
+  double running = 0.0;
+  for (const unsigned tile : order) {
+    // Cut BEFORE the tile when half of it would overshoot the boundary —
+    // the tile goes to whichever side it fills less unevenly.
+    while (shard + 1 < decl.num_shards_ &&
+           running + work[tile] * 0.5 >= share * (shard + 1)) {
+      ++shard;
+    }
+    decl.shard_of_tile_[tile] = shard;
+    decl.shard_work_[shard] += work[tile];
+    running += work[tile];
+  }
+  return decl;
+}
+
+}  // namespace rsj

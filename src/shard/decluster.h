@@ -1,0 +1,132 @@
+// Grid/tile spatial declustering — the partitioner of the scale-out layer.
+//
+// The paper parallelizes only inside one tree pair (subtree-pair tasks,
+// §6); declustering partitions the data space itself, following the
+// partition-then-join designs of "Parallel In-Memory Evaluation of
+// Spatial Joins" (arXiv 1908.11740): the joint universe of both relations
+// is cut into a T×T grid of tiles, the tiles are grouped into K shards,
+// and every shard gets its own bulk-loaded R-tree (shard/sharded_join.h).
+//
+// Two rectangle→tile mappings with deliberately different semantics:
+//
+//   * Ownership (`TileOwnerOf`, a point): half-open cells
+//     [x_i, x_{i+1}) × [y_j, y_{j+1}) (the last row/column closed at the
+//     universe edge), so EVERY point has exactly ONE owner tile. The
+//     reference-point deduplication of the sharded join hangs off this:
+//     a qualifying pair is emitted only by the shard owning the
+//     bottom-left corner of its intersection rectangle.
+//   * Replication (`TileRangeOf`, a rectangle): closed tile rectangles —
+//     a rectangle that merely touches a tile boundary is replicated into
+//     both neighbors. A superset of the owner mapping is safe (extra
+//     copies only cost work, never correctness) and closed semantics
+//     match the closed-set `Rect::Intersects` every engine prunes with.
+//
+// Both mappings evaluate the same floor expression in double precision,
+// so for any point p inside a rectangle r, TileOwnerOf(p) is guaranteed
+// to lie inside TileRangeOf(r) — the invariant the dedup rule needs.
+//
+// Tile→shard grouping walks the tiles in z-order (geom/zorder.h) and cuts
+// the run into K contiguous groups of roughly equal estimated work, where
+// a tile's work unit combines object count and MBR area (each object
+// placement charges 1 + its clipped-area share of the tile). Z-order
+// contiguity keeps each shard spatially compact, which is what bounds the
+// boundary-replication factor.
+
+#ifndef RSJ_SHARD_DECLUSTER_H_
+#define RSJ_SHARD_DECLUSTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/rect.h"
+
+namespace rsj {
+
+struct DeclusterOptions {
+  // Shards (per-shard R-trees) the tiles are grouped into; >= 1.
+  unsigned num_shards = 4;
+
+  // Grid resolution: tiles_per_side × tiles_per_side tiles over the
+  // joint universe. Finer grids balance better and replicate more; the
+  // default keeps >= 64 tiles per shard at the default shard count.
+  unsigned tiles_per_side = 16;
+};
+
+// The T×T tile grid over one universe rectangle.
+class TileGrid {
+ public:
+  TileGrid() = default;
+  TileGrid(const Rect& universe, unsigned tiles_per_side);
+
+  // Inclusive tile-index range [x0..x1] × [y0..y1] of a rectangle under
+  // closed (replication) semantics, clamped into the grid.
+  struct TileRange {
+    unsigned x0 = 0;
+    unsigned y0 = 0;
+    unsigned x1 = 0;
+    unsigned y1 = 0;
+  };
+  TileRange TileRangeOf(const Rect& rect) const;
+
+  // The unique owner tile of a point under half-open (ownership)
+  // semantics; points outside the universe clamp to the boundary tiles.
+  // Returns the linear tile index ty * tiles_per_side + tx.
+  unsigned TileOwnerOf(const Point& p) const;
+
+  // The closed rectangle of one tile (tiles share edges).
+  Rect TileRect(unsigned tx, unsigned ty) const;
+
+  unsigned tiles_per_side() const { return tiles_; }
+  unsigned tile_count() const { return tiles_ * tiles_; }
+  const Rect& universe() const { return universe_; }
+  double tile_area() const { return tile_width_ * tile_height_; }
+
+ private:
+  // Grid cell along one axis: floor((v - lo) / cell), clamped to
+  // [0, tiles-1]. The single place both mappings compute, so ownership
+  // and replication can never disagree on which cell a coordinate is in.
+  unsigned CellOf(double v, double lo, double inv_cell) const;
+
+  Rect universe_;
+  unsigned tiles_ = 1;
+  double tile_width_ = 0.0;
+  double tile_height_ = 0.0;
+  double inv_tile_width_ = 0.0;   // 0 for a degenerate (zero-extent) axis
+  double inv_tile_height_ = 0.0;
+};
+
+// The full declustering: grid + balanced tile→shard map. Built once from
+// both join sides and shared by the two ShardedDatasets of a join.
+class Declustering {
+ public:
+  // Builds the grid over the union of both rectangle sets' bounding
+  // boxes and groups the tiles into num_shards z-order-contiguous groups
+  // of roughly equal estimated work.
+  static Declustering Build(std::span<const Rect> r, std::span<const Rect> s,
+                            const DeclusterOptions& options);
+
+  unsigned num_shards() const { return num_shards_; }
+  const TileGrid& grid() const { return grid_; }
+
+  unsigned ShardOfTile(unsigned tile) const { return shard_of_tile_[tile]; }
+
+  // The shard owning point `p` — ShardOfTile of the owner tile.
+  unsigned OwnerShardOf(const Point& p) const {
+    return shard_of_tile_[grid_.TileOwnerOf(p)];
+  }
+
+  // Estimated work units accumulated per shard (balance telemetry; the
+  // grouping targets equal shares of the total).
+  const std::vector<double>& shard_work() const { return shard_work_; }
+
+ private:
+  TileGrid grid_;
+  unsigned num_shards_ = 1;
+  std::vector<unsigned> shard_of_tile_;  // tile_count() entries, each < K
+  std::vector<double> shard_work_;
+};
+
+}  // namespace rsj
+
+#endif  // RSJ_SHARD_DECLUSTER_H_

@@ -32,6 +32,10 @@ void Statistics::MergeFrom(const Statistics& other) {
   ri_exact_tests_avoided += other.ri_exact_tests_avoided;
   result_chunks_spilled += other.result_chunks_spilled;
   result_spill_bytes += other.result_spill_bytes;
+  sh_shards_built += other.sh_shards_built;
+  sh_objects_replicated += other.sh_objects_replicated;
+  sh_raw_pairs += other.sh_raw_pairs;
+  sh_dedup_suppressed += other.sh_dedup_suppressed;
   // High-water marks: concurrent actors share one peak, so merging takes
   // the maximum instead of summing.
   frontier_peak_tuples = std::max(frontier_peak_tuples,
@@ -69,7 +73,11 @@ std::string Statistics::ToString() const {
       "ri true hits:      %llu\n"
       "ri rejects:        %llu\n"
       "ri inconclusive:   %llu\n"
-      "ri tests avoided:  %llu\n",
+      "ri tests avoided:  %llu\n"
+      "shards built:      %llu\n"
+      "objs replicated:   %llu\n"
+      "shard raw pairs:   %llu\n"
+      "dedup suppressed:  %llu\n",
       static_cast<unsigned long long>(disk_reads),
       static_cast<unsigned long long>(buffer_hits), HitRate() * 100.0,
       static_cast<unsigned long long>(buffer_evictions),
@@ -96,7 +104,11 @@ std::string Statistics::ToString() const {
       static_cast<unsigned long long>(ri_true_hits),
       static_cast<unsigned long long>(ri_rejects),
       static_cast<unsigned long long>(ri_inconclusive),
-      static_cast<unsigned long long>(ri_exact_tests_avoided));
+      static_cast<unsigned long long>(ri_exact_tests_avoided),
+      static_cast<unsigned long long>(sh_shards_built),
+      static_cast<unsigned long long>(sh_objects_replicated),
+      static_cast<unsigned long long>(sh_raw_pairs),
+      static_cast<unsigned long long>(sh_dedup_suppressed));
   return std::string(buf);
 }
 

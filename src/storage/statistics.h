@@ -73,6 +73,16 @@ struct Statistics {
   // (a high-water mark, like frontier_peak_tuples).
   uint64_t result_peak_chunks_resident = 0;
 
+  // --- spatial declustering (src/shard/) ---
+  // Replication means a qualifying pair can be discovered by every shard
+  // holding both objects; reference-point dedup forwards it exactly once.
+  // Ledger invariant: sh_raw_pairs == forwarded pairs +
+  // sh_dedup_suppressed for every sharded run.
+  uint64_t sh_shards_built = 0;        // non-empty shard R-trees bulk-loaded
+  uint64_t sh_objects_replicated = 0;  // placements beyond each object's first
+  uint64_t sh_raw_pairs = 0;           // raw shard-pair hits before dedup
+  uint64_t sh_dedup_suppressed = 0;    // hits suppressed by the dedup rule
+
   // Raises result_peak_chunks_resident to at least `chunks` — the one
   // place the resident-peak convention lives; every output path
   // (spilling budget peaks and materialized whole-result counts alike)
